@@ -1,0 +1,52 @@
+#ifndef ACTOR_BENCH_BENCH_COMMON_H_
+#define ACTOR_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table/figure reproduction harnesses. Each bench
+// binary prints the same rows/series as the corresponding paper element
+// (see DESIGN.md §4 for the experiment index).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/pipeline.h"
+#include "eval/prediction.h"
+#include "util/flags.h"
+
+namespace actor {
+namespace bench {
+
+/// The three paper-like datasets at the requested scale.
+inline std::vector<std::pair<std::string, PipelineOptions>> DatasetConfigs(
+    double scale) {
+  return {
+      {"UTGEO2011", UTGeoPipeline(scale)},
+      {"TWEET", TweetPipeline(scale)},
+      {"4SQ", FourSqPipeline(scale)},
+  };
+}
+
+/// Renders an MRR cell; NaN prints as "/" (LGTA/MGTM time column).
+inline std::string MrrCell(double v) {
+  if (std::isnan(v)) return "     /";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+inline void PrintMrrHeader(const char* dataset) {
+  std::printf("\n=== %s ===\n", dataset);
+  std::printf("%-14s %8s %10s %8s\n", "Method", "Text", "Location", "Time");
+}
+
+inline void PrintMrrRow(const std::string& name, const MrrScores& scores) {
+  std::printf("%-14s %8s %10s %8s\n", name.c_str(),
+              MrrCell(scores.text).c_str(), MrrCell(scores.location).c_str(),
+              MrrCell(scores.time).c_str());
+}
+
+}  // namespace bench
+}  // namespace actor
+
+#endif  // ACTOR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,109 @@
+// Ablations over *this implementation's* design choices (DESIGN.md §2 and
+// §5) rather than the paper's components (those are Table 4 /
+// table4_ablation). Each sweep trains ACTOR on the UTGEO2011-like dataset
+// and reports the three-task MRR:
+//
+//   1. bag-of-words composite: mean (ours) vs literal sum (footnote 4)
+//   2. user-guided initialization: on vs off (inter edge types kept)
+//   3. negative samples K: 1 (paper) vs 3 vs 5 (harness default)
+//   4. embedding dimension d: 16 / 32 / 64
+//
+// Run:  ./design_ablations [--scale=0.25] [--epochs=8] [--spe=10]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/actor.h"
+#include "eval/cross_modal_model.h"
+
+namespace {
+
+actor::MrrScores RunActor(const actor::PreparedDataset& data,
+                          const actor::ActorOptions& options) {
+  auto model = actor::TrainActor(data.graphs, options);
+  model.status().CheckOK();
+  actor::EmbeddingCrossModalModel scorer("ACTOR", &model->center,
+                                         &data.graphs, &data.hotspots);
+  actor::EvalOptions eval;
+  eval.max_queries = 2000;
+  auto scores = actor::EvaluateCrossModal(scorer, data.test, eval);
+  scores.status().CheckOK();
+  return *scores;
+}
+
+void PrintRow(const char* label, const actor::MrrScores& s) {
+  std::printf("  %-28s %8.4f %8.4f %8.4f   (mean %.4f)\n", label, s.text,
+              s.location, s.time, (s.text + s.location + s.time) / 3.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  actor::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.25);
+
+  actor::ActorOptions base;
+  base.dim = 32;
+  base.epochs = static_cast<int>(flags.GetInt("epochs", 8));
+  base.samples_per_edge = static_cast<int>(flags.GetInt("spe", 10));
+  base.negatives = 5;
+
+  auto data = actor::PrepareDataset(actor::UTGeoPipeline(scale), "UTGEO2011");
+  data.status().CheckOK();
+  std::printf("Design-choice ablations (UTGEO2011-like, scale=%.2f)\n",
+              scale);
+  std::printf("  %-28s %8s %8s %8s\n", "variant", "Text", "Location", "Time");
+
+  // 1. Composite: mean vs sum.
+  {
+    actor::ActorOptions sum = base;
+    sum.bow_sum_composite = true;
+    PrintRow("bow composite = mean (ours)", RunActor(*data, base));
+    PrintRow("bow composite = sum (paper)", RunActor(*data, sum));
+  }
+
+  // 2. User-guided init.
+  {
+    actor::ActorOptions no_init = base;
+    no_init.init_from_users = false;
+    PrintRow("user init = on (ours)", RunActor(*data, base));
+    PrintRow("user init = off", RunActor(*data, no_init));
+  }
+
+  // 3. K sweep.
+  for (int k : {1, 3, 5}) {
+    actor::ActorOptions o = base;
+    o.negatives = k;
+    char label[32];
+    std::snprintf(label, sizeof(label), "negatives K = %d%s", k,
+                  k == 1 ? " (paper)" : "");
+    PrintRow(label, RunActor(*data, o));
+  }
+
+  // 4. Dimension sweep.
+  for (int dim : {16, 32, 64}) {
+    actor::ActorOptions o = base;
+    o.dim = dim;
+    char label[32];
+    std::snprintf(label, sizeof(label), "dimension d = %d", dim);
+    PrintRow(label, RunActor(*data, o));
+  }
+
+  // 5. Hotspot bandwidth sensitivity: coarser/finer spatial units change
+  //    the whole downstream graph, so this sweep re-runs the pipeline.
+  std::printf("  %-28s %8s %8s %8s   (hotspot sweep)\n", "variant", "Text",
+              "Location", "Time");
+  for (double bandwidth : {0.5, 1.0, 2.0, 4.0}) {
+    actor::PipelineOptions pipeline = actor::UTGeoPipeline(scale);
+    pipeline.hotspots.spatial.bandwidth = bandwidth;
+    pipeline.hotspots.spatial.merge_radius = bandwidth / 2.0;
+    auto swept = actor::PrepareDataset(pipeline, "UTGEO2011");
+    swept.status().CheckOK();
+    char label[48];
+    std::snprintf(label, sizeof(label),
+                  "spatial bandwidth %.1f km (%zu hs)", bandwidth,
+                  swept->hotspots.spatial.size());
+    PrintRow(label, RunActor(*swept, base));
+  }
+  return 0;
+}

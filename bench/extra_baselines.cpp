@@ -1,0 +1,92 @@
+// Extension bench (not a paper table): the homogeneous random-walk methods
+// the paper discusses in related work §2.2 but does not evaluate —
+// DeepWalk [22] and node2vec [23] — compared with metapath2vec and ACTOR
+// on the UTGEO2011-like dataset. Substantiates the paper's claim that
+// homogeneous walk embeddings are a poor fit for the typed activity graph.
+//
+// Run:  ./extra_baselines [--scale=0.25]
+
+#include <cstdio>
+
+#include "baselines/metapath2vec.h"
+#include "baselines/node2vec.h"
+#include "bench_common.h"
+#include "core/actor.h"
+#include "eval/cross_modal_model.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+void Evaluate(const char* name, const actor::EmbeddingMatrix& center,
+              const actor::PreparedDataset& data, double seconds) {
+  actor::EmbeddingCrossModalModel model(name, &center, &data.graphs,
+                                        &data.hotspots);
+  actor::EvalOptions eval;
+  eval.max_queries = 2000;
+  auto scores = actor::EvaluateCrossModal(model, data.test, eval);
+  scores.status().CheckOK();
+  actor::bench::PrintMrrRow(name, *scores);
+  std::fprintf(stderr, "  [%s trained in %.1fs]\n", name, seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  actor::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.25);
+
+  std::printf("Extra baselines: homogeneous walk methods vs ACTOR "
+              "(UTGEO2011-like, scale=%.2f)\n",
+              scale);
+  auto data = actor::PrepareDataset(actor::UTGeoPipeline(scale), "UTGEO2011");
+  data.status().CheckOK();
+  actor::bench::PrintMrrHeader("UTGEO2011");
+
+  {
+    actor::Stopwatch timer;
+    actor::Node2vecOptions options;
+    options.dim = 32;
+    options.walk.walks_per_vertex = 3;
+    options.walk.walk_length = 15;
+    options.skipgram.epochs = 1;
+    auto model = actor::TrainDeepWalk(data->graphs.activity, options);
+    model.status().CheckOK();
+    Evaluate("DeepWalk", model->center, *data, timer.ElapsedSeconds());
+  }
+  {
+    actor::Stopwatch timer;
+    actor::Node2vecOptions options;
+    options.dim = 32;
+    options.walk.p = 0.5;
+    options.walk.q = 2.0;  // BFS-ish: stay near the start community
+    options.walk.walks_per_vertex = 3;
+    options.walk.walk_length = 15;
+    options.skipgram.epochs = 1;
+    auto model = actor::TrainNode2vec(data->graphs.activity, options);
+    model.status().CheckOK();
+    Evaluate("node2vec", model->center, *data, timer.ElapsedSeconds());
+  }
+  {
+    actor::Stopwatch timer;
+    actor::Metapath2vecOptions options;
+    options.dim = 32;
+    options.walk.walks_per_start = 10;
+    options.walk.walk_length = 40;
+    options.skipgram.epochs = 2;
+    auto model = actor::TrainMetapath2vec(data->graphs.activity, options);
+    model.status().CheckOK();
+    Evaluate("metapath2vec", model->center, *data, timer.ElapsedSeconds());
+  }
+  {
+    actor::Stopwatch timer;
+    actor::ActorOptions options;
+    options.dim = 32;
+    options.epochs = 8;
+    options.samples_per_edge = 10;
+    options.negatives = 5;
+    auto model = actor::TrainActor(data->graphs, options);
+    model.status().CheckOK();
+    Evaluate("ACTOR", model->center, *data, timer.ElapsedSeconds());
+  }
+  return 0;
+}

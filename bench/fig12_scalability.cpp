@@ -1,0 +1,105 @@
+// Reproduces Fig. 12: scalability of ACTOR on the TWEET-like dataset.
+//   (a) edge scaling  — total time vs sampled-edge multiple 1x..4x
+//   (b) strong scaling — fixed edges, threads 1..4
+//   (c) weak scaling  — edges and threads grown together
+//
+// Expected shape: (a) linear in the number of sampled edges; (b) time
+// drops with threads (HOGWILD); (c) near-constant. NOTE: this container
+// exposes a single CPU core, so (b)/(c) cannot show real speedup here —
+// the harness still runs the sweeps and reports per-thread sample
+// accounting (see EXPERIMENTS.md).
+//
+// Run:  ./fig12_scalability [--scale=0.25] [--base_samples=2000000]
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/actor.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  int64_t steps = 0;  // actual SGD steps executed (edge + record)
+};
+
+/// Trains ACTOR with an explicit total sample budget expressed through
+/// samples_per_edge, and returns the wall-clock time plus the actual step
+/// count (the integer samples_per_edge quantizes the requested budget).
+RunResult TimeActor(const actor::BuiltGraphs& graphs, int64_t total_samples,
+                    int threads) {
+  const int64_t edges = graphs.activity.num_directed_edges();
+  actor::ActorOptions options;
+  options.dim = 32;
+  options.epochs = 4;
+  options.samples_per_edge =
+      std::max<int>(1, static_cast<int>(total_samples / std::max<int64_t>(
+                                                            1, edges)));
+  options.num_threads = threads;
+  actor::Stopwatch timer;
+  auto model = actor::TrainActor(graphs, options);
+  model.status().CheckOK();
+  return {timer.ElapsedSeconds(),
+          model->stats.edge_steps + model->stats.record_steps};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  actor::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.25);
+  const int64_t base_samples = flags.GetInt("base_samples", 2000000);
+
+  std::printf("Fig. 12: Scalability of ACTOR (TWEET-like dataset, "
+              "scale=%.2f; base sampling edges = %lld)\n",
+              scale, static_cast<long long>(base_samples));
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+
+  auto data = actor::PrepareDataset(actor::TweetPipeline(scale), "TWEET");
+  data.status().CheckOK();
+  std::printf("|E| = %lld directed edges\n\n",
+              static_cast<long long>(
+                  data->graphs.activity.num_directed_edges()));
+
+  // (a) Edge scaling: 1x..4x sampled edges, 1 thread.
+  std::printf("Fig. 12a — edge scaling (1 thread)\n");
+  std::printf("%10s %12s %14s %14s\n", "multiple", "seconds", "steps",
+              "us/step");
+  double base_time = 0.0;
+  for (int multiple = 1; multiple <= 4; ++multiple) {
+    const int64_t samples = base_samples * multiple;
+    const RunResult run = TimeActor(data->graphs, samples, 1);
+    if (multiple == 1) base_time = run.seconds;
+    std::printf("%9dx %12.2f %14lld %14.3f\n", multiple, run.seconds,
+                static_cast<long long>(run.steps),
+                1e6 * run.seconds / static_cast<double>(run.steps));
+  }
+
+  // (b) Strong scaling: fixed edges, threads 1..4.
+  std::printf("\nFig. 12b — thread scaling (fixed %lld requested samples)\n",
+              static_cast<long long>(base_samples));
+  std::printf("%10s %12s %12s\n", "threads", "seconds", "speedup");
+  for (int threads = 1; threads <= 4; ++threads) {
+    const RunResult run = TimeActor(data->graphs, base_samples, threads);
+    std::printf("%10d %12.2f %11.2fx\n", threads, run.seconds,
+                base_time / run.seconds);
+  }
+
+  // (c) Weak scaling: threads and edges grown together.
+  std::printf("\nFig. 12c — weak scaling (samples and threads x1..x4)\n");
+  std::printf("%10s %12s %14s %16s\n", "factor", "seconds", "us/step",
+              "time vs 1x");
+  double weak_base = 0.0;
+  for (int factor = 1; factor <= 4; ++factor) {
+    const RunResult run =
+        TimeActor(data->graphs, base_samples * factor, factor);
+    if (factor == 1) weak_base = run.seconds;
+    std::printf("%10d %12.2f %14.3f %16.2f\n", factor, run.seconds,
+                1e6 * run.seconds / static_cast<double>(run.steps),
+                run.seconds / weak_base);
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+// Google-benchmark microbenchmarks for the performance-critical
+// substrates: alias sampling (claimed O(1), §5.2.3), the SGD inner step
+// (claimed O(d(K+1))), vector kernels, KDE, mean shift, tokenization, and
+// graph construction. Not tied to a paper table; used to validate the
+// complexity claims of §5.4.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "data/tokenizer.h"
+#include "embedding/negative_sampler.h"
+#include "embedding/sgd.h"
+#include "graph/alias_table.h"
+#include "graph/graph_builder.h"
+#include "hotspot/grid_index.h"
+#include "hotspot/kde.h"
+#include "hotspot/mean_shift.h"
+#include "util/rng.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.UniformDouble() + 0.01;
+  auto table = AliasTable::Create(weights);
+  Rng sample_rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Sample(sample_rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(16)->Arg(1024)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.UniformDouble() + 0.01;
+  for (auto _ : state) {
+    auto table = AliasTable::Create(weights);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AliasTableBuild)->Range(1 << 8, 1 << 18)->Complexity();
+
+void BM_Dot(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(dim, 0.5f), y(dim, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(x.data(), y.data(), dim));
+  }
+}
+BENCHMARK(BM_Dot)->Arg(32)->Arg(64)->Arg(128)->Arg(300);
+
+void BM_SigmoidTable(benchmark::State& state) {
+  static const SigmoidTable table;
+  float x = -6.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table(x));
+    x += 0.001f;
+    if (x > 6.0f) x = -6.0f;
+  }
+}
+BENCHMARK(BM_SigmoidTable);
+
+void BM_SigmoidExact(benchmark::State& state) {
+  float x = -6.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sigmoid(x));
+    x += 0.001f;
+    if (x > 6.0f) x = -6.0f;
+  }
+}
+BENCHMARK(BM_SigmoidExact);
+
+/// One negative-sampling SGD step on a dim-sized pair with K negatives —
+/// the O(d(K+1)) inner loop of §5.4.
+void BM_SgdStep(benchmark::State& state) {
+  const int32_t dim = static_cast<int32_t>(state.range(0));
+  const int negatives = static_cast<int>(state.range(1));
+  EmbeddingMatrix context(64, dim);
+  Rng init(1);
+  context.InitUniform(init);
+  std::vector<float> center(dim, 0.01f), grad(dim);
+  const SigmoidTable sigmoid;
+  Rng rng(2);
+  for (auto _ : state) {
+    Zero(grad.data(), dim);
+    NegativeSamplingUpdate(
+        center.data(), 0, negatives, 0.02f, &context, sigmoid, rng,
+        [](Rng& r) { return static_cast<VertexId>(r.Uniform(64)); },
+        grad.data());
+    Add(grad.data(), center.data(), dim);
+  }
+}
+BENCHMARK(BM_SgdStep)->Args({32, 1})->Args({32, 5})->Args({300, 1})
+    ->Args({300, 5});
+
+void BM_Kde2dDensity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<GeoPoint> points(n);
+  for (auto& p : points) {
+    p = {rng.UniformRange(0, 40), rng.UniformRange(0, 40)};
+  }
+  auto kde = Kde2d::Create(points, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde->Density({20, 20}));
+  }
+}
+BENCHMARK(BM_Kde2dDensity)->Arg(1000)->Arg(10000);
+
+void BM_MeanShift2d(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<GeoPoint> points(n);
+  for (auto& p : points) {
+    // 10 clusters.
+    const int c = static_cast<int>(rng.Uniform(10));
+    p = {rng.Gaussian(4.0 * c, 0.3), rng.Gaussian(4.0 * (c % 3), 0.3)};
+  }
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  for (auto _ : state) {
+    auto modes = MeanShiftModes2d(points, options);
+    benchmark::DoNotOptimize(modes);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MeanShift2d)->Range(1000, 32000)->Complexity();
+
+void BM_GridIndexNearest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<GeoPoint> points(n);
+  for (auto& p : points) {
+    p = {rng.UniformRange(0, 40), rng.UniformRange(0, 40)};
+  }
+  Grid2dIndex index(points);
+  Rng query_rng(8);
+  for (auto _ : state) {
+    const GeoPoint q{query_rng.UniformRange(0, 40),
+                     query_rng.UniformRange(0, 40)};
+    benchmark::DoNotOptimize(index.Nearest(q));
+  }
+}
+BENCHMARK(BM_GridIndexNearest)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BruteForceNearest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<GeoPoint> points(n);
+  for (auto& p : points) {
+    p = {rng.UniformRange(0, 40), rng.UniformRange(0, 40)};
+  }
+  Rng query_rng(8);
+  for (auto _ : state) {
+    const GeoPoint q{query_rng.UniformRange(0, 40),
+                     query_rng.UniformRange(0, 40)};
+    int best = -1;
+    double best_dist = 1e18;
+    for (int i = 0; i < n; ++i) {
+      const double d = Distance(q, points[i]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_BruteForceNearest)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Tokenize(benchmark::State& state) {
+  Tokenizer tokenizer;
+  const std::string text =
+      "Just watched a screening of The Judge for SAG voters and what a "
+      "treat at the end #Hollywood @someone";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_GraphBuild(benchmark::State& state) {
+  SyntheticConfig config;
+  config.num_records = static_cast<int>(state.range(0));
+  config.num_users = config.num_records / 20;
+  config.num_venues = 100;
+  config.num_topics = 12;
+  config.num_communities = 8;
+  auto ds = GenerateSynthetic(config);
+  CorpusBuildOptions build;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  auto hotspots = DetectHotspots(*corpus);
+  for (auto _ : state) {
+    auto graphs = BuildGraphs(*corpus, *hotspots);
+    benchmark::DoNotOptimize(graphs);
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_TypedNegativeSample(benchmark::State& state) {
+  SyntheticConfig config;
+  config.num_records = 4000;
+  config.num_users = 200;
+  auto ds = GenerateSynthetic(config);
+  CorpusBuildOptions build;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  auto hotspots = DetectHotspots(*corpus);
+  auto graphs = BuildGraphs(*corpus, *hotspots);
+  auto sampler = TypedNegativeSampler::Create(graphs->activity);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampler->Sample(EdgeType::kLW, VertexType::kWord, rng));
+  }
+}
+BENCHMARK(BM_TypedNegativeSample);
+
+}  // namespace
+}  // namespace actor
+
+BENCHMARK_MAIN();

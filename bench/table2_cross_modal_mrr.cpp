@@ -1,0 +1,179 @@
+// Reproduces Table 2: Mean Reciprocal Rank for cross-modal retrieval —
+// all eight methods (LGTA, MGTM, metapath2vec, LINE, LINE(U), CrossMap,
+// CrossMap(U), ACTOR) on the three datasets, three tasks each.
+//
+// Expected shape (paper §6.2.3): ACTOR best overall; CrossMap(U)/CrossMap
+// the strongest baselines; LINE(U) > LINE; topic models (LGTA > MGTM)
+// trail the embedding methods and report "/" for the time task.
+//
+// Run:  ./table2_cross_modal_mrr [--scale=0.25] [--dim=32] [--epochs=8]
+//       [--spe=10] [--threads=1] [--quick] (quick = one dataset)
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/crossmap.h"
+#include "baselines/geo_topic_model.h"
+#include "baselines/metapath2vec.h"
+#include "bench_common.h"
+#include "core/actor.h"
+#include "core/meta_graph.h"
+#include "embedding/line.h"
+#include "eval/cross_modal_model.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using actor::bench::PrintMrrHeader;
+using actor::bench::PrintMrrRow;
+
+struct BenchConfig {
+  int32_t dim = 32;
+  int epochs = 8;
+  int spe = 10;  // samples per edge over the whole run
+  // Negative samples for the per-edge-type methods. The paper uses K=1 at
+  // d=300; at this harness's reduced dimension K=5 (matching the LINE
+  // baseline) is needed for well-spread embeddings (EXPERIMENTS.md).
+  int negatives = 5;
+  int threads = 1;
+  std::size_t max_queries = 2000;
+};
+
+void EvaluateEmbedding(const char* name, const actor::EmbeddingMatrix& center,
+                       const actor::PreparedDataset& data,
+                       const BenchConfig& config, double train_seconds) {
+  actor::EmbeddingCrossModalModel model(name, &center, &data.graphs,
+                                        &data.hotspots);
+  actor::EvalOptions eval;
+  eval.max_queries = config.max_queries;
+  auto scores = actor::EvaluateCrossModal(model, data.test, eval);
+  scores.status().CheckOK();
+  PrintMrrRow(name, *scores);
+  std::fprintf(stderr, "  [%s trained in %.1fs]\n", name, train_seconds);
+}
+
+void RunDataset(const std::string& name,
+                const actor::PipelineOptions& pipeline,
+                const BenchConfig& config) {
+  actor::Stopwatch prep_timer;
+  auto data_result = actor::PrepareDataset(pipeline, name);
+  data_result.status().CheckOK();
+  const actor::PreparedDataset& data = *data_result;
+  std::fprintf(stderr, "[%s prepared in %.1fs: %zu records, |E|=%lld]\n",
+               name.c_str(), prep_timer.ElapsedSeconds(), data.full.size(),
+               static_cast<long long>(
+                   data.graphs.activity.num_directed_edges()));
+  PrintMrrHeader(name.c_str());
+  actor::EvalOptions eval;
+  eval.max_queries = config.max_queries;
+
+  // --- LGTA / MGTM ------------------------------------------------------
+  for (const bool mgtm : {false, true}) {
+    actor::Stopwatch timer;
+    actor::GeoTopicOptions options =
+        mgtm ? actor::MgtmOptions() : actor::LgtaOptions();
+    options.num_regions = 40;
+    options.num_topics = 20;
+    options.em_iterations = 12;
+    auto model = actor::GeoTopicModel::Train(data.train, options);
+    model.status().CheckOK();
+    actor::GeoTopicCrossModalModel scorer(mgtm ? "MGTM" : "LGTA", &*model);
+    auto scores = actor::EvaluateCrossModal(scorer, data.test, eval);
+    scores.status().CheckOK();
+    PrintMrrRow(scorer.name(), *scores);
+    std::fprintf(stderr, "  [%s trained in %.1fs]\n", scorer.name().c_str(),
+                 timer.ElapsedSeconds());
+  }
+
+  // --- metapath2vec -----------------------------------------------------
+  {
+    actor::Stopwatch timer;
+    actor::Metapath2vecOptions options;
+    options.dim = config.dim;
+    options.walk.walks_per_start = 10;
+    options.walk.walk_length = 40;
+    options.skipgram.window = 3;
+    options.skipgram.negatives = 5;
+    options.skipgram.epochs = 2;
+    auto model = actor::TrainMetapath2vec(data.graphs.activity, options);
+    model.status().CheckOK();
+    EvaluateEmbedding("metapath2vec", model->center, data, config,
+                      timer.ElapsedSeconds());
+  }
+
+  // --- LINE / LINE(U) ----------------------------------------------------
+  for (const bool with_users : {false, true}) {
+    actor::Stopwatch timer;
+    actor::LineOptions options;
+    options.dim = config.dim;
+    options.samples_per_edge = config.spe;
+    options.num_threads = config.threads;
+    options.edge_types = actor::IntraEdgeTypes();
+    if (with_users) {
+      for (actor::EdgeType e : actor::InterEdgeTypes()) {
+        options.edge_types.push_back(e);
+      }
+    }
+    auto model = actor::TrainLine(data.graphs.activity, options);
+    model.status().CheckOK();
+    EvaluateEmbedding(with_users ? "LINE(U)" : "LINE", model->center, data,
+                      config, timer.ElapsedSeconds());
+  }
+
+  // --- CrossMap / CrossMap(U) ---------------------------------------------
+  for (const bool with_users : {false, true}) {
+    actor::Stopwatch timer;
+    actor::CrossMapOptions options;
+    options.dim = config.dim;
+    options.epochs = config.epochs;
+    options.samples_per_edge = config.spe;
+    options.negatives = config.negatives;
+    options.num_threads = config.threads;
+    options.include_user_edges = with_users;
+    auto model = actor::TrainCrossMap(data.graphs, options);
+    model.status().CheckOK();
+    EvaluateEmbedding(with_users ? "CrossMap(U)" : "CrossMap", model->center,
+                      data, config, timer.ElapsedSeconds());
+  }
+
+  // --- ACTOR ---------------------------------------------------------------
+  {
+    actor::Stopwatch timer;
+    actor::ActorOptions options;
+    options.dim = config.dim;
+    options.epochs = config.epochs;
+    options.samples_per_edge = config.spe;
+    options.negatives = config.negatives;
+    options.num_threads = config.threads;
+    auto model = actor::TrainActor(data.graphs, options);
+    model.status().CheckOK();
+    EvaluateEmbedding("ACTOR", model->center, data, config,
+                      timer.ElapsedSeconds());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  actor::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.25);
+  BenchConfig config;
+  config.dim = static_cast<int32_t>(flags.GetInt("dim", 32));
+  config.epochs = static_cast<int>(flags.GetInt("epochs", 8));
+  config.spe = static_cast<int>(flags.GetInt("spe", 10));
+  config.negatives = static_cast<int>(flags.GetInt("negatives", 5));
+  config.threads = static_cast<int>(flags.GetInt("threads", 1));
+  config.max_queries =
+      static_cast<std::size_t>(flags.GetInt("max_queries", 2000));
+
+  std::printf(
+      "Table 2: Mean Reciprocal Rank for Cross-Modal Retrieval\n"
+      "(synthetic datasets at scale=%.2f, d=%d; see EXPERIMENTS.md)\n",
+      scale, config.dim);
+  auto datasets = actor::bench::DatasetConfigs(scale);
+  if (flags.GetBool("quick", false)) datasets.resize(1);
+  for (const auto& [name, pipeline] : datasets) {
+    RunDataset(name, pipeline, config);
+  }
+  return 0;
+}

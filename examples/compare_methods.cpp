@@ -1,0 +1,109 @@
+// Trains ACTOR and its strongest baselines on one synthetic dataset and
+// prints a miniature of the paper's Table 2 (MRR per task). Useful for a
+// fast qualitative check that the hierarchical embedding helps; the full
+// 8-method x 3-dataset sweep lives in bench/table2_cross_modal_mrr.
+//
+// Run:  ./compare_methods [--records=10000] [--dim=32] [--epochs=8]
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/crossmap.h"
+#include "core/actor.h"
+#include "embedding/line.h"
+#include "eval/cross_modal_model.h"
+#include "eval/pipeline.h"
+#include "eval/prediction.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+void PrintRow(const char* name, const actor::MrrScores& scores,
+              double seconds) {
+  std::printf("%-14s %8.4f %8.4f %8.4f   (%.1fs)\n", name, scores.text,
+              scores.location, scores.time, seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  actor::Flags flags(argc, argv);
+  const int32_t dim = static_cast<int32_t>(flags.GetInt("dim", 32));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 8));
+  const int spe = static_cast<int>(flags.GetInt("spe", 10));
+
+  actor::PipelineOptions pipeline = actor::UTGeoPipeline(0.5);
+  pipeline.synthetic.num_records =
+      static_cast<int>(flags.GetInt("records", 10000));
+  auto data_result = actor::PrepareDataset(pipeline, "compare");
+  data_result.status().CheckOK();
+  actor::PreparedDataset& data = *data_result;
+  std::printf("dataset: %zu records, %.1f%% with mentions\n\n",
+              data.full.size(),
+              100.0 * data.dataset.corpus.MentionFraction());
+  std::printf("%-14s %8s %8s %8s\n", "method", "Text", "Location", "Time");
+
+  auto evaluate = [&](const char* name, const actor::EmbeddingMatrix& center,
+                      double seconds) {
+    actor::EmbeddingCrossModalModel scorer(name, &center, &data.graphs,
+                                           &data.hotspots);
+    auto mrr = actor::EvaluateCrossModal(scorer, data.test);
+    mrr.status().CheckOK();
+    PrintRow(name, *mrr, seconds);
+  };
+
+  {
+    actor::Stopwatch timer;
+    actor::LineOptions opts;
+    opts.dim = dim;
+    opts.samples_per_edge = spe;
+    opts.edge_types = {actor::EdgeType::kTL, actor::EdgeType::kLW,
+                       actor::EdgeType::kWT, actor::EdgeType::kWW};
+    auto line = actor::TrainLine(data.graphs.activity, opts);
+    line.status().CheckOK();
+    evaluate("LINE", line->center, timer.ElapsedSeconds());
+  }
+  {
+    actor::Stopwatch timer;
+    actor::CrossMapOptions opts;
+    opts.dim = dim;
+    opts.epochs = epochs;
+    opts.samples_per_edge = spe;
+    opts.negatives = 5;  // matched to LINE's K (see EXPERIMENTS.md)
+    auto crossmap = actor::TrainCrossMap(data.graphs, opts);
+    crossmap.status().CheckOK();
+    evaluate("CrossMap", crossmap->center, timer.ElapsedSeconds());
+  }
+  {
+    actor::Stopwatch timer;
+    actor::CrossMapOptions opts;
+    opts.dim = dim;
+    opts.epochs = epochs;
+    opts.samples_per_edge = spe;
+    opts.negatives = 5;
+    opts.include_user_edges = true;
+    auto crossmap_u = actor::TrainCrossMap(data.graphs, opts);
+    crossmap_u.status().CheckOK();
+    evaluate("CrossMap(U)", crossmap_u->center, timer.ElapsedSeconds());
+  }
+  auto run_actor = [&](const char* name, bool inter, bool bow) {
+    actor::Stopwatch timer;
+    actor::ActorOptions opts;
+    opts.dim = dim;
+    opts.epochs = epochs;
+    opts.samples_per_edge = spe;
+    opts.negatives = 5;
+    opts.use_inter = inter;
+    opts.use_bag_of_words = bow;
+    auto model = actor::TrainActor(data.graphs, opts);
+    model.status().CheckOK();
+    evaluate(name, model->center, timer.ElapsedSeconds());
+  };
+  run_actor("ACTOR-w/o-both", false, false);
+  run_actor("ACTOR-w/o-intr", false, true);
+  run_actor("ACTOR-w/o-intra", true, false);
+  run_actor("ACTOR", true, true);
+  return 0;
+}

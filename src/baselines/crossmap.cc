@@ -1,0 +1,59 @@
+#include "baselines/crossmap.h"
+
+#include <algorithm>
+
+#include "core/meta_graph.h"
+#include "embedding/negative_sampler.h"
+#include "embedding/sgd.h"
+
+namespace actor {
+
+Result<LineEmbedding> TrainCrossMap(const BuiltGraphs& graphs,
+                                    const CrossMapOptions& options) {
+  const Heterograph& g = graphs.activity;
+  if (!g.finalized()) {
+    return Status::FailedPrecondition("activity graph must be finalized");
+  }
+  if (options.dim <= 0 || options.epochs <= 0 || options.samples_per_edge <= 0) {
+    return Status::InvalidArgument("dim/epochs/samples_per_edge must be > 0");
+  }
+
+  LineEmbedding model;
+  model.center = EmbeddingMatrix(g.num_vertices(), options.dim);
+  model.context = EmbeddingMatrix(g.num_vertices(), options.dim);
+  Rng rng(options.seed);
+  model.center.InitUniform(rng);
+  model.context.InitZero();
+
+  ACTOR_ASSIGN_OR_RETURN(TypedNegativeSampler noise,
+                         TypedNegativeSampler::Create(g));
+  TrainOptions train_opts;
+  train_opts.dim = options.dim;
+  train_opts.negatives = options.negatives;
+  train_opts.num_threads = options.num_threads;
+  train_opts.seed = options.seed + 1;
+  EdgeSamplingTrainer trainer(&g, &model.center, &model.context, &noise,
+                              train_opts);
+  ACTOR_RETURN_NOT_OK(trainer.Prepare());
+
+  std::vector<EdgeType> types = IntraEdgeTypes();
+  if (options.include_user_edges) {
+    for (EdgeType e : InterEdgeTypes()) types.push_back(e);
+  }
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const float frac =
+        static_cast<float>(epoch) / static_cast<float>(options.epochs);
+    const float lr = std::max(options.initial_lr * (1.0f - frac),
+                              options.initial_lr * 1e-3f);
+    for (EdgeType e : types) {
+      const int64_t edges = static_cast<int64_t>(g.edges(e).size());
+      const int64_t m =
+          (edges * options.samples_per_edge + options.epochs - 1) /
+          options.epochs;
+      ACTOR_RETURN_NOT_OK(trainer.TrainEdgeType(e, m, lr));
+    }
+  }
+  return model;
+}
+
+}  // namespace actor

@@ -1,0 +1,34 @@
+#ifndef ACTOR_BASELINES_CROSSMAP_H_
+#define ACTOR_BASELINES_CROSSMAP_H_
+
+#include "embedding/line.h"
+#include "graph/graph_builder.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Options for the CrossMap [7] baseline: per-edge-type cross-modal
+/// embedding of the activity graph, modelling only intra-record
+/// co-occurrence. Equivalent to ACTOR with the hierarchical (inter-record)
+/// structure and the bag-of-words model both disabled — the paper §5.4
+/// notes CrossMap is the single-layer special case of the framework.
+struct CrossMapOptions {
+  int32_t dim = 32;
+  int negatives = 1;
+  float initial_lr = 0.02f;
+  int epochs = 10;
+  int samples_per_edge = 20;
+  int num_threads = 1;
+  uint64_t seed = 29;
+  /// CrossMap(U): also trains the auxiliary user edge types {UT, UW, UL}
+  /// (paper §6.1.2).
+  bool include_user_edges = false;
+};
+
+/// Trains CrossMap on the built activity graph.
+Result<LineEmbedding> TrainCrossMap(const BuiltGraphs& graphs,
+                                    const CrossMapOptions& options);
+
+}  // namespace actor
+
+#endif  // ACTOR_BASELINES_CROSSMAP_H_

@@ -1,0 +1,290 @@
+#include "baselines/geo_topic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace actor {
+namespace {
+
+double LogSumExp(const std::vector<double>& v) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : v) m = std::max(m, x);
+  if (!std::isfinite(m)) return m;
+  double acc = 0.0;
+  for (double x : v) acc += std::exp(x - m);
+  return m + std::log(acc);
+}
+
+double LogGaussian2d(const GeoPoint& x, const GeoPoint& mu, double sigma2) {
+  const double dx = x.x - mu.x;
+  const double dy = x.y - mu.y;
+  return -std::log(2.0 * std::numbers::pi * sigma2) -
+         (dx * dx + dy * dy) / (2.0 * sigma2);
+}
+
+}  // namespace
+
+GeoTopicOptions LgtaOptions() {
+  GeoTopicOptions o;
+  o.neighbor_smoothing = false;
+  return o;
+}
+
+GeoTopicOptions MgtmOptions() {
+  GeoTopicOptions o;
+  o.neighbor_smoothing = true;
+  o.num_neighbors = 3;
+  o.smoothing_lambda = 0.5;
+  return o;
+}
+
+Result<GeoTopicModel> GeoTopicModel::Train(const TokenizedCorpus& corpus,
+                                           const GeoTopicOptions& options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("cannot train on empty corpus");
+  }
+  if (options.num_regions <= 0 || options.num_topics <= 0 ||
+      options.em_iterations <= 0) {
+    return Status::InvalidArgument("regions/topics/iterations must be > 0");
+  }
+  if (options.alpha <= 0.0 || options.beta <= 0.0 ||
+      options.min_sigma2 <= 0.0) {
+    return Status::InvalidArgument("smoothing parameters must be positive");
+  }
+
+  GeoTopicModel model;
+  model.options_ = options;
+  model.vocab_size_ = corpus.vocab().size();
+  const int R = options.num_regions;
+  const int Z = options.num_topics;
+  const int32_t V = model.vocab_size_;
+  const std::size_t N = corpus.size();
+
+  Rng rng(options.seed);
+
+  // Initialization: region means at random record locations, shared wide
+  // variance; θ and φ uniform with multiplicative noise.
+  model.region_mean_.resize(R);
+  for (int r = 0; r < R; ++r) {
+    model.region_mean_[r] = corpus.record(rng.Uniform(N)).location;
+  }
+  model.region_sigma2_.assign(R, 4.0);
+  model.region_prior_.assign(R, 1.0 / R);
+  model.theta_.resize(static_cast<std::size_t>(R) * Z);
+  for (auto& t : model.theta_) t = (1.0 + 0.1 * rng.UniformDouble()) / Z;
+  model.phi_.resize(static_cast<std::size_t>(Z) * V);
+  for (auto& p : model.phi_) p = (1.0 + 0.1 * rng.UniformDouble()) / V;
+  // Normalize rows.
+  auto normalize_rows = [](std::vector<double>& m, int rows, int cols) {
+    for (int r = 0; r < rows; ++r) {
+      double s = 0.0;
+      for (int c = 0; c < cols; ++c) s += m[static_cast<std::size_t>(r) * cols + c];
+      for (int c = 0; c < cols; ++c) m[static_cast<std::size_t>(r) * cols + c] /= s;
+    }
+  };
+  normalize_rows(model.theta_, R, Z);
+  normalize_rows(model.phi_, Z, V);
+
+  std::vector<double> log_theta(static_cast<std::size_t>(R) * Z);
+  std::vector<double> log_phi(static_cast<std::size_t>(Z) * V);
+  std::vector<double> doc_topic_ll(Z);
+  std::vector<double> doc_region_ll(R);
+  std::vector<double> joint(static_cast<std::size_t>(R) * Z);
+
+  for (int iter = 0; iter < options.em_iterations; ++iter) {
+    for (std::size_t i = 0; i < model.theta_.size(); ++i) {
+      log_theta[i] = std::log(model.theta_[i]);
+    }
+    for (std::size_t i = 0; i < model.phi_.size(); ++i) {
+      log_phi[i] = std::log(model.phi_[i]);
+    }
+
+    // Sufficient statistics.
+    std::vector<double> n_r(R, 0.0);
+    std::vector<double> sum_x(R, 0.0), sum_y(R, 0.0), sum_d2(R, 0.0);
+    std::vector<double> n_rz(static_cast<std::size_t>(R) * Z, 0.0);
+    std::vector<double> n_zw(static_cast<std::size_t>(Z) * V, 0.0);
+    std::vector<double> n_z(Z, 0.0);
+    double total_ll = 0.0;
+
+    for (std::size_t i = 0; i < N; ++i) {
+      const TokenizedRecord& rec = corpus.record(i);
+      // Per-topic text log-likelihood.
+      for (int z = 0; z < Z; ++z) {
+        double ll = 0.0;
+        for (int32_t w : rec.word_ids) {
+          ll += log_phi[static_cast<std::size_t>(z) * V + w];
+        }
+        doc_topic_ll[z] = ll;
+      }
+      // Per-region spatial log-likelihood.
+      for (int r = 0; r < R; ++r) {
+        doc_region_ll[r] = std::log(model.region_prior_[r]) +
+                           LogGaussian2d(rec.location, model.region_mean_[r],
+                                         model.region_sigma2_[r]);
+      }
+      // Joint responsibilities.
+      for (int r = 0; r < R; ++r) {
+        for (int z = 0; z < Z; ++z) {
+          joint[static_cast<std::size_t>(r) * Z + z] =
+              doc_region_ll[r] + log_theta[static_cast<std::size_t>(r) * Z + z] +
+              doc_topic_ll[z];
+        }
+      }
+      const double norm = LogSumExp(joint);
+      total_ll += norm;
+      for (int r = 0; r < R; ++r) {
+        double gamma_r = 0.0;
+        for (int z = 0; z < Z; ++z) {
+          const double g =
+              std::exp(joint[static_cast<std::size_t>(r) * Z + z] - norm);
+          gamma_r += g;
+          n_rz[static_cast<std::size_t>(r) * Z + z] += g;
+          n_z[z] += g;
+        }
+        n_r[r] += gamma_r;
+        sum_x[r] += gamma_r * rec.location.x;
+        sum_y[r] += gamma_r * rec.location.y;
+      }
+      // Topic responsibilities for word counts.
+      for (int z = 0; z < Z; ++z) {
+        double gamma_z = 0.0;
+        for (int r = 0; r < R; ++r) {
+          gamma_z += std::exp(joint[static_cast<std::size_t>(r) * Z + z] - norm);
+        }
+        for (int32_t w : rec.word_ids) {
+          n_zw[static_cast<std::size_t>(z) * V + w] += gamma_z;
+        }
+      }
+    }
+    model.ll_trace_.push_back(total_ll);
+
+    // M-step: region parameters.
+    double n_total = 0.0;
+    for (int r = 0; r < R; ++r) n_total += n_r[r];
+    for (int r = 0; r < R; ++r) {
+      model.region_prior_[r] = (n_r[r] + 1e-6) / (n_total + 1e-6 * R);
+      if (n_r[r] > 1e-9) {
+        model.region_mean_[r].x = sum_x[r] / n_r[r];
+        model.region_mean_[r].y = sum_y[r] / n_r[r];
+      }
+    }
+    // Second pass for variances (needs updated means).
+    std::vector<double> var_acc(R, 0.0);
+    std::vector<double> var_n(R, 0.0);
+    for (std::size_t i = 0; i < N; ++i) {
+      const TokenizedRecord& rec = corpus.record(i);
+      for (int r = 0; r < R; ++r) {
+        doc_region_ll[r] = std::log(model.region_prior_[r]) +
+                           LogGaussian2d(rec.location, model.region_mean_[r],
+                                         model.region_sigma2_[r]);
+      }
+      const double norm = LogSumExp(doc_region_ll);
+      for (int r = 0; r < R; ++r) {
+        const double g = std::exp(doc_region_ll[r] - norm);
+        const double dx = rec.location.x - model.region_mean_[r].x;
+        const double dy = rec.location.y - model.region_mean_[r].y;
+        var_acc[r] += g * (dx * dx + dy * dy);
+        var_n[r] += g;
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      if (var_n[r] > 1e-9) {
+        model.region_sigma2_[r] =
+            std::max(options.min_sigma2, var_acc[r] / (2.0 * var_n[r]));
+      }
+    }
+
+    // θ with Dirichlet smoothing.
+    for (int r = 0; r < R; ++r) {
+      double s = 0.0;
+      for (int z = 0; z < Z; ++z) {
+        s += n_rz[static_cast<std::size_t>(r) * Z + z] + options.alpha;
+      }
+      for (int z = 0; z < Z; ++z) {
+        model.theta_[static_cast<std::size_t>(r) * Z + z] =
+            (n_rz[static_cast<std::size_t>(r) * Z + z] + options.alpha) / s;
+      }
+    }
+    // MGTM-style coupling: smooth θ_r toward its nearest regions.
+    if (options.neighbor_smoothing && R > 1) {
+      std::vector<double> smoothed(model.theta_.size(), 0.0);
+      const int k = std::min(options.num_neighbors, R - 1);
+      for (int r = 0; r < R; ++r) {
+        // Find the k nearest region means.
+        std::vector<std::pair<double, int>> dist;
+        dist.reserve(R - 1);
+        for (int r2 = 0; r2 < R; ++r2) {
+          if (r2 == r) continue;
+          dist.emplace_back(Distance(model.region_mean_[r],
+                                     model.region_mean_[r2]), r2);
+        }
+        std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+        for (int z = 0; z < Z; ++z) {
+          double nb = 0.0;
+          for (int j = 0; j < k; ++j) {
+            nb += model.theta_[static_cast<std::size_t>(dist[j].second) * Z + z];
+          }
+          nb /= k;
+          smoothed[static_cast<std::size_t>(r) * Z + z] =
+              (1.0 - options.smoothing_lambda) *
+                  model.theta_[static_cast<std::size_t>(r) * Z + z] +
+              options.smoothing_lambda * nb;
+        }
+      }
+      model.theta_.swap(smoothed);
+    }
+
+    // φ with Dirichlet smoothing.
+    for (int z = 0; z < Z; ++z) {
+      const double denom = n_z[z] * 1.0 + options.beta * V;
+      double s = 0.0;
+      for (int32_t w = 0; w < V; ++w) {
+        const double val =
+            n_zw[static_cast<std::size_t>(z) * V + w] + options.beta;
+        model.phi_[static_cast<std::size_t>(z) * V + w] = val;
+        s += val;
+      }
+      (void)denom;
+      for (int32_t w = 0; w < V; ++w) {
+        model.phi_[static_cast<std::size_t>(z) * V + w] /= s;
+      }
+    }
+  }
+  return model;
+}
+
+double GeoTopicModel::ScoreJoint(const GeoPoint& location,
+                                 const std::vector<int32_t>& words) const {
+  const int R = options_.num_regions;
+  const int Z = options_.num_topics;
+  std::vector<double> doc_topic_ll(Z, 0.0);
+  for (int z = 0; z < Z; ++z) {
+    double ll = 0.0;
+    for (int32_t w : words) {
+      if (w >= 0 && w < vocab_size_) {
+        ll += std::log(phi_[static_cast<std::size_t>(z) * vocab_size_ + w]);
+      }
+    }
+    doc_topic_ll[z] = ll;
+  }
+  std::vector<double> joint(static_cast<std::size_t>(R) * Z);
+  for (int r = 0; r < R; ++r) {
+    const double rll = std::log(region_prior_[r]) +
+                       LogGaussian2d(location, region_mean_[r],
+                                     region_sigma2_[r]);
+    for (int z = 0; z < Z; ++z) {
+      joint[static_cast<std::size_t>(r) * Z + z] =
+          rll + std::log(theta_[static_cast<std::size_t>(r) * Z + z]) +
+          doc_topic_ll[z];
+    }
+  }
+  return LogSumExp(joint);
+}
+
+}  // namespace actor

@@ -1,0 +1,96 @@
+#ifndef ACTOR_BASELINES_GEO_TOPIC_MODEL_H_
+#define ACTOR_BASELINES_GEO_TOPIC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/record.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Options for the geographical topic models used as baselines.
+///
+/// With neighbor_smoothing = false this is LGTA [17]: R latent regions,
+/// each with an isotropic Gaussian over locations and a multinomial over
+/// topics; topics share word multinomials; EM training.
+///
+/// With neighbor_smoothing = true it approximates MGTM [16]: the
+/// multi-Dirichlet process coupling of nearby regions is realized by
+/// smoothing each region's topic distribution toward its spatial
+/// neighbors' after every M-step (finite-truncation substitute; see
+/// DESIGN.md §2).
+struct GeoTopicOptions {
+  int num_regions = 50;
+  int num_topics = 20;
+  int em_iterations = 15;
+  /// Dirichlet smoothing for region-topic distributions θ.
+  double alpha = 1.0;
+  /// Dirichlet smoothing for topic-word distributions φ.
+  double beta = 0.01;
+  /// Variance floor for region Gaussians (km²).
+  double min_sigma2 = 1e-2;
+  uint64_t seed = 5;
+
+  bool neighbor_smoothing = false;
+  int num_neighbors = 3;
+  double smoothing_lambda = 0.5;
+};
+
+/// LGTA preset.
+GeoTopicOptions LgtaOptions();
+/// MGTM preset (neighbor-coupled regions).
+GeoTopicOptions MgtmOptions();
+
+/// A trained geographical topic model. Neither LGTA nor MGTM models the
+/// time modality (paper Table 2 reports "/" for their time task).
+class GeoTopicModel {
+ public:
+  /// Runs EM on the training corpus. Returns InvalidArgument for empty
+  /// corpora or non-positive sizes.
+  static Result<GeoTopicModel> Train(const TokenizedCorpus& corpus,
+                                     const GeoTopicOptions& options);
+
+  /// Joint log-score log p(l, W) = logsumexp_{r,z} [log π_r + log N(l; r)
+  /// + log θ_rz + Σ_w log φ_z(w)]. Used (with one side varied) for both
+  /// text-given-location and location-given-text ranking.
+  double ScoreJoint(const GeoPoint& location,
+                    const std::vector<int32_t>& words) const;
+
+  int num_regions() const { return options_.num_regions; }
+  int num_topics() const { return options_.num_topics; }
+
+  /// Per-EM-iteration data log-likelihood (monotone non-decreasing up to
+  /// smoothing; exposed for tests).
+  const std::vector<double>& log_likelihood_trace() const {
+    return ll_trace_;
+  }
+
+  const GeoPoint& region_mean(int r) const { return region_mean_[r]; }
+  double region_sigma2(int r) const { return region_sigma2_[r]; }
+  /// θ_{r,z}.
+  double region_topic(int r, int z) const {
+    return theta_[static_cast<std::size_t>(r) * options_.num_topics + z];
+  }
+  /// φ_z(w).
+  double topic_word(int z, int32_t w) const {
+    return phi_[static_cast<std::size_t>(z) * vocab_size_ + w];
+  }
+
+ private:
+  GeoTopicModel() = default;
+
+  GeoTopicOptions options_;
+  int32_t vocab_size_ = 0;
+  std::vector<GeoPoint> region_mean_;
+  std::vector<double> region_sigma2_;
+  std::vector<double> region_prior_;      // π_r
+  std::vector<double> theta_;             // R x Z
+  std::vector<double> phi_;               // Z x V
+  std::vector<double> ll_trace_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_BASELINES_GEO_TOPIC_MODEL_H_

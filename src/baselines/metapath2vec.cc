@@ -1,0 +1,22 @@
+#include "baselines/metapath2vec.h"
+
+namespace actor {
+
+Result<LineEmbedding> TrainMetapath2vec(const Heterograph& graph,
+                                        const Metapath2vecOptions& options) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph must be finalized");
+  }
+  MetaPathWalker walker(&graph, options.meta_path);
+  ACTOR_ASSIGN_OR_RETURN(auto walks, walker.GenerateWalks(options.walk));
+  if (walks.empty()) {
+    return Status::InvalidArgument(
+        "meta-path walks are empty; the graph may lack the required edge "
+        "types");
+  }
+  SkipGramOptions sg = options.skipgram;
+  sg.dim = options.dim;
+  return TrainSkipGramOnWalks(graph, walks, sg);
+}
+
+}  // namespace actor

@@ -1,0 +1,33 @@
+#ifndef ACTOR_BASELINES_METAPATH2VEC_H_
+#define ACTOR_BASELINES_METAPATH2VEC_H_
+
+#include <vector>
+
+#include "embedding/line.h"
+#include "embedding/skipgram.h"
+#include "graph/heterograph.h"
+#include "graph/random_walk.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Options for the metapath2vec [25] baseline: meta-path-guided random
+/// walks over the heterogeneous activity graph followed by (heterogeneous)
+/// skip-gram. The default meta path is L-W-T-W, the best-performing path
+/// in the paper's experiments (§6.2.3).
+struct Metapath2vecOptions {
+  int32_t dim = 32;
+  std::vector<VertexType> meta_path = {VertexType::kLocation,
+                                       VertexType::kWord, VertexType::kTime,
+                                       VertexType::kWord};
+  MetaPathWalkOptions walk;
+  SkipGramOptions skipgram;
+};
+
+/// Trains metapath2vec on a finalized activity graph.
+Result<LineEmbedding> TrainMetapath2vec(const Heterograph& graph,
+                                        const Metapath2vecOptions& options);
+
+}  // namespace actor
+
+#endif  // ACTOR_BASELINES_METAPATH2VEC_H_

@@ -1,0 +1,23 @@
+#include "baselines/node2vec.h"
+
+namespace actor {
+
+Result<LineEmbedding> TrainNode2vec(const Heterograph& graph,
+                                    const Node2vecOptions& options) {
+  ACTOR_ASSIGN_OR_RETURN(auto walks,
+                         GenerateNode2vecWalks(graph, options.walk));
+  SkipGramOptions sg = options.skipgram;
+  sg.dim = options.dim;
+  // Homogeneous method: negatives pooled over all vertex types.
+  sg.typed_negatives = false;
+  return TrainSkipGramOnWalks(graph, walks, sg);
+}
+
+Result<LineEmbedding> TrainDeepWalk(const Heterograph& graph,
+                                    Node2vecOptions options) {
+  options.walk.p = 1.0;
+  options.walk.q = 1.0;
+  return TrainNode2vec(graph, options);
+}
+
+}  // namespace actor

@@ -1,0 +1,33 @@
+#ifndef ACTOR_BASELINES_NODE2VEC_H_
+#define ACTOR_BASELINES_NODE2VEC_H_
+
+#include "embedding/line.h"
+#include "embedding/skipgram.h"
+#include "graph/heterograph.h"
+#include "graph/node2vec_walk.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Options for the node2vec [23] / DeepWalk [22] extra baselines: biased
+/// (or uniform) homogeneous random walks plus skip-gram. The paper
+/// discusses both in related work (§2.2) as homogeneous methods that do
+/// not fit the typed activity graph; they are provided here to make that
+/// comparison runnable (bench/extra_baselines).
+struct Node2vecOptions {
+  int32_t dim = 32;
+  Node2vecWalkOptions walk;
+  SkipGramOptions skipgram;
+};
+
+/// node2vec with the given p/q (set in options.walk).
+Result<LineEmbedding> TrainNode2vec(const Heterograph& graph,
+                                    const Node2vecOptions& options);
+
+/// DeepWalk = node2vec with p = q = 1 and uniform skip-gram negatives.
+Result<LineEmbedding> TrainDeepWalk(const Heterograph& graph,
+                                    Node2vecOptions options);
+
+}  // namespace actor
+
+#endif  // ACTOR_BASELINES_NODE2VEC_H_

@@ -1,0 +1,111 @@
+#include "core/meta_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace actor {
+
+int MetaGraph::CountType(VertexType t) const {
+  return static_cast<int>(std::count(vertices.begin(), vertices.end(), t));
+}
+
+std::vector<EdgeType> MetaGraph::CoveredEdgeTypes() const {
+  std::vector<EdgeType> types;
+  for (const auto& [a, b] : edges) {
+    auto et = EdgeTypeBetween(vertices[a], vertices[b]);
+    if (!et.ok()) continue;
+    if (std::find(types.begin(), types.end(), *et) == types.end()) {
+      types.push_back(*et);
+    }
+  }
+  return types;
+}
+
+MetaGraph IntraRecordMetaGraph() {
+  MetaGraph m;
+  m.name = "M0";
+  m.vertices = {VertexType::kTime, VertexType::kLocation, VertexType::kWord,
+                VertexType::kWord};
+  // T-L, L-W, W-T for both word slots, and W-W.
+  m.edges = {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 0}, {2, 3}};
+  m.inter_record = false;
+  return m;
+}
+
+std::vector<MetaGraph> InterRecordMetaGraphs() {
+  // Unit-type combinations attached to the mentioned user.
+  const std::vector<std::pair<std::string, std::vector<VertexType>>> combos = {
+      {"M1", {VertexType::kTime}},
+      {"M2", {VertexType::kLocation}},
+      {"M3", {VertexType::kWord}},
+      {"M4", {VertexType::kTime, VertexType::kWord}},
+      {"M5", {VertexType::kLocation, VertexType::kWord}},
+      {"M6", {VertexType::kTime, VertexType::kLocation}},
+  };
+  std::vector<MetaGraph> metas;
+  metas.reserve(combos.size());
+  for (const auto& [name, units] : combos) {
+    MetaGraph m;
+    m.name = name;
+    m.inter_record = true;
+    // Slot 0: the mentioning user; slot 1: the mentioned user.
+    m.vertices = {VertexType::kUser, VertexType::kUser};
+    m.edges.emplace_back(0, 1);  // the U-U mention edge
+    for (VertexType unit : units) {
+      const int slot = static_cast<int>(m.vertices.size());
+      m.vertices.push_back(unit);
+      m.edges.emplace_back(1, slot);  // unit hangs off the mentioned user
+    }
+    metas.push_back(std::move(m));
+  }
+  return metas;
+}
+
+const std::vector<EdgeType>& IntraEdgeTypes() {
+  static const std::vector<EdgeType> kTypes = {EdgeType::kTL, EdgeType::kLW,
+                                               EdgeType::kWT, EdgeType::kWW};
+  return kTypes;
+}
+
+const std::vector<EdgeType>& InterEdgeTypes() {
+  static const std::vector<EdgeType> kTypes = {EdgeType::kUT, EdgeType::kUW,
+                                               EdgeType::kUL};
+  return kTypes;
+}
+
+int64_t CountInterRecordInstances(const BuiltGraphs& graphs,
+                                  const MetaGraph& meta) {
+  ACTOR_CHECK(meta.inter_record) << "expects an inter-record meta-graph";
+  // Required unit types hanging off the mentioned user.
+  std::vector<VertexType> required(meta.vertices.begin() + 2,
+                                   meta.vertices.end());
+  auto user_edge_type = [](VertexType unit) {
+    switch (unit) {
+      case VertexType::kTime:
+        return EdgeType::kUT;
+      case VertexType::kWord:
+        return EdgeType::kUW;
+      case VertexType::kLocation:
+        return EdgeType::kUL;
+      default:
+        return EdgeType::kUU;
+    }
+  };
+  int64_t instances = 0;
+  for (const auto& units : graphs.record_units) {
+    for (VertexId mentioned : units.mentioned) {
+      bool ok = true;
+      for (VertexType unit : required) {
+        if (graphs.activity.Degree(user_edge_type(unit), mentioned) <= 0.0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++instances;
+    }
+  }
+  return instances;
+}
+
+}  // namespace actor

@@ -1,0 +1,61 @@
+#ifndef ACTOR_CORE_META_GRAPH_H_
+#define ACTOR_CORE_META_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/types.h"
+
+namespace actor {
+
+/// A meta-graph S = (X, A): a sub-graphical scheme of typed vertices with
+/// an adjacency defined on them (paper Def. 6). M0 is the intra-record
+/// meta-graph (the co-occurrence clique of T, L and the record's words);
+/// M1-M6 are the inter-record meta-graphs: two users linked through the
+/// user interaction graph, with a combination of unit types attached to
+/// the mentioned user (paper Fig. 3b).
+struct MetaGraph {
+  std::string name;
+  /// Typed vertex slots.
+  std::vector<VertexType> vertices;
+  /// Adjacency as index pairs into `vertices`.
+  std::vector<std::pair<int, int>> edges;
+  /// True when the scheme spans the user interaction layer.
+  bool inter_record = false;
+
+  /// Number of vertex slots of the given type.
+  int CountType(VertexType t) const;
+
+  /// Edge types traversed by this scheme (deduplicated).
+  std::vector<EdgeType> CoveredEdgeTypes() const;
+};
+
+/// The intra-record meta-graph M0: T-L-W triangle plus the W-W link
+/// (edge types {TL, LW, WT, WW} = M_intra).
+MetaGraph IntraRecordMetaGraph();
+
+/// The six inter-record meta-graphs M1..M6. Each contains the U-U mention
+/// edge plus units attached to the mentioned user: M1 {T}, M2 {L}, M3 {W},
+/// M4 {T,W}, M5 {L,W}, M6 {T,L}.
+std::vector<MetaGraph> InterRecordMetaGraphs();
+
+/// M_intra = {TL, LW, WT, WW} (Eq. (6)).
+const std::vector<EdgeType>& IntraEdgeTypes();
+
+/// M_inter = {UT, UW, UL} (Eq. (6)).
+const std::vector<EdgeType>& InterEdgeTypes();
+
+/// Counts instances of an inter-record meta-graph in the built graphs: one
+/// instance per (record with a mention, mentioned user) pair where the
+/// mentioned user also carries units of every type the scheme requires
+/// (i.e. has positive degree in the corresponding U-edge types). Used by
+/// tests and by the dataset-statistics harness; the count is the number of
+/// high-order proximity paths the hierarchy can exploit.
+int64_t CountInterRecordInstances(const BuiltGraphs& graphs,
+                                  const MetaGraph& meta);
+
+}  // namespace actor
+
+#endif  // ACTOR_CORE_META_GRAPH_H_

@@ -1,0 +1,109 @@
+#include "core/model_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/string_util.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+Result<VertexType> ParseVertexType(const std::string& s) {
+  if (s == "T") return VertexType::kTime;
+  if (s == "L") return VertexType::kLocation;
+  if (s == "W") return VertexType::kWord;
+  if (s == "U") return VertexType::kUser;
+  return Status::InvalidArgument("unknown vertex type: " + s);
+}
+
+}  // namespace
+
+Status SaveActorModel(const ActorModel& model, const BuiltGraphs& graphs,
+                      const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+  if (model.center.rows() != graphs.activity.num_vertices()) {
+    return Status::InvalidArgument(
+        "model rows do not match the activity graph vertex count");
+  }
+  ACTOR_RETURN_NOT_OK(model.center.Save(dir + "/center.txt"));
+  ACTOR_RETURN_NOT_OK(model.context.Save(dir + "/context.txt"));
+
+  std::ofstream out(dir + "/vertices.tsv");
+  if (!out) return Status::IOError("cannot write vertices.tsv in " + dir);
+  for (VertexId v = 0; v < graphs.activity.num_vertices(); ++v) {
+    out << v << '\t' << VertexTypeName(graphs.activity.vertex_type(v))
+        << '\t' << graphs.activity.vertex_name(v) << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: vertices.tsv");
+  return Status::OK();
+}
+
+Result<LoadedModel> LoadedModel::Load(const std::string& dir) {
+  LoadedModel model;
+  ACTOR_ASSIGN_OR_RETURN(model.center_,
+                         EmbeddingMatrix::Load(dir + "/center.txt"));
+  ACTOR_ASSIGN_OR_RETURN(model.context_,
+                         EmbeddingMatrix::Load(dir + "/context.txt"));
+  if (model.center_.rows() != model.context_.rows() ||
+      model.center_.dim() != model.context_.dim()) {
+    return Status::InvalidArgument(
+        "center/context shapes disagree in " + dir);
+  }
+
+  std::ifstream in(dir + "/vertices.tsv");
+  if (!in) return Status::IOError("cannot read vertices.tsv in " + dir);
+  model.types_.resize(model.center_.rows());
+  model.names_.resize(model.center_.rows());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("malformed vertices.tsv row: " + line);
+    }
+    const VertexId v = static_cast<VertexId>(std::strtol(
+        fields[0].c_str(), nullptr, 10));
+    if (v < 0 || v >= model.center_.rows()) {
+      return Status::OutOfRange("vertex id out of range in vertices.tsv");
+    }
+    ACTOR_ASSIGN_OR_RETURN(model.types_[v], ParseVertexType(fields[1]));
+    model.names_[v] = fields[2];
+    model.index_[fields[2]] = v;
+    ++rows;
+  }
+  if (rows != static_cast<std::size_t>(model.center_.rows())) {
+    return Status::InvalidArgument(StrPrintf(
+        "vertices.tsv has %zu rows but the matrix has %d", rows,
+        model.center_.rows()));
+  }
+  return model;
+}
+
+VertexId LoadedModel::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidVertex : it->second;
+}
+
+std::vector<std::pair<VertexId, double>> LoadedModel::NearestOfType(
+    VertexId query, VertexType type, int k) const {
+  std::vector<std::pair<VertexId, double>> results;
+  const std::size_t dim = static_cast<std::size_t>(center_.dim());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (v == query || types_[v] != type) continue;
+    results.emplace_back(v, Cosine(center_.row(query), center_.row(v), dim));
+  }
+  const std::size_t keep =
+      std::min<std::size_t>(std::max(k, 0), results.size());
+  std::partial_sort(
+      results.begin(), results.begin() + keep, results.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
+  results.resize(keep);
+  return results;
+}
+
+}  // namespace actor

@@ -1,0 +1,54 @@
+#ifndef ACTOR_CORE_MODEL_IO_H_
+#define ACTOR_CORE_MODEL_IO_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/actor.h"
+#include "graph/graph_builder.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Persists a trained model for downstream use without retraining:
+///   <dir>/center.txt    center vectors (EmbeddingMatrix text format)
+///   <dir>/context.txt   context vectors
+///   <dir>/vertices.tsv  one row per vertex: id \t type \t name
+/// The directory is created if missing.
+Status SaveActorModel(const ActorModel& model, const BuiltGraphs& graphs,
+                      const std::string& dir);
+
+/// A model reloaded from disk: embeddings plus the vertex catalogue, with
+/// name-based lookup so queries work without the original graphs.
+class LoadedModel {
+ public:
+  static Result<LoadedModel> Load(const std::string& dir);
+
+  const EmbeddingMatrix& center() const { return center_; }
+  const EmbeddingMatrix& context() const { return context_; }
+  int32_t num_vertices() const { return center_.rows(); }
+
+  VertexType vertex_type(VertexId v) const { return types_[v]; }
+  const std::string& vertex_name(VertexId v) const { return names_[v]; }
+
+  /// Vertex id for a unit name ("coffee", "T3(19:17)", "user42"); -1 when
+  /// unknown.
+  VertexId Lookup(const std::string& name) const;
+
+  /// Top-k vertices of `type` by cosine against vertex `query`.
+  std::vector<std::pair<VertexId, double>> NearestOfType(VertexId query,
+                                                         VertexType type,
+                                                         int k) const;
+
+ private:
+  EmbeddingMatrix center_;
+  EmbeddingMatrix context_;
+  std::vector<VertexType> types_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VertexId> index_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_CORE_MODEL_IO_H_

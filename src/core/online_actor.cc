@@ -1,0 +1,319 @@
+#include "core/online_actor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "embedding/sgd.h"
+#include "graph/alias_table.h"
+#include "util/string_util.h"
+
+namespace actor {
+namespace {
+
+uint64_t PackKey(VertexId u, VertexId v) {
+  const uint64_t a = static_cast<uint32_t>(u < v ? u : v);
+  const uint64_t b = static_cast<uint32_t>(u < v ? v : u);
+  return (a << 32) | b;
+}
+
+}  // namespace
+
+Result<OnlineActor> OnlineActor::Create(OnlineActorOptions options) {
+  if (options.dim <= 0 || options.negatives < 1) {
+    return Status::InvalidArgument("dim and negatives must be positive");
+  }
+  if (options.decay_per_batch <= 0.0 || options.decay_per_batch > 1.0) {
+    return Status::InvalidArgument("decay_per_batch must be in (0, 1]");
+  }
+  if (options.samples_per_edge_per_batch <= 0.0) {
+    return Status::InvalidArgument("samples_per_edge_per_batch must be > 0");
+  }
+  OnlineActor model(options);
+  model.center_ = EmbeddingMatrix(0, options.dim);
+  model.context_ = EmbeddingMatrix(0, options.dim);
+  return model;
+}
+
+VertexId OnlineActor::AddUnit(VertexType type, std::string name) {
+  const VertexId id = static_cast<VertexId>(types_.size());
+  types_.push_back(type);
+  names_.push_back(std::move(name));
+  center_.AppendRows(1, &rng_);
+  context_.AppendRows(1, nullptr);
+  return id;
+}
+
+VertexId OnlineActor::ResolveSpatial(const GeoPoint& location) {
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < spatial_.size(); ++i) {
+    const double d = Distance(location, spatial_[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0 && best_dist <= options_.new_spatial_hotspot_km) {
+    return spatial_units_[best];
+  }
+  spatial_.push_back(location);
+  const VertexId unit = AddUnit(
+      VertexType::kLocation,
+      StrPrintf("L%zu(%.2f,%.2f)", spatial_.size() - 1, location.x,
+                location.y));
+  spatial_units_.push_back(unit);
+  return unit;
+}
+
+VertexId OnlineActor::ResolveTemporal(double timestamp) {
+  const double hour = HourOfDay(timestamp);
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < temporal_.size(); ++i) {
+    const double d = CircularHourDistance(hour, temporal_[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0 && best_dist <= options_.new_temporal_hotspot_hours) {
+    return temporal_units_[best];
+  }
+  temporal_.push_back(hour);
+  const int hh = static_cast<int>(hour);
+  const int mm = static_cast<int>((hour - hh) * 60.0);
+  const VertexId unit =
+      AddUnit(VertexType::kTime,
+              StrPrintf("T%zu(%02d:%02d)", temporal_.size() - 1, hh, mm));
+  temporal_units_.push_back(unit);
+  return unit;
+}
+
+VertexId OnlineActor::ResolveWord(int32_t word_id) {
+  auto it = word_units_.find(word_id);
+  if (it != word_units_.end()) return it->second;
+  const VertexId unit =
+      AddUnit(VertexType::kWord, StrPrintf("word%d", word_id));
+  word_units_.emplace(word_id, unit);
+  return unit;
+}
+
+VertexId OnlineActor::ResolveUser(int64_t user_id) {
+  auto it = user_units_.find(user_id);
+  if (it != user_units_.end()) return it->second;
+  const VertexId unit = AddUnit(
+      VertexType::kUser,
+      StrPrintf("user%lld", static_cast<long long>(user_id)));
+  user_units_.emplace(user_id, unit);
+  return unit;
+}
+
+void OnlineActor::AccumulateEdge(VertexId a, VertexId b) {
+  if (a == b || a == kInvalidVertex || b == kInvalidVertex) return;
+  auto type = EdgeTypeBetween(types_[a], types_[b]);
+  if (!type.ok()) return;
+  edges_[static_cast<int>(*type)][PackKey(a, b)] += 1.0;
+}
+
+void OnlineActor::DecayEdges() {
+  if (options_.decay_per_batch >= 1.0) return;
+  for (auto& per_type : edges_) {
+    for (auto it = per_type.begin(); it != per_type.end();) {
+      it->second *= options_.decay_per_batch;
+      if (it->second < options_.min_edge_weight) {
+        it = per_type.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::size_t OnlineActor::num_live_edges() const {
+  std::size_t total = 0;
+  for (const auto& per_type : edges_) total += per_type.size();
+  return total;
+}
+
+Status OnlineActor::Ingest(const std::vector<TokenizedRecord>& batch) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("cannot ingest an empty batch");
+  }
+  // Recency decay happens before the new co-occurrences arrive, so the
+  // newest batch always carries full weight.
+  DecayEdges();
+
+  for (const TokenizedRecord& rec : batch) {
+    const VertexId t = ResolveTemporal(rec.timestamp);
+    const VertexId l = ResolveSpatial(rec.location);
+    std::vector<VertexId> words;
+    words.reserve(rec.word_ids.size());
+    for (int32_t w : rec.word_ids) words.push_back(ResolveWord(w));
+
+    AccumulateEdge(t, l);
+    for (VertexId w : words) {
+      AccumulateEdge(l, w);
+      AccumulateEdge(w, t);
+    }
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      for (std::size_t j = i + 1; j < words.size(); ++j) {
+        AccumulateEdge(words[i], words[j]);
+      }
+    }
+    if (options_.use_user_edges) {
+      auto link_user = [&](int64_t user_id) {
+        const VertexId u = ResolveUser(user_id);
+        AccumulateEdge(u, t);
+        AccumulateEdge(u, l);
+        for (VertexId w : words) AccumulateEdge(u, w);
+      };
+      link_user(rec.user_id);
+      for (int64_t m : rec.mentioned_user_ids) {
+        link_user(m);
+        AccumulateEdge(ResolveUser(rec.user_id), ResolveUser(m));
+      }
+    }
+  }
+  ++batches_;
+  return TrainBatch();
+}
+
+Status OnlineActor::TrainBatch() {
+  const std::size_t dim = static_cast<std::size_t>(options_.dim);
+  std::vector<float> grad(dim);
+
+  for (int e = 0; e < kNumEdgeTypes; ++e) {
+    const auto& per_type = edges_[e];
+    if (per_type.empty()) continue;
+
+    // Flatten the live edges of this type and build sampling tables.
+    std::vector<VertexId> src, dst;
+    std::vector<double> weight;
+    src.reserve(per_type.size() * 2);
+    dst.reserve(per_type.size() * 2);
+    weight.reserve(per_type.size() * 2);
+    std::unordered_map<VertexId, double> degree;
+    for (const auto& [key, w] : per_type) {
+      const VertexId a = static_cast<VertexId>(key >> 32);
+      const VertexId b = static_cast<VertexId>(key & 0xffffffffULL);
+      src.push_back(a);
+      dst.push_back(b);
+      weight.push_back(w);
+      src.push_back(b);
+      dst.push_back(a);
+      weight.push_back(w);
+      degree[a] += w;
+      degree[b] += w;
+    }
+    ACTOR_ASSIGN_OR_RETURN(AliasTable edge_table, AliasTable::Create(weight));
+
+    // Noise tables per context vertex type within this edge type.
+    struct Noise {
+      std::vector<VertexId> candidates;
+      std::unique_ptr<AliasTable> table;
+    };
+    Noise noise[kNumVertexTypes];
+    {
+      std::vector<double> noise_weights[kNumVertexTypes];
+      for (const auto& [v, d] : degree) {
+        const int t = static_cast<int>(types_[v]);
+        noise[t].candidates.push_back(v);
+        noise_weights[t].push_back(std::pow(d, 0.75));
+      }
+      for (int t = 0; t < kNumVertexTypes; ++t) {
+        if (noise[t].candidates.empty()) continue;
+        ACTOR_ASSIGN_OR_RETURN(AliasTable table,
+                               AliasTable::Create(noise_weights[t]));
+        noise[t].table = std::make_unique<AliasTable>(std::move(table));
+      }
+    }
+
+    const int64_t samples = static_cast<int64_t>(
+        options_.samples_per_edge_per_batch * static_cast<double>(src.size()));
+    for (int64_t i = 0; i < samples; ++i) {
+      const std::size_t idx = edge_table.Sample(rng_);
+      const VertexId u = src[idx];
+      const VertexId v = dst[idx];
+      const Noise& ctx_noise = noise[static_cast<int>(types_[v])];
+      if (ctx_noise.table == nullptr) continue;
+      Zero(grad.data(), dim);
+      NegativeSamplingUpdate(
+          center_.row(u), v, options_.negatives, options_.learning_rate,
+          &context_, sigmoid_, rng_,
+          [&ctx_noise](Rng& r) {
+            return ctx_noise.candidates[ctx_noise.table->Sample(r)];
+          },
+          grad.data());
+      Add(grad.data(), center_.row(u), dim);
+    }
+  }
+  return Status::OK();
+}
+
+VertexId OnlineActor::SpatialUnit(const GeoPoint& location) const {
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < spatial_.size(); ++i) {
+    const double d = Distance(location, spatial_[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best < 0 ? kInvalidVertex : spatial_units_[best];
+}
+
+VertexId OnlineActor::TemporalUnit(double timestamp) const {
+  const double hour = HourOfDay(timestamp);
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < temporal_.size(); ++i) {
+    const double d = CircularHourDistance(hour, temporal_[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best < 0 ? kInvalidVertex : temporal_units_[best];
+}
+
+VertexId OnlineActor::WordUnit(int32_t word_id) const {
+  auto it = word_units_.find(word_id);
+  return it == word_units_.end() ? kInvalidVertex : it->second;
+}
+
+double OnlineActor::ScoreRecordAgainstUnit(const TokenizedRecord& record,
+                                           VertexId candidate) const {
+  if (candidate == kInvalidVertex) return -1e9;
+  const std::size_t dim = static_cast<std::size_t>(options_.dim);
+  std::vector<float> query(dim, 0.0f);
+  int parts = 0;
+  const VertexId t = TemporalUnit(record.timestamp);
+  if (t != kInvalidVertex && t != candidate) {
+    Add(center_.row(t), query.data(), dim);
+    ++parts;
+  }
+  const VertexId l = SpatialUnit(record.location);
+  if (l != kInvalidVertex && l != candidate) {
+    Add(center_.row(l), query.data(), dim);
+    ++parts;
+  }
+  std::vector<float> text(dim, 0.0f);
+  int known = 0;
+  for (int32_t w : record.word_ids) {
+    const VertexId v = WordUnit(w);
+    if (v == kInvalidVertex || v == candidate) continue;
+    Add(center_.row(v), text.data(), dim);
+    ++known;
+  }
+  if (known > 0) {
+    Scale(1.0f / static_cast<float>(known), text.data(), dim);
+    Add(text.data(), query.data(), dim);
+    ++parts;
+  }
+  if (parts == 0) return -1e9;
+  return Cosine(query.data(), center_.row(candidate), dim);
+}
+
+}  // namespace actor

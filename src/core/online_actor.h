@@ -1,0 +1,128 @@
+#ifndef ACTOR_CORE_ONLINE_ACTOR_H_
+#define ACTOR_CORE_ONLINE_ACTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+#include "data/vocabulary.h"
+#include "embedding/embedding_matrix.h"
+#include "graph/types.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/vec_math.h"
+
+namespace actor {
+
+/// Options for the streaming extension (DESIGN.md; modeled on the
+/// recency-aware direction of the authors' ReAct [8], which the paper
+/// lists as the online successor of CrossMap).
+struct OnlineActorOptions {
+  int32_t dim = 32;
+  int negatives = 5;
+  float learning_rate = 0.02f;
+  uint64_t seed = 71;
+
+  /// Per ingested batch, every live edge is sampled this many times in
+  /// expectation.
+  double samples_per_edge_per_batch = 3.0;
+
+  /// Recency: every edge weight is multiplied by this factor at each
+  /// Ingest() call, so stale co-occurrences fade ("recency-aware"). 1.0
+  /// disables forgetting.
+  double decay_per_batch = 0.7;
+  /// Edges whose decayed weight drops below this are dropped.
+  double min_edge_weight = 0.05;
+
+  /// A record farther than this from every spatial hotspot spawns a new
+  /// hotspot at its location (km).
+  double new_spatial_hotspot_km = 2.0;
+  /// A record farther than this (circular hours) from every temporal
+  /// hotspot spawns a new one.
+  double new_temporal_hotspot_hours = 1.5;
+
+  /// Train user edge types (UT/UW/UL) as in ACTOR's inter structure.
+  bool use_user_edges = true;
+};
+
+/// Streaming hierarchical cross-modal embedding: ingests record batches,
+/// maintains a decaying co-occurrence graph with a growing unit set
+/// (hotspots, words, users), and refreshes the shared embedding space
+/// after every batch. Units never seen again fade from the sampling
+/// distribution but keep their vectors.
+class OnlineActor {
+ public:
+  /// Creates an empty model; the first Ingest() bootstraps everything.
+  static Result<OnlineActor> Create(OnlineActorOptions options);
+
+  /// Ingests one batch of tokenized records (ids from a caller-owned,
+  /// append-only vocabulary), updates the unit graph, and trains.
+  Status Ingest(const std::vector<TokenizedRecord>& batch);
+
+  /// Number of Ingest() calls so far.
+  int64_t batches_ingested() const { return batches_; }
+
+  int32_t num_units() const { return static_cast<int32_t>(types_.size()); }
+  std::size_t num_live_edges() const;
+  std::size_t num_spatial_hotspots() const { return spatial_.size(); }
+  std::size_t num_temporal_hotspots() const { return temporal_.size(); }
+
+  const EmbeddingMatrix& center() const { return center_; }
+  VertexType unit_type(VertexId v) const { return types_[v]; }
+  const std::string& unit_name(VertexId v) const { return names_[v]; }
+
+  /// Unit ids for modality values (kInvalidVertex when unseen).
+  VertexId SpatialUnit(const GeoPoint& location) const;
+  VertexId TemporalUnit(double timestamp) const;
+  VertexId WordUnit(int32_t word_id) const;
+
+  /// Cosine score of a record against the current space: mean of its
+  /// resolvable unit vectors vs the candidate unit. Used by the
+  /// prequential evaluation in bench/streaming_activity.
+  double ScoreRecordAgainstUnit(const TokenizedRecord& record,
+                                VertexId candidate) const;
+
+ private:
+  explicit OnlineActor(OnlineActorOptions options)
+      : options_(options), rng_(options.seed) {}
+
+  VertexId AddUnit(VertexType type, std::string name);
+  /// Assign-or-spawn for the two hotspot families.
+  VertexId ResolveSpatial(const GeoPoint& location);
+  VertexId ResolveTemporal(double timestamp);
+  VertexId ResolveWord(int32_t word_id);
+  VertexId ResolveUser(int64_t user_id);
+
+  void AccumulateEdge(VertexId a, VertexId b);
+  void DecayEdges();
+  Status TrainBatch();
+
+  OnlineActorOptions options_;
+  Rng rng_;
+  int64_t batches_ = 0;
+
+  // Unit catalogue (grows, never shrinks).
+  std::vector<VertexType> types_;
+  std::vector<std::string> names_;
+  EmbeddingMatrix center_;
+  EmbeddingMatrix context_;
+
+  // Hotspot centers, index-aligned with their unit ids.
+  std::vector<GeoPoint> spatial_;
+  std::vector<VertexId> spatial_units_;
+  std::vector<double> temporal_;  // hours
+  std::vector<VertexId> temporal_units_;
+  std::unordered_map<int32_t, VertexId> word_units_;
+  std::unordered_map<int64_t, VertexId> user_units_;
+
+  // Decaying undirected edge weights per edge type, keyed by packed pair.
+  std::unordered_map<uint64_t, double> edges_[kNumEdgeTypes];
+
+  SigmoidTable sigmoid_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_CORE_ONLINE_ACTOR_H_

@@ -1,0 +1,104 @@
+#ifndef ACTOR_DATA_CORPUS_H_
+#define ACTOR_DATA_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/phrase_detector.h"
+#include "data/record.h"
+#include "data/tokenizer.h"
+#include "data/vocabulary.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace actor {
+
+/// A corpus of raw mobile-data records R = {r_1, ..., r_N} (paper §3).
+class Corpus {
+ public:
+  Corpus() = default;
+  explicit Corpus(std::vector<RawRecord> records)
+      : records_(std::move(records)) {}
+
+  void Add(RawRecord record) { records_.push_back(std::move(record)); }
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const RawRecord& record(std::size_t i) const { return records_[i]; }
+  const std::vector<RawRecord>& records() const { return records_; }
+
+  /// Number of distinct user ids across authors and mentions.
+  std::size_t CountDistinctUsers() const;
+
+  /// Fraction of records with at least one @-mention (the paper reports
+  /// 16.8% for UTGEO2011).
+  double MentionFraction() const;
+
+ private:
+  std::vector<RawRecord> records_;
+};
+
+/// Options for the tokenize + prune pipeline producing a TokenizedCorpus.
+struct CorpusBuildOptions {
+  TokenizerOptions tokenizer;
+  /// Words below this corpus frequency are dropped.
+  int64_t min_word_count = 2;
+  /// Vocabulary cap (paper uses 20,000 for the tweet datasets).
+  int32_t max_vocab_size = 20000;
+  /// Records left with no surviving keyword are dropped.
+  bool drop_empty_records = true;
+  /// Merge statistically-cohesive bigrams into single textual units
+  /// ("sport pub" -> "sport_pub") before vocabulary construction.
+  bool detect_phrases = false;
+  PhraseOptions phrase;
+};
+
+/// A corpus after tokenization: shared vocabulary + integer word ids.
+class TokenizedCorpus {
+ public:
+  TokenizedCorpus() = default;
+  TokenizedCorpus(Vocabulary vocab, std::vector<TokenizedRecord> records)
+      : vocab_(std::move(vocab)), records_(std::move(records)) {}
+
+  /// Runs tokenization, builds the vocabulary, prunes rare words, and drops
+  /// empty records.
+  static Result<TokenizedCorpus> Build(const Corpus& corpus,
+                                       const CorpusBuildOptions& options = {});
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const TokenizedRecord& record(std::size_t i) const { return records_[i]; }
+  const std::vector<TokenizedRecord>& records() const { return records_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  std::size_t CountDistinctUsers() const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<TokenizedRecord> records_;
+};
+
+/// Train / validation / test split by record index.
+struct CorpusSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> valid;
+  std::vector<std::size_t> test;
+};
+
+/// Randomly partitions [0, corpus_size) into train/valid/test of the given
+/// sizes (paper §6.1.1: "the train/valid/test split is done randomly").
+/// Returns InvalidArgument if the sizes exceed corpus_size; any remainder
+/// goes to train.
+Result<CorpusSplit> RandomSplit(std::size_t corpus_size,
+                                std::size_t valid_size, std::size_t test_size,
+                                uint64_t seed);
+
+/// Materializes the subset of `corpus` selected by `indices`.
+TokenizedCorpus Subset(const TokenizedCorpus& corpus,
+                       const std::vector<std::size_t>& indices);
+
+}  // namespace actor
+
+#endif  // ACTOR_DATA_CORPUS_H_

@@ -1,0 +1,114 @@
+#include "data/phrase_detector.h"
+
+namespace actor {
+namespace {
+
+std::string PairKey(const std::string& a, const std::string& b) {
+  std::string key;
+  key.reserve(a.size() + b.size() + 1);
+  key += a;
+  key += '\x1f';
+  key += b;
+  return key;
+}
+
+/// One learning pass: returns the merge table for bigrams above threshold.
+std::unordered_map<std::string, std::string> LearnPass(
+    const std::vector<std::vector<std::string>>& documents,
+    const PhraseOptions& options) {
+  std::unordered_map<std::string, int64_t> unigram;
+  std::unordered_map<std::string, int64_t> bigram;
+  int64_t total = 0;
+  for (const auto& doc : documents) {
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+      ++unigram[doc[i]];
+      ++total;
+      if (i + 1 < doc.size()) ++bigram[PairKey(doc[i], doc[i + 1])];
+    }
+  }
+  std::unordered_map<std::string, std::string> merges;
+  for (const auto& [key, count] : bigram) {
+    if (count < options.min_count) continue;
+    const std::size_t sep = key.find('\x1f');
+    const std::string a = key.substr(0, sep);
+    const std::string b = key.substr(sep + 1);
+    const double score = (static_cast<double>(count) - options.discount) *
+                         static_cast<double>(total) /
+                         (static_cast<double>(unigram[a]) *
+                          static_cast<double>(unigram[b]));
+    if (score > options.threshold) {
+      merges.emplace(key, a + "_" + b);
+    }
+  }
+  return merges;
+}
+
+std::vector<std::string> ApplyPass(
+    const std::unordered_map<std::string, std::string>& merges,
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    if (i + 1 < tokens.size()) {
+      auto it = merges.find(PairKey(tokens[i], tokens[i + 1]));
+      if (it != merges.end()) {
+        out.push_back(it->second);
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(tokens[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PhraseDetector> PhraseDetector::Learn(
+    const std::vector<std::vector<std::string>>& documents,
+    const PhraseOptions& options) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("phrase learning needs documents");
+  }
+  if (options.threshold <= 0.0 || options.min_count < 1 ||
+      options.passes < 1) {
+    return Status::InvalidArgument(
+        "threshold/min_count/passes must be positive");
+  }
+  PhraseDetector detector;
+  std::vector<std::vector<std::string>> current = documents;
+  for (int pass = 0; pass < options.passes; ++pass) {
+    auto merges = LearnPass(current, options);
+    if (merges.empty()) break;
+    for (auto& doc : current) doc = ApplyPass(merges, doc);
+    detector.passes_.push_back(std::move(merges));
+  }
+  return detector;
+}
+
+std::vector<std::string> PhraseDetector::Apply(
+    std::vector<std::string> tokens) const {
+  for (const auto& merges : passes_) {
+    tokens = ApplyPass(merges, tokens);
+  }
+  return tokens;
+}
+
+std::size_t PhraseDetector::num_phrases() const {
+  std::size_t total = 0;
+  for (const auto& merges : passes_) total += merges.size();
+  return total;
+}
+
+bool PhraseDetector::IsPhrase(const std::string& a,
+                              const std::string& b) const {
+  const std::string key = PairKey(a, b);
+  for (const auto& merges : passes_) {
+    if (merges.count(key)) return true;
+  }
+  return false;
+}
+
+}  // namespace actor

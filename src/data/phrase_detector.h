@@ -1,0 +1,53 @@
+#ifndef ACTOR_DATA_PHRASE_DETECTOR_H_
+#define ACTOR_DATA_PHRASE_DETECTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace actor {
+
+/// Options for score-based bigram phrase merging (word2phrase [43]): two
+/// adjacent tokens merge into "a_b" when
+///   score(a, b) = (count(a,b) - discount) * N / (count(a) * count(b))
+/// exceeds `threshold`. Multiple passes build longer units, which is how
+/// multiword venue names ("patrick_molloy_sport_pub") become single
+/// textual units in the activity graph (paper §6.4.3).
+struct PhraseOptions {
+  double threshold = 10.0;
+  double discount = 3.0;   // suppresses rare accidental pairs
+  int min_count = 3;       // bigrams rarer than this never merge
+  int passes = 2;          // 2 passes -> phrases of up to 4 source tokens
+};
+
+/// Learns phrase merges from a token-list corpus and applies them.
+class PhraseDetector {
+ public:
+  /// Learns from `documents` (each a token sequence). Returns
+  /// InvalidArgument for an empty corpus or non-positive options.
+  static Result<PhraseDetector> Learn(
+      const std::vector<std::vector<std::string>>& documents,
+      const PhraseOptions& options = {});
+
+  /// Rewrites a token sequence, greedily merging learned bigrams left to
+  /// right (repeatedly, once per learned pass).
+  std::vector<std::string> Apply(std::vector<std::string> tokens) const;
+
+  /// Number of distinct merge rules learned across all passes.
+  std::size_t num_phrases() const;
+
+  /// True if "a_b" is a learned merge at any pass.
+  bool IsPhrase(const std::string& a, const std::string& b) const;
+
+ private:
+  PhraseDetector() = default;
+
+  /// One merge table per pass: key "a\x1fb" -> merged token.
+  std::vector<std::unordered_map<std::string, std::string>> passes_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_DATA_PHRASE_DETECTOR_H_

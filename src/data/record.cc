@@ -1,0 +1,25 @@
+#include "data/record.h"
+
+#include <cmath>
+
+namespace actor {
+
+double Distance(const GeoPoint& a, const GeoPoint& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double HourOfDay(double timestamp) {
+  double day_seconds = std::fmod(timestamp, kSecondsPerDay);
+  if (day_seconds < 0.0) day_seconds += kSecondsPerDay;
+  return day_seconds / 3600.0;
+}
+
+double CircularHourDistance(double h1, double h2) {
+  double d = std::fabs(h1 - h2);
+  d = std::fmod(d, 24.0);
+  return d > 12.0 ? 24.0 - d : d;
+}
+
+}  // namespace actor

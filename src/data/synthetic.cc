@@ -1,0 +1,302 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace actor {
+namespace {
+
+/// CDF-based discrete sampler; O(log n) per draw. Generation is one-off so
+/// this is simpler than an alias table and fast enough.
+class CdfSampler {
+ public:
+  explicit CdfSampler(const std::vector<double>& weights) {
+    cdf_.reserve(weights.size());
+    double acc = 0.0;
+    for (double w : weights) {
+      acc += std::max(w, 0.0);
+      cdf_.push_back(acc);
+    }
+    total_ = acc;
+  }
+
+  std::size_t Sample(Rng& rng) const {
+    const double u = rng.UniformDouble() * total_;
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+std::vector<double> ZipfWeights(int n, double exponent) {
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return w;
+}
+
+int PoissonDraw(Rng& rng, double mean) {
+  // Knuth's algorithm; means here are small (< 10).
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.UniformDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+double WrapHour(double h) {
+  h = std::fmod(h, 24.0);
+  if (h < 0.0) h += 24.0;
+  return h;
+}
+
+// Venue name fragments for readable venue keywords.
+const char* const kVenueSuffixes[] = {
+    "plaza",  "park",   "cafe",   "bar",     "theatre", "pier",
+    "market", "gym",    "museum", "stadium", "club",    "hall",
+    "garden", "bistro", "pub",    "gallery", "arena",   "lounge",
+};
+
+Status Validate(const SyntheticConfig& c) {
+  if (c.num_records <= 0 || c.num_users <= 0 || c.num_topics <= 0 ||
+      c.num_venues <= 0 || c.num_communities <= 0) {
+    return Status::InvalidArgument("synthetic sizes must be positive");
+  }
+  if (c.mention_prob < 0.0 || c.mention_prob > 1.0 ||
+      c.background_word_prob < 0.0 || c.background_word_prob > 1.0 ||
+      c.venue_keyword_prob < 0.0 || c.venue_keyword_prob > 1.0 ||
+      c.mention_covisit_prob < 0.0 || c.mention_covisit_prob > 1.0) {
+    return Status::InvalidArgument("probabilities must lie in [0, 1]");
+  }
+  if (c.keywords_per_topic <= 0 || c.min_words < 0) {
+    return Status::InvalidArgument("keyword counts must be non-negative");
+  }
+  if (c.city_size_km <= 0.0 || c.days <= 0) {
+    return Status::InvalidArgument("city size and days must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config,
+                                           std::string name) {
+  ACTOR_RETURN_NOT_OK(Validate(config));
+  Rng rng(config.seed);
+  SyntheticDataset dataset;
+  dataset.name = std::move(name);
+  SyntheticGroundTruth& truth = dataset.truth;
+
+  // --- Latent structure -----------------------------------------------
+  // Districts: community geographic centres spread over the city.
+  std::vector<GeoPoint> district_centers(config.num_communities);
+  for (auto& c : district_centers) {
+    c.x = rng.UniformRange(0.15, 0.85) * config.city_size_km;
+    c.y = rng.UniformRange(0.15, 0.85) * config.city_size_km;
+  }
+
+  // Topics: keyword pools, Zipf word popularity, circadian peak.
+  truth.topic_peak_hours.resize(config.num_topics);
+  truth.topic_keywords.resize(config.num_topics);
+  std::vector<CdfSampler> topic_word_samplers;
+  topic_word_samplers.reserve(config.num_topics);
+  for (int t = 0; t < config.num_topics; ++t) {
+    truth.topic_peak_hours[t] = rng.UniformRange(0.0, 24.0);
+    auto& words = truth.topic_keywords[t];
+    words.reserve(config.keywords_per_topic);
+    for (int j = 0; j < config.keywords_per_topic; ++j) {
+      words.push_back(StrPrintf("topic%d_word%03d", t, j));
+    }
+    topic_word_samplers.emplace_back(
+        ZipfWeights(config.keywords_per_topic, config.keyword_exponent));
+  }
+  std::vector<std::string> background_words(config.background_vocab);
+  for (int j = 0; j < config.background_vocab; ++j) {
+    background_words[j] = StrPrintf("common_word%04d", j);
+  }
+  CdfSampler background_sampler(
+      ZipfWeights(config.background_vocab, config.keyword_exponent));
+
+  // Venues: each belongs to a community district and a topic.
+  truth.venue_locations.resize(config.num_venues);
+  truth.venue_topics.resize(config.num_venues);
+  truth.venue_keywords.resize(config.num_venues);
+  std::vector<std::vector<int>> community_venues(config.num_communities);
+  for (int v = 0; v < config.num_venues; ++v) {
+    const int community = static_cast<int>(rng.Uniform(config.num_communities));
+    const GeoPoint& center = district_centers[community];
+    GeoPoint loc;
+    loc.x = std::clamp(rng.Gaussian(center.x, config.community_spread_km), 0.0,
+                       config.city_size_km);
+    loc.y = std::clamp(rng.Gaussian(center.y, config.community_spread_km), 0.0,
+                       config.city_size_km);
+    truth.venue_locations[v] = loc;
+    truth.venue_topics[v] = static_cast<int>(rng.Uniform(config.num_topics));
+    const char* suffix =
+        kVenueSuffixes[rng.Uniform(std::size(kVenueSuffixes))];
+    truth.venue_keywords[v] = StrPrintf("venue_%d_%s", v, suffix);
+    community_venues[community].push_back(v);
+  }
+  // Ensure every community has at least one venue.
+  for (int c = 0; c < config.num_communities; ++c) {
+    if (community_venues[c].empty()) {
+      community_venues[c].push_back(
+          static_cast<int>(rng.Uniform(config.num_venues)));
+    }
+  }
+
+  // Users: community membership, activity weight, favourite venues.
+  truth.user_communities.resize(config.num_users);
+  truth.user_favourite_venues.resize(config.num_users);
+  std::vector<std::vector<int>> community_users(config.num_communities);
+  for (int u = 0; u < config.num_users; ++u) {
+    const int community = static_cast<int>(rng.Uniform(config.num_communities));
+    truth.user_communities[u] = community;
+    community_users[community].push_back(u);
+    const auto& venues = community_venues[community];
+    auto& favs = truth.user_favourite_venues[u];
+    const int n_fav = std::max(1, config.favourite_venues_per_user);
+    for (int k = 0; k < n_fav; ++k) {
+      favs.push_back(venues[rng.Uniform(venues.size())]);
+    }
+  }
+  CdfSampler user_sampler(
+      ZipfWeights(config.num_users, config.user_activity_exponent));
+
+  // --- Records ----------------------------------------------------------
+  truth.record_venues.reserve(config.num_records);
+  truth.record_topics.reserve(config.num_records);
+  for (int i = 0; i < config.num_records; ++i) {
+    RawRecord rec;
+    rec.id = i;
+    const int user = static_cast<int>(user_sampler.Sample(rng));
+    rec.user_id = user;
+    const int community = truth.user_communities[user];
+
+    // Optional mention: drawn from the same community; with probability
+    // mention_covisit_prob the record is posted from one of the *mentioned*
+    // user's favourite venues, so its text/location/time reflect that
+    // user's habits (paper Fig. 1's inter-record correlation).
+    int mentioned = -1;
+    const auto& peers = community_users[community];
+    if (peers.size() > 1 && rng.Bernoulli(config.mention_prob)) {
+      do {
+        mentioned = peers[rng.Uniform(peers.size())];
+      } while (mentioned == user);
+    }
+
+    // Venue choice.
+    int venue;
+    if (mentioned >= 0 && rng.Bernoulli(config.mention_covisit_prob)) {
+      const auto& favs = truth.user_favourite_venues[mentioned];
+      venue = favs[rng.Uniform(favs.size())];
+    } else if (rng.Bernoulli(0.8)) {
+      const auto& favs = truth.user_favourite_venues[user];
+      venue = favs[rng.Uniform(favs.size())];
+    } else {
+      venue = static_cast<int>(rng.Uniform(config.num_venues));
+    }
+    const int topic = truth.venue_topics[venue];
+    truth.record_venues.push_back(venue);
+    truth.record_topics.push_back(topic);
+
+    // Time: uniform day, hour around the topic's circadian peak.
+    const int day = static_cast<int>(rng.Uniform(config.days));
+    const double hour = WrapHour(
+        rng.Gaussian(truth.topic_peak_hours[topic], config.time_noise_hours));
+    rec.timestamp = day * kSecondsPerDay + hour * 3600.0;
+
+    // Location: venue + GPS noise, clamped to the city box.
+    const GeoPoint& vloc = truth.venue_locations[venue];
+    rec.location.x = std::clamp(rng.Gaussian(vloc.x, config.gps_noise_km), 0.0,
+                                config.city_size_km);
+    rec.location.y = std::clamp(rng.Gaussian(vloc.y, config.gps_noise_km), 0.0,
+                                config.city_size_km);
+
+    // Text: venue keyword + topic keywords + background keywords.
+    std::vector<std::string> words;
+    if (rng.Bernoulli(config.venue_keyword_prob)) {
+      words.push_back(truth.venue_keywords[venue]);
+    }
+    const int n_words =
+        config.min_words + PoissonDraw(rng, config.mean_extra_words);
+    for (int w = 0; w < n_words; ++w) {
+      if (rng.Bernoulli(config.background_word_prob)) {
+        words.push_back(background_words[background_sampler.Sample(rng)]);
+      } else {
+        words.push_back(
+            truth.topic_keywords[topic][topic_word_samplers[topic].Sample(rng)]);
+      }
+    }
+    rec.text = Join(words, " ");
+
+    if (mentioned >= 0 && config.emit_mentions) {
+      rec.mentioned_user_ids.push_back(mentioned);
+    }
+    dataset.corpus.Add(std::move(rec));
+  }
+  return dataset;
+}
+
+SyntheticConfig UTGeoLikeConfig(double scale) {
+  SyntheticConfig c;
+  c.seed = 20111104;
+  c.num_records = static_cast<int>(24000 * scale);
+  c.num_users = static_cast<int>(1500 * scale);
+  c.num_communities = 15;
+  c.num_topics = 24;
+  c.num_venues = static_cast<int>(260 * scale);
+  c.keywords_per_topic = 70;
+  c.background_vocab = 400;
+  c.mention_prob = 0.168;
+  c.emit_mentions = true;
+  return c;
+}
+
+SyntheticConfig TweetLikeConfig(double scale) {
+  SyntheticConfig c;
+  c.seed = 20140801;
+  c.num_records = static_cast<int>(32000 * scale);
+  c.num_users = static_cast<int>(1800 * scale);
+  c.num_communities = 16;
+  c.num_topics = 28;
+  c.num_venues = static_cast<int>(300 * scale);
+  c.keywords_per_topic = 70;
+  c.background_vocab = 450;
+  c.mention_prob = 0.12;   // the social structure still shapes the data...
+  c.emit_mentions = false;  // ...but mention edges are not observable.
+  return c;
+}
+
+SyntheticConfig FourSqLikeConfig(double scale) {
+  SyntheticConfig c;
+  c.seed = 20100815;
+  c.num_records = static_cast<int>(16000 * scale);
+  c.num_users = static_cast<int>(900 * scale);
+  c.num_communities = 12;
+  c.num_topics = 16;
+  c.num_venues = static_cast<int>(320 * scale);
+  c.keywords_per_topic = 28;  // check-in vocabulary is small (paper: 3,973)
+  c.background_vocab = 120;
+  c.min_words = 2;
+  c.mean_extra_words = 2.0;    // short check-in texts
+  c.venue_keyword_prob = 0.9;  // check-ins name the venue
+  c.mention_prob = 0.10;
+  c.emit_mentions = false;
+  return c;
+}
+
+}  // namespace actor

@@ -1,0 +1,121 @@
+#ifndef ACTOR_DATA_SYNTHETIC_H_
+#define ACTOR_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/record.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Parameters of the synthetic urban-activity generator. The generator
+/// replaces the paper's UTGEO2011 / TWEET / 4SQ corpora (see DESIGN.md §2):
+/// it produces records whose location, time-of-day, text, and social
+/// structure are coupled through latent venues, activity topics, circadian
+/// profiles, and user communities — including the cross-record
+/// "text -> user -> user -> (location, time)" signal of paper Fig. 1.
+struct SyntheticConfig {
+  uint64_t seed = 42;
+
+  int num_records = 20000;
+  int num_users = 1000;
+  int num_communities = 12;
+  int num_topics = 20;
+  int num_venues = 200;
+
+  /// Topic-specific keyword pool size and shared background pool size.
+  int keywords_per_topic = 60;
+  int background_vocab = 300;
+
+  /// City bounding box is [0, city_size_km]^2.
+  double city_size_km = 40.0;
+  /// Std-dev of GPS jitter around the venue location.
+  double gps_noise_km = 0.15;
+  /// Std-dev of posting-time jitter around the topic's peak hour.
+  double time_noise_hours = 0.9;
+  /// Corpus time span in days.
+  int days = 90;
+
+  /// Probability that a record @-mentions another user (UTGEO2011: 16.8%).
+  double mention_prob = 0.168;
+  /// If false, mentions are generated (so the social structure shapes the
+  /// data) but stripped from the emitted records — models TWEET/4SQ where
+  /// "we have no information about the user interactions" (paper §6.3).
+  bool emit_mentions = true;
+
+  /// Text length: min_words + Poisson(mean_extra_words) keywords.
+  int min_words = 3;
+  double mean_extra_words = 4.0;
+  /// Probability that a keyword comes from the background pool instead of
+  /// the record's topic.
+  double background_word_prob = 0.2;
+  /// Probability that the venue's own name-keyword appears in the text.
+  double venue_keyword_prob = 0.6;
+
+  /// Zipf exponent for user activity (a few users post a lot).
+  double user_activity_exponent = 1.1;
+  /// Zipf exponent for within-topic keyword frequencies.
+  double keyword_exponent = 1.05;
+  /// Geographic std-dev of venues around their community's district centre.
+  double community_spread_km = 5.0;
+  /// When a record mentions user A, probability that it is posted from one
+  /// of A's favourite venues (plants the inter-record high-order signal).
+  double mention_covisit_prob = 0.7;
+  /// Number of favourite venues per user.
+  int favourite_venues_per_user = 5;
+};
+
+/// Ground truth of the generative process, exposed for tests and for
+/// qualitative evaluation of learned embeddings.
+struct SyntheticGroundTruth {
+  /// Venue -> planar location.
+  std::vector<GeoPoint> venue_locations;
+  /// Venue -> topic id.
+  std::vector<int> venue_topics;
+  /// Venue -> its name keyword (e.g. "venue_17_plaza").
+  std::vector<std::string> venue_keywords;
+  /// Topic -> peak hour-of-day in [0, 24).
+  std::vector<double> topic_peak_hours;
+  /// Topic -> its keyword strings (most frequent first).
+  std::vector<std::vector<std::string>> topic_keywords;
+  /// User -> community id.
+  std::vector<int> user_communities;
+  /// User -> favourite venue ids.
+  std::vector<std::vector<int>> user_favourite_venues;
+  /// Record -> generating venue id (aligned with corpus order).
+  std::vector<int> record_venues;
+  /// Record -> generating topic id.
+  std::vector<int> record_topics;
+};
+
+/// A generated corpus together with its ground truth.
+struct SyntheticDataset {
+  std::string name;
+  Corpus corpus;
+  SyntheticGroundTruth truth;
+};
+
+/// Generates a dataset from `config`. Deterministic given `config.seed`.
+/// Returns InvalidArgument for non-positive sizes or probabilities outside
+/// [0, 1].
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config,
+                                           std::string name = "synthetic");
+
+/// Preset mirroring UTGEO2011: @-mentions present (16.8% of records),
+/// broad vocabulary. `scale` multiplies record/user/venue counts.
+SyntheticConfig UTGeoLikeConfig(double scale = 1.0);
+
+/// Preset mirroring TWEET (LA geo-tweets): no mention information emitted,
+/// larger corpus.
+SyntheticConfig TweetLikeConfig(double scale = 1.0);
+
+/// Preset mirroring 4SQ (NYC check-ins): small vocabulary, short check-in
+/// texts dominated by venue keywords, no mention information.
+SyntheticConfig FourSqLikeConfig(double scale = 1.0);
+
+}  // namespace actor
+
+#endif  // ACTOR_DATA_SYNTHETIC_H_

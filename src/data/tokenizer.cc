@@ -1,0 +1,87 @@
+#include "data/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace actor {
+namespace {
+
+// Standard English stop list (SMART-style subset) plus social-media filler
+// the paper's CrossMap pipeline removes.
+const char* const kStopwords[] = {
+    "a",    "about", "above", "after", "again", "all",   "am",    "an",
+    "and",  "any",   "are",   "as",    "at",    "be",    "been",  "before",
+    "being", "below", "between", "both", "but",  "by",    "can",   "cannot",
+    "could", "did",  "do",    "does",  "doing", "down",  "during", "each",
+    "few",  "for",   "from",  "further", "had", "has",   "have",  "having",
+    "he",   "her",   "here",  "hers",  "him",   "his",   "how",   "i",
+    "if",   "in",    "into",  "is",    "it",    "its",   "just",  "me",
+    "more", "most",  "my",    "no",    "nor",   "not",   "now",   "of",
+    "off",  "on",    "once",  "only",  "or",    "other", "our",   "ours",
+    "out",  "over",  "own",   "same",  "she",   "should", "so",   "some",
+    "such", "than",  "that",  "the",   "their", "them",  "then",  "there",
+    "these", "they", "this",  "those", "through", "to",  "too",   "under",
+    "until", "up",   "very",  "was",   "we",    "were",  "what",  "when",
+    "where", "which", "while", "who",  "whom",  "why",   "will",  "with",
+    "would", "you",  "your",  "yours", "im",    "rt",    "via",   "amp",
+    "gonna", "gotta", "lol",  "u",     "ur",    "dont",  "cant",  "aint",
+};
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '@' || c == '\'';
+}
+
+bool AllDigits(std::string_view s) {
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  if (options_.remove_stopwords) {
+    for (const char* w : kStopwords) stopwords_.insert(w);
+  }
+}
+
+bool Tokenizer::IsStopword(const std::string& word) const {
+  return stopwords_.count(word) > 0;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTokenChar(text[i])) ++i;
+    std::size_t start = i;
+    while (i < text.size() && IsTokenChar(text[i])) ++i;
+    if (i == start) continue;
+    std::string tok(text.substr(start, i - start));
+
+    const bool is_mention = !tok.empty() && tok[0] == '@';
+    if (is_mention && !options_.keep_mentions) continue;
+
+    // Strip leading '#' from hashtags and apostrophes anywhere.
+    std::string cleaned;
+    cleaned.reserve(tok.size());
+    for (std::size_t k = 0; k < tok.size(); ++k) {
+      char c = tok[k];
+      if (c == '#' && k == 0) continue;
+      if (c == '\'') continue;
+      cleaned.push_back(c);
+    }
+    if (options_.lowercase) cleaned = ToLower(cleaned);
+
+    if (static_cast<int>(cleaned.size()) < options_.min_token_length) continue;
+    if (AllDigits(cleaned)) continue;
+    if (options_.remove_stopwords && stopwords_.count(cleaned)) continue;
+    tokens.push_back(std::move(cleaned));
+  }
+  return tokens;
+}
+
+}  // namespace actor

@@ -1,0 +1,45 @@
+#ifndef ACTOR_DATA_TOKENIZER_H_
+#define ACTOR_DATA_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace actor {
+
+/// Options for text normalization (paper §4.1: "some frequent and
+/// meaningless words are removed").
+struct TokenizerOptions {
+  /// Tokens shorter than this are dropped.
+  int min_token_length = 2;
+  /// Drop tokens that appear in the built-in English stop list.
+  bool remove_stopwords = true;
+  /// Lowercase all tokens.
+  bool lowercase = true;
+  /// Keep "@handle" mention tokens (normally stripped; mentions live in
+  /// RawRecord::mentioned_user_ids instead).
+  bool keep_mentions = false;
+};
+
+/// Splits free text into normalized keyword tokens: lowercases, splits on
+/// non-alphanumeric characters (underscore kept so venue keywords like
+/// "patrick_molloy_sport_pub" survive as one unit), drops stop words,
+/// numbers-only tokens, and short tokens.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// True if `word` is in the stop list used by this tokenizer.
+  bool IsStopword(const std::string& word) const;
+
+ private:
+  TokenizerOptions options_;
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_DATA_TOKENIZER_H_

@@ -1,0 +1,54 @@
+#include "data/vocabulary.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace actor {
+
+int32_t Vocabulary::AddOccurrence(const std::string& word) {
+  auto it = index_.find(word);
+  if (it != index_.end()) {
+    ++counts_[it->second];
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(words_.size());
+  words_.push_back(word);
+  counts_.push_back(1);
+  index_.emplace(word, id);
+  return id;
+}
+
+int32_t Vocabulary::Lookup(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Vocabulary::word(int32_t id) const {
+  ACTOR_CHECK(id >= 0 && id < size()) << "vocabulary id " << id;
+  return words_[id];
+}
+
+int64_t Vocabulary::count(int32_t id) const {
+  ACTOR_CHECK(id >= 0 && id < size()) << "vocabulary id " << id;
+  return counts_[id];
+}
+
+Vocabulary Vocabulary::Prune(int64_t min_count, int32_t max_size) const {
+  std::vector<int32_t> ids(words_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [this](int32_t a, int32_t b) {
+    return counts_[a] > counts_[b];
+  });
+  Vocabulary pruned;
+  for (int32_t id : ids) {
+    if (counts_[id] < min_count) break;  // sorted: everything after is rarer
+    if (pruned.size() >= max_size) break;
+    const int32_t new_id = pruned.AddOccurrence(words_[id]);
+    pruned.counts_[new_id] = counts_[id];
+  }
+  return pruned;
+}
+
+}  // namespace actor

@@ -1,0 +1,51 @@
+#ifndef ACTOR_DATA_VOCABULARY_H_
+#define ACTOR_DATA_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace actor {
+
+/// Bidirectional word <-> id mapping with corpus frequencies. Ids are dense
+/// in [0, size()).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Adds one occurrence of `word`, interning it if new. Returns its id.
+  int32_t AddOccurrence(const std::string& word);
+
+  /// Id of `word`, or -1 if unknown.
+  int32_t Lookup(const std::string& word) const;
+
+  /// Word for `id`; CHECK-fails on out-of-range ids.
+  const std::string& word(int32_t id) const;
+
+  /// Total occurrences recorded for `id`.
+  int64_t count(int32_t id) const;
+
+  int32_t size() const { return static_cast<int32_t>(words_.size()); }
+
+  /// Returns a vocabulary restricted to words with count >= min_count,
+  /// keeping at most max_size words (highest-count first; ties broken by
+  /// first-seen order). Ids are re-assigned densely in the returned
+  /// vocabulary.
+  Vocabulary Prune(int64_t min_count, int32_t max_size) const;
+
+  /// All words, indexed by id.
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  std::vector<std::string> words_;
+  std::vector<int64_t> counts_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_DATA_VOCABULARY_H_

@@ -1,0 +1,83 @@
+#include "embedding/embedding_matrix.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+#include "util/vec_math.h"
+
+namespace actor {
+
+EmbeddingMatrix EmbeddingMatrix::Clone() const {
+  EmbeddingMatrix copy(rows_, dim_);
+  copy.data_ = data_;
+  return copy;
+}
+
+void EmbeddingMatrix::InitUniform(Rng& rng) {
+  const float scale = dim_ > 0 ? 1.0f / static_cast<float>(dim_) : 0.0f;
+  for (float& v : data_) {
+    v = (rng.UniformFloat() - 0.5f) * scale;
+  }
+}
+
+void EmbeddingMatrix::InitZero() {
+  std::memset(data_.data(), 0, data_.size() * sizeof(float));
+}
+
+void EmbeddingMatrix::SetRow(int32_t i, const float* src) {
+  Copy(src, row(i), static_cast<std::size_t>(dim_));
+}
+
+void EmbeddingMatrix::AppendRows(int32_t n, Rng* rng) {
+  if (n <= 0) return;
+  const std::size_t old_size = data_.size();
+  rows_ += n;
+  data_.resize(static_cast<std::size_t>(rows_) * dim_, 0.0f);
+  if (rng != nullptr && dim_ > 0) {
+    const float scale = 1.0f / static_cast<float>(dim_);
+    for (std::size_t i = old_size; i < data_.size(); ++i) {
+      data_[i] = (rng->UniformFloat() - 0.5f) * scale;
+    }
+  }
+}
+
+Status EmbeddingMatrix::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  // max_digits10 so Load() reproduces every float bit-exactly.
+  out.precision(9);
+  out << rows_ << ' ' << dim_ << '\n';
+  for (int32_t r = 0; r < rows_; ++r) {
+    const float* v = row(r);
+    for (int32_t d = 0; d < dim_; ++d) {
+      if (d > 0) out << ' ';
+      out << v[d];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EmbeddingMatrix> EmbeddingMatrix::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  int32_t rows = 0, dim = 0;
+  if (!(in >> rows >> dim) || rows < 0 || dim <= 0) {
+    return Status::InvalidArgument("malformed embedding header in " + path);
+  }
+  EmbeddingMatrix m(rows, dim);
+  for (int32_t r = 0; r < rows; ++r) {
+    float* v = m.row(r);
+    for (int32_t d = 0; d < dim; ++d) {
+      if (!(in >> v[d])) {
+        return Status::InvalidArgument(StrPrintf(
+            "truncated embedding matrix at row %d in %s", r, path.c_str()));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace actor

@@ -1,0 +1,69 @@
+#ifndef ACTOR_EMBEDDING_EMBEDDING_MATRIX_H_
+#define ACTOR_EMBEDDING_EMBEDDING_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace actor {
+
+/// Row-major dense matrix of embedding vectors: one row per vertex. Rows
+/// are updated in place by the (lock-free) SGD trainers, so the storage is
+/// plain floats with no per-row synchronization — the HOGWILD [45] model.
+class EmbeddingMatrix {
+ public:
+  EmbeddingMatrix() = default;
+  EmbeddingMatrix(int32_t rows, int32_t dim)
+      : rows_(rows), dim_(dim),
+        data_(static_cast<std::size_t>(rows) * dim, 0.0f) {}
+
+  EmbeddingMatrix(EmbeddingMatrix&&) = default;
+  EmbeddingMatrix& operator=(EmbeddingMatrix&&) = default;
+  EmbeddingMatrix(const EmbeddingMatrix&) = delete;
+  EmbeddingMatrix& operator=(const EmbeddingMatrix&) = delete;
+
+  /// Deep copy (explicit, because rows * dim can be large).
+  EmbeddingMatrix Clone() const;
+
+  int32_t rows() const { return rows_; }
+  int32_t dim() const { return dim_; }
+  bool empty() const { return data_.empty(); }
+
+  float* row(int32_t i) {
+    return data_.data() + static_cast<std::size_t>(i) * dim_;
+  }
+  const float* row(int32_t i) const {
+    return data_.data() + static_cast<std::size_t>(i) * dim_;
+  }
+
+  /// word2vec-style initialization: U(-0.5/dim, 0.5/dim) per entry.
+  void InitUniform(Rng& rng);
+
+  /// All-zero initialization (word2vec context matrices start at zero).
+  void InitZero();
+
+  /// Copies `src` (length dim) into row i.
+  void SetRow(int32_t i, const float* src);
+
+  /// Appends `n` rows initialized word2vec-style (U(-0.5/dim, 0.5/dim))
+  /// when `rng` is given, or zero otherwise. Used by the streaming
+  /// extension when new units appear mid-stream.
+  void AppendRows(int32_t n, Rng* rng = nullptr);
+
+  /// Text serialization: header "rows dim", then one row per line.
+  Status Save(const std::string& path) const;
+  static Result<EmbeddingMatrix> Load(const std::string& path);
+
+ private:
+  int32_t rows_ = 0;
+  int32_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_EMBEDDING_EMBEDDING_MATRIX_H_

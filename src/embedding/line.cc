@@ -1,0 +1,129 @@
+#include "embedding/line.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "embedding/negative_sampler.h"
+#include "embedding/sgd.h"
+#include "graph/alias_table.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+struct PooledEdges {
+  std::vector<VertexId> src;
+  std::vector<VertexId> dst;
+  std::vector<double> weight;
+};
+
+PooledEdges PoolEdges(const Heterograph& graph,
+                      const std::vector<EdgeType>& types) {
+  PooledEdges pooled;
+  for (EdgeType e : types) {
+    const auto& edges = graph.edges(e);
+    pooled.src.insert(pooled.src.end(), edges.src.begin(), edges.src.end());
+    pooled.dst.insert(pooled.dst.end(), edges.dst.begin(), edges.dst.end());
+    pooled.weight.insert(pooled.weight.end(), edges.weight.begin(),
+                         edges.weight.end());
+  }
+  return pooled;
+}
+
+std::vector<EdgeType> NonEmptyTypes(const Heterograph& graph) {
+  std::vector<EdgeType> types;
+  for (int e = 0; e < kNumEdgeTypes; ++e) {
+    if (graph.edges(static_cast<EdgeType>(e)).size() > 0) {
+      types.push_back(static_cast<EdgeType>(e));
+    }
+  }
+  return types;
+}
+
+}  // namespace
+
+Result<LineEmbedding> TrainLine(const Heterograph& graph,
+                                const LineOptions& options) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph must be finalized");
+  }
+  if (options.dim <= 0) {
+    return Status::InvalidArgument("dim must be positive");
+  }
+  if (options.order != 1 && options.order != 2) {
+    return Status::InvalidArgument("order must be 1 or 2");
+  }
+  std::vector<EdgeType> types =
+      options.edge_types.empty() ? NonEmptyTypes(graph) : options.edge_types;
+  PooledEdges pooled = PoolEdges(graph, types);
+  if (pooled.src.empty()) {
+    return Status::InvalidArgument("no edges of the requested types");
+  }
+  ACTOR_ASSIGN_OR_RETURN(AliasTable edge_table,
+                         AliasTable::Create(pooled.weight));
+  ACTOR_ASSIGN_OR_RETURN(GlobalNegativeSampler noise,
+                         GlobalNegativeSampler::Create(graph, types));
+
+  LineEmbedding result;
+  result.center = EmbeddingMatrix(graph.num_vertices(), options.dim);
+  Rng init_rng(options.seed);
+  result.center.InitUniform(init_rng);
+  // Second order uses a distinct context matrix initialized to zero
+  // (word2vec convention); first order shares the vertex matrix.
+  const bool second_order = options.order == 2;
+  if (second_order) {
+    result.context = EmbeddingMatrix(graph.num_vertices(), options.dim);
+    result.context.InitZero();
+  }
+  EmbeddingMatrix* context = second_order ? &result.context : &result.center;
+
+  const int64_t total_samples =
+      options.total_samples > 0
+          ? options.total_samples
+          : static_cast<int64_t>(pooled.src.size()) * options.samples_per_edge;
+  const int threads = std::max(1, options.num_threads);
+  const SigmoidTable sigmoid;
+
+  std::atomic<int64_t> progress{0};
+  auto shard = [&](int thread_id, int64_t samples) {
+    Rng rng(options.seed + 0x51ed2701ULL * (thread_id + 1));
+    const std::size_t dim = static_cast<std::size_t>(options.dim);
+    std::vector<float> grad(dim);
+    for (int64_t i = 0; i < samples; ++i) {
+      // Linear learning-rate decay over the global budget.
+      const int64_t done = progress.fetch_add(1, std::memory_order_relaxed);
+      const float frac =
+          static_cast<float>(done) / static_cast<float>(total_samples);
+      const float lr =
+          std::max(options.initial_lr * (1.0f - frac), options.initial_lr * 1e-3f);
+      const std::size_t idx = edge_table.Sample(rng);
+      const VertexId u = pooled.src[idx];
+      const VertexId v = pooled.dst[idx];
+      Zero(grad.data(), dim);
+      NegativeSamplingUpdate(
+          result.center.row(u), v, options.negatives, lr, context, sigmoid,
+          rng, [&noise](Rng& r) { return noise.Sample(r); }, grad.data());
+      Add(grad.data(), result.center.row(u), dim);
+    }
+  };
+
+  if (threads == 1) {
+    shard(0, total_samples);
+  } else {
+    std::vector<std::thread> pool;
+    const int64_t per_thread = (total_samples + threads - 1) / threads;
+    int64_t remaining = total_samples;
+    for (int t = 0; t < threads && remaining > 0; ++t) {
+      const int64_t n = std::min<int64_t>(per_thread, remaining);
+      remaining -= n;
+      pool.emplace_back(shard, t, n);
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  if (!second_order) result.context = result.center.Clone();
+  return result;
+}
+
+}  // namespace actor

@@ -1,0 +1,75 @@
+#include "embedding/negative_sampler.h"
+
+#include <cmath>
+
+namespace actor {
+
+Result<TypedNegativeSampler> TypedNegativeSampler::Create(
+    const Heterograph& graph, double power) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph must be finalized");
+  }
+  if (power < 0.0) {
+    return Status::InvalidArgument("power must be non-negative");
+  }
+  TypedNegativeSampler sampler;
+  for (int e = 0; e < kNumEdgeTypes; ++e) {
+    const EdgeType et = static_cast<EdgeType>(e);
+    for (int t = 0; t < kNumVertexTypes; ++t) {
+      const VertexType vt = static_cast<VertexType>(t);
+      std::vector<VertexId> candidates;
+      std::vector<double> weights;
+      for (VertexId v : graph.VerticesOfType(vt)) {
+        const double d = graph.Degree(et, v);
+        if (d > 0.0) {
+          candidates.push_back(v);
+          weights.push_back(std::pow(d, power));
+        }
+      }
+      if (candidates.empty()) continue;
+      ACTOR_ASSIGN_OR_RETURN(AliasTable table, AliasTable::Create(weights));
+      Table& slot = sampler.tables_[Index(et, vt)];
+      slot.candidates = std::move(candidates);
+      slot.alias = std::make_unique<AliasTable>(std::move(table));
+    }
+  }
+  return sampler;
+}
+
+VertexId TypedNegativeSampler::Sample(EdgeType e, VertexType context_type,
+                                      Rng& rng) const {
+  const Table& slot = tables_[Index(e, context_type)];
+  if (slot.alias == nullptr) return kInvalidVertex;
+  return slot.candidates[slot.alias->Sample(rng)];
+}
+
+Result<GlobalNegativeSampler> GlobalNegativeSampler::Create(
+    const Heterograph& graph, const std::vector<EdgeType>& edge_types,
+    double power) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph must be finalized");
+  }
+  GlobalNegativeSampler sampler;
+  std::vector<double> weights;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    double d = 0.0;
+    for (EdgeType e : edge_types) d += graph.Degree(e, v);
+    if (d > 0.0) {
+      sampler.candidates_.push_back(v);
+      weights.push_back(std::pow(d, power));
+    }
+  }
+  if (sampler.candidates_.empty()) {
+    return Status::InvalidArgument(
+        "no vertex has degree in the given edge types");
+  }
+  ACTOR_ASSIGN_OR_RETURN(AliasTable table, AliasTable::Create(weights));
+  sampler.alias_ = std::make_unique<AliasTable>(std::move(table));
+  return sampler;
+}
+
+VertexId GlobalNegativeSampler::Sample(Rng& rng) const {
+  return candidates_[alias_->Sample(rng)];
+}
+
+}  // namespace actor

@@ -1,0 +1,63 @@
+#ifndef ACTOR_EMBEDDING_NEGATIVE_SAMPLER_H_
+#define ACTOR_EMBEDDING_NEGATIVE_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/alias_table.h"
+#include "graph/heterograph.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace actor {
+
+/// Noise distribution P(v) ∝ d_v^power over candidate context vertices
+/// (Eq. (7); power defaults to the word2vec 3/4).
+///
+/// The *typed* sampler keeps one table per (edge type, context vertex
+/// type): negatives for a UT edge whose context is a T vertex are drawn
+/// from T vertices by their UT-degree. This matches the per-edge-type
+/// softmax of Eq. (2), whose normalization runs over contexts of the same
+/// edge type.
+class TypedNegativeSampler {
+ public:
+  static Result<TypedNegativeSampler> Create(const Heterograph& graph,
+                                             double power = 0.75);
+
+  /// Draws a negative context vertex of `context_type` for edge type `e`.
+  /// Returns kInvalidVertex if no vertex of that type has degree in `e`.
+  VertexId Sample(EdgeType e, VertexType context_type, Rng& rng) const;
+
+ private:
+  struct Table {
+    std::vector<VertexId> candidates;
+    std::unique_ptr<AliasTable> alias;
+  };
+
+  static int Index(EdgeType e, VertexType t) {
+    return static_cast<int>(e) * kNumVertexTypes + static_cast<int>(t);
+  }
+
+  Table tables_[kNumEdgeTypes * kNumVertexTypes];
+};
+
+/// Homogeneous noise distribution over all vertices with degree summed
+/// across the given edge types — the treatment plain LINE applies to the
+/// activity graph (paper §6.2.3: LINE "is designed mainly for homogeneous
+/// graph").
+class GlobalNegativeSampler {
+ public:
+  static Result<GlobalNegativeSampler> Create(
+      const Heterograph& graph, const std::vector<EdgeType>& edge_types,
+      double power = 0.75);
+
+  VertexId Sample(Rng& rng) const;
+
+ private:
+  std::vector<VertexId> candidates_;
+  std::unique_ptr<AliasTable> alias_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_EMBEDDING_NEGATIVE_SAMPLER_H_

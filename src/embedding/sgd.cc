@@ -1,0 +1,104 @@
+#include "embedding/sgd.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace actor {
+
+EdgeSamplingTrainer::EdgeSamplingTrainer(
+    const Heterograph* graph, EmbeddingMatrix* center,
+    EmbeddingMatrix* context, const TypedNegativeSampler* negative_sampler,
+    TrainOptions options)
+    : graph_(graph),
+      center_(center),
+      context_(context),
+      negative_sampler_(negative_sampler),
+      options_(options) {
+  ACTOR_CHECK(graph_ != nullptr && center_ != nullptr && context_ != nullptr &&
+              negative_sampler_ != nullptr);
+}
+
+Status EdgeSamplingTrainer::Prepare() {
+  if (!graph_->finalized()) {
+    return Status::FailedPrecondition("graph must be finalized");
+  }
+  if (center_->rows() != graph_->num_vertices() ||
+      context_->rows() != graph_->num_vertices()) {
+    return Status::InvalidArgument(StrPrintf(
+        "matrix rows (%d, %d) do not match vertex count %d", center_->rows(),
+        context_->rows(), graph_->num_vertices()));
+  }
+  if (center_->dim() != context_->dim()) {
+    return Status::InvalidArgument("center/context dims differ");
+  }
+  edge_tables_.resize(kNumEdgeTypes);
+  for (int e = 0; e < kNumEdgeTypes; ++e) {
+    const auto& edges = graph_->edges(static_cast<EdgeType>(e));
+    if (edges.size() == 0) continue;
+    ACTOR_ASSIGN_OR_RETURN(AliasTable table, AliasTable::Create(edges.weight));
+    edge_tables_[e] = std::make_unique<AliasTable>(std::move(table));
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
+                                          float lr) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare() before training");
+  }
+  if (num_samples < 0) {
+    return Status::InvalidArgument("num_samples must be >= 0");
+  }
+  if (edge_tables_[static_cast<int>(e)] == nullptr || num_samples == 0) {
+    return Status::OK();  // nothing to train
+  }
+  const int threads = std::max(1, options_.num_threads);
+  if (threads == 1) {
+    TrainShard(e, num_samples, lr, options_.seed + steps_done_);
+  } else {
+    const int64_t per_thread = (num_samples + threads - 1) / threads;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    int64_t remaining = num_samples;
+    for (int t = 0; t < threads && remaining > 0; ++t) {
+      const int64_t n = std::min<int64_t>(per_thread, remaining);
+      remaining -= n;
+      const uint64_t seed =
+          options_.seed + steps_done_ + 0x9e3779b9ULL * (t + 1);
+      pool.emplace_back(
+          [this, e, n, lr, seed] { TrainShard(e, n, lr, seed); });
+    }
+    for (auto& th : pool) th.join();
+  }
+  steps_done_ += num_samples;
+  return Status::OK();
+}
+
+void EdgeSamplingTrainer::TrainShard(EdgeType e, int64_t num_samples,
+                                     float lr, uint64_t seed) {
+  Rng rng(seed);
+  const auto& edges = graph_->edges(e);
+  const AliasTable& table = *edge_tables_[static_cast<int>(e)];
+  const std::size_t dim = static_cast<std::size_t>(center_->dim());
+  std::vector<float> grad(dim);
+  for (int64_t i = 0; i < num_samples; ++i) {
+    const std::size_t idx = table.Sample(rng);
+    const VertexId u = edges.src[idx];
+    const VertexId v = edges.dst[idx];
+    const VertexType ctx_type = graph_->vertex_type(v);
+    Zero(grad.data(), dim);
+    NegativeSamplingUpdate(
+        center_->row(u), v, options_.negatives, lr, context_, sigmoid_, rng,
+        [this, e, ctx_type](Rng& r) {
+          return negative_sampler_->Sample(e, ctx_type, r);
+        },
+        grad.data());
+    Add(grad.data(), center_->row(u), dim);  // Eq. (12)
+  }
+}
+
+}  // namespace actor

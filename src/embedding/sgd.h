@@ -1,0 +1,118 @@
+#ifndef ACTOR_EMBEDDING_SGD_H_
+#define ACTOR_EMBEDDING_SGD_H_
+
+#include <memory>
+#include <vector>
+
+#include "embedding/embedding_matrix.h"
+#include "embedding/negative_sampler.h"
+#include "graph/alias_table.h"
+#include "graph/heterograph.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/vec_math.h"
+
+namespace actor {
+
+/// One negative-sampling objective evaluation (Eq. (7)) for a *given*
+/// center vector against one positive context vertex plus `negatives`
+/// noise vertices.
+///
+/// Performs the context-side updates of Eqs. (9)-(10) in place on
+/// `context`, and *accumulates* the center-side gradient of Eq. (8) into
+/// `grad_out` (length dim, caller-zeroed) instead of applying it. This
+/// split lets one code path serve both the plain per-edge update — apply
+/// grad_out to the single center row — and the bag-of-words composite
+/// update of the intra-record meta-graph (footnote 4) — apply grad_out to
+/// every member word row.
+///
+/// `sample_negative(rng)` returns a noise vertex id (or kInvalidVertex to
+/// skip one draw).
+template <typename NegativeFn>
+void NegativeSamplingUpdate(const float* center_vec, VertexId positive,
+                            int negatives, float lr, EmbeddingMatrix* context,
+                            const SigmoidTable& sigmoid, Rng& rng,
+                            NegativeFn&& sample_negative, float* grad_out) {
+  const std::size_t dim = static_cast<std::size_t>(context->dim());
+  // Positive term: label 1.
+  {
+    float* ctx = context->row(positive);
+    const float score = sigmoid(Dot(center_vec, ctx, dim));
+    const float g = (1.0f - score) * lr;  // Eq. (8)/(9) coefficient
+    Axpy(g, ctx, grad_out, dim);
+    Axpy(g, center_vec, ctx, dim);  // Eq. (9)
+  }
+  // Negative terms: label 0.
+  for (int k = 0; k < negatives; ++k) {
+    const VertexId neg = sample_negative(rng);
+    if (neg == kInvalidVertex || neg == positive) continue;
+    float* ctx = context->row(neg);
+    const float score = sigmoid(Dot(center_vec, ctx, dim));
+    const float g = -score * lr;  // Eq. (8)/(10) coefficient
+    Axpy(g, ctx, grad_out, dim);
+    Axpy(g, center_vec, ctx, dim);  // Eq. (10)
+  }
+}
+
+/// Shared options for the edge-sampling trainers.
+struct TrainOptions {
+  int32_t dim = 32;
+  /// K in Eq. (7).
+  int negatives = 1;
+  /// η, the learning rate handed to TrainEdgeType by the caller's schedule.
+  float initial_lr = 0.025f;
+  int num_threads = 1;
+  uint64_t seed = 1;
+};
+
+/// Asynchronous stochastic gradient trainer over typed edges (paper
+/// §5.2.3): edges of a given type are drawn from an alias table, each draw
+/// triggering one negative-sampling step. With num_threads > 1 the sample
+/// budget is split across threads updating the shared matrices without
+/// locks (HOGWILD [45]).
+class EdgeSamplingTrainer {
+ public:
+  /// The graph, matrices, and sampler must outlive the trainer. `center`
+  /// and `context` must both have graph.num_vertices() rows of equal dim.
+  EdgeSamplingTrainer(const Heterograph* graph, EmbeddingMatrix* center,
+                      EmbeddingMatrix* context,
+                      const TypedNegativeSampler* negative_sampler,
+                      TrainOptions options);
+
+  /// Builds the per-edge-type alias tables. Must be called once before
+  /// TrainEdgeType. Edge types with no edges are skipped silently.
+  Status Prepare();
+
+  /// Runs `num_samples` SGD steps on edges of type `e` at learning rate
+  /// `lr`, split across the configured threads. Each sampled directed edge
+  /// (u -> v) takes u as center and v as context; negatives are drawn from
+  /// the typed noise table of (e, type(v)). No-op (OK) when the type has
+  /// no edges.
+  Status TrainEdgeType(EdgeType e, int64_t num_samples, float lr);
+
+  /// Total SGD steps executed so far.
+  int64_t steps_done() const { return steps_done_; }
+
+  const TrainOptions& options() const { return options_; }
+  const SigmoidTable& sigmoid() const { return sigmoid_; }
+
+  /// True once Prepare() succeeded.
+  bool prepared() const { return prepared_; }
+
+ private:
+  void TrainShard(EdgeType e, int64_t num_samples, float lr, uint64_t seed);
+
+  const Heterograph* graph_;
+  EmbeddingMatrix* center_;
+  EmbeddingMatrix* context_;
+  const TypedNegativeSampler* negative_sampler_;
+  TrainOptions options_;
+  SigmoidTable sigmoid_;
+  bool prepared_ = false;
+  std::vector<std::unique_ptr<AliasTable>> edge_tables_;  // per edge type
+  int64_t steps_done_ = 0;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_EMBEDDING_SGD_H_

@@ -1,0 +1,121 @@
+#include "eval/cross_modal_model.h"
+
+#include <cmath>
+
+#include "util/vec_math.h"
+
+namespace actor {
+
+namespace {
+constexpr double kUnresolvable = -1e9;
+}  // namespace
+
+EmbeddingCrossModalModel::EmbeddingCrossModalModel(
+    std::string name, const EmbeddingMatrix* center, const BuiltGraphs* graphs,
+    const Hotspots* hotspots)
+    : name_(std::move(name)),
+      center_(center),
+      graphs_(graphs),
+      hotspots_(hotspots) {}
+
+bool EmbeddingCrossModalModel::TextVector(const std::vector<int32_t>& words,
+                                          std::vector<float>* out) const {
+  const std::size_t dim = static_cast<std::size_t>(center_->dim());
+  out->assign(dim, 0.0f);
+  int known = 0;
+  for (int32_t w : words) {
+    if (w < 0 ||
+        static_cast<std::size_t>(w) >= graphs_->word_vertices.size()) {
+      continue;
+    }
+    const VertexId v = graphs_->word_vertices[w];
+    if (v == kInvalidVertex) continue;
+    Add(center_->row(v), out->data(), dim);
+    ++known;
+  }
+  if (known == 0) return false;
+  Scale(1.0f / static_cast<float>(known), out->data(), dim);
+  return true;
+}
+
+bool EmbeddingCrossModalModel::LocationVector(const GeoPoint& location,
+                                              std::vector<float>* out) const {
+  const int32_t h = hotspots_->spatial.Assign(location);
+  if (h < 0) return false;
+  const VertexId v = graphs_->spatial_vertices[h];
+  out->assign(center_->row(v), center_->row(v) + center_->dim());
+  return true;
+}
+
+bool EmbeddingCrossModalModel::TimeVector(double timestamp,
+                                          std::vector<float>* out) const {
+  const int32_t h = hotspots_->temporal.Assign(timestamp);
+  if (h < 0) return false;
+  const VertexId v = graphs_->temporal_vertices[h];
+  out->assign(center_->row(v), center_->row(v) + center_->dim());
+  return true;
+}
+
+double EmbeddingCrossModalModel::CosineScore(
+    const std::vector<const float*>& query_rows, const float* candidate,
+    bool candidate_ok) const {
+  if (!candidate_ok || query_rows.empty()) return kUnresolvable;
+  const std::size_t dim = static_cast<std::size_t>(center_->dim());
+  std::vector<float> query(dim, 0.0f);
+  for (const float* row : query_rows) Add(row, query.data(), dim);
+  Scale(1.0f / static_cast<float>(query_rows.size()), query.data(), dim);
+  return Cosine(query.data(), candidate, dim);
+}
+
+double EmbeddingCrossModalModel::ScoreText(
+    double timestamp, const GeoPoint& location,
+    const std::vector<int32_t>& candidate_words) const {
+  std::vector<float> time_vec, loc_vec, text_vec;
+  std::vector<const float*> query;
+  if (TimeVector(timestamp, &time_vec)) query.push_back(time_vec.data());
+  if (LocationVector(location, &loc_vec)) query.push_back(loc_vec.data());
+  const bool ok = TextVector(candidate_words, &text_vec);
+  return CosineScore(query, text_vec.data(), ok);
+}
+
+double EmbeddingCrossModalModel::ScoreLocation(
+    double timestamp, const std::vector<int32_t>& words,
+    const GeoPoint& candidate_location) const {
+  std::vector<float> time_vec, text_vec, loc_vec;
+  std::vector<const float*> query;
+  if (TimeVector(timestamp, &time_vec)) query.push_back(time_vec.data());
+  if (TextVector(words, &text_vec)) query.push_back(text_vec.data());
+  const bool ok = LocationVector(candidate_location, &loc_vec);
+  return CosineScore(query, loc_vec.data(), ok);
+}
+
+double EmbeddingCrossModalModel::ScoreTime(const GeoPoint& location,
+                                           const std::vector<int32_t>& words,
+                                           double candidate_timestamp) const {
+  std::vector<float> loc_vec, text_vec, time_vec;
+  std::vector<const float*> query;
+  if (LocationVector(location, &loc_vec)) query.push_back(loc_vec.data());
+  if (TextVector(words, &text_vec)) query.push_back(text_vec.data());
+  const bool ok = TimeVector(candidate_timestamp, &time_vec);
+  return CosineScore(query, time_vec.data(), ok);
+}
+
+double GeoTopicCrossModalModel::ScoreText(
+    double /*timestamp*/, const GeoPoint& location,
+    const std::vector<int32_t>& candidate_words) const {
+  return model_->ScoreJoint(location, candidate_words);
+}
+
+double GeoTopicCrossModalModel::ScoreLocation(
+    double /*timestamp*/, const std::vector<int32_t>& words,
+    const GeoPoint& candidate_location) const {
+  return model_->ScoreJoint(candidate_location, words);
+}
+
+double GeoTopicCrossModalModel::ScoreTime(const GeoPoint& /*location*/,
+                                          const std::vector<int32_t>& /*words*/,
+                                          double /*candidate_timestamp*/) const {
+  return kUnresolvable;  // LGTA/MGTM do not model time.
+}
+
+}  // namespace actor

@@ -1,0 +1,112 @@
+#ifndef ACTOR_EVAL_CROSS_MODAL_MODEL_H_
+#define ACTOR_EVAL_CROSS_MODAL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/geo_topic_model.h"
+#include "data/record.h"
+#include "embedding/embedding_matrix.h"
+#include "graph/graph_builder.h"
+#include "hotspot/hotspot_detector.h"
+
+namespace actor {
+
+/// Uniform scoring interface for the cross-modal prediction tasks of §6.2:
+/// each method exposes "how compatible is this candidate with the observed
+/// two modalities" as a real score (higher = more compatible).
+class CrossModalModel {
+ public:
+  virtual ~CrossModalModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// False for LGTA/MGTM, which do not model time (Table 2 shows "/").
+  virtual bool supports_time() const { return true; }
+
+  /// Activity prediction: score candidate text (word ids) given time and
+  /// location.
+  virtual double ScoreText(double timestamp, const GeoPoint& location,
+                           const std::vector<int32_t>& candidate_words) const = 0;
+
+  /// Location prediction: score a candidate location given time and text.
+  virtual double ScoreLocation(double timestamp,
+                               const std::vector<int32_t>& words,
+                               const GeoPoint& candidate_location) const = 0;
+
+  /// Time prediction: score a candidate timestamp given location and text.
+  virtual double ScoreTime(const GeoPoint& location,
+                           const std::vector<int32_t>& words,
+                           double candidate_timestamp) const = 0;
+};
+
+/// Adapter for every embedding-based method (ACTOR, CrossMap, LINE,
+/// metapath2vec): modality values map to activity-graph unit vertices via
+/// the hotspot assignment and vocabulary, queries and candidates become
+/// mean unit vectors, and the score is their cosine similarity (§6.2.1).
+class EmbeddingCrossModalModel : public CrossModalModel {
+ public:
+  /// All pointers must outlive the adapter.
+  EmbeddingCrossModalModel(std::string name, const EmbeddingMatrix* center,
+                           const BuiltGraphs* graphs,
+                           const Hotspots* hotspots);
+
+  std::string name() const override { return name_; }
+
+  double ScoreText(double timestamp, const GeoPoint& location,
+                   const std::vector<int32_t>& candidate_words) const override;
+  double ScoreLocation(double timestamp, const std::vector<int32_t>& words,
+                       const GeoPoint& candidate_location) const override;
+  double ScoreTime(const GeoPoint& location,
+                   const std::vector<int32_t>& words,
+                   double candidate_timestamp) const override;
+
+  /// Mean center vector of the words known to the graph; false if none.
+  bool TextVector(const std::vector<int32_t>& words,
+                  std::vector<float>* out) const;
+  /// Center vector of the hotspot the location maps to.
+  bool LocationVector(const GeoPoint& location, std::vector<float>* out) const;
+  /// Center vector of the temporal hotspot the timestamp maps to.
+  bool TimeVector(double timestamp, std::vector<float>* out) const;
+
+  const EmbeddingMatrix& center() const { return *center_; }
+  const BuiltGraphs& graphs() const { return *graphs_; }
+
+ private:
+  /// Cosine between the mean of `parts` and `candidate`; parts that are
+  /// unavailable are skipped. Returns -1e9 when either side is empty so
+  /// unresolvable candidates rank last.
+  double CosineScore(const std::vector<const float*>& query_rows,
+                     const float* candidate, bool candidate_ok) const;
+
+  std::string name_;
+  const EmbeddingMatrix* center_;
+  const BuiltGraphs* graphs_;
+  const Hotspots* hotspots_;
+};
+
+/// Adapter for the geographical topic models (LGTA / MGTM).
+class GeoTopicCrossModalModel : public CrossModalModel {
+ public:
+  GeoTopicCrossModalModel(std::string name, const GeoTopicModel* model)
+      : name_(std::move(name)), model_(model) {}
+
+  std::string name() const override { return name_; }
+  bool supports_time() const override { return false; }
+
+  double ScoreText(double timestamp, const GeoPoint& location,
+                   const std::vector<int32_t>& candidate_words) const override;
+  double ScoreLocation(double timestamp, const std::vector<int32_t>& words,
+                       const GeoPoint& candidate_location) const override;
+  double ScoreTime(const GeoPoint& location,
+                   const std::vector<int32_t>& words,
+                   double candidate_timestamp) const override;
+
+ private:
+  std::string name_;
+  const GeoTopicModel* model_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_EVAL_CROSS_MODAL_MODEL_H_

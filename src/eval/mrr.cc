@@ -1,0 +1,47 @@
+#include "eval/mrr.h"
+
+namespace actor {
+
+double MeanReciprocalRank(const std::vector<int>& ranks) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (int r : ranks) {
+    if (r > 0) {
+      acc += 1.0 / static_cast<double>(r);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+int RankOfTruth(double truth_score, const std::vector<double>& noise_scores) {
+  int rank = 1;
+  for (double s : noise_scores) {
+    if (s >= truth_score) ++rank;
+  }
+  return rank;
+}
+
+double HitsAtK(const std::vector<int>& ranks, int k) {
+  std::size_t hits = 0, valid = 0;
+  for (int r : ranks) {
+    if (r <= 0) continue;
+    ++valid;
+    if (r <= k) ++hits;
+  }
+  return valid == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(valid);
+}
+
+double MeanRank(const std::vector<int>& ranks) {
+  double acc = 0.0;
+  std::size_t valid = 0;
+  for (int r : ranks) {
+    if (r <= 0) continue;
+    acc += r;
+    ++valid;
+  }
+  return valid == 0 ? 0.0 : acc / static_cast<double>(valid);
+}
+
+}  // namespace actor

@@ -1,0 +1,28 @@
+#ifndef ACTOR_EVAL_MRR_H_
+#define ACTOR_EVAL_MRR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace actor {
+
+/// Mean Reciprocal Rank (Eq. (15)): the average of 1/rank_i over queries.
+/// Ranks are 1-based; non-positive ranks are ignored. Returns 0 when no
+/// valid rank is given.
+double MeanReciprocalRank(const std::vector<int>& ranks);
+
+/// Rank of the ground-truth score within a candidate list, 1-based.
+/// Ties count against the truth (a degenerate model that scores everything
+/// equally ranks last, not first).
+int RankOfTruth(double truth_score, const std::vector<double>& noise_scores);
+
+/// Hits@k: the fraction of queries whose 1-based rank is <= k. Non-positive
+/// ranks are ignored; 0 when no valid rank is given.
+double HitsAtK(const std::vector<int>& ranks, int k);
+
+/// Mean rank of the truth (non-positive ranks ignored; 0 when empty).
+double MeanRank(const std::vector<int>& ranks);
+
+}  // namespace actor
+
+#endif  // ACTOR_EVAL_MRR_H_

@@ -1,0 +1,72 @@
+#include "eval/neighbor_search.h"
+
+#include <algorithm>
+
+#include "util/vec_math.h"
+
+namespace actor {
+
+NeighborSearcher::NeighborSearcher(const EmbeddingMatrix* center,
+                                   const BuiltGraphs* graphs,
+                                   const Hotspots* hotspots,
+                                   const Vocabulary* vocab)
+    : center_(center), graphs_(graphs), hotspots_(hotspots), vocab_(vocab) {}
+
+Result<std::vector<Neighbor>> NeighborSearcher::QueryByVector(
+    const float* query, VertexType result_type, int k,
+    VertexId exclude) const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  const std::size_t dim = static_cast<std::size_t>(center_->dim());
+  std::vector<Neighbor> results;
+  for (VertexId v : graphs_->activity.VerticesOfType(result_type)) {
+    if (v == exclude) continue;
+    Neighbor n;
+    n.vertex = v;
+    n.similarity = Cosine(query, center_->row(v), dim);
+    results.push_back(std::move(n));
+  }
+  const std::size_t keep = std::min<std::size_t>(k, results.size());
+  std::partial_sort(results.begin(), results.begin() + keep, results.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.similarity > b.similarity;
+                    });
+  results.resize(keep);
+  for (auto& n : results) {
+    n.name = graphs_->activity.vertex_name(n.vertex);
+    n.type = graphs_->activity.vertex_type(n.vertex);
+  }
+  return results;
+}
+
+Result<std::vector<Neighbor>> NeighborSearcher::QueryByVertex(
+    VertexId v, VertexType result_type, int k) const {
+  return QueryByVector(center_->row(v), result_type, k, v);
+}
+
+Result<std::vector<Neighbor>> NeighborSearcher::QueryByLocation(
+    const GeoPoint& location, VertexType result_type, int k) const {
+  const int32_t h = hotspots_->spatial.Assign(location);
+  if (h < 0) return Status::NotFound("no spatial hotspots available");
+  return QueryByVertex(graphs_->spatial_vertices[h], result_type, k);
+}
+
+Result<std::vector<Neighbor>> NeighborSearcher::QueryByHour(
+    double hour, VertexType result_type, int k) const {
+  const int32_t h = hotspots_->temporal.AssignHour(hour);
+  if (h < 0) return Status::NotFound("no temporal hotspots available");
+  return QueryByVertex(graphs_->temporal_vertices[h], result_type, k);
+}
+
+Result<std::vector<Neighbor>> NeighborSearcher::QueryByKeyword(
+    const std::string& keyword, VertexType result_type, int k) const {
+  const int32_t w = vocab_->Lookup(keyword);
+  if (w < 0) return Status::NotFound("keyword not in vocabulary: " + keyword);
+  const VertexId v = graphs_->word_vertices[w];
+  if (v == kInvalidVertex) {
+    return Status::NotFound("keyword not present in the activity graph: " +
+                            keyword);
+  }
+  return QueryByVertex(v, result_type, k);
+}
+
+}  // namespace actor

@@ -1,0 +1,163 @@
+#include "eval/prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "eval/mrr.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace actor {
+namespace {
+
+/// Draws `n` record indices != query uniformly from the test corpus.
+std::vector<std::size_t> DrawNoise(std::size_t corpus_size, std::size_t query,
+                                   int n, Rng& rng) {
+  std::vector<std::size_t> noise;
+  noise.reserve(n);
+  while (static_cast<int>(noise.size()) < n) {
+    const std::size_t idx = rng.Uniform(corpus_size);
+    if (idx != query) noise.push_back(idx);
+  }
+  return noise;
+}
+
+double ScoreCandidate(const CrossModalModel& model, PredictionTask task,
+                      const TokenizedRecord& query,
+                      const TokenizedRecord& candidate) {
+  switch (task) {
+    case PredictionTask::kText:
+      return model.ScoreText(query.timestamp, query.location,
+                             candidate.word_ids);
+    case PredictionTask::kLocation:
+      return model.ScoreLocation(query.timestamp, query.word_ids,
+                                 candidate.location);
+    case PredictionTask::kTime:
+      return model.ScoreTime(query.location, query.word_ids,
+                             candidate.timestamp);
+  }
+  return 0.0;
+}
+
+std::string CandidateLabel(const TokenizedCorpus& corpus,
+                           const TokenizedRecord& rec, PredictionTask task) {
+  switch (task) {
+    case PredictionTask::kText: {
+      std::vector<std::string> words;
+      words.reserve(rec.word_ids.size());
+      for (int32_t w : rec.word_ids) words.push_back(corpus.vocab().word(w));
+      return Join(words, " ");
+    }
+    case PredictionTask::kLocation:
+      return StrPrintf("(%.2f, %.2f)", rec.location.x, rec.location.y);
+    case PredictionTask::kTime: {
+      const double h = HourOfDay(rec.timestamp);
+      const int hh = static_cast<int>(h);
+      const int mm = static_cast<int>((h - hh) * 60.0);
+      const int day = static_cast<int>(rec.timestamp / kSecondsPerDay);
+      return StrPrintf("day %d, %02d:%02d", day, hh, mm);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* PredictionTaskName(PredictionTask task) {
+  switch (task) {
+    case PredictionTask::kText:
+      return "Text";
+    case PredictionTask::kLocation:
+      return "Location";
+    case PredictionTask::kTime:
+      return "Time";
+  }
+  return "?";
+}
+
+Result<double> EvaluateTask(const CrossModalModel& model,
+                            const TokenizedCorpus& test, PredictionTask task,
+                            const EvalOptions& options) {
+  if (test.size() < static_cast<std::size_t>(options.num_noise) + 1) {
+    return Status::InvalidArgument(
+        "test corpus smaller than the candidate set size");
+  }
+  if (task == PredictionTask::kTime && !model.supports_time()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const std::size_t queries =
+      options.max_queries > 0 ? std::min(options.max_queries, test.size())
+                              : test.size();
+  Rng rng(options.seed);
+  std::vector<int> ranks;
+  ranks.reserve(queries);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const TokenizedRecord& query = test.record(q);
+    const double truth = ScoreCandidate(model, task, query, query);
+    std::vector<double> noise_scores;
+    noise_scores.reserve(options.num_noise);
+    for (std::size_t idx :
+         DrawNoise(test.size(), q, options.num_noise, rng)) {
+      noise_scores.push_back(
+          ScoreCandidate(model, task, query, test.record(idx)));
+    }
+    ranks.push_back(RankOfTruth(truth, noise_scores));
+  }
+  return MeanReciprocalRank(ranks);
+}
+
+Result<MrrScores> EvaluateCrossModal(const CrossModalModel& model,
+                                     const TokenizedCorpus& test,
+                                     const EvalOptions& options) {
+  MrrScores scores;
+  ACTOR_ASSIGN_OR_RETURN(
+      scores.text, EvaluateTask(model, test, PredictionTask::kText, options));
+  ACTOR_ASSIGN_OR_RETURN(
+      scores.location,
+      EvaluateTask(model, test, PredictionTask::kLocation, options));
+  ACTOR_ASSIGN_OR_RETURN(
+      scores.time, EvaluateTask(model, test, PredictionTask::kTime, options));
+  return scores;
+}
+
+Result<std::vector<RankedCandidate>> CaseStudyRanking(
+    const CrossModalModel& model, const TokenizedCorpus& test,
+    std::size_t query_index, PredictionTask task, const EvalOptions& options) {
+  if (query_index >= test.size()) {
+    return Status::OutOfRange("query index beyond test corpus");
+  }
+  if (test.size() < static_cast<std::size_t>(options.num_noise) + 1) {
+    return Status::InvalidArgument(
+        "test corpus smaller than the candidate set size");
+  }
+  const TokenizedRecord& query = test.record(query_index);
+  // Seed folded with the query index so every model sees the same noise
+  // for the same query, but different queries differ.
+  Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (query_index + 1)));
+
+  std::vector<RankedCandidate> candidates;
+  candidates.reserve(options.num_noise + 1);
+  RankedCandidate truth;
+  truth.label = CandidateLabel(test, query, task);
+  truth.score = ScoreCandidate(model, task, query, query);
+  truth.is_truth = true;
+  candidates.push_back(std::move(truth));
+  for (std::size_t idx :
+       DrawNoise(test.size(), query_index, options.num_noise, rng)) {
+    RankedCandidate cand;
+    cand.label = CandidateLabel(test, test.record(idx), task);
+    cand.score = ScoreCandidate(model, task, query, test.record(idx));
+    candidates.push_back(std::move(cand));
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.score > b.score;
+                   });
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].rank = static_cast<int>(i + 1);
+  }
+  return candidates;
+}
+
+}  // namespace actor

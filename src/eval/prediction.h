@@ -1,0 +1,64 @@
+#ifndef ACTOR_EVAL_PREDICTION_H_
+#define ACTOR_EVAL_PREDICTION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "eval/cross_modal_model.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// The three cross-modal prediction sub-tasks (paper §3 / §6.2).
+enum class PredictionTask { kText, kLocation, kTime };
+
+const char* PredictionTaskName(PredictionTask task);
+
+/// Evaluation protocol of §6.2.1: every test record is a query; the
+/// candidate set holds the ground truth plus `num_noise` values of the
+/// predicted modality drawn from random other test records.
+struct EvalOptions {
+  int num_noise = 10;
+  uint64_t seed = 99;
+  /// Cap on the number of query records (0 = use all test records).
+  std::size_t max_queries = 0;
+};
+
+/// MRR per task. A task a model does not support is NaN (printed "/").
+struct MrrScores {
+  double text = 0.0;
+  double location = 0.0;
+  double time = 0.0;
+};
+
+/// Runs the full three-task evaluation of one model over the test corpus.
+Result<MrrScores> EvaluateCrossModal(const CrossModalModel& model,
+                                     const TokenizedCorpus& test,
+                                     const EvalOptions& options = {});
+
+/// Runs one task only; returns the MRR.
+Result<double> EvaluateTask(const CrossModalModel& model,
+                            const TokenizedCorpus& test, PredictionTask task,
+                            const EvalOptions& options = {});
+
+/// One candidate row of a case-study ranking (paper Figs. 5, 8; Table 3).
+struct RankedCandidate {
+  std::string label;   // candidate text / location / time rendering
+  double score = 0.0;
+  bool is_truth = false;
+  int rank = 0;        // 1-based, after sorting by score descending
+};
+
+/// Ranks the ground-truth record's modality value against the same
+/// candidates for one query record (index into `test`), for side-by-side
+/// method comparisons. Noise candidates are drawn with `options.seed`, so
+/// two models called with equal options see identical candidate sets.
+Result<std::vector<RankedCandidate>> CaseStudyRanking(
+    const CrossModalModel& model, const TokenizedCorpus& test,
+    std::size_t query_index, PredictionTask task,
+    const EvalOptions& options = {});
+
+}  // namespace actor
+
+#endif  // ACTOR_EVAL_PREDICTION_H_

@@ -1,0 +1,50 @@
+#include "eval/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/cross_modal_model.h"
+
+namespace actor {
+
+Result<std::vector<TuningCandidate>> GridSearchActor(
+    const PreparedDataset& data, const std::vector<ActorOptions>& grid,
+    const EvalOptions& eval) {
+  if (grid.empty()) {
+    return Status::InvalidArgument("tuning grid is empty");
+  }
+  if (data.split.valid.empty()) {
+    return Status::FailedPrecondition("dataset has no validation split");
+  }
+  const TokenizedCorpus valid = Subset(data.full, data.split.valid);
+
+  std::vector<TuningCandidate> results;
+  results.reserve(grid.size());
+  for (const ActorOptions& options : grid) {
+    ACTOR_ASSIGN_OR_RETURN(ActorModel model, TrainActor(data.graphs, options));
+    EmbeddingCrossModalModel scorer("tuning", &model.center, &data.graphs,
+                                    &data.hotspots);
+    ACTOR_ASSIGN_OR_RETURN(MrrScores scores,
+                           EvaluateCrossModal(scorer, valid, eval));
+    TuningCandidate candidate;
+    candidate.options = options;
+    candidate.validation_scores = scores;
+    double sum = 0.0;
+    int n = 0;
+    for (double s : {scores.text, scores.location, scores.time}) {
+      if (!std::isnan(s)) {
+        sum += s;
+        ++n;
+      }
+    }
+    candidate.mean_mrr = n == 0 ? 0.0 : sum / n;
+    results.push_back(std::move(candidate));
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const TuningCandidate& a, const TuningCandidate& b) {
+                     return a.mean_mrr > b.mean_mrr;
+                   });
+  return results;
+}
+
+}  // namespace actor

@@ -1,0 +1,32 @@
+#ifndef ACTOR_EVAL_TUNING_H_
+#define ACTOR_EVAL_TUNING_H_
+
+#include <vector>
+
+#include "core/actor.h"
+#include "eval/pipeline.h"
+#include "eval/prediction.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Result of one grid-search candidate: the options tried and its mean MRR
+/// over the three tasks on the validation split.
+struct TuningCandidate {
+  ActorOptions options;
+  MrrScores validation_scores;
+  double mean_mrr = 0.0;
+};
+
+/// Validation-based model selection over an explicit ActorOptions grid
+/// (the paper's §6.1.1 valid split exists for exactly this). Trains one
+/// model per candidate, scores it on the *validation* records of `data`,
+/// and returns all candidates sorted best-first. NaN task scores are
+/// skipped in the mean. Returns InvalidArgument for an empty grid.
+Result<std::vector<TuningCandidate>> GridSearchActor(
+    const PreparedDataset& data, const std::vector<ActorOptions>& grid,
+    const EvalOptions& eval = {});
+
+}  // namespace actor
+
+#endif  // ACTOR_EVAL_TUNING_H_

@@ -1,0 +1,67 @@
+#include "graph/alias_table.h"
+
+#include <limits>
+
+namespace actor {
+
+Result<AliasTable> AliasTable::Create(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("alias table needs at least one weight");
+  }
+  if (weights.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("alias table too large");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("alias table weights must be >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("alias table weights sum to zero");
+  }
+
+  const std::size_t n = weights.size();
+  std::vector<double> norm(n);
+  for (std::size_t i = 0; i < n; ++i) norm[i] = weights[i] / total;
+
+  // Scaled probabilities; "small" entries donate leftover mass from "large"
+  // ones.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = norm[i] * static_cast<double>(n);
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  std::vector<double> prob(n, 1.0);
+  std::vector<uint32_t> alias(n);
+  for (std::size_t i = 0; i < n; ++i) alias[i] = static_cast<uint32_t>(i);
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining entries have probability 1 (floating-point leftovers).
+  for (uint32_t s : small) prob[s] = 1.0;
+  for (uint32_t l : large) prob[l] = 1.0;
+
+  return AliasTable(std::move(prob), std::move(alias), std::move(norm));
+}
+
+double AliasTable::Probability(std::size_t i) const {
+  return norm_weights_[i];
+}
+
+}  // namespace actor

@@ -1,0 +1,48 @@
+#ifndef ACTOR_GRAPH_ALIAS_TABLE_H_
+#define ACTOR_GRAPH_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace actor {
+
+/// Walker's alias method: O(n) construction, O(1) sampling from a discrete
+/// distribution (paper §5.2.3, [44]). Used for weighted edge sampling and
+/// for the negative-sampling noise distribution.
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights. Returns InvalidArgument if
+  /// `weights` is empty, contains a negative value, or sums to zero.
+  static Result<AliasTable> Create(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight. Thread-safe given distinct Rng instances.
+  std::size_t Sample(Rng& rng) const {
+    const std::size_t i = rng.Uniform(prob_.size());
+    return rng.UniformDouble() < prob_[i] ? i
+                                          : static_cast<std::size_t>(alias_[i]);
+  }
+
+  std::size_t size() const { return prob_.size(); }
+
+  /// Exact sampling probability of index i (for tests).
+  double Probability(std::size_t i) const;
+
+ private:
+  AliasTable(std::vector<double> prob, std::vector<uint32_t> alias,
+             std::vector<double> norm_weights)
+      : prob_(std::move(prob)),
+        alias_(std::move(alias)),
+        norm_weights_(std::move(norm_weights)) {}
+
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+  std::vector<double> norm_weights_;  // kept for Probability()
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_GRAPH_ALIAS_TABLE_H_

@@ -1,0 +1,22 @@
+#ifndef ACTOR_GRAPH_GRAPH_IO_H_
+#define ACTOR_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/heterograph.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Writes a finalized graph as a single TSV:
+///   V <id> <type-letter> <name>
+///   E <src> <dst> <weight>          (one row per undirected edge)
+/// Graph construction is deterministic on reload: vertices keep their ids.
+Status SaveHeterograph(const Heterograph& graph, const std::string& path);
+
+/// Reads a graph written by SaveHeterograph and finalizes it.
+Result<Heterograph> LoadHeterograph(const std::string& path);
+
+}  // namespace actor
+
+#endif  // ACTOR_GRAPH_GRAPH_IO_H_

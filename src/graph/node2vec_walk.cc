@@ -1,0 +1,122 @@
+#include "graph/node2vec_walk.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace actor {
+namespace {
+
+/// Type-blind adjacency: for each vertex, neighbors and weights pooled
+/// over all edge types, neighbor ids sorted for membership queries.
+struct PooledAdjacency {
+  std::vector<std::vector<VertexId>> neighbors;
+  std::vector<std::vector<double>> weights;
+
+  explicit PooledAdjacency(const Heterograph& graph) {
+    const int32_t n = graph.num_vertices();
+    neighbors.resize(n);
+    weights.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+      // Gather, then sort jointly by neighbor id.
+      std::vector<std::pair<VertexId, double>> row;
+      for (int e = 0; e < kNumEdgeTypes; ++e) {
+        const EdgeType et = static_cast<EdgeType>(e);
+        const auto ns = graph.Neighbors(et, v);
+        const auto ws = graph.NeighborWeights(et, v);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+          row.emplace_back(ns[i], ws[i]);
+        }
+      }
+      std::sort(row.begin(), row.end());
+      neighbors[v].reserve(row.size());
+      weights[v].reserve(row.size());
+      for (const auto& [nb, w] : row) {
+        neighbors[v].push_back(nb);
+        weights[v].push_back(w);
+      }
+    }
+  }
+
+  bool Connected(VertexId a, VertexId b) const {
+    const auto& row = neighbors[a];
+    return std::binary_search(row.begin(), row.end(), b);
+  }
+};
+
+/// Weighted draw from a CDF built on the fly (degree-bounded cost).
+VertexId DrawWeighted(const std::vector<VertexId>& candidates,
+                      const std::vector<double>& weights, Rng& rng) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return kInvalidVertex;
+  double u = rng.UniformDouble() * total;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<VertexId>>> GenerateNode2vecWalks(
+    const Heterograph& graph, const Node2vecWalkOptions& options) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph must be finalized");
+  }
+  if (options.p <= 0.0 || options.q <= 0.0) {
+    return Status::InvalidArgument("p and q must be positive");
+  }
+  if (options.walk_length < 2 || options.walks_per_vertex < 1) {
+    return Status::InvalidArgument("walk length/count must be positive");
+  }
+  const PooledAdjacency adj(graph);
+  Rng rng(options.seed);
+  std::vector<std::vector<VertexId>> walks;
+  std::vector<double> biased;
+
+  for (VertexId start = 0; start < graph.num_vertices(); ++start) {
+    if (adj.neighbors[start].empty()) continue;
+    for (int w = 0; w < options.walks_per_vertex; ++w) {
+      std::vector<VertexId> walk{start};
+      VertexId prev = kInvalidVertex;
+      VertexId current = start;
+      for (int step = 1; step < options.walk_length; ++step) {
+        const auto& ns = adj.neighbors[current];
+        const auto& ws = adj.weights[current];
+        if (ns.empty()) break;
+        VertexId next;
+        if (prev == kInvalidVertex) {
+          next = DrawWeighted(ns, ws, rng);
+        } else {
+          // Second-order bias: alpha = 1/p if returning, 1 if the next
+          // vertex neighbors prev, 1/q otherwise.
+          biased.resize(ns.size());
+          for (std::size_t i = 0; i < ns.size(); ++i) {
+            double alpha;
+            if (ns[i] == prev) {
+              alpha = 1.0 / options.p;
+            } else if (adj.Connected(ns[i], prev)) {
+              alpha = 1.0;
+            } else {
+              alpha = 1.0 / options.q;
+            }
+            biased[i] = ws[i] * alpha;
+          }
+          next = DrawWeighted(ns, biased, rng);
+        }
+        if (next == kInvalidVertex) break;
+        walk.push_back(next);
+        prev = current;
+        current = next;
+      }
+      if (walk.size() >= 2) walks.push_back(std::move(walk));
+    }
+  }
+  if (walks.empty()) {
+    return Status::InvalidArgument("graph has no edges to walk on");
+  }
+  return walks;
+}
+
+}  // namespace actor

@@ -1,0 +1,33 @@
+#ifndef ACTOR_GRAPH_NODE2VEC_WALK_H_
+#define ACTOR_GRAPH_NODE2VEC_WALK_H_
+
+#include <vector>
+
+#include "graph/heterograph.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace actor {
+
+/// Options for node2vec [23] biased second-order random walks. p is the
+/// return parameter (smaller = revisit the previous vertex more often), q
+/// the in-out parameter (smaller = venture further, DFS-like). p = q = 1
+/// degenerates to DeepWalk [22].
+struct Node2vecWalkOptions {
+  double p = 1.0;
+  double q = 1.0;
+  int walks_per_vertex = 4;
+  int walk_length = 20;
+  uint64_t seed = 31;
+};
+
+/// Generates node2vec walks over *all* edge types of a finalized graph,
+/// treating it as homogeneous (the treatment DeepWalk/node2vec would apply
+/// to the activity graph; paper §2.2). Walks start from every vertex with
+/// at least one neighbor.
+Result<std::vector<std::vector<VertexId>>> GenerateNode2vecWalks(
+    const Heterograph& graph, const Node2vecWalkOptions& options);
+
+}  // namespace actor
+
+#endif  // ACTOR_GRAPH_NODE2VEC_WALK_H_

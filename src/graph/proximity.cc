@@ -1,0 +1,74 @@
+#include "graph/proximity.h"
+
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace actor {
+namespace {
+
+/// Gathers v's weighted adjacency across all edge types into a sparse map.
+std::unordered_map<VertexId, double> AdjacencyRow(const Heterograph& graph,
+                                                  VertexId v) {
+  std::unordered_map<VertexId, double> row;
+  for (int e = 0; e < kNumEdgeTypes; ++e) {
+    const EdgeType et = static_cast<EdgeType>(e);
+    const auto neighbors = graph.Neighbors(et, v);
+    const auto weights = graph.NeighborWeights(et, v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      row[neighbors[i]] += weights[i];
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+double FirstOrderProximity(const Heterograph& graph, VertexId u, VertexId v) {
+  return graph.EdgeWeight(u, v);
+}
+
+double SecondOrderProximity(const Heterograph& graph, VertexId u, VertexId v) {
+  ACTOR_CHECK(graph.finalized());
+  if (u == v) return 1.0;
+  const auto row_u = AdjacencyRow(graph, u);
+  const auto row_v = AdjacencyRow(graph, v);
+  if (row_u.empty() || row_v.empty()) return 0.0;
+  double dot = 0.0, norm_u = 0.0, norm_v = 0.0;
+  for (const auto& [n, w] : row_u) {
+    norm_u += w * w;
+    auto it = row_v.find(n);
+    if (it != row_v.end()) dot += w * it->second;
+  }
+  for (const auto& [n, w] : row_v) norm_v += w * w;
+  if (norm_u == 0.0 || norm_v == 0.0) return 0.0;
+  return dot / (std::sqrt(norm_u) * std::sqrt(norm_v));
+}
+
+int ShortestPathHops(const Heterograph& graph, VertexId u, VertexId v) {
+  ACTOR_CHECK(graph.finalized());
+  if (u == v) return 0;
+  std::vector<int> dist(graph.num_vertices(), -1);
+  std::queue<VertexId> frontier;
+  dist[u] = 0;
+  frontier.push(u);
+  while (!frontier.empty()) {
+    const VertexId cur = frontier.front();
+    frontier.pop();
+    for (int e = 0; e < kNumEdgeTypes; ++e) {
+      for (VertexId next :
+           graph.Neighbors(static_cast<EdgeType>(e), cur)) {
+        if (dist[next] >= 0) continue;
+        dist[next] = dist[cur] + 1;
+        if (next == v) return dist[next];
+        frontier.push(next);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace actor

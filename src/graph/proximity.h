@@ -1,0 +1,26 @@
+#ifndef ACTOR_GRAPH_PROXIMITY_H_
+#define ACTOR_GRAPH_PROXIMITY_H_
+
+#include "graph/heterograph.h"
+
+namespace actor {
+
+/// First-order proximity (paper Def. 3): the weight of the edge between
+/// u and v; 0 when no edge exists.
+double FirstOrderProximity(const Heterograph& graph, VertexId u, VertexId v);
+
+/// Second-order proximity (paper Def. 4): similarity of the two vertices'
+/// adjacency distributions p_u and p_v, taken over *all* edge types and
+/// measured with the cosine. 1 when the (weighted) neighborhoods
+/// coincide; 0 when they are disjoint (or either vertex is isolated).
+double SecondOrderProximity(const Heterograph& graph, VertexId u, VertexId v);
+
+/// High-order proximity indicator (paper §4.2): the length of the
+/// shortest path between u and v across all edge types (BFS on the
+/// unweighted skeleton), or -1 if unreachable. A proximity "of order > 2"
+/// corresponds to a shortest path of more than two hops.
+int ShortestPathHops(const Heterograph& graph, VertexId u, VertexId v);
+
+}  // namespace actor
+
+#endif  // ACTOR_GRAPH_PROXIMITY_H_

@@ -1,0 +1,71 @@
+#include "graph/random_walk.h"
+
+#include "util/logging.h"
+
+namespace actor {
+
+MetaPathWalker::MetaPathWalker(const Heterograph* graph,
+                               std::vector<VertexType> meta_path)
+    : graph_(graph), meta_path_(std::move(meta_path)) {
+  ACTOR_CHECK(graph_ != nullptr);
+  ACTOR_CHECK(graph_->finalized()) << "walker requires a finalized graph";
+}
+
+VertexId MetaPathWalker::Step(EdgeType e, VertexId v, Rng& rng) {
+  const auto neighbors = graph_->Neighbors(e, v);
+  if (neighbors.empty()) return kInvalidVertex;
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint8_t>(e)) << 32) |
+      static_cast<uint32_t>(v);
+  auto it = row_tables_.find(key);
+  if (it == row_tables_.end()) {
+    const auto weights = graph_->NeighborWeights(e, v);
+    auto table = AliasTable::Create(
+        std::vector<double>(weights.begin(), weights.end()));
+    if (!table.ok()) return kInvalidVertex;
+    it = row_tables_.emplace(key, table.MoveValueOrDie()).first;
+  }
+  return neighbors[it->second.Sample(rng)];
+}
+
+Result<std::vector<std::vector<VertexId>>> MetaPathWalker::GenerateWalks(
+    const MetaPathWalkOptions& options) {
+  if (meta_path_.size() < 2) {
+    return Status::InvalidArgument("meta path must have at least 2 types");
+  }
+  if (options.walk_length < 2 || options.walks_per_start < 1) {
+    return Status::InvalidArgument("walk length/count must be positive");
+  }
+  // Pre-resolve the edge type of every transition in the cyclic pattern.
+  const std::size_t plen = meta_path_.size();
+  std::vector<EdgeType> transitions(plen);
+  for (std::size_t i = 0; i < plen; ++i) {
+    ACTOR_ASSIGN_OR_RETURN(
+        transitions[i],
+        EdgeTypeBetween(meta_path_[i], meta_path_[(i + 1) % plen]));
+  }
+
+  Rng rng(options.seed);
+  std::vector<std::vector<VertexId>> walks;
+  const auto& starts = graph_->VerticesOfType(meta_path_[0]);
+  walks.reserve(starts.size() * options.walks_per_start);
+  for (VertexId start : starts) {
+    for (int w = 0; w < options.walks_per_start; ++w) {
+      std::vector<VertexId> walk{start};
+      VertexId current = start;
+      std::size_t pattern_pos = 0;
+      for (int step = 1; step < options.walk_length; ++step) {
+        const VertexId next =
+            Step(transitions[pattern_pos % plen], current, rng);
+        if (next == kInvalidVertex) break;
+        walk.push_back(next);
+        current = next;
+        ++pattern_pos;
+      }
+      if (walk.size() >= 2) walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+}  // namespace actor

@@ -1,0 +1,51 @@
+#ifndef ACTOR_GRAPH_RANDOM_WALK_H_
+#define ACTOR_GRAPH_RANDOM_WALK_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/alias_table.h"
+#include "graph/heterograph.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace actor {
+
+/// Options for meta-path-guided random walks (metapath2vec [25]).
+struct MetaPathWalkOptions {
+  int walks_per_start = 5;
+  int walk_length = 20;
+  uint64_t seed = 7;
+};
+
+/// Generates meta-path-constrained weighted random walks on a finalized
+/// Heterograph. A meta path is a cyclic sequence of vertex types, e.g.
+/// L-W-T-W (the best path reported in paper §6.2.3). Walks start from every
+/// vertex of the first type; at each step the walker moves to a weighted
+/// random neighbor of the next type in the (cyclic) pattern, stopping early
+/// if no such neighbor exists.
+class MetaPathWalker {
+ public:
+  /// The graph must be finalized and outlive the walker.
+  MetaPathWalker(const Heterograph* graph, std::vector<VertexType> meta_path);
+
+  /// Returns the generated walks (each a vertex sequence; length >= 1).
+  /// Returns InvalidArgument if the meta path is shorter than 2 or uses a
+  /// vertex-type transition with no edge type.
+  Result<std::vector<std::vector<VertexId>>> GenerateWalks(
+      const MetaPathWalkOptions& options);
+
+ private:
+  /// Weighted neighbor pick through edge type `e`, or kInvalidVertex.
+  VertexId Step(EdgeType e, VertexId v, Rng& rng);
+
+  const Heterograph* graph_;
+  std::vector<VertexType> meta_path_;
+  /// Lazily-built per (edge type, vertex) alias tables over neighbor
+  /// weights.
+  std::unordered_map<uint64_t, AliasTable> row_tables_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_GRAPH_RANDOM_WALK_H_

@@ -1,0 +1,62 @@
+#include "graph/types.h"
+
+#include "util/string_util.h"
+
+namespace actor {
+
+const char* VertexTypeName(VertexType type) {
+  switch (type) {
+    case VertexType::kTime:
+      return "T";
+    case VertexType::kLocation:
+      return "L";
+    case VertexType::kWord:
+      return "W";
+    case VertexType::kUser:
+      return "U";
+  }
+  return "?";
+}
+
+const char* EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kTL:
+      return "TL";
+    case EdgeType::kLW:
+      return "LW";
+    case EdgeType::kWT:
+      return "WT";
+    case EdgeType::kWW:
+      return "WW";
+    case EdgeType::kUT:
+      return "UT";
+    case EdgeType::kUW:
+      return "UW";
+    case EdgeType::kUL:
+      return "UL";
+    case EdgeType::kUU:
+      return "UU";
+  }
+  return "??";
+}
+
+Result<EdgeType> EdgeTypeBetween(VertexType a, VertexType b) {
+  using VT = VertexType;
+  using ET = EdgeType;
+  auto pair_is = [&](VT x, VT y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (pair_is(VT::kTime, VT::kLocation)) return ET::kTL;
+  if (pair_is(VT::kLocation, VT::kWord)) return ET::kLW;
+  if (pair_is(VT::kWord, VT::kTime)) return ET::kWT;
+  if (a == VT::kWord && b == VT::kWord) return ET::kWW;
+  if (pair_is(VT::kUser, VT::kTime)) return ET::kUT;
+  if (pair_is(VT::kUser, VT::kWord)) return ET::kUW;
+  if (pair_is(VT::kUser, VT::kLocation)) return ET::kUL;
+  if (a == VT::kUser && b == VT::kUser) return ET::kUU;
+  return Status::InvalidArgument(
+      StrPrintf("no edge type between vertex types %s and %s",
+                VertexTypeName(a), VertexTypeName(b)));
+}
+
+}  // namespace actor

@@ -1,0 +1,48 @@
+#ifndef ACTOR_GRAPH_TYPES_H_
+#define ACTOR_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace actor {
+
+/// Dense vertex identifier within one Heterograph.
+using VertexId = int32_t;
+inline constexpr VertexId kInvalidVertex = -1;
+
+/// Vertex type set O_v = {T, L, W} of the activity graph (paper Def. 1)
+/// plus U for users (the auxiliary type of LINE(U)/CrossMap(U) and the
+/// vertex type of the user interaction graph, Def. 2).
+enum class VertexType : uint8_t { kTime = 0, kLocation, kWord, kUser };
+inline constexpr int kNumVertexTypes = 4;
+
+/// Edge type set: O_e = {TL, LW, WT, WW} of the activity graph (Def. 1),
+/// the inter-record meta-graph types M_inter = {UT, UW, UL} (paper §5.2.2),
+/// and UU for the user interaction graph.
+enum class EdgeType : uint8_t {
+  kTL = 0,
+  kLW,
+  kWT,
+  kWW,
+  kUT,
+  kUW,
+  kUL,
+  kUU,
+};
+inline constexpr int kNumEdgeTypes = 8;
+
+/// Short name for a vertex type ("T", "L", "W", "U").
+const char* VertexTypeName(VertexType type);
+
+/// Short name for an edge type ("TL", "LW", ...).
+const char* EdgeTypeName(EdgeType type);
+
+/// The edge type connecting two vertex types, independent of order
+/// (f_e of Def. 1 extended with the U types). Returns InvalidArgument for
+/// unsupported pairs (there is no TT or LL edge type).
+Result<EdgeType> EdgeTypeBetween(VertexType a, VertexType b);
+
+}  // namespace actor
+
+#endif  // ACTOR_GRAPH_TYPES_H_

@@ -1,0 +1,75 @@
+#include "hotspot/kde.h"
+
+#include <cmath>
+
+namespace actor {
+
+Result<Kde1d> Kde1d::Create(std::vector<double> samples, double bandwidth,
+                            double period) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("KDE requires at least one sample");
+  }
+  if (bandwidth <= 0.0) {
+    return Status::InvalidArgument("bandwidth must be positive");
+  }
+  return Kde1d(std::move(samples), bandwidth, period);
+}
+
+double Kde1d::Dist(double a, double b) const {
+  double d = std::fabs(a - b);
+  if (period_ > 0.0) {
+    d = std::fmod(d, period_);
+    if (d > period_ / 2.0) d = period_ - d;
+  }
+  return d;
+}
+
+double Kde1d::Density(double x) const {
+  double acc = 0.0;
+  for (double s : samples_) {
+    const double u = Dist(x, s) / bandwidth_;
+    acc += EpanechnikovProfile(u * u);
+  }
+  return acc / (static_cast<double>(samples_.size()) * bandwidth_);
+}
+
+bool Kde1d::IsLocalMaximum(double x, double step) const {
+  const double here = Density(x);
+  if (here <= 0.0) return false;  // flat zero regions are not hotspots
+  return here >= Density(x - step) && here >= Density(x + step);
+}
+
+Result<Kde2d> Kde2d::Create(std::vector<GeoPoint> samples, double bandwidth) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("KDE requires at least one sample");
+  }
+  if (bandwidth <= 0.0) {
+    return Status::InvalidArgument("bandwidth must be positive");
+  }
+  return Kde2d(std::move(samples), bandwidth);
+}
+
+double Kde2d::Density(const GeoPoint& p) const {
+  double acc = 0.0;
+  for (const auto& s : samples_) {
+    const double dx = (p.x - s.x) / bandwidth_;
+    const double dy = (p.y - s.y) / bandwidth_;
+    acc += EpanechnikovProfile(dx * dx + dy * dy);
+  }
+  return acc /
+         (static_cast<double>(samples_.size()) * bandwidth_ * bandwidth_);
+}
+
+bool Kde2d::IsLocalMaximum(const GeoPoint& p, double step) const {
+  const double here = Density(p);
+  if (here <= 0.0) return false;  // flat zero regions are not hotspots
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      if (dx == 0 && dy == 0) continue;
+      if (Density({p.x + dx * step, p.y + dy * step}) > here) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace actor

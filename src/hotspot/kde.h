@@ -1,0 +1,68 @@
+#ifndef ACTOR_HOTSPOT_KDE_H_
+#define ACTOR_HOTSPOT_KDE_H_
+
+#include <vector>
+
+#include "data/record.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Epanechnikov kernel profile K(u) ∝ (1 - |u|^2) for |u| <= 1, else 0
+/// (paper §4.3, [41]). `u2` is the *squared* normalized distance.
+inline double EpanechnikovProfile(double u2) {
+  return u2 <= 1.0 ? 1.0 - u2 : 0.0;
+}
+
+/// Kernel density estimator over 1-D samples with an optional circular
+/// domain (used for hour-of-day, period 24). Implements
+///   f(x) = 1/(n h^d) * sum_i K((x - x_i) / h)
+/// with the Epanechnikov kernel.
+class Kde1d {
+ public:
+  /// `period` <= 0 means a linear domain; otherwise distances wrap.
+  static Result<Kde1d> Create(std::vector<double> samples, double bandwidth,
+                              double period = 0.0);
+
+  double Density(double x) const;
+
+  /// True if x is a local maximum of the density at resolution `step`
+  /// (density at x >= density at x ± step).
+  bool IsLocalMaximum(double x, double step) const;
+
+  double bandwidth() const { return bandwidth_; }
+
+ private:
+  Kde1d(std::vector<double> samples, double bandwidth, double period)
+      : samples_(std::move(samples)), bandwidth_(bandwidth), period_(period) {}
+
+  double Dist(double a, double b) const;
+
+  std::vector<double> samples_;
+  double bandwidth_;
+  double period_;
+};
+
+/// Kernel density estimator over 2-D points (Epanechnikov kernel).
+class Kde2d {
+ public:
+  static Result<Kde2d> Create(std::vector<GeoPoint> samples, double bandwidth);
+
+  double Density(const GeoPoint& p) const;
+
+  /// True if p is a local density maximum versus 8 neighbours at `step`.
+  bool IsLocalMaximum(const GeoPoint& p, double step) const;
+
+  double bandwidth() const { return bandwidth_; }
+
+ private:
+  Kde2d(std::vector<GeoPoint> samples, double bandwidth)
+      : samples_(std::move(samples)), bandwidth_(bandwidth) {}
+
+  std::vector<GeoPoint> samples_;
+  double bandwidth_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_HOTSPOT_KDE_H_

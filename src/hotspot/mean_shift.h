@@ -1,0 +1,45 @@
+#ifndef ACTOR_HOTSPOT_MEAN_SHIFT_H_
+#define ACTOR_HOTSPOT_MEAN_SHIFT_H_
+
+#include <vector>
+
+#include "data/record.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// Options for flat-window mean shift (paper §4.3, Eq. (1):
+/// y^{k+1} = mean of the points inside the window around y^k).
+struct MeanShiftOptions {
+  /// Window radius (km for spatial, hours for temporal).
+  double bandwidth = 1.0;
+  /// Converged trajectories closer than this are merged into one mode.
+  double merge_radius = 0.5;
+  int max_iterations = 100;
+  /// Stop when the shift is smaller than this.
+  double convergence_tol = 1e-4;
+  /// Starting points are deduplicated onto a grid of this cell size to keep
+  /// the cost near-linear; <= 0 derives it from the bandwidth.
+  double seed_grid_cell = 0.0;
+  /// Trajectories are independent and run on this many threads; the mode
+  /// merge is sequential, so results are identical for any thread count.
+  int num_threads = 1;
+};
+
+/// Mean-shift mode finding over 2-D points. Uses a uniform grid index so a
+/// window query touches only nearby cells. Returns modes sorted by their
+/// support (number of points in the final window), descending.
+Result<std::vector<GeoPoint>> MeanShiftModes2d(
+    const std::vector<GeoPoint>& points, const MeanShiftOptions& options);
+
+/// Mean-shift mode finding over 1-D circular data with the given period
+/// (hour-of-day: period 24). The circular mean inside the window is computed
+/// via the angular mean so the wrap-around seam is handled correctly.
+/// Returns modes in [0, period), sorted by support descending.
+Result<std::vector<double>> MeanShiftModes1dCircular(
+    const std::vector<double>& values, double period,
+    const MeanShiftOptions& options);
+
+}  // namespace actor
+
+#endif  // ACTOR_HOTSPOT_MEAN_SHIFT_H_

@@ -1,0 +1,31 @@
+#ifndef ACTOR_UTIL_FLAGS_H_
+#define ACTOR_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace actor {
+
+/// Minimal --key=value command-line parser for the bench/example binaries.
+/// Unknown flags are kept and can be listed; malformed arguments (not
+/// starting with --) are ignored.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_UTIL_FLAGS_H_

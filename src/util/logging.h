@@ -1,0 +1,65 @@
+#ifndef ACTOR_UTIL_LOGGING_H_
+#define ACTOR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace actor {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: `LogMessage(kInfo, __FILE__, __LINE__).stream()
+/// << ...` emits one line to stderr at destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process at destruction. Backs
+/// ACTOR_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace actor
+
+#define ACTOR_LOG(level)                                              \
+  if (::actor::LogLevel::k##level >= ::actor::GetLogLevel())          \
+  ::actor::internal::LogMessage(::actor::LogLevel::k##level, __FILE__, \
+                                __LINE__)                              \
+      .stream()
+
+/// Invariant check that is active in all build modes. Aborts on failure.
+#define ACTOR_CHECK(cond)                                              \
+  if (!(cond))                                                         \
+  ::actor::internal::FatalLogMessage(__FILE__, __LINE__).stream()      \
+      << "Check failed: " #cond " "
+
+#endif  // ACTOR_UTIL_LOGGING_H_

@@ -1,0 +1,92 @@
+#ifndef ACTOR_UTIL_RNG_H_
+#define ACTOR_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace actor {
+
+/// Fast, reproducible 64-bit PRNG (xoshiro256**). Each trainer thread owns
+/// its own instance, seeded deterministically, so multi-threaded runs are
+/// replayable modulo HOGWILD write races.
+class Rng {
+ public:
+  /// Seeds via SplitMix64 so that nearby seeds give uncorrelated streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float UniformFloat() {
+    return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformRange(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with the given mean / standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard exponential draw (rate 1).
+  double Exponential() {
+    double u = UniformDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_UTIL_RNG_H_

@@ -1,0 +1,46 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace actor {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::CheckOK() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace actor

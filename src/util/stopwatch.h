@@ -1,0 +1,29 @@
+#ifndef ACTOR_UTIL_STOPWATCH_H_
+#define ACTOR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace actor {
+
+/// Wall-clock stopwatch for harness timing. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_UTIL_STOPWATCH_H_

@@ -1,0 +1,36 @@
+#ifndef ACTOR_UTIL_STRING_UTIL_H_
+#define ACTOR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace actor {
+
+/// Splits `s` on `delim`, keeping empty fields. Split("a,,b", ',') ->
+/// {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on any run of ASCII whitespace, dropping empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace actor
+
+#endif  // ACTOR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,54 @@
+#ifndef ACTOR_UTIL_THREAD_POOL_H_
+#define ACTOR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace actor {
+
+/// Fixed-size worker pool. Tasks are arbitrary closures; Wait() blocks until
+/// the queue drains and all in-flight tasks finish. Used by the HOGWILD
+/// trainer and by the hotspot detector.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for execution. Safe from any thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool, and waits for completion. fn must be safe to call
+  /// concurrently on disjoint indices.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers
+  std::condition_variable done_cv_;   // signals Wait()
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_UTIL_THREAD_POOL_H_

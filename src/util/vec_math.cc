@@ -1,0 +1,54 @@
+#include "util/vec_math.h"
+
+#include <cstring>
+
+namespace actor {
+
+float Dot(const float* x, const float* y, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void Axpy(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void Scale(float a, float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void Copy(const float* x, float* out, std::size_t n) {
+  std::memcpy(out, x, n * sizeof(float));
+}
+
+void Add(const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += x[i];
+}
+
+void Zero(float* x, std::size_t n) { std::memset(x, 0, n * sizeof(float)); }
+
+float Norm2(const float* x, std::size_t n) {
+  return std::sqrt(Dot(x, x, n));
+}
+
+void NormalizeInPlace(float* x, std::size_t n) {
+  const float norm = Norm2(x, n);
+  if (norm > 0.0f) Scale(1.0f / norm, x, n);
+}
+
+float Cosine(const float* x, const float* y, std::size_t n) {
+  const float nx = Norm2(x, n);
+  const float ny = Norm2(y, n);
+  if (nx == 0.0f || ny == 0.0f) return 0.0f;
+  return Dot(x, y, n) / (nx * ny);
+}
+
+SigmoidTable::SigmoidTable() {
+  for (int i = 0; i < kTableSize + 2; ++i) {
+    const float x = -kBound + static_cast<float>(i) / kScale;
+    table_[i] = Sigmoid(x);
+  }
+}
+
+}  // namespace actor

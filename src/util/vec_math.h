@@ -1,0 +1,75 @@
+#ifndef ACTOR_UTIL_VEC_MATH_H_
+#define ACTOR_UTIL_VEC_MATH_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace actor {
+
+/// Dense float vector kernels used by the embedding trainers. All functions
+/// operate on raw pointers so they can address rows of an EmbeddingMatrix
+/// without copies. Written as simple loops that GCC/Clang auto-vectorize.
+
+/// Returns the dot product of x and y (length n).
+float Dot(const float* x, const float* y, std::size_t n);
+
+/// y += a * x (length n).
+void Axpy(float a, const float* x, float* y, std::size_t n);
+
+/// x *= a (length n).
+void Scale(float a, float* x, std::size_t n);
+
+/// out = x (length n).
+void Copy(const float* x, float* out, std::size_t n);
+
+/// out += x (length n).
+void Add(const float* x, float* out, std::size_t n);
+
+/// Sets x to all zeros (length n).
+void Zero(float* x, std::size_t n);
+
+/// Returns the L2 norm of x (length n).
+float Norm2(const float* x, std::size_t n);
+
+/// Normalizes x to unit L2 norm in place. A zero vector is left unchanged.
+void NormalizeInPlace(float* x, std::size_t n);
+
+/// Cosine similarity; 0 when either vector is all-zero.
+float Cosine(const float* x, const float* y, std::size_t n);
+
+/// Numerically-stable logistic sigmoid.
+inline float Sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+/// Piecewise-linear table-driven sigmoid, clamped to [-kSigmoidBound,
+/// kSigmoidBound] as in word2vec/LINE reference implementations. Roughly 4x
+/// faster than Sigmoid() inside the SGD inner loop.
+class SigmoidTable {
+ public:
+  SigmoidTable();
+  float operator()(float x) const {
+    if (x >= kBound) return 1.0f;
+    if (x <= -kBound) return 0.0f;
+    const float pos = (x + kBound) * kScale;
+    const int idx = static_cast<int>(pos);
+    const float frac = pos - static_cast<float>(idx);
+    return table_[idx] * (1.0f - frac) + table_[idx + 1] * frac;
+  }
+
+  static constexpr float kBound = 8.0f;
+
+ private:
+  static constexpr int kTableSize = 1024;
+  static constexpr float kScale = kTableSize / (2.0f * kBound);
+  float table_[kTableSize + 2];
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_UTIL_VEC_MATH_H_

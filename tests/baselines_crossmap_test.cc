@@ -1,0 +1,133 @@
+#include "baselines/crossmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/pipeline.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+class CrossMapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineOptions pipeline = UTGeoPipeline(0.1);
+    pipeline.synthetic.num_records = 2000;
+    pipeline.synthetic.seed = 77;
+    auto prepared = PrepareDataset(pipeline, "crossmap-test");
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    data_ = new PreparedDataset(prepared.MoveValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static CrossMapOptions FastOptions() {
+    CrossMapOptions o;
+    o.dim = 16;
+    o.epochs = 3;
+    o.samples_per_edge = 4;
+    return o;
+  }
+
+  static PreparedDataset* data_;
+};
+
+PreparedDataset* CrossMapTest::data_ = nullptr;
+
+TEST_F(CrossMapTest, TrainsWithCorrectShapes) {
+  auto model = TrainCrossMap(data_->graphs, FastOptions());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->center.rows(), data_->graphs.activity.num_vertices());
+  EXPECT_EQ(model->center.dim(), 16);
+}
+
+TEST_F(CrossMapTest, EmbeddingsFinite) {
+  auto model = TrainCrossMap(data_->graphs, FastOptions());
+  ASSERT_TRUE(model.ok());
+  for (int r = 0; r < model->center.rows(); ++r) {
+    for (int d = 0; d < 16; ++d) {
+      ASSERT_TRUE(std::isfinite(model->center.row(r)[d]));
+    }
+  }
+}
+
+TEST_F(CrossMapTest, DeterministicForSeed) {
+  auto a = TrainCrossMap(data_->graphs, FastOptions());
+  auto b = TrainCrossMap(data_->graphs, FastOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int r = 0; r < a->center.rows(); ++r) {
+    for (int d = 0; d < 16; ++d) {
+      ASSERT_FLOAT_EQ(a->center.row(r)[d], b->center.row(r)[d]);
+    }
+  }
+}
+
+TEST_F(CrossMapTest, UserVariantDiffers) {
+  CrossMapOptions with_u = FastOptions();
+  with_u.include_user_edges = true;
+  auto plain = TrainCrossMap(data_->graphs, FastOptions());
+  auto with_users = TrainCrossMap(data_->graphs, with_u);
+  ASSERT_TRUE(plain.ok() && with_users.ok());
+  bool any_diff = false;
+  for (int r = 0; r < plain->center.rows() && !any_diff; ++r) {
+    for (int d = 0; d < 16; ++d) {
+      if (plain->center.row(r)[d] != with_users->center.row(r)[d]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(CrossMapTest, PlainVariantLeavesUserVectorsUntrained) {
+  // Without user edges, user vertices receive no center updates: their
+  // vectors stay at the random init scale (tiny norms vs trained units).
+  auto model = TrainCrossMap(data_->graphs, FastOptions());
+  ASSERT_TRUE(model.ok());
+  const auto& g = data_->graphs.activity;
+  double user_norm = 0.0;
+  const auto& users = g.VerticesOfType(VertexType::kUser);
+  for (VertexId u : users) user_norm += Norm2(model->center.row(u), 16);
+  user_norm /= static_cast<double>(users.size());
+  const float init_bound = 0.5f;  // far below any trained norm
+  EXPECT_LT(user_norm, init_bound);
+}
+
+TEST_F(CrossMapTest, CooccurrenceStructureLearned) {
+  auto model = TrainCrossMap(data_->graphs, FastOptions());
+  ASSERT_TRUE(model.ok());
+  const auto& g = data_->graphs.activity;
+  const auto& lw = g.edges(EdgeType::kLW);
+  double edge_sim = 0.0;
+  const std::size_t n = std::min<std::size_t>(lw.size(), 1000);
+  for (std::size_t i = 0; i < n; ++i) {
+    edge_sim +=
+        Cosine(model->center.row(lw.src[i]), model->center.row(lw.dst[i]), 16);
+  }
+  edge_sim /= static_cast<double>(n);
+  EXPECT_GT(edge_sim, 0.1);
+}
+
+TEST_F(CrossMapTest, RejectsBadOptions) {
+  CrossMapOptions o = FastOptions();
+  o.dim = 0;
+  EXPECT_TRUE(TrainCrossMap(data_->graphs, o).status().IsInvalidArgument());
+  o = FastOptions();
+  o.epochs = 0;
+  EXPECT_TRUE(TrainCrossMap(data_->graphs, o).status().IsInvalidArgument());
+}
+
+TEST(CrossMapValidationTest, RejectsUnfinalizedGraph) {
+  BuiltGraphs graphs;
+  EXPECT_TRUE(TrainCrossMap(graphs, CrossMapOptions())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,190 @@
+#include "baselines/geo_topic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+
+namespace actor {
+namespace {
+
+class GeoTopicTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticConfig config;
+    config.seed = 13;
+    config.num_records = 2500;
+    config.num_users = 80;
+    config.num_communities = 4;
+    config.num_topics = 4;
+    config.num_venues = 10;
+    config.keywords_per_topic = 20;
+    config.background_vocab = 30;
+    config.community_spread_km = 4.0;
+    auto ds = GenerateSynthetic(config);
+    ASSERT_TRUE(ds.ok());
+    CorpusBuildOptions build;
+    build.min_word_count = 1;
+    auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+    ASSERT_TRUE(corpus.ok());
+    dataset_ = new SyntheticDataset(ds.MoveValueOrDie());
+    corpus_ = new TokenizedCorpus(corpus.MoveValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete corpus_;
+    dataset_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static GeoTopicOptions FastOptions() {
+    GeoTopicOptions o;
+    o.num_regions = 12;
+    o.num_topics = 6;
+    o.em_iterations = 8;
+    return o;
+  }
+
+  static SyntheticDataset* dataset_;
+  static TokenizedCorpus* corpus_;
+};
+
+SyntheticDataset* GeoTopicTest::dataset_ = nullptr;
+TokenizedCorpus* GeoTopicTest::corpus_ = nullptr;
+
+TEST_F(GeoTopicTest, TrainsWithRequestedSizes) {
+  auto model = GeoTopicModel::Train(*corpus_, FastOptions());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->num_regions(), 12);
+  EXPECT_EQ(model->num_topics(), 6);
+}
+
+TEST_F(GeoTopicTest, LogLikelihoodNonDecreasing) {
+  GeoTopicOptions o = FastOptions();
+  o.neighbor_smoothing = false;  // pure EM is monotone
+  auto model = GeoTopicModel::Train(*corpus_, o);
+  ASSERT_TRUE(model.ok());
+  const auto& trace = model->log_likelihood_trace();
+  ASSERT_EQ(trace.size(), static_cast<std::size_t>(o.em_iterations));
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    // Allow a tiny numerical slack from the smoothed M-step.
+    EXPECT_GE(trace[i], trace[i - 1] - std::fabs(trace[i - 1]) * 1e-3)
+        << "iteration " << i;
+  }
+  // Overall it must improve substantially over the random init.
+  EXPECT_GT(trace.back(), trace.front());
+}
+
+TEST_F(GeoTopicTest, ThetaRowsAreDistributions) {
+  auto model = GeoTopicModel::Train(*corpus_, FastOptions());
+  ASSERT_TRUE(model.ok());
+  for (int r = 0; r < model->num_regions(); ++r) {
+    double sum = 0.0;
+    for (int z = 0; z < model->num_topics(); ++z) {
+      const double p = model->region_topic(r, z);
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(GeoTopicTest, PhiRowsAreDistributions) {
+  auto model = GeoTopicModel::Train(*corpus_, FastOptions());
+  ASSERT_TRUE(model.ok());
+  for (int z = 0; z < model->num_topics(); ++z) {
+    double sum = 0.0;
+    for (int32_t w = 0; w < corpus_->vocab().size(); ++w) {
+      sum += model->topic_word(z, w);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(GeoTopicTest, RegionVariancesPositive) {
+  auto model = GeoTopicModel::Train(*corpus_, FastOptions());
+  ASSERT_TRUE(model.ok());
+  for (int r = 0; r < model->num_regions(); ++r) {
+    EXPECT_GT(model->region_sigma2(r), 0.0);
+  }
+}
+
+TEST_F(GeoTopicTest, ScoreJointPrefersTrueLocation) {
+  auto model = GeoTopicModel::Train(*corpus_, FastOptions());
+  ASSERT_TRUE(model.ok());
+  // For a batch of records, the true location should usually outscore a
+  // far-away location given the record's text.
+  int wins = 0, total = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto& rec = corpus_->record(i);
+    const GeoPoint far{rec.location.x > 20 ? 2.0 : 38.0,
+                       rec.location.y > 20 ? 2.0 : 38.0};
+    const double true_score = model->ScoreJoint(rec.location, rec.word_ids);
+    const double far_score = model->ScoreJoint(far, rec.word_ids);
+    if (true_score > far_score) ++wins;
+    ++total;
+  }
+  EXPECT_GT(wins, total * 7 / 10);
+}
+
+TEST_F(GeoTopicTest, UnknownWordsIgnoredInScoring) {
+  auto model = GeoTopicModel::Train(*corpus_, FastOptions());
+  ASSERT_TRUE(model.ok());
+  const GeoPoint p{10, 10};
+  const double base = model->ScoreJoint(p, {0, 1});
+  const double with_unknown = model->ScoreJoint(p, {0, 1, -5, 99999});
+  EXPECT_DOUBLE_EQ(base, with_unknown);
+}
+
+TEST_F(GeoTopicTest, MgtmSmoothingCouplesNeighbors) {
+  GeoTopicOptions lgta = FastOptions();
+  GeoTopicOptions mgtm = FastOptions();
+  mgtm.neighbor_smoothing = true;
+  mgtm.smoothing_lambda = 0.8;
+  auto a = GeoTopicModel::Train(*corpus_, lgta);
+  auto b = GeoTopicModel::Train(*corpus_, mgtm);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Smoothing flattens region-topic distributions: average max θ entry
+  // decreases.
+  auto avg_max_theta = [](const GeoTopicModel& m) {
+    double acc = 0.0;
+    for (int r = 0; r < m.num_regions(); ++r) {
+      double mx = 0.0;
+      for (int z = 0; z < m.num_topics(); ++z) {
+        mx = std::max(mx, m.region_topic(r, z));
+      }
+      acc += mx;
+    }
+    return acc / m.num_regions();
+  };
+  EXPECT_LT(avg_max_theta(*b), avg_max_theta(*a));
+}
+
+TEST_F(GeoTopicTest, PresetsDifferOnlyInSmoothing) {
+  EXPECT_FALSE(LgtaOptions().neighbor_smoothing);
+  EXPECT_TRUE(MgtmOptions().neighbor_smoothing);
+  EXPECT_EQ(LgtaOptions().num_regions, MgtmOptions().num_regions);
+}
+
+TEST(GeoTopicValidationTest, RejectsBadInput) {
+  TokenizedCorpus empty;
+  EXPECT_TRUE(GeoTopicModel::Train(empty, GeoTopicOptions())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(GeoTopicTest, RejectsBadOptions) {
+  GeoTopicOptions o = FastOptions();
+  o.num_regions = 0;
+  EXPECT_TRUE(GeoTopicModel::Train(*corpus_, o).status().IsInvalidArgument());
+  o = FastOptions();
+  o.alpha = 0.0;
+  EXPECT_TRUE(GeoTopicModel::Train(*corpus_, o).status().IsInvalidArgument());
+  o = FastOptions();
+  o.em_iterations = -1;
+  EXPECT_TRUE(GeoTopicModel::Train(*corpus_, o).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace actor

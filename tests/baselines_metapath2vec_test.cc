@@ -1,0 +1,82 @@
+#include "baselines/metapath2vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/pipeline.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+class Metapath2vecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineOptions pipeline = UTGeoPipeline(0.1);
+    pipeline.synthetic.num_records = 1500;
+    pipeline.synthetic.seed = 55;
+    auto prepared = PrepareDataset(pipeline, "m2v-test");
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    data_ = new PreparedDataset(prepared.MoveValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static Metapath2vecOptions FastOptions() {
+    Metapath2vecOptions o;
+    o.dim = 16;
+    o.walk.walks_per_start = 2;
+    o.walk.walk_length = 10;
+    o.skipgram.epochs = 1;
+    return o;
+  }
+
+  static PreparedDataset* data_;
+};
+
+PreparedDataset* Metapath2vecTest::data_ = nullptr;
+
+TEST_F(Metapath2vecTest, TrainsWithCorrectShapes) {
+  auto model = TrainMetapath2vec(data_->graphs.activity, FastOptions());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->center.rows(), data_->graphs.activity.num_vertices());
+  EXPECT_EQ(model->center.dim(), 16);
+}
+
+TEST_F(Metapath2vecTest, EmbeddingsFinite) {
+  auto model = TrainMetapath2vec(data_->graphs.activity, FastOptions());
+  ASSERT_TRUE(model.ok());
+  for (int r = 0; r < model->center.rows(); ++r) {
+    for (int d = 0; d < 16; ++d) {
+      ASSERT_TRUE(std::isfinite(model->center.row(r)[d]));
+    }
+  }
+}
+
+TEST_F(Metapath2vecTest, AlternateMetaPath) {
+  Metapath2vecOptions o = FastOptions();
+  // T-L-W-W, the second path used for 4SQ in the paper.
+  o.meta_path = {VertexType::kTime, VertexType::kLocation, VertexType::kWord,
+                 VertexType::kWord};
+  auto model = TrainMetapath2vec(data_->graphs.activity, o);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+}
+
+TEST_F(Metapath2vecTest, InvalidMetaPathRejected) {
+  Metapath2vecOptions o = FastOptions();
+  o.meta_path = {VertexType::kTime, VertexType::kTime};
+  EXPECT_FALSE(TrainMetapath2vec(data_->graphs.activity, o).ok());
+}
+
+TEST_F(Metapath2vecTest, RequiresFinalizedGraph) {
+  Heterograph g;
+  EXPECT_TRUE(TrainMetapath2vec(g, FastOptions())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,144 @@
+#include "core/meta_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/corpus.h"
+#include "hotspot/hotspot_detector.h"
+
+namespace actor {
+namespace {
+
+TEST(MetaGraphTest, IntraRecordStructure) {
+  const MetaGraph m0 = IntraRecordMetaGraph();
+  EXPECT_EQ(m0.name, "M0");
+  EXPECT_FALSE(m0.inter_record);
+  EXPECT_EQ(m0.CountType(VertexType::kTime), 1);
+  EXPECT_EQ(m0.CountType(VertexType::kLocation), 1);
+  EXPECT_EQ(m0.CountType(VertexType::kWord), 2);
+  EXPECT_EQ(m0.CountType(VertexType::kUser), 0);
+}
+
+TEST(MetaGraphTest, IntraCoversAllIntraEdgeTypes) {
+  const MetaGraph m0 = IntraRecordMetaGraph();
+  const auto covered = m0.CoveredEdgeTypes();
+  for (EdgeType e : IntraEdgeTypes()) {
+    EXPECT_NE(std::find(covered.begin(), covered.end(), e), covered.end())
+        << EdgeTypeName(e);
+  }
+}
+
+TEST(MetaGraphTest, SixInterRecordSchemes) {
+  const auto metas = InterRecordMetaGraphs();
+  ASSERT_EQ(metas.size(), 6u);
+  for (const auto& m : metas) {
+    EXPECT_TRUE(m.inter_record);
+    EXPECT_EQ(m.CountType(VertexType::kUser), 2);
+    // Every scheme contains the U-U edge.
+    const auto covered = m.CoveredEdgeTypes();
+    EXPECT_NE(std::find(covered.begin(), covered.end(), EdgeType::kUU),
+              covered.end());
+  }
+  EXPECT_EQ(metas[0].name, "M1");
+  EXPECT_EQ(metas[5].name, "M6");
+}
+
+TEST(MetaGraphTest, InterSchemesCoverExpectedUnitTypes) {
+  const auto metas = InterRecordMetaGraphs();
+  // M1 {T}, M2 {L}, M3 {W}, M4 {T,W}, M5 {L,W}, M6 {T,L}.
+  EXPECT_EQ(metas[0].CountType(VertexType::kTime), 1);
+  EXPECT_EQ(metas[1].CountType(VertexType::kLocation), 1);
+  EXPECT_EQ(metas[2].CountType(VertexType::kWord), 1);
+  EXPECT_EQ(metas[3].CountType(VertexType::kTime), 1);
+  EXPECT_EQ(metas[3].CountType(VertexType::kWord), 1);
+  EXPECT_EQ(metas[4].CountType(VertexType::kLocation), 1);
+  EXPECT_EQ(metas[4].CountType(VertexType::kWord), 1);
+  EXPECT_EQ(metas[5].CountType(VertexType::kTime), 1);
+  EXPECT_EQ(metas[5].CountType(VertexType::kLocation), 1);
+}
+
+TEST(MetaGraphTest, InterSchemesAreHighOrder) {
+  // Every inter-record scheme has >= 2 edges, i.e., instances contain more
+  // than two pass-through hops in the combined graph (paper §5.4).
+  for (const auto& m : InterRecordMetaGraphs()) {
+    EXPECT_GE(m.edges.size(), 2u) << m.name;
+  }
+}
+
+TEST(MetaGraphTest, EdgeTypeSets) {
+  const auto& intra = IntraEdgeTypes();
+  ASSERT_EQ(intra.size(), 4u);
+  const auto& inter = InterEdgeTypes();
+  ASSERT_EQ(inter.size(), 3u);
+  EXPECT_EQ(inter[0], EdgeType::kUT);
+  EXPECT_EQ(inter[1], EdgeType::kUW);
+  EXPECT_EQ(inter[2], EdgeType::kUL);
+}
+
+class InstanceCountFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Corpus c;
+    RawRecord a;
+    a.id = 0;
+    a.user_id = 1;
+    a.timestamp = 9 * 3600.0;
+    a.location = {1, 1};
+    a.text = "coffee breakfast";
+    c.Add(a);
+    RawRecord b;
+    b.id = 1;
+    b.user_id = 2;
+    b.timestamp = 21 * 3600.0;
+    b.location = {30, 30};
+    b.text = "cinema night";
+    b.mentioned_user_ids = {1};
+    c.Add(b);
+    CorpusBuildOptions build;
+    build.min_word_count = 1;
+    auto corpus = TokenizedCorpus::Build(c, build);
+    ASSERT_TRUE(corpus.ok());
+    auto hotspots = DetectHotspots(*corpus);
+    ASSERT_TRUE(hotspots.ok());
+    auto graphs = BuildGraphs(*corpus, *hotspots);
+    ASSERT_TRUE(graphs.ok());
+    graphs_ = graphs.MoveValueOrDie();
+  }
+
+  BuiltGraphs graphs_;
+};
+
+TEST_F(InstanceCountFixture, CountsMentionInstances) {
+  // One mention; user 1 carries UT/UW/UL degree from their own record, so
+  // every scheme M1..M6 has exactly one instance.
+  for (const auto& m : InterRecordMetaGraphs()) {
+    EXPECT_EQ(CountInterRecordInstances(graphs_, m), 1) << m.name;
+  }
+}
+
+TEST_F(InstanceCountFixture, NoMentionsMeansNoInstances) {
+  // Rebuild with the mention-free record only.
+  Corpus c;
+  RawRecord a;
+  a.id = 0;
+  a.user_id = 1;
+  a.timestamp = 9 * 3600.0;
+  a.location = {1, 1};
+  a.text = "coffee breakfast";
+  c.Add(a);
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  auto corpus = TokenizedCorpus::Build(c, build);
+  ASSERT_TRUE(corpus.ok());
+  auto hotspots = DetectHotspots(*corpus);
+  ASSERT_TRUE(hotspots.ok());
+  auto graphs = BuildGraphs(*corpus, *hotspots);
+  ASSERT_TRUE(graphs.ok());
+  for (const auto& m : InterRecordMetaGraphs()) {
+    EXPECT_EQ(CountInterRecordInstances(*graphs, m), 0);
+  }
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,117 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "eval/pipeline.h"
+
+namespace actor {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineOptions pipeline = UTGeoPipeline(0.05);
+    pipeline.synthetic.num_records = 1200;
+    auto prepared = PrepareDataset(pipeline, "model-io");
+    ASSERT_TRUE(prepared.ok());
+    data_ = new PreparedDataset(prepared.MoveValueOrDie());
+    ActorOptions options;
+    options.dim = 16;
+    options.epochs = 3;
+    options.samples_per_edge = 4;
+    auto model = TrainActor(data_->graphs, options);
+    ASSERT_TRUE(model.ok());
+    model_ = new ActorModel(model.MoveValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/actor_model_io";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  static PreparedDataset* data_;
+  static ActorModel* model_;
+};
+
+PreparedDataset* ModelIoTest::data_ = nullptr;
+ActorModel* ModelIoTest::model_ = nullptr;
+
+TEST_F(ModelIoTest, SaveCreatesFiles) {
+  ASSERT_TRUE(SaveActorModel(*model_, data_->graphs, dir_).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/center.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/context.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/vertices.tsv"));
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesEverything) {
+  ASSERT_TRUE(SaveActorModel(*model_, data_->graphs, dir_).ok());
+  auto loaded = LoadedModel::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_vertices(), model_->center.rows());
+  ASSERT_EQ(loaded->center().dim(), model_->center.dim());
+  for (VertexId v = 0; v < loaded->num_vertices(); ++v) {
+    EXPECT_EQ(loaded->vertex_type(v), data_->graphs.activity.vertex_type(v));
+    EXPECT_EQ(loaded->vertex_name(v), data_->graphs.activity.vertex_name(v));
+    for (int d = 0; d < loaded->center().dim(); ++d) {
+      ASSERT_NEAR(loaded->center().row(v)[d], model_->center.row(v)[d],
+                  1e-6f);
+    }
+  }
+}
+
+TEST_F(ModelIoTest, LookupByName) {
+  ASSERT_TRUE(SaveActorModel(*model_, data_->graphs, dir_).ok());
+  auto loaded = LoadedModel::Load(dir_);
+  ASSERT_TRUE(loaded.ok());
+  // Every word in the vocabulary resolves to its graph vertex.
+  const std::string word = data_->full.vocab().word(0);
+  const VertexId expected =
+      data_->graphs.word_vertices[data_->full.vocab().Lookup(word)];
+  EXPECT_EQ(loaded->Lookup(word), expected);
+  EXPECT_EQ(loaded->Lookup("no_such_unit_name_xyz"), kInvalidVertex);
+}
+
+TEST_F(ModelIoTest, NearestOfTypeAfterReload) {
+  ASSERT_TRUE(SaveActorModel(*model_, data_->graphs, dir_).ok());
+  auto loaded = LoadedModel::Load(dir_);
+  ASSERT_TRUE(loaded.ok());
+  const VertexId w = loaded->Lookup(data_->full.vocab().word(0));
+  ASSERT_NE(w, kInvalidVertex);
+  auto nearest = loaded->NearestOfType(w, VertexType::kWord, 5);
+  ASSERT_EQ(nearest.size(), 5u);
+  for (const auto& [v, sim] : nearest) {
+    EXPECT_EQ(loaded->vertex_type(v), VertexType::kWord);
+    EXPECT_NE(v, w);
+    EXPECT_GE(sim, -1.0 - 1e-6);
+    EXPECT_LE(sim, 1.0 + 1e-6);
+  }
+  // Sorted descending.
+  for (std::size_t i = 1; i < nearest.size(); ++i) {
+    EXPECT_GE(nearest[i - 1].second, nearest[i].second);
+  }
+}
+
+TEST_F(ModelIoTest, LoadMissingDirectoryFails) {
+  EXPECT_FALSE(LoadedModel::Load("/no/such/dir").ok());
+}
+
+TEST_F(ModelIoTest, MismatchedModelRejected) {
+  ActorModel wrong;
+  wrong.center = EmbeddingMatrix(3, 4);
+  wrong.context = EmbeddingMatrix(3, 4);
+  EXPECT_TRUE(SaveActorModel(wrong, data_->graphs, dir_)
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace actor

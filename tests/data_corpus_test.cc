@@ -1,0 +1,210 @@
+#include "data/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace actor {
+namespace {
+
+RawRecord MakeRecord(int64_t id, int64_t user, const std::string& text,
+                     std::vector<int64_t> mentions = {}) {
+  RawRecord r;
+  r.id = id;
+  r.user_id = user;
+  r.timestamp = 1000.0 * id;
+  r.location = {static_cast<double>(id), 1.0};
+  r.text = text;
+  r.mentioned_user_ids = std::move(mentions);
+  return r;
+}
+
+Corpus SmallCorpus() {
+  Corpus c;
+  c.Add(MakeRecord(0, 1, "coffee museum morning", {2}));
+  c.Add(MakeRecord(1, 2, "museum gallery painting"));
+  c.Add(MakeRecord(2, 3, "coffee espresso latte"));
+  c.Add(MakeRecord(3, 1, "painting gallery coffee"));
+  return c;
+}
+
+TEST(CorpusTest, SizeAndAccess) {
+  Corpus c = SmallCorpus();
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.record(1).user_id, 2);
+  EXPECT_FALSE(c.empty());
+}
+
+TEST(CorpusTest, DistinctUsersIncludesMentions) {
+  Corpus c;
+  c.Add(MakeRecord(0, 1, "x", {5}));
+  c.Add(MakeRecord(1, 1, "y"));
+  EXPECT_EQ(c.CountDistinctUsers(), 2u);
+}
+
+TEST(CorpusTest, MentionFraction) {
+  Corpus c = SmallCorpus();
+  EXPECT_DOUBLE_EQ(c.MentionFraction(), 0.25);
+}
+
+TEST(CorpusTest, MentionFractionEmptyCorpus) {
+  Corpus c;
+  EXPECT_DOUBLE_EQ(c.MentionFraction(), 0.0);
+}
+
+TEST(TokenizedCorpusTest, BuildMapsWords) {
+  CorpusBuildOptions options;
+  options.min_word_count = 1;
+  auto result = TokenizedCorpus::Build(SmallCorpus(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TokenizedCorpus& tc = *result;
+  EXPECT_EQ(tc.size(), 4u);
+  EXPECT_GE(tc.vocab().Lookup("coffee"), 0);
+  // Each record's word ids resolve back to its words.
+  const auto& rec = tc.record(0);
+  ASSERT_EQ(rec.word_ids.size(), 3u);
+  EXPECT_EQ(tc.vocab().word(rec.word_ids[0]), "coffee");
+}
+
+TEST(TokenizedCorpusTest, PreservesMetadata) {
+  CorpusBuildOptions options;
+  options.min_word_count = 1;
+  auto result = TokenizedCorpus::Build(SmallCorpus(), options);
+  ASSERT_TRUE(result.ok());
+  const auto& rec = result->record(0);
+  EXPECT_EQ(rec.id, 0);
+  EXPECT_EQ(rec.user_id, 1);
+  EXPECT_DOUBLE_EQ(rec.timestamp, 0.0);
+  ASSERT_EQ(rec.mentioned_user_ids.size(), 1u);
+  EXPECT_EQ(rec.mentioned_user_ids[0], 2);
+}
+
+TEST(TokenizedCorpusTest, MinWordCountPrunes) {
+  Corpus c;
+  c.Add(MakeRecord(0, 1, "frequent frequent unique"));
+  c.Add(MakeRecord(1, 1, "frequent other"));
+  CorpusBuildOptions options;
+  options.min_word_count = 2;
+  auto result = TokenizedCorpus::Build(c, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->vocab().Lookup("frequent"), 0);
+  EXPECT_EQ(result->vocab().Lookup("unique"), -1);
+}
+
+TEST(TokenizedCorpusTest, DropsEmptyRecords) {
+  Corpus c;
+  c.Add(MakeRecord(0, 1, "museum park"));
+  c.Add(MakeRecord(1, 2, "the of and"));  // all stopwords
+  CorpusBuildOptions options;
+  options.min_word_count = 1;
+  auto result = TokenizedCorpus::Build(c, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(TokenizedCorpusTest, KeepEmptyRecordsWhenConfigured) {
+  Corpus c;
+  c.Add(MakeRecord(0, 1, "museum park"));
+  c.Add(MakeRecord(1, 2, "the of and"));
+  CorpusBuildOptions options;
+  options.min_word_count = 1;
+  options.drop_empty_records = false;
+  auto result = TokenizedCorpus::Build(c, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_TRUE(result->record(1).word_ids.empty());
+}
+
+TEST(TokenizedCorpusTest, VocabularyCapRespected) {
+  Corpus c;
+  c.Add(MakeRecord(0, 1, "aa bb cc dd ee ff gg hh"));
+  CorpusBuildOptions options;
+  options.min_word_count = 1;
+  options.max_vocab_size = 3;
+  auto result = TokenizedCorpus::Build(c, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vocab().size(), 3);
+}
+
+TEST(TokenizedCorpusTest, EmptyCorpusIsError) {
+  Corpus c;
+  auto result = TokenizedCorpus::Build(c);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(TokenizedCorpusTest, AllStopwordsIsError) {
+  Corpus c;
+  c.Add(MakeRecord(0, 1, "the of"));
+  auto result = TokenizedCorpus::Build(c);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(TokenizedCorpusTest, InvalidVocabSizeIsError) {
+  CorpusBuildOptions options;
+  options.max_vocab_size = 0;
+  auto result = TokenizedCorpus::Build(SmallCorpus(), options);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(RandomSplitTest, SizesCorrect) {
+  auto split = RandomSplit(100, 10, 20, 7);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 70u);
+  EXPECT_EQ(split->valid.size(), 10u);
+  EXPECT_EQ(split->test.size(), 20u);
+}
+
+TEST(RandomSplitTest, PartitionIsDisjointAndComplete) {
+  auto split = RandomSplit(50, 5, 10, 3);
+  ASSERT_TRUE(split.ok());
+  std::set<std::size_t> all;
+  for (auto i : split->train) all.insert(i);
+  for (auto i : split->valid) all.insert(i);
+  for (auto i : split->test) all.insert(i);
+  EXPECT_EQ(all.size(), 50u);
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(), 49u);
+}
+
+TEST(RandomSplitTest, DeterministicForSeed) {
+  auto a = RandomSplit(30, 3, 6, 11);
+  auto b = RandomSplit(30, 3, 6, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->test, b->test);
+  EXPECT_EQ(a->train, b->train);
+}
+
+TEST(RandomSplitTest, DifferentSeedsShuffleDifferently) {
+  auto a = RandomSplit(100, 10, 10, 1);
+  auto b = RandomSplit(100, 10, 10, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->test, b->test);
+}
+
+TEST(RandomSplitTest, OversizedSplitIsError) {
+  auto split = RandomSplit(10, 6, 6, 1);
+  EXPECT_TRUE(split.status().IsInvalidArgument());
+}
+
+TEST(RandomSplitTest, ZeroSizesAllowed) {
+  auto split = RandomSplit(10, 0, 0, 1);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 10u);
+}
+
+TEST(SubsetTest, SelectsRequestedRecords) {
+  CorpusBuildOptions options;
+  options.min_word_count = 1;
+  auto tc = TokenizedCorpus::Build(SmallCorpus(), options);
+  ASSERT_TRUE(tc.ok());
+  TokenizedCorpus sub = Subset(*tc, {2, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.record(0).id, 2);
+  EXPECT_EQ(sub.record(1).id, 0);
+  // Vocabulary is shared, ids still resolve.
+  EXPECT_EQ(sub.vocab().size(), tc->vocab().size());
+}
+
+}  // namespace
+}  // namespace actor

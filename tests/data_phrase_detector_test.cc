@@ -1,0 +1,141 @@
+#include "data/phrase_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "data/corpus.h"
+
+namespace actor {
+namespace {
+
+/// Corpus where the venue name is a rigid 4-gram (30 occurrences) while
+/// "red" pairs with five different words, each pairing rare. With
+/// discount 3, every red-X bigram scores 0 while the venue bigrams score
+/// (30-3) * 180 / 900 = 5.4.
+std::vector<std::vector<std::string>> PhraseCorpus() {
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 30; ++i) {
+    docs.push_back({"patrick", "molloy", "sport", "pub", "tonight"});
+  }
+  for (const char* x : {"car", "house", "wine", "door", "sky"}) {
+    for (int i = 0; i < 3; ++i) docs.push_back({"red", x});
+  }
+  return docs;
+}
+
+PhraseOptions SmallCorpusOptions() {
+  PhraseOptions options;
+  options.threshold = 3.0;  // the word2phrase score scales with corpus size
+  options.min_count = 3;
+  return options;
+}
+
+TEST(PhraseDetectorTest, LearnsCohesiveBigrams) {
+  auto detector =
+      PhraseDetector::Learn(PhraseCorpus(), SmallCorpusOptions());
+  ASSERT_TRUE(detector.ok()) << detector.status().ToString();
+  EXPECT_GT(detector->num_phrases(), 0u);
+  EXPECT_TRUE(detector->IsPhrase("patrick", "molloy"));
+  EXPECT_TRUE(detector->IsPhrase("sport", "pub"));
+}
+
+TEST(PhraseDetectorTest, DoesNotMergePromiscuousPairs) {
+  auto detector =
+      PhraseDetector::Learn(PhraseCorpus(), SmallCorpusOptions());
+  ASSERT_TRUE(detector.ok());
+  // "red" pairs with five different words; the discount nulls each rare
+  // pairing's score.
+  EXPECT_FALSE(detector->IsPhrase("red", "car"));
+}
+
+TEST(PhraseDetectorTest, MultiPassBuildsLongUnits) {
+  PhraseOptions options;
+  options.passes = 2;
+  options.min_count = 3;
+  options.threshold = 2.0;  // pass-2 merged-token score is 2.7 here
+  auto detector = PhraseDetector::Learn(PhraseCorpus(), options);
+  ASSERT_TRUE(detector.ok());
+  const auto merged =
+      detector->Apply({"patrick", "molloy", "sport", "pub", "tonight"});
+  // Two passes: (patrick_molloy)(sport_pub) then possibly the 4-gram.
+  ASSERT_GE(merged.size(), 2u);
+  ASSERT_LE(merged.size(), 3u);
+  bool has_long_unit = false;
+  for (const auto& tok : merged) {
+    if (tok == "patrick_molloy_sport_pub") has_long_unit = true;
+  }
+  EXPECT_TRUE(has_long_unit) << "merged: " << merged.size();
+}
+
+TEST(PhraseDetectorTest, ApplyLeavesUnknownTokensAlone) {
+  auto detector =
+      PhraseDetector::Learn(PhraseCorpus(), SmallCorpusOptions());
+  ASSERT_TRUE(detector.ok());
+  const auto out = detector->Apply({"totally", "unrelated", "tokens"});
+  EXPECT_EQ(out, (std::vector<std::string>{"totally", "unrelated",
+                                           "tokens"}));
+}
+
+TEST(PhraseDetectorTest, EmptyDocumentOk) {
+  auto detector =
+      PhraseDetector::Learn(PhraseCorpus(), SmallCorpusOptions());
+  ASSERT_TRUE(detector.ok());
+  EXPECT_TRUE(detector->Apply({}).empty());
+  EXPECT_EQ(detector->Apply({"solo"}).size(), 1u);
+}
+
+TEST(PhraseDetectorTest, EmptyCorpusRejected) {
+  EXPECT_TRUE(PhraseDetector::Learn({}).status().IsInvalidArgument());
+}
+
+TEST(PhraseDetectorTest, BadOptionsRejected) {
+  PhraseOptions options;
+  options.threshold = 0.0;
+  EXPECT_TRUE(
+      PhraseDetector::Learn(PhraseCorpus(), options).status()
+          .IsInvalidArgument());
+  options = PhraseOptions();
+  options.passes = 0;
+  EXPECT_TRUE(
+      PhraseDetector::Learn(PhraseCorpus(), options).status()
+          .IsInvalidArgument());
+}
+
+TEST(PhraseDetectorTest, RareBigramsNeverMerge) {
+  PhraseOptions options;
+  options.min_count = 50;  // nothing reaches this
+  auto detector = PhraseDetector::Learn(PhraseCorpus(), options);
+  ASSERT_TRUE(detector.ok());
+  EXPECT_EQ(detector->num_phrases(), 0u);
+}
+
+TEST(PhraseDetectorTest, IntegratesWithCorpusBuild) {
+  Corpus corpus;
+  for (int i = 0; i < 20; ++i) {
+    RawRecord r;
+    r.id = i;
+    r.user_id = i % 5;
+    r.timestamp = i * 1000.0;
+    r.location = {1.0, 1.0};
+    r.text = "great evening at hermosa beach tonight";
+    corpus.Add(std::move(r));
+  }
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  build.detect_phrases = true;
+  build.phrase.threshold = 2.0;
+  build.phrase.min_count = 3;
+  auto tokenized = TokenizedCorpus::Build(corpus, build);
+  ASSERT_TRUE(tokenized.ok()) << tokenized.status().ToString();
+  // "hermosa beach" is perfectly cohesive -> becomes one unit.
+  EXPECT_GE(tokenized->vocab().Lookup("hermosa_beach"), -1);
+  bool found_merged = false;
+  for (int32_t w = 0; w < tokenized->vocab().size(); ++w) {
+    if (tokenized->vocab().word(w).find('_') != std::string::npos) {
+      found_merged = true;
+    }
+  }
+  EXPECT_TRUE(found_merged);
+}
+
+}  // namespace
+}  // namespace actor

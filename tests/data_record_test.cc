@@ -1,0 +1,76 @@
+#include "data/record.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace actor {
+namespace {
+
+TEST(GeoPointTest, DistanceBasic) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(GeoPointTest, DistanceZero) {
+  EXPECT_DOUBLE_EQ(Distance({1.5, -2.5}, {1.5, -2.5}), 0.0);
+}
+
+TEST(GeoPointTest, DistanceSymmetric) {
+  const GeoPoint a{1, 2}, b{-4, 7};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(HourOfDayTest, Midnight) { EXPECT_DOUBLE_EQ(HourOfDay(0.0), 0.0); }
+
+TEST(HourOfDayTest, Noon) {
+  EXPECT_DOUBLE_EQ(HourOfDay(12 * 3600.0), 12.0);
+}
+
+TEST(HourOfDayTest, WrapsAcrossDays) {
+  EXPECT_DOUBLE_EQ(HourOfDay(kSecondsPerDay + 3 * 3600.0), 3.0);
+  EXPECT_DOUBLE_EQ(HourOfDay(10 * kSecondsPerDay + 23 * 3600.0), 23.0);
+}
+
+TEST(HourOfDayTest, NegativeTimestamps) {
+  // -1 hour == 23:00 the previous day.
+  EXPECT_DOUBLE_EQ(HourOfDay(-3600.0), 23.0);
+}
+
+TEST(HourOfDayTest, FractionalHours) {
+  EXPECT_NEAR(HourOfDay(3600.0 * 14.5), 14.5, 1e-9);
+}
+
+struct CircularCase {
+  double h1, h2, expected;
+};
+
+class CircularHourSweep : public ::testing::TestWithParam<CircularCase> {};
+
+TEST_P(CircularHourSweep, Distance) {
+  const auto& c = GetParam();
+  EXPECT_NEAR(CircularHourDistance(c.h1, c.h2), c.expected, 1e-9);
+  EXPECT_NEAR(CircularHourDistance(c.h2, c.h1), c.expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CircularHourSweep,
+    ::testing::Values(CircularCase{0.0, 0.0, 0.0},
+                      CircularCase{1.0, 2.0, 1.0},
+                      CircularCase{23.0, 1.0, 2.0},   // across midnight
+                      CircularCase{0.5, 23.5, 1.0},
+                      CircularCase{12.0, 0.0, 12.0},  // farthest apart
+                      CircularCase{18.0, 6.0, 12.0},
+                      CircularCase{22.0, 4.0, 6.0},
+                      CircularCase{6.25, 6.75, 0.5}));
+
+TEST(CircularHourTest, NeverExceedsTwelve) {
+  for (double h1 = 0.0; h1 < 24.0; h1 += 0.7) {
+    for (double h2 = 0.0; h2 < 24.0; h2 += 0.9) {
+      EXPECT_LE(CircularHourDistance(h1, h2), 12.0);
+      EXPECT_GE(CircularHourDistance(h1, h2), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,221 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace actor {
+namespace {
+
+SyntheticConfig TinyConfig() {
+  SyntheticConfig c;
+  c.seed = 7;
+  c.num_records = 500;
+  c.num_users = 60;
+  c.num_communities = 4;
+  c.num_topics = 6;
+  c.num_venues = 20;
+  c.keywords_per_topic = 15;
+  c.background_vocab = 30;
+  return c;
+}
+
+TEST(SyntheticTest, GeneratesRequestedRecords) {
+  auto ds = GenerateSynthetic(TinyConfig(), "tiny");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->corpus.size(), 500u);
+  EXPECT_EQ(ds->name, "tiny");
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  auto a = GenerateSynthetic(TinyConfig());
+  auto b = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t i = 0; i < a->corpus.size(); ++i) {
+    EXPECT_EQ(a->corpus.record(i).text, b->corpus.record(i).text);
+    EXPECT_EQ(a->corpus.record(i).user_id, b->corpus.record(i).user_id);
+    EXPECT_DOUBLE_EQ(a->corpus.record(i).timestamp,
+                     b->corpus.record(i).timestamp);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig c2 = TinyConfig();
+  c2.seed = 8;
+  auto a = GenerateSynthetic(TinyConfig());
+  auto b = GenerateSynthetic(c2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int differing = 0;
+  for (std::size_t i = 0; i < a->corpus.size(); ++i) {
+    if (a->corpus.record(i).text != b->corpus.record(i).text) ++differing;
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(SyntheticTest, MentionFractionNearConfig) {
+  SyntheticConfig c = TinyConfig();
+  c.num_records = 5000;
+  c.mention_prob = 0.168;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_NEAR(ds->corpus.MentionFraction(), 0.168, 0.03);
+}
+
+TEST(SyntheticTest, EmitMentionsFalseStripsMentions) {
+  SyntheticConfig c = TinyConfig();
+  c.emit_mentions = false;
+  c.mention_prob = 0.3;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(ds->corpus.MentionFraction(), 0.0);
+}
+
+TEST(SyntheticTest, LocationsInsideCity) {
+  SyntheticConfig c = TinyConfig();
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& r : ds->corpus.records()) {
+    EXPECT_GE(r.location.x, 0.0);
+    EXPECT_LE(r.location.x, c.city_size_km);
+    EXPECT_GE(r.location.y, 0.0);
+    EXPECT_LE(r.location.y, c.city_size_km);
+  }
+}
+
+TEST(SyntheticTest, TimestampsWithinSpan) {
+  SyntheticConfig c = TinyConfig();
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& r : ds->corpus.records()) {
+    EXPECT_GE(r.timestamp, 0.0);
+    EXPECT_LT(r.timestamp, (c.days + 1) * kSecondsPerDay);
+  }
+}
+
+TEST(SyntheticTest, GroundTruthShapes) {
+  SyntheticConfig c = TinyConfig();
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  const auto& t = ds->truth;
+  EXPECT_EQ(t.venue_locations.size(), static_cast<std::size_t>(c.num_venues));
+  EXPECT_EQ(t.venue_topics.size(), static_cast<std::size_t>(c.num_venues));
+  EXPECT_EQ(t.topic_peak_hours.size(), static_cast<std::size_t>(c.num_topics));
+  EXPECT_EQ(t.user_communities.size(), static_cast<std::size_t>(c.num_users));
+  EXPECT_EQ(t.record_venues.size(), ds->corpus.size());
+  EXPECT_EQ(t.record_topics.size(), ds->corpus.size());
+}
+
+TEST(SyntheticTest, RecordTopicMatchesVenueTopic) {
+  auto ds = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(ds.ok());
+  for (std::size_t i = 0; i < ds->corpus.size(); ++i) {
+    const int venue = ds->truth.record_venues[i];
+    EXPECT_EQ(ds->truth.record_topics[i], ds->truth.venue_topics[venue]);
+  }
+}
+
+TEST(SyntheticTest, RecordsNearTheirVenue) {
+  SyntheticConfig c = TinyConfig();
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  for (std::size_t i = 0; i < ds->corpus.size(); ++i) {
+    const auto& venue = ds->truth.venue_locations[ds->truth.record_venues[i]];
+    // GPS noise is 0.15 km; clamping at city borders can stretch this.
+    EXPECT_LE(Distance(ds->corpus.record(i).location, venue), 2.0);
+  }
+}
+
+TEST(SyntheticTest, HoursClusterAroundTopicPeak) {
+  SyntheticConfig c = TinyConfig();
+  c.num_records = 3000;
+  c.time_noise_hours = 0.5;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  int close = 0;
+  for (std::size_t i = 0; i < ds->corpus.size(); ++i) {
+    const double peak = ds->truth.topic_peak_hours[ds->truth.record_topics[i]];
+    const double h = HourOfDay(ds->corpus.record(i).timestamp);
+    if (CircularHourDistance(h, peak) < 1.5) ++close;
+  }
+  // ~3 sigma of a 0.5h Gaussian.
+  EXPECT_GT(close, static_cast<int>(0.9 * ds->corpus.size()));
+}
+
+TEST(SyntheticTest, MentionsStayInCommunity) {
+  SyntheticConfig c = TinyConfig();
+  c.mention_prob = 0.5;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& r : ds->corpus.records()) {
+    for (int64_t m : r.mentioned_user_ids) {
+      EXPECT_EQ(ds->truth.user_communities[r.user_id],
+                ds->truth.user_communities[m]);
+      EXPECT_NE(m, r.user_id);
+    }
+  }
+}
+
+TEST(SyntheticTest, TextsNonEmpty) {
+  auto ds = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(ds.ok());
+  for (const auto& r : ds->corpus.records()) {
+    EXPECT_FALSE(r.text.empty());
+  }
+}
+
+TEST(SyntheticTest, VenueKeywordAppearsInSomeTexts) {
+  SyntheticConfig c = TinyConfig();
+  c.venue_keyword_prob = 1.0;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& kw = ds->truth.venue_keywords[ds->truth.record_venues[i]];
+    EXPECT_NE(ds->corpus.record(i).text.find(kw), std::string::npos);
+  }
+}
+
+TEST(SyntheticValidationTest, RejectsNonPositiveSizes) {
+  SyntheticConfig c = TinyConfig();
+  c.num_records = 0;
+  EXPECT_TRUE(GenerateSynthetic(c).status().IsInvalidArgument());
+  c = TinyConfig();
+  c.num_topics = -1;
+  EXPECT_TRUE(GenerateSynthetic(c).status().IsInvalidArgument());
+}
+
+TEST(SyntheticValidationTest, RejectsBadProbabilities) {
+  SyntheticConfig c = TinyConfig();
+  c.mention_prob = 1.5;
+  EXPECT_TRUE(GenerateSynthetic(c).status().IsInvalidArgument());
+  c = TinyConfig();
+  c.background_word_prob = -0.1;
+  EXPECT_TRUE(GenerateSynthetic(c).status().IsInvalidArgument());
+}
+
+TEST(SyntheticPresetTest, UTGeoHasMentions) {
+  SyntheticConfig c = UTGeoLikeConfig(0.05);
+  EXPECT_TRUE(c.emit_mentions);
+  EXPECT_NEAR(c.mention_prob, 0.168, 1e-9);
+  EXPECT_GT(c.num_records, 0);
+}
+
+TEST(SyntheticPresetTest, TweetAndFourSqHideMentions) {
+  EXPECT_FALSE(TweetLikeConfig(0.1).emit_mentions);
+  EXPECT_FALSE(FourSqLikeConfig(0.1).emit_mentions);
+}
+
+TEST(SyntheticPresetTest, ScaleMultipliesSizes) {
+  SyntheticConfig half = UTGeoLikeConfig(0.5);
+  SyntheticConfig full = UTGeoLikeConfig(1.0);
+  EXPECT_EQ(half.num_records * 2, full.num_records);
+}
+
+TEST(SyntheticPresetTest, FourSqHasShortTexts) {
+  SyntheticConfig c = FourSqLikeConfig(1.0);
+  EXPECT_LT(c.mean_extra_words, UTGeoLikeConfig(1.0).mean_extra_words);
+  EXPECT_GT(c.venue_keyword_prob, 0.8);
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,123 @@
+#include "data/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace actor {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("Dawn of the Planet!");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "dawn");
+  EXPECT_EQ(tokens[1], "planet");
+}
+
+TEST(TokenizerTest, RemovesStopwords) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("the movie was a treat");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "movie");
+  EXPECT_EQ(tokens[1], "treat");
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenDisabled) {
+  TokenizerOptions options;
+  options.remove_stopwords = false;
+  Tokenizer t(options);
+  const auto tokens = t.Tokenize("the movie");
+  EXPECT_EQ(tokens.size(), 2u);
+}
+
+TEST(TokenizerTest, StripsMentionsByDefault) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("hello @someone world");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+}
+
+TEST(TokenizerTest, KeepsMentionsWhenAsked) {
+  TokenizerOptions options;
+  options.keep_mentions = true;
+  Tokenizer t(options);
+  const auto tokens = t.Tokenize("hi @bob");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1], "@bob");
+}
+
+TEST(TokenizerTest, HashtagPrefixStripped) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("#Lakers win");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "lakers");
+}
+
+TEST(TokenizerTest, UnderscoreUnitsKeptWhole) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("at patrick_molloy_sport_pub tonight");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "patrick_molloy_sport_pub");
+}
+
+TEST(TokenizerTest, DropsPureNumbers) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("room 90038 open 24");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "room");
+  EXPECT_EQ(tokens[1], "open");
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  Tokenizer t;  // min length 2
+  const auto tokens = t.Tokenize("x yz");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "yz");
+}
+
+TEST(TokenizerTest, MinLengthConfigurable) {
+  TokenizerOptions options;
+  options.min_token_length = 5;
+  Tokenizer t(options);
+  const auto tokens = t.Tokenize("tiny enormous");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "enormous");
+}
+
+TEST(TokenizerTest, ApostrophesRemoved) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("molloy's pub");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "molloys");
+}
+
+TEST(TokenizerTest, EmptyText) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("   !!! ...").empty());
+}
+
+TEST(TokenizerTest, MixedAlnumKept) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("visit la90038 now");
+  // "now" is a stopword; la90038 has letters so survives.
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "visit");
+  EXPECT_EQ(tokens[1], "la90038");
+}
+
+TEST(TokenizerTest, IsStopword) {
+  Tokenizer t;
+  EXPECT_TRUE(t.IsStopword("the"));
+  EXPECT_FALSE(t.IsStopword("museum"));
+}
+
+TEST(TokenizerTest, PunctuationSeparators) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("coffee,tea;juice|water");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[3], "water");
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,103 @@
+#include "data/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace actor {
+namespace {
+
+TEST(VocabularyTest, AddAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.AddOccurrence("a"), 0);
+  EXPECT_EQ(v.AddOccurrence("b"), 1);
+  EXPECT_EQ(v.AddOccurrence("a"), 0);
+  EXPECT_EQ(v.size(), 2);
+}
+
+TEST(VocabularyTest, CountsOccurrences) {
+  Vocabulary v;
+  v.AddOccurrence("x");
+  v.AddOccurrence("x");
+  v.AddOccurrence("y");
+  EXPECT_EQ(v.count(0), 2);
+  EXPECT_EQ(v.count(1), 1);
+}
+
+TEST(VocabularyTest, LookupUnknownIsMinusOne) {
+  Vocabulary v;
+  v.AddOccurrence("known");
+  EXPECT_EQ(v.Lookup("unknown"), -1);
+  EXPECT_EQ(v.Lookup("known"), 0);
+}
+
+TEST(VocabularyTest, WordRoundTrip) {
+  Vocabulary v;
+  v.AddOccurrence("hello");
+  EXPECT_EQ(v.word(0), "hello");
+}
+
+TEST(VocabularyTest, EmptyVocab) {
+  Vocabulary v;
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_EQ(v.Lookup("x"), -1);
+}
+
+TEST(VocabularyPruneTest, DropsRareWords) {
+  Vocabulary v;
+  for (int i = 0; i < 5; ++i) v.AddOccurrence("common");
+  v.AddOccurrence("rare");
+  Vocabulary pruned = v.Prune(/*min_count=*/2, /*max_size=*/100);
+  EXPECT_EQ(pruned.size(), 1);
+  EXPECT_EQ(pruned.Lookup("common"), 0);
+  EXPECT_EQ(pruned.Lookup("rare"), -1);
+}
+
+TEST(VocabularyPruneTest, CapsSize) {
+  Vocabulary v;
+  for (int i = 0; i < 10; ++i) {
+    const std::string w = "w" + std::to_string(i);
+    // Word i appears i+1 times.
+    for (int k = 0; k <= i; ++k) v.AddOccurrence(w);
+  }
+  Vocabulary pruned = v.Prune(1, 3);
+  EXPECT_EQ(pruned.size(), 3);
+  // Highest-count words survive.
+  EXPECT_GE(pruned.Lookup("w9"), 0);
+  EXPECT_GE(pruned.Lookup("w8"), 0);
+  EXPECT_GE(pruned.Lookup("w7"), 0);
+  EXPECT_EQ(pruned.Lookup("w0"), -1);
+}
+
+TEST(VocabularyPruneTest, ReassignsIdsByFrequency) {
+  Vocabulary v;
+  v.AddOccurrence("low");
+  for (int i = 0; i < 3; ++i) v.AddOccurrence("high");
+  Vocabulary pruned = v.Prune(1, 10);
+  EXPECT_EQ(pruned.Lookup("high"), 0);
+  EXPECT_EQ(pruned.Lookup("low"), 1);
+}
+
+TEST(VocabularyPruneTest, PreservesCounts) {
+  Vocabulary v;
+  for (int i = 0; i < 4; ++i) v.AddOccurrence("w");
+  Vocabulary pruned = v.Prune(1, 10);
+  EXPECT_EQ(pruned.count(0), 4);
+}
+
+TEST(VocabularyPruneTest, TiesKeepFirstSeenOrder) {
+  Vocabulary v;
+  v.AddOccurrence("first");
+  v.AddOccurrence("second");
+  Vocabulary pruned = v.Prune(1, 10);
+  EXPECT_EQ(pruned.Lookup("first"), 0);
+  EXPECT_EQ(pruned.Lookup("second"), 1);
+}
+
+TEST(VocabularyPruneTest, AllPrunedIsEmpty) {
+  Vocabulary v;
+  v.AddOccurrence("once");
+  Vocabulary pruned = v.Prune(5, 10);
+  EXPECT_EQ(pruned.size(), 0);
+}
+
+}  // namespace
+}  // namespace actor

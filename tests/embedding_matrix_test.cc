@@ -1,0 +1,127 @@
+#include "embedding/embedding_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace actor {
+namespace {
+
+TEST(EmbeddingMatrixTest, Dimensions) {
+  EmbeddingMatrix m(10, 4);
+  EXPECT_EQ(m.rows(), 10);
+  EXPECT_EQ(m.dim(), 4);
+  EXPECT_FALSE(m.empty());
+}
+
+TEST(EmbeddingMatrixTest, DefaultIsEmpty) {
+  EmbeddingMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0);
+}
+
+TEST(EmbeddingMatrixTest, StartsZeroed) {
+  EmbeddingMatrix m(3, 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int d = 0; d < 3; ++d) EXPECT_FLOAT_EQ(m.row(r)[d], 0.0f);
+  }
+}
+
+TEST(EmbeddingMatrixTest, InitUniformBounded) {
+  EmbeddingMatrix m(50, 16);
+  Rng rng(3);
+  m.InitUniform(rng);
+  const float bound = 0.5f / 16.0f;
+  bool any_nonzero = false;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int d = 0; d < m.dim(); ++d) {
+      EXPECT_LE(std::abs(m.row(r)[d]), bound);
+      if (m.row(r)[d] != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(EmbeddingMatrixTest, InitZeroClears) {
+  EmbeddingMatrix m(5, 4);
+  Rng rng(1);
+  m.InitUniform(rng);
+  m.InitZero();
+  for (int r = 0; r < 5; ++r) {
+    for (int d = 0; d < 4; ++d) EXPECT_FLOAT_EQ(m.row(r)[d], 0.0f);
+  }
+}
+
+TEST(EmbeddingMatrixTest, SetRowCopies) {
+  EmbeddingMatrix m(2, 3);
+  const float src[] = {1.0f, 2.0f, 3.0f};
+  m.SetRow(1, src);
+  EXPECT_FLOAT_EQ(m.row(1)[0], 1.0f);
+  EXPECT_FLOAT_EQ(m.row(1)[2], 3.0f);
+  EXPECT_FLOAT_EQ(m.row(0)[0], 0.0f);
+}
+
+TEST(EmbeddingMatrixTest, RowsAreIndependent) {
+  EmbeddingMatrix m(2, 2);
+  m.row(0)[0] = 5.0f;
+  EXPECT_FLOAT_EQ(m.row(1)[0], 0.0f);
+}
+
+TEST(EmbeddingMatrixTest, CloneIsDeep) {
+  EmbeddingMatrix m(2, 2);
+  m.row(0)[0] = 1.0f;
+  EmbeddingMatrix copy = m.Clone();
+  copy.row(0)[0] = 9.0f;
+  EXPECT_FLOAT_EQ(m.row(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(copy.row(0)[0], 9.0f);
+}
+
+TEST(EmbeddingMatrixTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/emb_test.txt";
+  EmbeddingMatrix m(4, 3);
+  Rng rng(9);
+  m.InitUniform(rng);
+  m.row(2)[1] = -0.125f;
+  ASSERT_TRUE(m.Save(path).ok());
+  auto loaded = EmbeddingMatrix::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rows(), 4);
+  EXPECT_EQ(loaded->dim(), 3);
+  for (int r = 0; r < 4; ++r) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(loaded->row(r)[d], m.row(r)[d], 1e-6f);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingMatrixTest, LoadMissingFileIsIOError) {
+  EXPECT_TRUE(
+      EmbeddingMatrix::Load("/no/such/file.txt").status().IsIOError());
+}
+
+TEST(EmbeddingMatrixTest, LoadMalformedHeaderIsError) {
+  const std::string path = ::testing::TempDir() + "/emb_bad.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not numbers\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(EmbeddingMatrix::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingMatrixTest, LoadTruncatedIsError) {
+  const std::string path = ::testing::TempDir() + "/emb_trunc.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("2 3\n1 2 3\n", f);  // second row missing
+  std::fclose(f);
+  EXPECT_FALSE(EmbeddingMatrix::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingMatrixTest, SaveUnwritableIsIOError) {
+  EmbeddingMatrix m(1, 1);
+  EXPECT_TRUE(m.Save("/no/such/dir/emb.txt").IsIOError());
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,132 @@
+#include "embedding/negative_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace actor {
+namespace {
+
+/// T0-L0, L0-w0 (weight 3), L0-w1 (weight 1).
+Heterograph SampleGraph() {
+  Heterograph g;
+  const VertexId t = g.AddVertex(VertexType::kTime, "T0");
+  const VertexId l = g.AddVertex(VertexType::kLocation, "L0");
+  const VertexId w0 = g.AddVertex(VertexType::kWord, "w0");
+  const VertexId w1 = g.AddVertex(VertexType::kWord, "w1");
+  EXPECT_TRUE(g.AccumulateEdge(t, l).ok());
+  EXPECT_TRUE(g.AccumulateEdge(l, w0, 3.0).ok());
+  EXPECT_TRUE(g.AccumulateEdge(l, w1, 1.0).ok());
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+TEST(TypedNegativeSamplerTest, RequiresFinalizedGraph) {
+  Heterograph g;
+  EXPECT_TRUE(
+      TypedNegativeSampler::Create(g).status().IsFailedPrecondition());
+}
+
+TEST(TypedNegativeSamplerTest, NegativePowerRejected) {
+  Heterograph g = SampleGraph();
+  EXPECT_TRUE(
+      TypedNegativeSampler::Create(g, -1.0).status().IsInvalidArgument());
+}
+
+TEST(TypedNegativeSamplerTest, SamplesCorrectType) {
+  Heterograph g = SampleGraph();
+  auto sampler = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const VertexId v =
+        sampler->Sample(EdgeType::kLW, VertexType::kWord, rng);
+    ASSERT_NE(v, kInvalidVertex);
+    EXPECT_EQ(g.vertex_type(v), VertexType::kWord);
+    EXPECT_GT(g.Degree(EdgeType::kLW, v), 0.0);
+  }
+}
+
+TEST(TypedNegativeSamplerTest, EmptySlotReturnsInvalid) {
+  Heterograph g = SampleGraph();
+  auto sampler = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  // No UU edges in this graph.
+  EXPECT_EQ(sampler->Sample(EdgeType::kUU, VertexType::kUser, rng),
+            kInvalidVertex);
+  // Words have no TL degree.
+  EXPECT_EQ(sampler->Sample(EdgeType::kTL, VertexType::kWord, rng),
+            kInvalidVertex);
+}
+
+TEST(TypedNegativeSamplerTest, DistributionFollowsDegreePower) {
+  Heterograph g = SampleGraph();
+  auto sampler = TypedNegativeSampler::Create(g, 0.75);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(7);
+  std::map<VertexId, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sampler->Sample(EdgeType::kLW, VertexType::kWord, rng)];
+  }
+  // w0 degree 3, w1 degree 1 -> ratio 3^0.75 : 1.
+  const double expected_ratio = std::pow(3.0, 0.75);
+  const double observed_ratio =
+      static_cast<double>(counts[2]) / static_cast<double>(counts[3]);
+  EXPECT_NEAR(observed_ratio, expected_ratio, 0.1);
+}
+
+TEST(TypedNegativeSamplerTest, PowerZeroIsUniform) {
+  Heterograph g = SampleGraph();
+  auto sampler = TypedNegativeSampler::Create(g, 0.0);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(9);
+  std::map<VertexId, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sampler->Sample(EdgeType::kLW, VertexType::kWord, rng)];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[3], 1.0, 0.05);
+}
+
+TEST(GlobalNegativeSamplerTest, SamplesAcrossTypes) {
+  Heterograph g = SampleGraph();
+  auto sampler = GlobalNegativeSampler::Create(
+      g, {EdgeType::kTL, EdgeType::kLW});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(3);
+  std::map<VertexId, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[sampler->Sample(rng)];
+  // All four vertices have degree in {TL, LW}.
+  EXPECT_EQ(counts.size(), 4u);
+}
+
+TEST(GlobalNegativeSamplerTest, ExcludesZeroDegreeVertices) {
+  Heterograph g = SampleGraph();
+  auto sampler = GlobalNegativeSampler::Create(g, {EdgeType::kTL});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const VertexId v = sampler->Sample(rng);
+    EXPECT_TRUE(v == 0 || v == 1);  // only T0 and L0 carry TL degree
+  }
+}
+
+TEST(GlobalNegativeSamplerTest, NoEdgesIsError) {
+  Heterograph g = SampleGraph();
+  EXPECT_TRUE(GlobalNegativeSampler::Create(g, {EdgeType::kUU})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GlobalNegativeSamplerTest, RequiresFinalizedGraph) {
+  Heterograph g;
+  EXPECT_TRUE(GlobalNegativeSampler::Create(g, {EdgeType::kTL})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,196 @@
+#include "embedding/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+/// L-W graph with two "topics": (L0; w0, w1, w2) and (L1; w3, w4, w5),
+/// each topic a word triangle plus its location. Words of the same topic
+/// share two contexts (the other words) plus the location, so
+/// second-order proximity separates the topics.
+Heterograph TwoTopicGraph() {
+  Heterograph g;
+  const VertexId l0 = g.AddVertex(VertexType::kLocation, "L0");
+  const VertexId l1 = g.AddVertex(VertexType::kLocation, "L1");
+  for (int i = 0; i < 6; ++i) {
+    g.AddVertex(VertexType::kWord, "w" + std::to_string(i));
+  }
+  auto topic = [&](VertexId loc, VertexId w_base) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(g.AccumulateEdge(loc, w_base + i, 10).ok());
+      for (int j = i + 1; j < 3; ++j) {
+        EXPECT_TRUE(g.AccumulateEdge(w_base + i, w_base + j, 10).ok());
+      }
+    }
+  };
+  topic(l0, 2);
+  topic(l1, 5);
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+TEST(NegativeSamplingUpdateTest, PositivePairMovesCloser) {
+  EmbeddingMatrix context(2, 4);
+  float center[] = {0.1f, -0.2f, 0.3f, 0.05f};
+  context.row(0)[0] = 0.2f;
+  context.row(0)[1] = 0.1f;
+  const SigmoidTable sigmoid;
+  Rng rng(1);
+  const float before = Dot(center, context.row(0), 4);
+  float grad[4] = {0, 0, 0, 0};
+  NegativeSamplingUpdate(
+      center, /*positive=*/0, /*negatives=*/0, /*lr=*/0.5f, &context, sigmoid,
+      rng, [](Rng&) { return kInvalidVertex; }, grad);
+  Add(grad, center, 4);
+  const float after = Dot(center, context.row(0), 4);
+  EXPECT_GT(after, before);
+}
+
+TEST(NegativeSamplingUpdateTest, NegativeMovesAway) {
+  EmbeddingMatrix context(2, 4);
+  float center[] = {0.3f, 0.3f, 0.0f, 0.0f};
+  // Positive context row 0, negative row 1 aligned with center.
+  context.row(1)[0] = 0.4f;
+  context.row(1)[1] = 0.4f;
+  const SigmoidTable sigmoid;
+  Rng rng(2);
+  const float neg_before = Dot(center, context.row(1), 4);
+  float grad[4] = {0, 0, 0, 0};
+  NegativeSamplingUpdate(
+      center, 0, /*negatives=*/1, 0.5f, &context, sigmoid, rng,
+      [](Rng&) -> VertexId { return 1; }, grad);
+  Add(grad, center, 4);
+  const float neg_after = Dot(center, context.row(1), 4);
+  EXPECT_LT(neg_after, neg_before);
+}
+
+TEST(NegativeSamplingUpdateTest, SkipsInvalidAndSelfNegatives) {
+  EmbeddingMatrix context(1, 2);
+  context.row(0)[0] = 0.5f;
+  float center[] = {0.5f, 0.0f};
+  const SigmoidTable sigmoid;
+  Rng rng(3);
+  float grad[2] = {0, 0};
+  // Negatives always return the positive vertex -> must be skipped, so the
+  // update equals a positives-only update.
+  const float ctx_before = context.row(0)[0];
+  NegativeSamplingUpdate(
+      center, 0, 5, 0.1f, &context, sigmoid, rng,
+      [](Rng&) -> VertexId { return 0; }, grad);
+  const float positive_gain = context.row(0)[0] - ctx_before;
+  EXPECT_GT(positive_gain, 0.0f);
+}
+
+TEST(EdgeSamplingTrainerTest, PrepareValidatesShapes) {
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  EmbeddingMatrix wrong_rows(3, 4), context(8, 4);
+  TrainOptions options;
+  options.dim = 4;
+  EdgeSamplingTrainer trainer(&g, &wrong_rows, &context, &*noise, options);
+  EXPECT_TRUE(trainer.Prepare().IsInvalidArgument());
+}
+
+TEST(EdgeSamplingTrainerTest, PrepareRejectsDimMismatch) {
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  EmbeddingMatrix center(8, 4), context(8, 8);
+  EdgeSamplingTrainer trainer(&g, &center, &context, &*noise, {});
+  EXPECT_TRUE(trainer.Prepare().IsInvalidArgument());
+}
+
+TEST(EdgeSamplingTrainerTest, TrainBeforePrepareFails) {
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  EmbeddingMatrix center(8, 4), context(8, 4);
+  EdgeSamplingTrainer trainer(&g, &center, &context, &*noise, {});
+  EXPECT_TRUE(
+      trainer.TrainEdgeType(EdgeType::kLW, 10, 0.02f).IsFailedPrecondition());
+}
+
+TEST(EdgeSamplingTrainerTest, EmptyEdgeTypeIsNoOp) {
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  EmbeddingMatrix center(8, 4), context(8, 4);
+  TrainOptions options;
+  options.dim = 4;
+  EdgeSamplingTrainer trainer(&g, &center, &context, &*noise, options);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  EXPECT_TRUE(trainer.TrainEdgeType(EdgeType::kUU, 100, 0.02f).ok());
+  EXPECT_EQ(trainer.steps_done(), 0);
+}
+
+TEST(EdgeSamplingTrainerTest, NegativeSamplesRejected) {
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  EmbeddingMatrix center(8, 4), context(8, 4);
+  TrainOptions options;
+  options.dim = 4;
+  EdgeSamplingTrainer trainer(&g, &center, &context, &*noise, options);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  EXPECT_TRUE(trainer.TrainEdgeType(EdgeType::kLW, -1, 0.02f)
+                  .IsInvalidArgument());
+}
+
+TEST(EdgeSamplingTrainerTest, TrainingSeparatesTopics) {
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  EmbeddingMatrix center(8, 8), context(8, 8);
+  Rng rng(11);
+  center.InitUniform(rng);
+  context.InitZero();
+  TrainOptions options;
+  options.dim = 8;
+  options.negatives = 2;
+  options.seed = 11;
+  EdgeSamplingTrainer trainer(&g, &center, &context, &*noise, options);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    ASSERT_TRUE(trainer.TrainEdgeType(EdgeType::kLW, 2000, 0.05f).ok());
+    ASSERT_TRUE(trainer.TrainEdgeType(EdgeType::kWW, 2000, 0.05f).ok());
+  }
+  EXPECT_EQ(trainer.steps_done(), 30 * 4000);
+  // Words of the same topic end up more similar than across topics.
+  const float same = Cosine(center.row(2), center.row(3), 8);
+  const float cross = Cosine(center.row(2), center.row(5), 8);
+  EXPECT_GT(same, cross);
+  // Location embeds near its own words.
+  const float l0_w0 = Cosine(center.row(0), center.row(2), 8);
+  const float l0_w5 = Cosine(center.row(0), center.row(5), 8);
+  EXPECT_GT(l0_w0, l0_w5);
+}
+
+TEST(EdgeSamplingTrainerTest, MultiThreadedTrainingRuns) {
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  EmbeddingMatrix center(8, 8), context(8, 8);
+  Rng rng(13);
+  center.InitUniform(rng);
+  TrainOptions options;
+  options.dim = 8;
+  options.num_threads = 3;
+  EdgeSamplingTrainer trainer(&g, &center, &context, &*noise, options);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  ASSERT_TRUE(trainer.TrainEdgeType(EdgeType::kLW, 10000, 0.05f).ok());
+  EXPECT_EQ(trainer.steps_done(), 10000);
+  // Embeddings stay finite under concurrent updates.
+  for (int r = 0; r < 8; ++r) {
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_TRUE(std::isfinite(center.row(r)[d]));
+      EXPECT_TRUE(std::isfinite(context.row(r)[d]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actor

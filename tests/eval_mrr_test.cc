@@ -1,0 +1,79 @@
+#include "eval/mrr.h"
+
+#include <gtest/gtest.h>
+
+namespace actor {
+namespace {
+
+TEST(MrrTest, PerfectRanksGiveOne) {
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({1, 1, 1}), 1.0);
+}
+
+TEST(MrrTest, KnownMixture) {
+  // 1/1, 1/2, 1/4 -> mean 7/12.
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({1, 2, 4}), 7.0 / 12.0);
+}
+
+TEST(MrrTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(MeanReciprocalRank({}), 0.0); }
+
+TEST(MrrTest, IgnoresNonPositiveRanks) {
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({1, 0, -3, 2}), 0.75);
+}
+
+TEST(MrrTest, AllInvalidIsZero) {
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({0, -1}), 0.0);
+}
+
+TEST(MrrTest, SingleQuery) {
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({5}), 0.2);
+}
+
+TEST(RankOfTruthTest, TruthBest) {
+  EXPECT_EQ(RankOfTruth(10.0, {1.0, 2.0, 3.0}), 1);
+}
+
+TEST(RankOfTruthTest, TruthWorst) {
+  EXPECT_EQ(RankOfTruth(0.0, {1.0, 2.0, 3.0}), 4);
+}
+
+TEST(RankOfTruthTest, Middle) {
+  EXPECT_EQ(RankOfTruth(2.5, {1.0, 2.0, 3.0}), 2);
+}
+
+TEST(RankOfTruthTest, TiesCountAgainstTruth) {
+  EXPECT_EQ(RankOfTruth(2.0, {2.0, 2.0, 1.0}), 3);
+}
+
+TEST(RankOfTruthTest, EmptyNoiseIsRankOne) {
+  EXPECT_EQ(RankOfTruth(0.0, {}), 1);
+}
+
+TEST(RankOfTruthTest, DegenerateAllEqualRanksLast) {
+  // A model scoring everything identically must not look perfect.
+  EXPECT_EQ(RankOfTruth(1.0, std::vector<double>(10, 1.0)), 11);
+}
+
+TEST(HitsAtKTest, Basic) {
+  EXPECT_DOUBLE_EQ(HitsAtK({1, 2, 3, 4}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(HitsAtK({1, 1, 1}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(HitsAtK({5, 6}, 3), 0.0);
+}
+
+TEST(HitsAtKTest, IgnoresInvalidRanks) {
+  EXPECT_DOUBLE_EQ(HitsAtK({1, 0, -2, 4}, 3), 0.5);
+}
+
+TEST(HitsAtKTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(HitsAtK({}, 3), 0.0); }
+
+TEST(MeanRankTest, Basic) {
+  EXPECT_DOUBLE_EQ(MeanRank({1, 3, 5}), 3.0);
+}
+
+TEST(MeanRankTest, IgnoresInvalid) {
+  EXPECT_DOUBLE_EQ(MeanRank({2, 0, 4}), 3.0);
+}
+
+TEST(MeanRankTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(MeanRank({}), 0.0); }
+
+}  // namespace
+}  // namespace actor

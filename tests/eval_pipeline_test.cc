@@ -1,0 +1,77 @@
+#include "eval/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace actor {
+namespace {
+
+TEST(PipelineTest, PreparesAllStages) {
+  PipelineOptions options = UTGeoPipeline(0.05);
+  options.synthetic.num_records = 1200;
+  auto data = PrepareDataset(options, "pipeline-test");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->name, "pipeline-test");
+  EXPECT_GT(data->full.size(), 0u);
+  EXPECT_GT(data->train.size(), 0u);
+  EXPECT_GT(data->test.size(), 0u);
+  EXPECT_EQ(data->train.size() + data->test.size() + data->split.valid.size(),
+            data->full.size());
+  EXPECT_GT(data->hotspots.spatial.size(), 0u);
+  EXPECT_GT(data->hotspots.temporal.size(), 0u);
+  EXPECT_TRUE(data->graphs.activity.finalized());
+  EXPECT_TRUE(data->graphs.user_graph.finalized());
+  EXPECT_GT(data->graphs.activity.num_directed_edges(), 0);
+}
+
+TEST(PipelineTest, SplitFractionsRespected) {
+  PipelineOptions options = UTGeoPipeline(0.05);
+  options.synthetic.num_records = 2000;
+  options.valid_fraction = 0.1;
+  options.test_fraction = 0.2;
+  auto data = PrepareDataset(options, "fractions");
+  ASSERT_TRUE(data.ok());
+  const double test_frac =
+      static_cast<double>(data->test.size()) / data->full.size();
+  EXPECT_NEAR(test_frac, 0.2, 0.01);
+}
+
+TEST(PipelineTest, GraphsBuiltFromTrainOnly) {
+  PipelineOptions options = UTGeoPipeline(0.05);
+  options.synthetic.num_records = 1500;
+  auto data = PrepareDataset(options, "train-only");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->graphs.record_units.size(), data->train.size());
+}
+
+TEST(PipelineTest, DeterministicForSeeds) {
+  PipelineOptions options = UTGeoPipeline(0.05);
+  options.synthetic.num_records = 1000;
+  auto a = PrepareDataset(options, "a");
+  auto b = PrepareDataset(options, "b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->train.size(), b->train.size());
+  EXPECT_EQ(a->graphs.activity.num_directed_edges(),
+            b->graphs.activity.num_directed_edges());
+}
+
+TEST(PipelineTest, PresetsProduceDistinctDatasets) {
+  auto utgeo = PrepareDataset(UTGeoPipeline(0.05), "utgeo");
+  auto foursq = PrepareDataset(FourSqPipeline(0.05), "4sq");
+  ASSERT_TRUE(utgeo.ok() && foursq.ok());
+  // UTGeo keeps mentions; 4SQ does not.
+  EXPECT_GT(utgeo->dataset.corpus.MentionFraction(), 0.1);
+  EXPECT_DOUBLE_EQ(foursq->dataset.corpus.MentionFraction(), 0.0);
+  // 4SQ user graph therefore has no UU edges.
+  EXPECT_EQ(foursq->graphs.user_graph.edges(EdgeType::kUU).size(), 0u);
+  EXPECT_GT(utgeo->graphs.user_graph.edges(EdgeType::kUU).size(), 0u);
+}
+
+TEST(PipelineTest, InvalidSyntheticConfigPropagates) {
+  PipelineOptions options = UTGeoPipeline(0.05);
+  options.synthetic.num_records = -1;
+  EXPECT_TRUE(
+      PrepareDataset(options, "bad").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace actor

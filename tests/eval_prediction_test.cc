@@ -1,0 +1,233 @@
+#include "eval/prediction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace actor {
+namespace {
+
+/// A corpus where record i has word {i}, timestamp i hours, location
+/// (i, i) — each modality uniquely identifies the record.
+TokenizedCorpus DiagonalCorpus(int n) {
+  Vocabulary vocab;
+  for (int i = 0; i < n; ++i) vocab.AddOccurrence("w" + std::to_string(i));
+  std::vector<TokenizedRecord> records;
+  for (int i = 0; i < n; ++i) {
+    TokenizedRecord r;
+    r.id = i;
+    r.user_id = i;
+    r.timestamp = i * 3600.0;
+    r.location = {static_cast<double>(i), static_cast<double>(i)};
+    r.word_ids = {i};
+    records.push_back(std::move(r));
+  }
+  return TokenizedCorpus(std::move(vocab), std::move(records));
+}
+
+/// Oracle scorer: each modality value encodes its record index, so the
+/// candidate matching the query's index scores highest.
+class OracleModel : public CrossModalModel {
+ public:
+  explicit OracleModel(double sign = 1.0) : sign_(sign) {}
+  std::string name() const override { return "oracle"; }
+  double ScoreText(double ts, const GeoPoint&,
+                   const std::vector<int32_t>& words) const override {
+    return sign_ * -std::fabs(words[0] * 3600.0 - ts);
+  }
+  double ScoreLocation(double ts, const std::vector<int32_t>&,
+                       const GeoPoint& cand) const override {
+    return sign_ * -std::fabs(cand.x * 3600.0 - ts);
+  }
+  double ScoreTime(const GeoPoint& loc, const std::vector<int32_t>&,
+                   double cand_ts) const override {
+    return sign_ * -std::fabs(loc.x * 3600.0 - cand_ts);
+  }
+
+ private:
+  double sign_;
+};
+
+/// Scores every candidate identically.
+class ConstantModel : public CrossModalModel {
+ public:
+  std::string name() const override { return "constant"; }
+  double ScoreText(double, const GeoPoint&,
+                   const std::vector<int32_t>&) const override {
+    return 0.5;
+  }
+  double ScoreLocation(double, const std::vector<int32_t>&,
+                       const GeoPoint&) const override {
+    return 0.5;
+  }
+  double ScoreTime(const GeoPoint&, const std::vector<int32_t>&,
+                   double) const override {
+    return 0.5;
+  }
+};
+
+class NoTimeModel : public ConstantModel {
+ public:
+  bool supports_time() const override { return false; }
+};
+
+TEST(EvaluateTaskTest, OracleGetsPerfectMrr) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel model;
+  for (PredictionTask task : {PredictionTask::kText, PredictionTask::kLocation,
+                              PredictionTask::kTime}) {
+    auto mrr = EvaluateTask(model, corpus, task);
+    ASSERT_TRUE(mrr.ok());
+    EXPECT_DOUBLE_EQ(*mrr, 1.0) << PredictionTaskName(task);
+  }
+}
+
+TEST(EvaluateTaskTest, InvertedOracleRanksLast) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel model(-1.0);
+  auto mrr = EvaluateTask(model, corpus, PredictionTask::kText);
+  ASSERT_TRUE(mrr.ok());
+  EXPECT_DOUBLE_EQ(*mrr, 1.0 / 11.0);
+}
+
+TEST(EvaluateTaskTest, ConstantModelRanksLastDueToTies) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  ConstantModel model;
+  auto mrr = EvaluateTask(model, corpus, PredictionTask::kLocation);
+  ASSERT_TRUE(mrr.ok());
+  EXPECT_DOUBLE_EQ(*mrr, 1.0 / 11.0);
+}
+
+TEST(EvaluateTaskTest, UnsupportedTimeIsNaN) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  NoTimeModel model;
+  auto mrr = EvaluateTask(model, corpus, PredictionTask::kTime);
+  ASSERT_TRUE(mrr.ok());
+  EXPECT_TRUE(std::isnan(*mrr));
+}
+
+TEST(EvaluateTaskTest, TooSmallCorpusIsError) {
+  const TokenizedCorpus corpus = DiagonalCorpus(5);
+  OracleModel model;
+  EvalOptions options;  // needs 11 candidates
+  EXPECT_TRUE(EvaluateTask(model, corpus, PredictionTask::kText, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EvaluateTaskTest, MaxQueriesLimitsWork) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel model;
+  EvalOptions options;
+  options.max_queries = 3;
+  auto mrr = EvaluateTask(model, corpus, PredictionTask::kText, options);
+  ASSERT_TRUE(mrr.ok());
+  EXPECT_DOUBLE_EQ(*mrr, 1.0);
+}
+
+TEST(EvaluateTaskTest, FewerNoiseCandidates) {
+  const TokenizedCorpus corpus = DiagonalCorpus(10);
+  OracleModel model(-1.0);
+  EvalOptions options;
+  options.num_noise = 4;
+  auto mrr = EvaluateTask(model, corpus, PredictionTask::kText, options);
+  ASSERT_TRUE(mrr.ok());
+  EXPECT_DOUBLE_EQ(*mrr, 1.0 / 5.0);
+}
+
+TEST(EvaluateCrossModalTest, RunsAllThreeTasks) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel model;
+  auto scores = EvaluateCrossModal(model, corpus);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->text, 1.0);
+  EXPECT_DOUBLE_EQ(scores->location, 1.0);
+  EXPECT_DOUBLE_EQ(scores->time, 1.0);
+}
+
+TEST(EvaluateCrossModalTest, NoTimeModelGetsNaNTime) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  NoTimeModel model;
+  auto scores = EvaluateCrossModal(model, corpus);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE(std::isnan(scores->time));
+  EXPECT_FALSE(std::isnan(scores->text));
+}
+
+TEST(CaseStudyTest, TruthAppearsExactlyOnce) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel model;
+  auto ranking = CaseStudyRanking(model, corpus, 4, PredictionTask::kText);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ(ranking->size(), 11u);
+  int truth_count = 0;
+  for (const auto& c : *ranking) truth_count += c.is_truth ? 1 : 0;
+  EXPECT_EQ(truth_count, 1);
+}
+
+TEST(CaseStudyTest, OracleRanksTruthFirst) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel model;
+  auto ranking = CaseStudyRanking(model, corpus, 7, PredictionTask::kTime);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_TRUE((*ranking)[0].is_truth);
+  EXPECT_EQ((*ranking)[0].rank, 1);
+}
+
+TEST(CaseStudyTest, RanksAreContiguous) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  ConstantModel model;
+  auto ranking =
+      CaseStudyRanking(model, corpus, 2, PredictionTask::kLocation);
+  ASSERT_TRUE(ranking.ok());
+  for (std::size_t i = 0; i < ranking->size(); ++i) {
+    EXPECT_EQ((*ranking)[i].rank, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(CaseStudyTest, SameCandidatesAcrossModels) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel oracle;
+  ConstantModel constant;
+  auto a = CaseStudyRanking(oracle, corpus, 9, PredictionTask::kText);
+  auto b = CaseStudyRanking(constant, corpus, 9, PredictionTask::kText);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::multiset<std::string> labels_a, labels_b;
+  for (const auto& c : *a) labels_a.insert(c.label);
+  for (const auto& c : *b) labels_b.insert(c.label);
+  EXPECT_EQ(labels_a, labels_b);
+}
+
+TEST(CaseStudyTest, OutOfRangeQueryRejected) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel model;
+  EXPECT_TRUE(CaseStudyRanking(model, corpus, 99, PredictionTask::kText)
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST(CaseStudyTest, LabelsRenderModality) {
+  const TokenizedCorpus corpus = DiagonalCorpus(30);
+  OracleModel model;
+  auto text = CaseStudyRanking(model, corpus, 3, PredictionTask::kText);
+  ASSERT_TRUE(text.ok());
+  // Truth label for record 3 is its word.
+  for (const auto& c : *text) {
+    if (c.is_truth) EXPECT_EQ(c.label, "w3");
+  }
+  auto time = CaseStudyRanking(model, corpus, 3, PredictionTask::kTime);
+  ASSERT_TRUE(time.ok());
+  for (const auto& c : *time) {
+    if (c.is_truth) EXPECT_EQ(c.label, "day 0, 03:00");
+  }
+}
+
+TEST(PredictionTaskTest, Names) {
+  EXPECT_STREQ(PredictionTaskName(PredictionTask::kText), "Text");
+  EXPECT_STREQ(PredictionTaskName(PredictionTask::kLocation), "Location");
+  EXPECT_STREQ(PredictionTaskName(PredictionTask::kTime), "Time");
+}
+
+}  // namespace
+}  // namespace actor

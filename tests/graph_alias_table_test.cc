@@ -1,0 +1,96 @@
+#include "graph/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace actor {
+namespace {
+
+TEST(AliasTableTest, EmptyWeightsError) {
+  EXPECT_TRUE(AliasTable::Create({}).status().IsInvalidArgument());
+}
+
+TEST(AliasTableTest, NegativeWeightError) {
+  EXPECT_TRUE(AliasTable::Create({1.0, -0.5}).status().IsInvalidArgument());
+}
+
+TEST(AliasTableTest, AllZeroWeightsError) {
+  EXPECT_TRUE(AliasTable::Create({0.0, 0.0}).status().IsInvalidArgument());
+}
+
+TEST(AliasTableTest, SingleWeightAlwaysSampled) {
+  auto table = AliasTable::Create({5.0});
+  ASSERT_TRUE(table.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table->Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  auto table = AliasTable::Create({1.0, 0.0, 1.0});
+  ASSERT_TRUE(table.ok());
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table->Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, ProbabilityAccessor) {
+  auto table = AliasTable::Create({1.0, 3.0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(table->Probability(1), 0.75);
+}
+
+TEST(AliasTableTest, SizeMatches) {
+  auto table = AliasTable::Create({1, 2, 3, 4});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), 4u);
+}
+
+class AliasDistributionSweep
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasDistributionSweep, EmpiricalMatchesWeights) {
+  const std::vector<double>& weights = GetParam();
+  auto table = AliasTable::Create(weights);
+  ASSERT_TRUE(table.ok());
+  double total = 0.0;
+  for (double w : weights) total += w;
+
+  Rng rng(42);
+  const int n = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[table->Sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total;
+    const double observed = static_cast<double>(counts[i]) / n;
+    EXPECT_NEAR(observed, expected, 0.01) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, AliasDistributionSweep,
+    ::testing::Values(std::vector<double>{1.0, 1.0},
+                      std::vector<double>{1.0, 2.0, 3.0, 4.0},
+                      std::vector<double>{10.0, 0.1},
+                      std::vector<double>{0.25, 0.25, 0.25, 0.25},
+                      std::vector<double>{5.0, 0.0, 5.0},
+                      std::vector<double>{1e-6, 1e6},
+                      std::vector<double>(100, 1.0)));
+
+TEST(AliasTableTest, ProbabilitiesSumToOne) {
+  auto table = AliasTable::Create({0.3, 2.7, 9.1, 0.01, 4.5});
+  ASSERT_TRUE(table.ok());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < table->size(); ++i) sum += table->Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AliasTableTest, DeterministicGivenRngSeed) {
+  auto table = AliasTable::Create({1.0, 2.0, 3.0});
+  ASSERT_TRUE(table.ok());
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table->Sample(a), table->Sample(b));
+}
+
+}  // namespace
+}  // namespace actor

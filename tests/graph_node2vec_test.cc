@@ -1,0 +1,144 @@
+#include "graph/node2vec_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/node2vec.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+/// Two word cliques bridged by one edge (community structure node2vec
+/// should capture).
+Heterograph TwoCommunityGraph() {
+  Heterograph g;
+  for (int i = 0; i < 8; ++i) {
+    g.AddVertex(VertexType::kWord, "w" + std::to_string(i));
+  }
+  auto clique = [&](int base) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        EXPECT_TRUE(g.AccumulateEdge(base + i, base + j, 5.0).ok());
+      }
+    }
+  };
+  clique(0);
+  clique(4);
+  EXPECT_TRUE(g.AccumulateEdge(3, 4, 0.2).ok());
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+TEST(Node2vecWalkTest, RequiresFinalizedGraph) {
+  Heterograph g;
+  EXPECT_TRUE(GenerateNode2vecWalks(g, {}).status().IsFailedPrecondition());
+}
+
+TEST(Node2vecWalkTest, RejectsBadParameters) {
+  Heterograph g = TwoCommunityGraph();
+  Node2vecWalkOptions options;
+  options.p = 0.0;
+  EXPECT_TRUE(GenerateNode2vecWalks(g, options).status().IsInvalidArgument());
+  options = Node2vecWalkOptions();
+  options.q = -1.0;
+  EXPECT_TRUE(GenerateNode2vecWalks(g, options).status().IsInvalidArgument());
+  options = Node2vecWalkOptions();
+  options.walk_length = 1;
+  EXPECT_TRUE(GenerateNode2vecWalks(g, options).status().IsInvalidArgument());
+}
+
+TEST(Node2vecWalkTest, EdgelessGraphRejected) {
+  Heterograph g;
+  g.AddVertex(VertexType::kWord, "lonely");
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_TRUE(GenerateNode2vecWalks(g, {}).status().IsInvalidArgument());
+}
+
+TEST(Node2vecWalkTest, WalksFollowEdges) {
+  Heterograph g = TwoCommunityGraph();
+  auto walks = GenerateNode2vecWalks(g, {});
+  ASSERT_TRUE(walks.ok());
+  ASSERT_FALSE(walks->empty());
+  for (const auto& walk : *walks) {
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+      EXPECT_GT(g.EdgeWeight(walk[i], walk[i + 1]), 0.0);
+    }
+  }
+}
+
+TEST(Node2vecWalkTest, WalksStartEverywhere) {
+  Heterograph g = TwoCommunityGraph();
+  Node2vecWalkOptions options;
+  options.walks_per_vertex = 2;
+  auto walks = GenerateNode2vecWalks(g, options);
+  ASSERT_TRUE(walks.ok());
+  EXPECT_EQ(walks->size(), 8u * 2u);
+}
+
+TEST(Node2vecWalkTest, DeterministicForSeed) {
+  Heterograph g = TwoCommunityGraph();
+  auto a = GenerateNode2vecWalks(g, {});
+  auto b = GenerateNode2vecWalks(g, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(Node2vecWalkTest, LowQExploresAcrossBridge) {
+  // DFS-ish walks (low q) should cross the bridge more often than BFS-ish
+  // walks (high q).
+  Heterograph g = TwoCommunityGraph();
+  auto crossings = [&](double q) {
+    Node2vecWalkOptions options;
+    options.p = 1.0;
+    options.q = q;
+    options.walks_per_vertex = 20;
+    options.walk_length = 12;
+    options.seed = 4;
+    auto walks = GenerateNode2vecWalks(g, options);
+    EXPECT_TRUE(walks.ok());
+    int count = 0;
+    for (const auto& walk : *walks) {
+      for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+        const bool left = walk[i] < 4;
+        const bool next_left = walk[i + 1] < 4;
+        if (left != next_left) ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_GT(crossings(0.25), crossings(4.0));
+}
+
+TEST(Node2vecBaselineTest, SeparatesCommunities) {
+  Heterograph g = TwoCommunityGraph();
+  Node2vecOptions options;
+  options.dim = 16;
+  options.walk.walks_per_vertex = 10;
+  options.walk.walk_length = 15;
+  options.skipgram.epochs = 6;
+  auto model = TrainNode2vec(g, options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const double intra = Cosine(model->center.row(0), model->center.row(1), 16);
+  const double inter = Cosine(model->center.row(0), model->center.row(6), 16);
+  EXPECT_GT(intra, inter);
+}
+
+TEST(Node2vecBaselineTest, DeepWalkRuns) {
+  Heterograph g = TwoCommunityGraph();
+  Node2vecOptions options;
+  options.dim = 16;
+  options.walk.p = 9.0;  // overwritten by TrainDeepWalk
+  options.skipgram.epochs = 2;
+  auto model = TrainDeepWalk(g, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->center.rows(), 8);
+  for (int r = 0; r < 8; ++r) {
+    for (int d = 0; d < 16; ++d) {
+      EXPECT_TRUE(std::isfinite(model->center.row(r)[d]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,128 @@
+#include "graph/proximity.h"
+
+#include <gtest/gtest.h>
+
+namespace actor {
+namespace {
+
+/// T0 - L0 - {w0, w1}; w2 attached only to w0; user u0 - T0.
+struct Fixture {
+  Heterograph g;
+  VertexId t0, l0, w0, w1, w2, u0;
+
+  Fixture() {
+    t0 = g.AddVertex(VertexType::kTime, "T0");
+    l0 = g.AddVertex(VertexType::kLocation, "L0");
+    w0 = g.AddVertex(VertexType::kWord, "w0");
+    w1 = g.AddVertex(VertexType::kWord, "w1");
+    w2 = g.AddVertex(VertexType::kWord, "w2");
+    u0 = g.AddVertex(VertexType::kUser, "u0");
+    EXPECT_TRUE(g.AccumulateEdge(t0, l0, 2.0).ok());
+    EXPECT_TRUE(g.AccumulateEdge(l0, w0, 3.0).ok());
+    EXPECT_TRUE(g.AccumulateEdge(l0, w1, 3.0).ok());
+    EXPECT_TRUE(g.AccumulateEdge(w0, w2, 1.0).ok());
+    EXPECT_TRUE(g.AccumulateEdge(u0, t0, 1.0).ok());
+    EXPECT_TRUE(g.Finalize().ok());
+  }
+};
+
+TEST(FirstOrderProximityTest, MatchesEdgeWeights) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(FirstOrderProximity(f.g, f.t0, f.l0), 2.0);
+  EXPECT_DOUBLE_EQ(FirstOrderProximity(f.g, f.l0, f.w0), 3.0);
+  EXPECT_DOUBLE_EQ(FirstOrderProximity(f.g, f.t0, f.w0), 0.0);
+}
+
+TEST(SecondOrderProximityTest, SharedNeighborhoodIsHigh) {
+  Fixture f;
+  // w1's only neighbor is L0; w0 has {L0, w2}. They share L0.
+  const double p = SecondOrderProximity(f.g, f.w0, f.w1);
+  EXPECT_GT(p, 0.5);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(SecondOrderProximityTest, IdenticalNeighborhoodIsOne) {
+  Heterograph g;
+  const VertexId l = g.AddVertex(VertexType::kLocation, "L");
+  const VertexId a = g.AddVertex(VertexType::kWord, "a");
+  const VertexId b = g.AddVertex(VertexType::kWord, "b");
+  ASSERT_TRUE(g.AccumulateEdge(l, a, 2.0).ok());
+  ASSERT_TRUE(g.AccumulateEdge(l, b, 2.0).ok());
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_DOUBLE_EQ(SecondOrderProximity(g, a, b), 1.0);
+}
+
+TEST(SecondOrderProximityTest, DisjointNeighborhoodIsZero) {
+  Fixture f;
+  // u0's neighbors: {T0}. w2's neighbors: {w0}. Disjoint.
+  EXPECT_DOUBLE_EQ(SecondOrderProximity(f.g, f.u0, f.w2), 0.0);
+}
+
+TEST(SecondOrderProximityTest, SelfIsOne) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(SecondOrderProximity(f.g, f.w0, f.w0), 1.0);
+}
+
+TEST(SecondOrderProximityTest, IsolatedVertexIsZero) {
+  Heterograph g;
+  const VertexId a = g.AddVertex(VertexType::kWord, "a");
+  const VertexId b = g.AddVertex(VertexType::kWord, "b");
+  const VertexId c = g.AddVertex(VertexType::kWord, "c");
+  ASSERT_TRUE(g.AccumulateEdge(a, b).ok());
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_DOUBLE_EQ(SecondOrderProximity(g, a, c), 0.0);
+}
+
+TEST(SecondOrderProximityTest, Symmetric) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(SecondOrderProximity(f.g, f.w0, f.w1),
+                   SecondOrderProximity(f.g, f.w1, f.w0));
+}
+
+TEST(ShortestPathTest, DirectNeighborsOneHop) {
+  Fixture f;
+  EXPECT_EQ(ShortestPathHops(f.g, f.t0, f.l0), 1);
+}
+
+TEST(ShortestPathTest, SelfIsZero) {
+  Fixture f;
+  EXPECT_EQ(ShortestPathHops(f.g, f.w0, f.w0), 0);
+}
+
+TEST(ShortestPathTest, HighOrderPath) {
+  Fixture f;
+  // u0 - T0 - L0 - w0 - w2: four hops, i.e. high-order proximity
+  // (more than two pass-through hops, §4.2).
+  EXPECT_EQ(ShortestPathHops(f.g, f.u0, f.w2), 4);
+  EXPECT_EQ(ShortestPathHops(f.g, f.u0, f.w0), 3);
+}
+
+TEST(ShortestPathTest, UnreachableIsMinusOne) {
+  Heterograph g;
+  const VertexId a = g.AddVertex(VertexType::kWord, "a");
+  const VertexId b = g.AddVertex(VertexType::kWord, "b");
+  const VertexId c = g.AddVertex(VertexType::kWord, "c");
+  const VertexId d = g.AddVertex(VertexType::kWord, "d");
+  ASSERT_TRUE(g.AccumulateEdge(a, b).ok());
+  ASSERT_TRUE(g.AccumulateEdge(c, d).ok());
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(ShortestPathHops(g, a, c), -1);
+}
+
+TEST(ShortestPathTest, MentionBridgeCreatesHighOrderProximity) {
+  // The paper's Fig. 3a claim: T1 reaches W2 through the user layer.
+  Heterograph g;
+  const VertexId t1 = g.AddVertex(VertexType::kTime, "T1");
+  const VertexId ua = g.AddVertex(VertexType::kUser, "A");
+  const VertexId ub = g.AddVertex(VertexType::kUser, "B");
+  const VertexId w2 = g.AddVertex(VertexType::kWord, "W2");
+  ASSERT_TRUE(g.AccumulateEdge(t1, ua).ok());   // A's record time
+  ASSERT_TRUE(g.AccumulateEdge(ua, ub).ok());   // mention
+  ASSERT_TRUE(g.AccumulateEdge(ub, w2).ok());   // B's record word
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(ShortestPathHops(g, t1, w2), 3);
+  EXPECT_DOUBLE_EQ(FirstOrderProximity(g, t1, w2), 0.0);
+}
+
+}  // namespace
+}  // namespace actor

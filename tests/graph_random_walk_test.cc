@@ -1,0 +1,141 @@
+#include "graph/random_walk.h"
+
+#include <gtest/gtest.h>
+
+namespace actor {
+namespace {
+
+/// L0-W0-T0-W1 chain plus L1 attached to W1.
+Heterograph ChainGraph() {
+  Heterograph g;
+  const VertexId l0 = g.AddVertex(VertexType::kLocation, "L0");
+  const VertexId w0 = g.AddVertex(VertexType::kWord, "w0");
+  const VertexId t0 = g.AddVertex(VertexType::kTime, "T0");
+  const VertexId w1 = g.AddVertex(VertexType::kWord, "w1");
+  const VertexId l1 = g.AddVertex(VertexType::kLocation, "L1");
+  EXPECT_TRUE(g.AccumulateEdge(l0, w0).ok());
+  EXPECT_TRUE(g.AccumulateEdge(w0, t0).ok());
+  EXPECT_TRUE(g.AccumulateEdge(t0, w1).ok());
+  EXPECT_TRUE(g.AccumulateEdge(w1, l1).ok());
+  EXPECT_TRUE(g.AccumulateEdge(w0, w1).ok());
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+std::vector<VertexType> LwtwPath() {
+  return {VertexType::kLocation, VertexType::kWord, VertexType::kTime,
+          VertexType::kWord};
+}
+
+TEST(MetaPathWalkerTest, WalksFollowTypePattern) {
+  Heterograph g = ChainGraph();
+  MetaPathWalker walker(&g, LwtwPath());
+  MetaPathWalkOptions options;
+  options.walks_per_start = 3;
+  options.walk_length = 12;
+  auto walks = walker.GenerateWalks(options);
+  ASSERT_TRUE(walks.ok()) << walks.status().ToString();
+  ASSERT_FALSE(walks->empty());
+  const std::vector<VertexType> pattern = LwtwPath();
+  for (const auto& walk : *walks) {
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      EXPECT_EQ(g.vertex_type(walk[i]), pattern[i % pattern.size()])
+          << "position " << i;
+    }
+  }
+}
+
+TEST(MetaPathWalkerTest, WalksStartAtFirstTypeVertices) {
+  Heterograph g = ChainGraph();
+  MetaPathWalker walker(&g, LwtwPath());
+  MetaPathWalkOptions options;
+  options.walks_per_start = 2;
+  auto walks = walker.GenerateWalks(options);
+  ASSERT_TRUE(walks.ok());
+  for (const auto& walk : *walks) {
+    EXPECT_EQ(g.vertex_type(walk.front()), VertexType::kLocation);
+  }
+}
+
+TEST(MetaPathWalkerTest, ConsecutiveVerticesAreNeighbors) {
+  Heterograph g = ChainGraph();
+  MetaPathWalker walker(&g, LwtwPath());
+  MetaPathWalkOptions options;
+  auto walks = walker.GenerateWalks(options);
+  ASSERT_TRUE(walks.ok());
+  for (const auto& walk : *walks) {
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+      EXPECT_GT(g.EdgeWeight(walk[i], walk[i + 1]), 0.0);
+    }
+  }
+}
+
+TEST(MetaPathWalkerTest, DeterministicForSeed) {
+  Heterograph g = ChainGraph();
+  MetaPathWalkOptions options;
+  options.seed = 5;
+  MetaPathWalker wa(&g, LwtwPath());
+  MetaPathWalker wb(&g, LwtwPath());
+  auto a = wa.GenerateWalks(options);
+  auto b = wb.GenerateWalks(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(MetaPathWalkerTest, ShortMetaPathRejected) {
+  Heterograph g = ChainGraph();
+  MetaPathWalker walker(&g, {VertexType::kWord});
+  EXPECT_TRUE(
+      walker.GenerateWalks({}).status().IsInvalidArgument());
+}
+
+TEST(MetaPathWalkerTest, InvalidTransitionRejected) {
+  Heterograph g = ChainGraph();
+  MetaPathWalker walker(&g, {VertexType::kTime, VertexType::kTime});
+  EXPECT_TRUE(walker.GenerateWalks({}).status().IsInvalidArgument());
+}
+
+TEST(MetaPathWalkerTest, BadWalkOptionsRejected) {
+  Heterograph g = ChainGraph();
+  MetaPathWalker walker(&g, LwtwPath());
+  MetaPathWalkOptions options;
+  options.walk_length = 1;
+  EXPECT_TRUE(walker.GenerateWalks(options).status().IsInvalidArgument());
+  options.walk_length = 10;
+  options.walks_per_start = 0;
+  EXPECT_TRUE(walker.GenerateWalks(options).status().IsInvalidArgument());
+}
+
+TEST(MetaPathWalkerTest, DeadEndTruncatesWalk) {
+  // A lone L vertex with one W neighbor that has no T edge: walks stop
+  // after 2 vertices.
+  Heterograph g;
+  const VertexId l = g.AddVertex(VertexType::kLocation, "L");
+  const VertexId w = g.AddVertex(VertexType::kWord, "w");
+  ASSERT_TRUE(g.AccumulateEdge(l, w).ok());
+  ASSERT_TRUE(g.Finalize().ok());
+  MetaPathWalker walker(&g, LwtwPath());
+  MetaPathWalkOptions options;
+  options.walk_length = 10;
+  auto walks = walker.GenerateWalks(options);
+  ASSERT_TRUE(walks.ok());
+  for (const auto& walk : *walks) {
+    EXPECT_EQ(walk.size(), 2u);
+  }
+}
+
+TEST(MetaPathWalkerTest, WalkLengthRespected) {
+  Heterograph g = ChainGraph();
+  MetaPathWalker walker(&g, LwtwPath());
+  MetaPathWalkOptions options;
+  options.walk_length = 7;
+  auto walks = walker.GenerateWalks(options);
+  ASSERT_TRUE(walks.ok());
+  for (const auto& walk : *walks) {
+    EXPECT_LE(walk.size(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace actor

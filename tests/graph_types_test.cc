@@ -1,0 +1,61 @@
+#include "graph/types.h"
+
+#include <gtest/gtest.h>
+
+namespace actor {
+namespace {
+
+TEST(VertexTypeTest, Names) {
+  EXPECT_STREQ(VertexTypeName(VertexType::kTime), "T");
+  EXPECT_STREQ(VertexTypeName(VertexType::kLocation), "L");
+  EXPECT_STREQ(VertexTypeName(VertexType::kWord), "W");
+  EXPECT_STREQ(VertexTypeName(VertexType::kUser), "U");
+}
+
+TEST(EdgeTypeTest, Names) {
+  EXPECT_STREQ(EdgeTypeName(EdgeType::kTL), "TL");
+  EXPECT_STREQ(EdgeTypeName(EdgeType::kWW), "WW");
+  EXPECT_STREQ(EdgeTypeName(EdgeType::kUU), "UU");
+}
+
+struct EdgePairCase {
+  VertexType a;
+  VertexType b;
+  EdgeType expected;
+};
+
+class EdgeTypeSweep : public ::testing::TestWithParam<EdgePairCase> {};
+
+TEST_P(EdgeTypeSweep, ResolvesBothOrders) {
+  const auto& c = GetParam();
+  auto forward = EdgeTypeBetween(c.a, c.b);
+  auto backward = EdgeTypeBetween(c.b, c.a);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_EQ(*forward, c.expected);
+  EXPECT_EQ(*backward, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, EdgeTypeSweep,
+    ::testing::Values(
+        EdgePairCase{VertexType::kTime, VertexType::kLocation, EdgeType::kTL},
+        EdgePairCase{VertexType::kLocation, VertexType::kWord, EdgeType::kLW},
+        EdgePairCase{VertexType::kWord, VertexType::kTime, EdgeType::kWT},
+        EdgePairCase{VertexType::kWord, VertexType::kWord, EdgeType::kWW},
+        EdgePairCase{VertexType::kUser, VertexType::kTime, EdgeType::kUT},
+        EdgePairCase{VertexType::kUser, VertexType::kWord, EdgeType::kUW},
+        EdgePairCase{VertexType::kUser, VertexType::kLocation, EdgeType::kUL},
+        EdgePairCase{VertexType::kUser, VertexType::kUser, EdgeType::kUU}));
+
+TEST(EdgeTypeTest, UnsupportedPairsRejected) {
+  EXPECT_TRUE(EdgeTypeBetween(VertexType::kTime, VertexType::kTime)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(EdgeTypeBetween(VertexType::kLocation, VertexType::kLocation)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace actor

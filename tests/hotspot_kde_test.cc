@@ -1,0 +1,103 @@
+#include "hotspot/kde.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace actor {
+namespace {
+
+TEST(EpanechnikovTest, Profile) {
+  EXPECT_DOUBLE_EQ(EpanechnikovProfile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(EpanechnikovProfile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(EpanechnikovProfile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(EpanechnikovProfile(1.5), 0.0);
+}
+
+TEST(Kde1dTest, EmptySamplesError) {
+  EXPECT_TRUE(Kde1d::Create({}, 1.0).status().IsInvalidArgument());
+}
+
+TEST(Kde1dTest, NonPositiveBandwidthError) {
+  EXPECT_TRUE(Kde1d::Create({1.0}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(Kde1d::Create({1.0}, -1.0).status().IsInvalidArgument());
+}
+
+TEST(Kde1dTest, DensityPeaksAtCluster) {
+  std::vector<double> samples = {1.0, 1.1, 0.9, 1.05, 5.0};
+  auto kde = Kde1d::Create(samples, 0.5);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Density(1.0), kde->Density(3.0));
+  EXPECT_GT(kde->Density(1.0), kde->Density(5.0));
+}
+
+TEST(Kde1dTest, DensityZeroFarAway) {
+  auto kde = Kde1d::Create({0.0}, 1.0);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_DOUBLE_EQ(kde->Density(10.0), 0.0);
+}
+
+TEST(Kde1dTest, LocalMaximumDetection) {
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(2.0 + 0.001 * i);
+  auto kde = Kde1d::Create(samples, 1.0);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_TRUE(kde->IsLocalMaximum(2.05, 0.5));
+  EXPECT_FALSE(kde->IsLocalMaximum(3.5, 0.5));
+}
+
+TEST(Kde1dTest, CircularWrapsAroundSeam) {
+  // Cluster at 23.8 and 0.2 hours: circularly one cluster near midnight.
+  std::vector<double> samples = {23.8, 23.9, 0.1, 0.2};
+  auto kde = Kde1d::Create(samples, 1.0, /*period=*/24.0);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Density(0.0), kde->Density(12.0));
+  // Density at 0.0 sees all four points.
+  EXPECT_GT(kde->Density(0.0), kde->Density(2.0));
+}
+
+TEST(Kde1dTest, LinearDomainDoesNotWrap) {
+  std::vector<double> samples = {23.8, 23.9};
+  auto kde = Kde1d::Create(samples, 1.0);  // no period
+  ASSERT_TRUE(kde.ok());
+  EXPECT_DOUBLE_EQ(kde->Density(0.2), 0.0);
+}
+
+TEST(Kde2dTest, EmptySamplesError) {
+  EXPECT_TRUE(Kde2d::Create({}, 1.0).status().IsInvalidArgument());
+}
+
+TEST(Kde2dTest, BadBandwidthError) {
+  EXPECT_TRUE(
+      Kde2d::Create({{0, 0}}, -0.5).status().IsInvalidArgument());
+}
+
+TEST(Kde2dTest, DensityPeaksAtCluster) {
+  std::vector<GeoPoint> samples = {{1, 1}, {1.1, 0.9}, {0.9, 1.1}, {8, 8}};
+  auto kde = Kde2d::Create(samples, 1.0);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Density({1, 1}), kde->Density({8, 8}));
+  EXPECT_GT(kde->Density({1, 1}), kde->Density({4, 4}));
+}
+
+TEST(Kde2dTest, LocalMaximumAtClusterCenter) {
+  std::vector<GeoPoint> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back({3.0 + 0.01 * (i % 7), 3.0 + 0.01 * (i % 5)});
+  }
+  auto kde = Kde2d::Create(samples, 1.0);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_TRUE(kde->IsLocalMaximum({3.02, 3.02}, 0.5));
+  EXPECT_FALSE(kde->IsLocalMaximum({5.0, 5.0}, 0.5));
+}
+
+TEST(Kde2dTest, NormalizationScalesWithN) {
+  // Density of a single point at itself: K(0)/(n h^2).
+  auto one = Kde2d::Create({{0, 0}}, 2.0);
+  auto two = Kde2d::Create({{0, 0}, {100, 100}}, 2.0);
+  ASSERT_TRUE(one.ok() && two.ok());
+  EXPECT_NEAR(one->Density({0, 0}), 2.0 * two->Density({0, 0}), 1e-12);
+}
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,212 @@
+#include "hotspot/mean_shift.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace actor {
+namespace {
+
+std::vector<GeoPoint> TwoClusters(int per_cluster, double spread,
+                                  uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<GeoPoint> points;
+  for (int i = 0; i < per_cluster; ++i) {
+    points.push_back({rng.Gaussian(2.0, spread), rng.Gaussian(2.0, spread)});
+    points.push_back({rng.Gaussian(10.0, spread), rng.Gaussian(10.0, spread)});
+  }
+  return points;
+}
+
+TEST(MeanShift2dTest, RecoversTwoClusters) {
+  MeanShiftOptions options;
+  options.bandwidth = 1.5;
+  options.merge_radius = 1.0;
+  auto modes = MeanShiftModes2d(TwoClusters(200, 0.3), options);
+  ASSERT_TRUE(modes.ok()) << modes.status().ToString();
+  ASSERT_EQ(modes->size(), 2u);
+  // One mode near each cluster center, in any order.
+  const double d0 = std::min(Distance((*modes)[0], {2, 2}),
+                             Distance((*modes)[0], {10, 10}));
+  const double d1 = std::min(Distance((*modes)[1], {2, 2}),
+                             Distance((*modes)[1], {10, 10}));
+  EXPECT_LT(d0, 0.3);
+  EXPECT_LT(d1, 0.3);
+  EXPECT_GT(Distance((*modes)[0], (*modes)[1]), 5.0);
+}
+
+TEST(MeanShift2dTest, SinglePoint) {
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  auto modes = MeanShiftModes2d({{3.0, 4.0}}, options);
+  ASSERT_TRUE(modes.ok());
+  ASSERT_EQ(modes->size(), 1u);
+  EXPECT_NEAR((*modes)[0].x, 3.0, 1e-6);
+  EXPECT_NEAR((*modes)[0].y, 4.0, 1e-6);
+}
+
+TEST(MeanShift2dTest, ModesSortedBySupport) {
+  Rng rng(2);
+  std::vector<GeoPoint> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({rng.Gaussian(2.0, 0.2), rng.Gaussian(2.0, 0.2)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({rng.Gaussian(12.0, 0.2), rng.Gaussian(12.0, 0.2)});
+  }
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  auto modes = MeanShiftModes2d(points, options);
+  ASSERT_TRUE(modes.ok());
+  ASSERT_GE(modes->size(), 2u);
+  // First mode is the big cluster.
+  EXPECT_LT(Distance((*modes)[0], {2, 2}), 0.5);
+}
+
+TEST(MeanShift2dTest, LargeMergeRadiusCollapsesModes) {
+  MeanShiftOptions options;
+  options.bandwidth = 1.5;
+  options.merge_radius = 50.0;  // merge everything
+  auto modes = MeanShiftModes2d(TwoClusters(50, 0.3), options);
+  ASSERT_TRUE(modes.ok());
+  EXPECT_EQ(modes->size(), 1u);
+}
+
+TEST(MeanShift2dTest, EmptyInputError) {
+  MeanShiftOptions options;
+  EXPECT_TRUE(MeanShiftModes2d({}, options).status().IsInvalidArgument());
+}
+
+TEST(MeanShift2dTest, BadOptionsError) {
+  MeanShiftOptions options;
+  options.bandwidth = 0.0;
+  EXPECT_TRUE(
+      MeanShiftModes2d({{0, 0}}, options).status().IsInvalidArgument());
+  options.bandwidth = 1.0;
+  options.max_iterations = 0;
+  EXPECT_TRUE(
+      MeanShiftModes2d({{0, 0}}, options).status().IsInvalidArgument());
+  options.max_iterations = 10;
+  options.merge_radius = -1.0;
+  EXPECT_TRUE(
+      MeanShiftModes2d({{0, 0}}, options).status().IsInvalidArgument());
+}
+
+TEST(MeanShift2dTest, DeterministicAcrossRuns) {
+  const auto points = TwoClusters(100, 0.4);
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  auto a = MeanShiftModes2d(points, options);
+  auto b = MeanShiftModes2d(points, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].x, (*b)[i].x);
+  }
+}
+
+TEST(MeanShift1dTest, RecoversCircadianPeaks) {
+  Rng rng(3);
+  std::vector<double> hours;
+  for (int i = 0; i < 300; ++i) {
+    hours.push_back(std::fmod(rng.Gaussian(9.0, 0.5) + 24.0, 24.0));
+    hours.push_back(std::fmod(rng.Gaussian(20.0, 0.5) + 24.0, 24.0));
+  }
+  MeanShiftOptions options;
+  options.bandwidth = 1.5;
+  options.merge_radius = 1.0;
+  auto modes = MeanShiftModes1dCircular(hours, 24.0, options);
+  ASSERT_TRUE(modes.ok());
+  ASSERT_EQ(modes->size(), 2u);
+  std::vector<double> sorted = *modes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(sorted[0], 9.0, 0.4);
+  EXPECT_NEAR(sorted[1], 20.0, 0.4);
+}
+
+TEST(MeanShift1dTest, MidnightSeamCluster) {
+  // One cluster straddling midnight: 23.5h..0.5h. A linear-domain method
+  // would report two modes; the circular one must report exactly one.
+  Rng rng(4);
+  std::vector<double> hours;
+  for (int i = 0; i < 400; ++i) {
+    hours.push_back(std::fmod(rng.Gaussian(24.0, 0.3) + 24.0, 24.0));
+  }
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  options.merge_radius = 0.8;
+  auto modes = MeanShiftModes1dCircular(hours, 24.0, options);
+  ASSERT_TRUE(modes.ok());
+  ASSERT_EQ(modes->size(), 1u);
+  const double d = std::min((*modes)[0], 24.0 - (*modes)[0]);
+  EXPECT_LT(d, 0.3);  // mode near midnight
+}
+
+TEST(MeanShift1dTest, ModesWithinPeriod) {
+  Rng rng(5);
+  std::vector<double> hours;
+  for (int i = 0; i < 100; ++i) hours.push_back(rng.UniformRange(0.0, 24.0));
+  MeanShiftOptions options;
+  options.bandwidth = 2.0;
+  auto modes = MeanShiftModes1dCircular(hours, 24.0, options);
+  ASSERT_TRUE(modes.ok());
+  for (double m : *modes) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LT(m, 24.0);
+  }
+}
+
+TEST(MeanShift1dTest, BadPeriodError) {
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  EXPECT_TRUE(MeanShiftModes1dCircular({1.0}, 0.0, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MeanShift1dTest, EmptyInputError) {
+  MeanShiftOptions options;
+  EXPECT_TRUE(MeanShiftModes1dCircular({}, 24.0, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MeanShift2dTest, ThreadCountDoesNotChangeResult) {
+  const auto points = TwoClusters(300, 0.5, 17);
+  MeanShiftOptions serial;
+  serial.bandwidth = 1.0;
+  MeanShiftOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto a = MeanShiftModes2d(points, serial);
+  auto b = MeanShiftModes2d(points, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].x, (*b)[i].x);
+    EXPECT_DOUBLE_EQ((*a)[i].y, (*b)[i].y);
+  }
+}
+
+class BandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthSweep, WiderBandwidthFindsFewerOrEqualModes) {
+  const auto points = TwoClusters(150, 0.6, 7);
+  MeanShiftOptions narrow;
+  narrow.bandwidth = GetParam();
+  narrow.merge_radius = narrow.bandwidth / 2.0;
+  MeanShiftOptions wide = narrow;
+  wide.bandwidth = GetParam() * 4.0;
+  wide.merge_radius = wide.bandwidth / 2.0;
+  auto narrow_modes = MeanShiftModes2d(points, narrow);
+  auto wide_modes = MeanShiftModes2d(points, wide);
+  ASSERT_TRUE(narrow_modes.ok() && wide_modes.ok());
+  EXPECT_LE(wide_modes->size(), narrow_modes->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, BandwidthSweep,
+                         ::testing::Values(0.3, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace actor

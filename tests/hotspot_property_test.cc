@@ -1,0 +1,158 @@
+// Property tests tying the mean-shift hotspot detector to Definition 5:
+// every detected hotspot must be (approximately) a local maximum of the
+// Epanechnikov KDE estimated from the same samples, across generator
+// seeds and bandwidths.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "hotspot/hotspot_detector.h"
+#include "hotspot/kde.h"
+#include "util/rng.h"
+
+namespace actor {
+namespace {
+
+struct PropertyCase {
+  uint64_t seed;
+  double bandwidth;
+};
+
+class SpatialHotspotProperty : public ::testing::TestWithParam<PropertyCase> {
+};
+
+TEST_P(SpatialHotspotProperty, DetectedModesAreKdeLocalMaxima) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  // Three clusters with different densities.
+  std::vector<GeoPoint> points;
+  const GeoPoint centers[] = {{5, 5}, {15, 8}, {10, 18}};
+  const int sizes[] = {400, 250, 150};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < sizes[c]; ++i) {
+      points.push_back({rng.Gaussian(centers[c].x, 0.5),
+                        rng.Gaussian(centers[c].y, 0.5)});
+    }
+  }
+  MeanShiftOptions options;
+  options.bandwidth = param.bandwidth;
+  options.merge_radius = param.bandwidth / 2.0;
+  auto hotspots = DetectSpatialHotspots(points, options);
+  ASSERT_TRUE(hotspots.ok());
+  ASSERT_GE(hotspots->size(), 1u);
+
+  auto kde = Kde2d::Create(points, param.bandwidth);
+  ASSERT_TRUE(kde.ok());
+  for (const auto& center : hotspots->centers()) {
+    // Definition 5: the hotspot is a local maximum of the kernel density.
+    // On a finite sample a converged mean-shift trajectory can rest a hair
+    // off the discrete-KDE argmax, so allow neighbours to exceed the mode
+    // density by at most 3%.
+    const double here = kde->Density(center);
+    EXPECT_GT(here, 0.0);
+    double best_neighbor = 0.0;
+    const double step = param.bandwidth / 4.0;
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        if (dx == 0 && dy == 0) continue;
+        best_neighbor = std::max(
+            best_neighbor,
+            kde->Density({center.x + dx * step, center.y + dy * step}));
+      }
+    }
+    EXPECT_GE(here, 0.97 * best_neighbor)
+        << "hotspot (" << center.x << ", " << center.y << ")";
+  }
+}
+
+TEST_P(SpatialHotspotProperty, AssignmentIsNearestCenter) {
+  const auto& param = GetParam();
+  Rng rng(param.seed + 100);
+  std::vector<GeoPoint> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back(
+        {rng.UniformRange(0.0, 20.0), rng.UniformRange(0.0, 20.0)});
+  }
+  MeanShiftOptions options;
+  options.bandwidth = param.bandwidth;
+  auto hotspots = DetectSpatialHotspots(points, options);
+  ASSERT_TRUE(hotspots.ok());
+  for (int i = 0; i < 50; ++i) {
+    const GeoPoint p{rng.UniformRange(0.0, 20.0),
+                     rng.UniformRange(0.0, 20.0)};
+    const int32_t assigned = hotspots->Assign(p);
+    ASSERT_GE(assigned, 0);
+    const double assigned_dist =
+        Distance(p, hotspots->center(assigned));
+    for (std::size_t h = 0; h < hotspots->size(); ++h) {
+      EXPECT_LE(assigned_dist,
+                Distance(p, hotspots->center(static_cast<int32_t>(h))) +
+                    1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBandwidths, SpatialHotspotProperty,
+    ::testing::Values(PropertyCase{1, 0.8}, PropertyCase{2, 0.8},
+                      PropertyCase{3, 1.2}, PropertyCase{4, 1.6},
+                      PropertyCase{5, 2.0}, PropertyCase{6, 1.0}));
+
+class TemporalHotspotProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TemporalHotspotProperty, ModesAreCircularKdeLocalMaxima) {
+  Rng rng(GetParam());
+  std::vector<double> hours;
+  // Morning + evening peaks.
+  for (int i = 0; i < 300; ++i) {
+    hours.push_back(std::fmod(rng.Gaussian(8.5, 0.7) + 24.0, 24.0));
+    hours.push_back(std::fmod(rng.Gaussian(20.0, 0.9) + 24.0, 24.0));
+  }
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  options.merge_radius = 0.75;
+  auto modes = MeanShiftModes1dCircular(hours, 24.0, options);
+  ASSERT_TRUE(modes.ok());
+  auto kde = Kde1d::Create(hours, 1.0, 24.0);
+  ASSERT_TRUE(kde.ok());
+  for (double m : *modes) {
+    EXPECT_TRUE(kde->IsLocalMaximum(m, 0.25)) << "mode at hour " << m;
+  }
+}
+
+TEST_P(TemporalHotspotProperty, SyntheticRecordsLandNearTopicPeaks) {
+  SyntheticConfig config;
+  config.seed = GetParam();
+  config.num_records = 2500;
+  config.num_users = 60;
+  config.num_topics = 3;
+  config.num_venues = 9;
+  config.num_communities = 3;
+  config.time_noise_hours = 0.5;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  std::vector<double> timestamps;
+  for (const auto& r : ds->corpus.records()) {
+    timestamps.push_back(r.timestamp);
+  }
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  options.merge_radius = 0.75;
+  auto hotspots = DetectTemporalHotspots(timestamps, options);
+  ASSERT_TRUE(hotspots.ok());
+  // Every topic peak that is circularly isolated should be within one
+  // bandwidth of some detected hotspot.
+  for (double peak : ds->truth.topic_peak_hours) {
+    double best = 24.0;
+    for (double h : hotspots->hours()) {
+      best = std::min(best, CircularHourDistance(peak, h));
+    }
+    EXPECT_LT(best, 1.5) << "peak hour " << peak;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalHotspotProperty,
+                         ::testing::Values(11ULL, 22ULL, 33ULL, 44ULL));
+
+}  // namespace
+}  // namespace actor

@@ -1,0 +1,96 @@
+// Cross-preset property sweep: the pipeline invariants every dataset
+// preset must satisfy, whatever its scale or mention policy.
+
+#include <gtest/gtest.h>
+
+#include "core/meta_graph.h"
+#include "eval/pipeline.h"
+
+namespace actor {
+namespace {
+
+struct PresetCase {
+  const char* name;
+  PipelineOptions (*make)(double);
+  bool has_mentions;
+};
+
+class PresetSweep : public ::testing::TestWithParam<PresetCase> {
+ protected:
+  static PreparedDataset Prepare(const PresetCase& c) {
+    PipelineOptions options = c.make(0.08);
+    auto data = PrepareDataset(options, c.name);
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    return data.MoveValueOrDie();
+  }
+};
+
+TEST_P(PresetSweep, SplitPartitionsCorpus) {
+  const PreparedDataset data = Prepare(GetParam());
+  EXPECT_EQ(data.split.train.size() + data.split.valid.size() +
+                data.split.test.size(),
+            data.full.size());
+  EXPECT_GT(data.train.size(), data.test.size());
+}
+
+TEST_P(PresetSweep, EveryRecordResolvesToUnits) {
+  const PreparedDataset data = Prepare(GetParam());
+  for (const auto& rec : data.test.records()) {
+    EXPECT_GE(data.hotspots.spatial.Assign(rec.location), 0);
+    EXPECT_GE(data.hotspots.temporal.Assign(rec.timestamp), 0);
+    for (int32_t w : rec.word_ids) {
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, data.full.vocab().size());
+    }
+  }
+}
+
+TEST_P(PresetSweep, GraphDegreesMatchEdgeWeights) {
+  const PreparedDataset data = Prepare(GetParam());
+  const Heterograph& g = data.graphs.activity;
+  for (int e = 0; e < kNumEdgeTypes; ++e) {
+    const EdgeType et = static_cast<EdgeType>(e);
+    double degree_sum = 0.0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      degree_sum += g.Degree(et, v);
+    }
+    double edge_sum = 0.0;
+    for (double w : g.edges(et).weight) edge_sum += w;
+    EXPECT_NEAR(degree_sum, edge_sum, 1e-6) << EdgeTypeName(et);
+  }
+}
+
+TEST_P(PresetSweep, MentionPolicyGovernsUserGraph) {
+  const PresetCase& c = GetParam();
+  const PreparedDataset data = Prepare(c);
+  const std::size_t uu_edges =
+      data.graphs.user_graph.edges(EdgeType::kUU).size();
+  if (c.has_mentions) {
+    EXPECT_GT(uu_edges, 0u);
+    for (const auto& meta : InterRecordMetaGraphs()) {
+      EXPECT_GT(CountInterRecordInstances(data.graphs, meta), 0) << meta.name;
+    }
+  } else {
+    EXPECT_EQ(uu_edges, 0u);
+  }
+}
+
+TEST_P(PresetSweep, IntraEdgeTypesAllPopulated) {
+  const PreparedDataset data = Prepare(GetParam());
+  for (EdgeType e : IntraEdgeTypes()) {
+    EXPECT_GT(data.graphs.activity.edges(e).size(), 0u) << EdgeTypeName(e);
+  }
+  // Author edges always exist regardless of mention policy.
+  for (EdgeType e : InterEdgeTypes()) {
+    EXPECT_GT(data.graphs.activity.edges(e).size(), 0u) << EdgeTypeName(e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, PresetSweep,
+    ::testing::Values(PresetCase{"utgeo", &UTGeoPipeline, true},
+                      PresetCase{"tweet", &TweetPipeline, false},
+                      PresetCase{"4sq", &FourSqPipeline, false}));
+
+}  // namespace
+}  // namespace actor

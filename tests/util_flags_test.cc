@@ -1,0 +1,79 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace actor {
+namespace {
+
+Flags MakeFlags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesKeyValue) {
+  Flags f = MakeFlags({"--dim=64", "--name=actor"});
+  EXPECT_EQ(f.GetInt("dim", 0), 64);
+  EXPECT_EQ(f.GetString("name", ""), "actor");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = MakeFlags({});
+  EXPECT_EQ(f.GetInt("dim", 32), 32);
+  EXPECT_EQ(f.GetString("name", "x"), "x");
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.5), 1.5);
+  EXPECT_TRUE(f.GetBool("flag", true));
+  EXPECT_FALSE(f.Has("dim"));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = MakeFlags({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+}
+
+TEST(FlagsTest, BooleanValues) {
+  Flags f = MakeFlags({"--a=true", "--b=1", "--c=yes", "--d=false",
+                       "--e=0"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+  EXPECT_FALSE(f.GetBool("e", true));
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  Flags f = MakeFlags({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.0), 0.25);
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  Flags f = MakeFlags({"--offset=-3"});
+  EXPECT_EQ(f.GetInt("offset", 0), -3);
+}
+
+TEST(FlagsTest, NonFlagArgumentsIgnored) {
+  Flags f = MakeFlags({"positional", "-x=1", "--ok=2"});
+  EXPECT_FALSE(f.Has("positional"));
+  EXPECT_FALSE(f.Has("x"));
+  EXPECT_EQ(f.GetInt("ok", 0), 2);
+}
+
+TEST(FlagsTest, ValueWithEquals) {
+  Flags f = MakeFlags({"--expr=a=b"});
+  EXPECT_EQ(f.GetString("expr", ""), "a=b");
+}
+
+TEST(FlagsTest, LastDuplicateWins) {
+  Flags f = MakeFlags({"--k=1", "--k=2"});
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace actor

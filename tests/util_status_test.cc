@@ -1,0 +1,163 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace actor {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad dim");
+}
+
+TEST(StatusTest, NotFound) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+}
+
+TEST(StatusTest, IOError) { EXPECT_TRUE(Status::IOError("x").IsIOError()); }
+
+TEST(StatusTest, OutOfRange) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+TEST(StatusTest, FailedPrecondition) {
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, CopyPreservesContents) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kInternal);
+  EXPECT_EQ(copy.message(), "boom");
+  // Original unchanged.
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(StatusTest, CopyAssignOverOk) {
+  Status ok;
+  Status err = Status::NotFound("gone");
+  ok = err;
+  EXPECT_TRUE(ok.IsNotFound());
+}
+
+TEST(StatusTest, CopyAssignOkOverError) {
+  Status err = Status::NotFound("gone");
+  err = Status::OK();
+  EXPECT_TRUE(err.ok());
+}
+
+TEST(StatusTest, MoveTransfersContents) {
+  Status s = Status::IOError("disk");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsIOError());
+  EXPECT_EQ(moved.message(), "disk");
+}
+
+TEST(StatusTest, SelfAssignSafe) {
+  Status s = Status::Internal("x");
+  Status& alias = s;
+  s = alias;
+  EXPECT_EQ(s.message(), "x");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "Not implemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "Already exists");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::OutOfRange("n"); };
+  auto wrapper = [&]() -> Status {
+    ACTOR_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsOutOfRange());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesOk) {
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    ACTOR_RETURN_NOT_OK(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, FromOkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveValueOrDie) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = r.MoveValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = []() -> Result<int> { return 7; };
+  auto consume = [&]() -> Result<int> {
+    ACTOR_ASSIGN_OR_RETURN(int v, produce());
+    return v + 1;
+  };
+  EXPECT_EQ(*consume(), 8);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto produce = []() -> Result<int> { return Status::IOError("eof"); };
+  auto consume = [&]() -> Result<int> {
+    ACTOR_ASSIGN_OR_RETURN(int v, produce());
+    return v + 1;
+  };
+  EXPECT_TRUE(consume().status().IsIOError());
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  auto produce = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(5);
+  };
+  auto r = produce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 5);
+}
+
+}  // namespace
+}  // namespace actor

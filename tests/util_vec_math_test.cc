@@ -1,0 +1,170 @@
+#include "util/vec_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace actor {
+namespace {
+
+TEST(VecMathTest, DotBasic) {
+  const float x[] = {1.0f, 2.0f, 3.0f};
+  const float y[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(x, y, 3), 4.0f - 10.0f + 18.0f);
+}
+
+TEST(VecMathTest, DotEmpty) {
+  EXPECT_FLOAT_EQ(Dot(nullptr, nullptr, 0), 0.0f);
+}
+
+TEST(VecMathTest, AxpyAccumulates) {
+  const float x[] = {1.0f, 2.0f};
+  float y[] = {10.0f, 20.0f};
+  Axpy(2.0f, x, y, 2);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+}
+
+TEST(VecMathTest, ScaleMultiplies) {
+  float x[] = {2.0f, -4.0f};
+  Scale(0.5f, x, 2);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], -2.0f);
+}
+
+TEST(VecMathTest, CopyAndAddAndZero) {
+  const float x[] = {1.0f, 2.0f, 3.0f};
+  float out[3];
+  Copy(x, out, 3);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  Add(x, out, 3);
+  EXPECT_FLOAT_EQ(out[2], 6.0f);
+  Zero(out, 3);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+}
+
+TEST(VecMathTest, Norm2) {
+  const float x[] = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(Norm2(x, 2), 5.0f);
+}
+
+TEST(VecMathTest, NormalizeMakesUnit) {
+  float x[] = {3.0f, 4.0f};
+  NormalizeInPlace(x, 2);
+  EXPECT_NEAR(Norm2(x, 2), 1.0f, 1e-6f);
+  EXPECT_NEAR(x[0], 0.6f, 1e-6f);
+}
+
+TEST(VecMathTest, NormalizeZeroVectorUnchanged) {
+  float x[] = {0.0f, 0.0f};
+  NormalizeInPlace(x, 2);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+}
+
+TEST(VecMathTest, CosineParallel) {
+  const float x[] = {1.0f, 1.0f};
+  const float y[] = {2.0f, 2.0f};
+  EXPECT_NEAR(Cosine(x, y, 2), 1.0f, 1e-6f);
+}
+
+TEST(VecMathTest, CosineOrthogonal) {
+  const float x[] = {1.0f, 0.0f};
+  const float y[] = {0.0f, 1.0f};
+  EXPECT_NEAR(Cosine(x, y, 2), 0.0f, 1e-6f);
+}
+
+TEST(VecMathTest, CosineOpposite) {
+  const float x[] = {1.0f, 0.0f};
+  const float y[] = {-3.0f, 0.0f};
+  EXPECT_NEAR(Cosine(x, y, 2), -1.0f, 1e-6f);
+}
+
+TEST(VecMathTest, CosineZeroVectorIsZero) {
+  const float x[] = {0.0f, 0.0f};
+  const float y[] = {1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(Cosine(x, y, 2), 0.0f);
+}
+
+TEST(VecMathTest, SigmoidKnownValues) {
+  EXPECT_NEAR(Sigmoid(0.0f), 0.5f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(100.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(-100.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(1.0f), 0.7310586f, 1e-5f);
+}
+
+TEST(VecMathTest, SigmoidSymmetry) {
+  for (float x = -5.0f; x <= 5.0f; x += 0.37f) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0f, 1e-5f);
+  }
+}
+
+class SigmoidTableSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(SigmoidTableSweep, MatchesExactSigmoid) {
+  static const SigmoidTable table;
+  const float x = GetParam();
+  // The table clamps outside [-8, 8], so allow the clamp error sigma(8)~1.
+  EXPECT_NEAR(table(x), Sigmoid(x), 4e-4f) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, SigmoidTableSweep,
+                         ::testing::Values(-10.0f, -8.0f, -7.99f, -4.2f,
+                                           -1.0f, -0.01f, 0.0f, 0.01f, 0.5f,
+                                           1.0f, 2.7f, 6.3f, 7.99f, 8.0f,
+                                           10.0f));
+
+TEST(SigmoidTableTest, SaturatesOutsideBound) {
+  SigmoidTable table;
+  EXPECT_FLOAT_EQ(table(100.0f), 1.0f);
+  EXPECT_FLOAT_EQ(table(-100.0f), 0.0f);
+}
+
+TEST(SigmoidTableTest, MonotoneNonDecreasing) {
+  SigmoidTable table;
+  float prev = table(-9.0f);
+  for (float x = -9.0f; x <= 9.0f; x += 0.05f) {
+    const float cur = table(x);
+    EXPECT_GE(cur, prev - 1e-6f);
+    prev = cur;
+  }
+}
+
+class VecSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VecSizeSweep, DotMatchesReference) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<float> x(n), y(n);
+  double ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.UniformFloat() - 0.5f;
+    y[i] = rng.UniformFloat() - 0.5f;
+    ref += static_cast<double>(x[i]) * y[i];
+  }
+  EXPECT_NEAR(Dot(x.data(), y.data(), n), static_cast<float>(ref),
+              1e-4f * (n + 1));
+}
+
+TEST_P(VecSizeSweep, CosineBounded) {
+  const std::size_t n = GetParam();
+  if (n == 0) return;
+  Rng rng(n + 7);
+  std::vector<float> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.UniformFloat() - 0.5f;
+    y[i] = rng.UniformFloat() - 0.5f;
+  }
+  const float c = Cosine(x.data(), y.data(), n);
+  EXPECT_GE(c, -1.0f - 1e-5f);
+  EXPECT_LE(c, 1.0f + 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VecSizeSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 16u, 31u, 64u,
+                                           128u, 300u));
+
+}  // namespace
+}  // namespace actor
