@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_ablations.dir/design_ablations.cpp.o"
+  "CMakeFiles/design_ablations.dir/design_ablations.cpp.o.d"
+  "design_ablations"
+  "design_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

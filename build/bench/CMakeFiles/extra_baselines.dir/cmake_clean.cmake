@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_baselines.dir/extra_baselines.cpp.o"
+  "CMakeFiles/extra_baselines.dir/extra_baselines.cpp.o.d"
+  "extra_baselines"
+  "extra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbor_search_queries.dir/neighbor_search_queries.cpp.o"
+  "CMakeFiles/neighbor_search_queries.dir/neighbor_search_queries.cpp.o.d"
+  "neighbor_search_queries"
+  "neighbor_search_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbor_search_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

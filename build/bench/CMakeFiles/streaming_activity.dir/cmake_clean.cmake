@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_activity.dir/streaming_activity.cpp.o"
+  "CMakeFiles/streaming_activity.dir/streaming_activity.cpp.o.d"
+  "streaming_activity"
+  "streaming_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

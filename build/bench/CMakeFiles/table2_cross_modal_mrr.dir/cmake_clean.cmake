@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cross_modal_mrr.dir/table2_cross_modal_mrr.cpp.o"
+  "CMakeFiles/table2_cross_modal_mrr.dir/table2_cross_modal_mrr.cpp.o.d"
+  "table2_cross_modal_mrr"
+  "table2_cross_modal_mrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cross_modal_mrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

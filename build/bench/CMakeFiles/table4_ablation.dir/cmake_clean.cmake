@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ablation.dir/table4_ablation.cpp.o"
+  "CMakeFiles/table4_ablation.dir/table4_ablation.cpp.o.d"
+  "table4_ablation"
+  "table4_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_cli.dir/actor_cli.cpp.o"
+  "CMakeFiles/actor_cli.dir/actor_cli.cpp.o.d"
+  "actor_cli"
+  "actor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

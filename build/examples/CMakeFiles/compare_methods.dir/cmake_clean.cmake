@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_methods.dir/compare_methods.cpp.o"
+  "CMakeFiles/compare_methods.dir/compare_methods.cpp.o.d"
+  "compare_methods"
+  "compare_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trip_planner.dir/trip_planner.cpp.o"
+  "CMakeFiles/trip_planner.dir/trip_planner.cpp.o.d"
+  "trip_planner"
+  "trip_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trip_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

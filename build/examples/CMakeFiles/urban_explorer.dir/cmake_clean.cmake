@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_explorer.dir/urban_explorer.cpp.o"
+  "CMakeFiles/urban_explorer.dir/urban_explorer.cpp.o.d"
+  "urban_explorer"
+  "urban_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

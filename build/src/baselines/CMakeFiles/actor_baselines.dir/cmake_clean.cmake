@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_baselines.dir/crossmap.cc.o"
+  "CMakeFiles/actor_baselines.dir/crossmap.cc.o.d"
+  "CMakeFiles/actor_baselines.dir/geo_topic_model.cc.o"
+  "CMakeFiles/actor_baselines.dir/geo_topic_model.cc.o.d"
+  "CMakeFiles/actor_baselines.dir/metapath2vec.cc.o"
+  "CMakeFiles/actor_baselines.dir/metapath2vec.cc.o.d"
+  "CMakeFiles/actor_baselines.dir/node2vec.cc.o"
+  "CMakeFiles/actor_baselines.dir/node2vec.cc.o.d"
+  "libactor_baselines.a"
+  "libactor_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

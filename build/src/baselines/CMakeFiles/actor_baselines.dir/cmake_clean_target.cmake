@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libactor_baselines.a"
+)

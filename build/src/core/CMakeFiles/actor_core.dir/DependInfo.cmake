@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/actor.cc" "src/core/CMakeFiles/actor_core.dir/actor.cc.o" "gcc" "src/core/CMakeFiles/actor_core.dir/actor.cc.o.d"
+  "/root/repo/src/core/meta_graph.cc" "src/core/CMakeFiles/actor_core.dir/meta_graph.cc.o" "gcc" "src/core/CMakeFiles/actor_core.dir/meta_graph.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/actor_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/actor_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/online_actor.cc" "src/core/CMakeFiles/actor_core.dir/online_actor.cc.o" "gcc" "src/core/CMakeFiles/actor_core.dir/online_actor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embedding/CMakeFiles/actor_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/actor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotspot/CMakeFiles/actor_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/actor_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

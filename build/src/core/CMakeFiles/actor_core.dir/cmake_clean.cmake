@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_core.dir/actor.cc.o"
+  "CMakeFiles/actor_core.dir/actor.cc.o.d"
+  "CMakeFiles/actor_core.dir/meta_graph.cc.o"
+  "CMakeFiles/actor_core.dir/meta_graph.cc.o.d"
+  "CMakeFiles/actor_core.dir/model_io.cc.o"
+  "CMakeFiles/actor_core.dir/model_io.cc.o.d"
+  "CMakeFiles/actor_core.dir/online_actor.cc.o"
+  "CMakeFiles/actor_core.dir/online_actor.cc.o.d"
+  "libactor_core.a"
+  "libactor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus.cc" "src/data/CMakeFiles/actor_data.dir/corpus.cc.o" "gcc" "src/data/CMakeFiles/actor_data.dir/corpus.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/actor_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/actor_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/phrase_detector.cc" "src/data/CMakeFiles/actor_data.dir/phrase_detector.cc.o" "gcc" "src/data/CMakeFiles/actor_data.dir/phrase_detector.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/data/CMakeFiles/actor_data.dir/record.cc.o" "gcc" "src/data/CMakeFiles/actor_data.dir/record.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/actor_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/actor_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/tokenizer.cc" "src/data/CMakeFiles/actor_data.dir/tokenizer.cc.o" "gcc" "src/data/CMakeFiles/actor_data.dir/tokenizer.cc.o.d"
+  "/root/repo/src/data/vocabulary.cc" "src/data/CMakeFiles/actor_data.dir/vocabulary.cc.o" "gcc" "src/data/CMakeFiles/actor_data.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/actor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_data.dir/corpus.cc.o"
+  "CMakeFiles/actor_data.dir/corpus.cc.o.d"
+  "CMakeFiles/actor_data.dir/dataset_io.cc.o"
+  "CMakeFiles/actor_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/actor_data.dir/phrase_detector.cc.o"
+  "CMakeFiles/actor_data.dir/phrase_detector.cc.o.d"
+  "CMakeFiles/actor_data.dir/record.cc.o"
+  "CMakeFiles/actor_data.dir/record.cc.o.d"
+  "CMakeFiles/actor_data.dir/synthetic.cc.o"
+  "CMakeFiles/actor_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/actor_data.dir/tokenizer.cc.o"
+  "CMakeFiles/actor_data.dir/tokenizer.cc.o.d"
+  "CMakeFiles/actor_data.dir/vocabulary.cc.o"
+  "CMakeFiles/actor_data.dir/vocabulary.cc.o.d"
+  "libactor_data.a"
+  "libactor_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

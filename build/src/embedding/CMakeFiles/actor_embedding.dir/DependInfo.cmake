@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/embedding_matrix.cc" "src/embedding/CMakeFiles/actor_embedding.dir/embedding_matrix.cc.o" "gcc" "src/embedding/CMakeFiles/actor_embedding.dir/embedding_matrix.cc.o.d"
+  "/root/repo/src/embedding/line.cc" "src/embedding/CMakeFiles/actor_embedding.dir/line.cc.o" "gcc" "src/embedding/CMakeFiles/actor_embedding.dir/line.cc.o.d"
+  "/root/repo/src/embedding/negative_sampler.cc" "src/embedding/CMakeFiles/actor_embedding.dir/negative_sampler.cc.o" "gcc" "src/embedding/CMakeFiles/actor_embedding.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/embedding/sgd.cc" "src/embedding/CMakeFiles/actor_embedding.dir/sgd.cc.o" "gcc" "src/embedding/CMakeFiles/actor_embedding.dir/sgd.cc.o.d"
+  "/root/repo/src/embedding/skipgram.cc" "src/embedding/CMakeFiles/actor_embedding.dir/skipgram.cc.o" "gcc" "src/embedding/CMakeFiles/actor_embedding.dir/skipgram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/actor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotspot/CMakeFiles/actor_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/actor_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_embedding.dir/embedding_matrix.cc.o"
+  "CMakeFiles/actor_embedding.dir/embedding_matrix.cc.o.d"
+  "CMakeFiles/actor_embedding.dir/line.cc.o"
+  "CMakeFiles/actor_embedding.dir/line.cc.o.d"
+  "CMakeFiles/actor_embedding.dir/negative_sampler.cc.o"
+  "CMakeFiles/actor_embedding.dir/negative_sampler.cc.o.d"
+  "CMakeFiles/actor_embedding.dir/sgd.cc.o"
+  "CMakeFiles/actor_embedding.dir/sgd.cc.o.d"
+  "CMakeFiles/actor_embedding.dir/skipgram.cc.o"
+  "CMakeFiles/actor_embedding.dir/skipgram.cc.o.d"
+  "libactor_embedding.a"
+  "libactor_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for actor_embedding.
+# This may be replaced when dependencies are built.

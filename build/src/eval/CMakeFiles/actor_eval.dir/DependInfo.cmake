@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cross_modal_model.cc" "src/eval/CMakeFiles/actor_eval.dir/cross_modal_model.cc.o" "gcc" "src/eval/CMakeFiles/actor_eval.dir/cross_modal_model.cc.o.d"
+  "/root/repo/src/eval/mrr.cc" "src/eval/CMakeFiles/actor_eval.dir/mrr.cc.o" "gcc" "src/eval/CMakeFiles/actor_eval.dir/mrr.cc.o.d"
+  "/root/repo/src/eval/neighbor_search.cc" "src/eval/CMakeFiles/actor_eval.dir/neighbor_search.cc.o" "gcc" "src/eval/CMakeFiles/actor_eval.dir/neighbor_search.cc.o.d"
+  "/root/repo/src/eval/pipeline.cc" "src/eval/CMakeFiles/actor_eval.dir/pipeline.cc.o" "gcc" "src/eval/CMakeFiles/actor_eval.dir/pipeline.cc.o.d"
+  "/root/repo/src/eval/prediction.cc" "src/eval/CMakeFiles/actor_eval.dir/prediction.cc.o" "gcc" "src/eval/CMakeFiles/actor_eval.dir/prediction.cc.o.d"
+  "/root/repo/src/eval/tuning.cc" "src/eval/CMakeFiles/actor_eval.dir/tuning.cc.o" "gcc" "src/eval/CMakeFiles/actor_eval.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/actor_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/actor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/actor_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/actor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/actor_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotspot/CMakeFiles/actor_hotspot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

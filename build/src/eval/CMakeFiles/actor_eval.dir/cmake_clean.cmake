@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_eval.dir/cross_modal_model.cc.o"
+  "CMakeFiles/actor_eval.dir/cross_modal_model.cc.o.d"
+  "CMakeFiles/actor_eval.dir/mrr.cc.o"
+  "CMakeFiles/actor_eval.dir/mrr.cc.o.d"
+  "CMakeFiles/actor_eval.dir/neighbor_search.cc.o"
+  "CMakeFiles/actor_eval.dir/neighbor_search.cc.o.d"
+  "CMakeFiles/actor_eval.dir/pipeline.cc.o"
+  "CMakeFiles/actor_eval.dir/pipeline.cc.o.d"
+  "CMakeFiles/actor_eval.dir/prediction.cc.o"
+  "CMakeFiles/actor_eval.dir/prediction.cc.o.d"
+  "CMakeFiles/actor_eval.dir/tuning.cc.o"
+  "CMakeFiles/actor_eval.dir/tuning.cc.o.d"
+  "libactor_eval.a"
+  "libactor_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

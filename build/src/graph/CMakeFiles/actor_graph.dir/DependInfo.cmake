@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/alias_table.cc" "src/graph/CMakeFiles/actor_graph.dir/alias_table.cc.o" "gcc" "src/graph/CMakeFiles/actor_graph.dir/alias_table.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/actor_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/actor_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/actor_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/actor_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/heterograph.cc" "src/graph/CMakeFiles/actor_graph.dir/heterograph.cc.o" "gcc" "src/graph/CMakeFiles/actor_graph.dir/heterograph.cc.o.d"
+  "/root/repo/src/graph/node2vec_walk.cc" "src/graph/CMakeFiles/actor_graph.dir/node2vec_walk.cc.o" "gcc" "src/graph/CMakeFiles/actor_graph.dir/node2vec_walk.cc.o.d"
+  "/root/repo/src/graph/proximity.cc" "src/graph/CMakeFiles/actor_graph.dir/proximity.cc.o" "gcc" "src/graph/CMakeFiles/actor_graph.dir/proximity.cc.o.d"
+  "/root/repo/src/graph/random_walk.cc" "src/graph/CMakeFiles/actor_graph.dir/random_walk.cc.o" "gcc" "src/graph/CMakeFiles/actor_graph.dir/random_walk.cc.o.d"
+  "/root/repo/src/graph/types.cc" "src/graph/CMakeFiles/actor_graph.dir/types.cc.o" "gcc" "src/graph/CMakeFiles/actor_graph.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/actor_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotspot/CMakeFiles/actor_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

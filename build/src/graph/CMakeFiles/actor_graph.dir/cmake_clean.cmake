@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_graph.dir/alias_table.cc.o"
+  "CMakeFiles/actor_graph.dir/alias_table.cc.o.d"
+  "CMakeFiles/actor_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/actor_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/actor_graph.dir/graph_io.cc.o"
+  "CMakeFiles/actor_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/actor_graph.dir/heterograph.cc.o"
+  "CMakeFiles/actor_graph.dir/heterograph.cc.o.d"
+  "CMakeFiles/actor_graph.dir/node2vec_walk.cc.o"
+  "CMakeFiles/actor_graph.dir/node2vec_walk.cc.o.d"
+  "CMakeFiles/actor_graph.dir/proximity.cc.o"
+  "CMakeFiles/actor_graph.dir/proximity.cc.o.d"
+  "CMakeFiles/actor_graph.dir/random_walk.cc.o"
+  "CMakeFiles/actor_graph.dir/random_walk.cc.o.d"
+  "CMakeFiles/actor_graph.dir/types.cc.o"
+  "CMakeFiles/actor_graph.dir/types.cc.o.d"
+  "libactor_graph.a"
+  "libactor_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hotspot/grid_index.cc" "src/hotspot/CMakeFiles/actor_hotspot.dir/grid_index.cc.o" "gcc" "src/hotspot/CMakeFiles/actor_hotspot.dir/grid_index.cc.o.d"
+  "/root/repo/src/hotspot/hotspot_detector.cc" "src/hotspot/CMakeFiles/actor_hotspot.dir/hotspot_detector.cc.o" "gcc" "src/hotspot/CMakeFiles/actor_hotspot.dir/hotspot_detector.cc.o.d"
+  "/root/repo/src/hotspot/kde.cc" "src/hotspot/CMakeFiles/actor_hotspot.dir/kde.cc.o" "gcc" "src/hotspot/CMakeFiles/actor_hotspot.dir/kde.cc.o.d"
+  "/root/repo/src/hotspot/mean_shift.cc" "src/hotspot/CMakeFiles/actor_hotspot.dir/mean_shift.cc.o" "gcc" "src/hotspot/CMakeFiles/actor_hotspot.dir/mean_shift.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/actor_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_hotspot.dir/grid_index.cc.o"
+  "CMakeFiles/actor_hotspot.dir/grid_index.cc.o.d"
+  "CMakeFiles/actor_hotspot.dir/hotspot_detector.cc.o"
+  "CMakeFiles/actor_hotspot.dir/hotspot_detector.cc.o.d"
+  "CMakeFiles/actor_hotspot.dir/kde.cc.o"
+  "CMakeFiles/actor_hotspot.dir/kde.cc.o.d"
+  "CMakeFiles/actor_hotspot.dir/mean_shift.cc.o"
+  "CMakeFiles/actor_hotspot.dir/mean_shift.cc.o.d"
+  "libactor_hotspot.a"
+  "libactor_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_util.dir/flags.cc.o"
+  "CMakeFiles/actor_util.dir/flags.cc.o.d"
+  "CMakeFiles/actor_util.dir/logging.cc.o"
+  "CMakeFiles/actor_util.dir/logging.cc.o.d"
+  "CMakeFiles/actor_util.dir/status.cc.o"
+  "CMakeFiles/actor_util.dir/status.cc.o.d"
+  "CMakeFiles/actor_util.dir/string_util.cc.o"
+  "CMakeFiles/actor_util.dir/string_util.cc.o.d"
+  "CMakeFiles/actor_util.dir/thread_pool.cc.o"
+  "CMakeFiles/actor_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/actor_util.dir/vec_math.cc.o"
+  "CMakeFiles/actor_util.dir/vec_math.cc.o.d"
+  "libactor_util.a"
+  "libactor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_geo_topic_test.dir/baselines_geo_topic_test.cc.o"
+  "CMakeFiles/baselines_geo_topic_test.dir/baselines_geo_topic_test.cc.o.d"
+  "baselines_geo_topic_test"
+  "baselines_geo_topic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_geo_topic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

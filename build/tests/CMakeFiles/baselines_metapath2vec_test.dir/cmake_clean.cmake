@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_metapath2vec_test.dir/baselines_metapath2vec_test.cc.o"
+  "CMakeFiles/baselines_metapath2vec_test.dir/baselines_metapath2vec_test.cc.o.d"
+  "baselines_metapath2vec_test"
+  "baselines_metapath2vec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_metapath2vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

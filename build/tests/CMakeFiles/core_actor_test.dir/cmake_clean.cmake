@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_actor_test.dir/core_actor_test.cc.o"
+  "CMakeFiles/core_actor_test.dir/core_actor_test.cc.o.d"
+  "core_actor_test"
+  "core_actor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_actor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_meta_graph_test.dir/core_meta_graph_test.cc.o"
+  "CMakeFiles/core_meta_graph_test.dir/core_meta_graph_test.cc.o.d"
+  "core_meta_graph_test"
+  "core_meta_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_meta_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_online_actor_test.dir/core_online_actor_test.cc.o"
+  "CMakeFiles/core_online_actor_test.dir/core_online_actor_test.cc.o.d"
+  "core_online_actor_test"
+  "core_online_actor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_online_actor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

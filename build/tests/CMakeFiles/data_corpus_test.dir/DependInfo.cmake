@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data_corpus_test.cc" "tests/CMakeFiles/data_corpus_test.dir/data_corpus_test.cc.o" "gcc" "tests/CMakeFiles/data_corpus_test.dir/data_corpus_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/actor_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/actor_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/actor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/actor_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/actor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotspot/CMakeFiles/actor_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/actor_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_corpus_test.dir/data_corpus_test.cc.o"
+  "CMakeFiles/data_corpus_test.dir/data_corpus_test.cc.o.d"
+  "data_corpus_test"
+  "data_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

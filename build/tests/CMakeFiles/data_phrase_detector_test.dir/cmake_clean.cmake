@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_phrase_detector_test.dir/data_phrase_detector_test.cc.o"
+  "CMakeFiles/data_phrase_detector_test.dir/data_phrase_detector_test.cc.o.d"
+  "data_phrase_detector_test"
+  "data_phrase_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_phrase_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

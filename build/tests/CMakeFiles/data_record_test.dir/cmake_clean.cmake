@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_record_test.dir/data_record_test.cc.o"
+  "CMakeFiles/data_record_test.dir/data_record_test.cc.o.d"
+  "data_record_test"
+  "data_record_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

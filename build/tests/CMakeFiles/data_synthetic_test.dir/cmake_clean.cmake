@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_synthetic_test.dir/data_synthetic_test.cc.o"
+  "CMakeFiles/data_synthetic_test.dir/data_synthetic_test.cc.o.d"
+  "data_synthetic_test"
+  "data_synthetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

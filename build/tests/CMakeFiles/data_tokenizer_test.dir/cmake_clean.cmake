@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tokenizer_test.dir/data_tokenizer_test.cc.o"
+  "CMakeFiles/data_tokenizer_test.dir/data_tokenizer_test.cc.o.d"
+  "data_tokenizer_test"
+  "data_tokenizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_vocabulary_test.dir/data_vocabulary_test.cc.o"
+  "CMakeFiles/data_vocabulary_test.dir/data_vocabulary_test.cc.o.d"
+  "data_vocabulary_test"
+  "data_vocabulary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_vocabulary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_line_test.dir/embedding_line_test.cc.o"
+  "CMakeFiles/embedding_line_test.dir/embedding_line_test.cc.o.d"
+  "embedding_line_test"
+  "embedding_line_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_line_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

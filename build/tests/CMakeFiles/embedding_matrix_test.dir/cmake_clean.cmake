@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_matrix_test.dir/embedding_matrix_test.cc.o"
+  "CMakeFiles/embedding_matrix_test.dir/embedding_matrix_test.cc.o.d"
+  "embedding_matrix_test"
+  "embedding_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_negative_sampler_test.dir/embedding_negative_sampler_test.cc.o"
+  "CMakeFiles/embedding_negative_sampler_test.dir/embedding_negative_sampler_test.cc.o.d"
+  "embedding_negative_sampler_test"
+  "embedding_negative_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_negative_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

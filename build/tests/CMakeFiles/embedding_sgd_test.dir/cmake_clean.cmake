@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_sgd_test.dir/embedding_sgd_test.cc.o"
+  "CMakeFiles/embedding_sgd_test.dir/embedding_sgd_test.cc.o.d"
+  "embedding_sgd_test"
+  "embedding_sgd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_sgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_skipgram_test.dir/embedding_skipgram_test.cc.o"
+  "CMakeFiles/embedding_skipgram_test.dir/embedding_skipgram_test.cc.o.d"
+  "embedding_skipgram_test"
+  "embedding_skipgram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_skipgram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_cross_modal_model_test.dir/eval_cross_modal_model_test.cc.o"
+  "CMakeFiles/eval_cross_modal_model_test.dir/eval_cross_modal_model_test.cc.o.d"
+  "eval_cross_modal_model_test"
+  "eval_cross_modal_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_cross_modal_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_mrr_test.dir/eval_mrr_test.cc.o"
+  "CMakeFiles/eval_mrr_test.dir/eval_mrr_test.cc.o.d"
+  "eval_mrr_test"
+  "eval_mrr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_mrr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

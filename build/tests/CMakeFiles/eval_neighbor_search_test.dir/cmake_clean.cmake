@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_neighbor_search_test.dir/eval_neighbor_search_test.cc.o"
+  "CMakeFiles/eval_neighbor_search_test.dir/eval_neighbor_search_test.cc.o.d"
+  "eval_neighbor_search_test"
+  "eval_neighbor_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_neighbor_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_pipeline_test.dir/eval_pipeline_test.cc.o"
+  "CMakeFiles/eval_pipeline_test.dir/eval_pipeline_test.cc.o.d"
+  "eval_pipeline_test"
+  "eval_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

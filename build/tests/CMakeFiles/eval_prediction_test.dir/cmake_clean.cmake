@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_prediction_test.dir/eval_prediction_test.cc.o"
+  "CMakeFiles/eval_prediction_test.dir/eval_prediction_test.cc.o.d"
+  "eval_prediction_test"
+  "eval_prediction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

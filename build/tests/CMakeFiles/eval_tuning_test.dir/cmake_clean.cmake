@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tuning_test.dir/eval_tuning_test.cc.o"
+  "CMakeFiles/eval_tuning_test.dir/eval_tuning_test.cc.o.d"
+  "eval_tuning_test"
+  "eval_tuning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_builder_test.dir/graph_builder_test.cc.o"
+  "CMakeFiles/graph_builder_test.dir/graph_builder_test.cc.o.d"
+  "graph_builder_test"
+  "graph_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

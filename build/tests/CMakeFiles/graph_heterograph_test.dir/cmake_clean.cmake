@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_heterograph_test.dir/graph_heterograph_test.cc.o"
+  "CMakeFiles/graph_heterograph_test.dir/graph_heterograph_test.cc.o.d"
+  "graph_heterograph_test"
+  "graph_heterograph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_heterograph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_node2vec_test.dir/graph_node2vec_test.cc.o"
+  "CMakeFiles/graph_node2vec_test.dir/graph_node2vec_test.cc.o.d"
+  "graph_node2vec_test"
+  "graph_node2vec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_node2vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

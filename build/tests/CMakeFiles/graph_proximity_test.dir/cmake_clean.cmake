@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_proximity_test.dir/graph_proximity_test.cc.o"
+  "CMakeFiles/graph_proximity_test.dir/graph_proximity_test.cc.o.d"
+  "graph_proximity_test"
+  "graph_proximity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_proximity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_random_walk_test.dir/graph_random_walk_test.cc.o"
+  "CMakeFiles/graph_random_walk_test.dir/graph_random_walk_test.cc.o.d"
+  "graph_random_walk_test"
+  "graph_random_walk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_random_walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

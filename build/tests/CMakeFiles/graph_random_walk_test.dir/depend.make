@@ -1,0 +1,2 @@
+# Empty dependencies file for graph_random_walk_test.
+# This may be replaced when dependencies are built.

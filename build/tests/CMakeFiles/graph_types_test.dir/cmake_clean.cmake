@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_types_test.dir/graph_types_test.cc.o"
+  "CMakeFiles/graph_types_test.dir/graph_types_test.cc.o.d"
+  "graph_types_test"
+  "graph_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

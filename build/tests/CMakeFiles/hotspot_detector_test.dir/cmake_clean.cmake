@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_detector_test.dir/hotspot_detector_test.cc.o"
+  "CMakeFiles/hotspot_detector_test.dir/hotspot_detector_test.cc.o.d"
+  "hotspot_detector_test"
+  "hotspot_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

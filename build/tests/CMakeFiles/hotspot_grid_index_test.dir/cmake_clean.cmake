@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_grid_index_test.dir/hotspot_grid_index_test.cc.o"
+  "CMakeFiles/hotspot_grid_index_test.dir/hotspot_grid_index_test.cc.o.d"
+  "hotspot_grid_index_test"
+  "hotspot_grid_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_grid_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_kde_test.dir/hotspot_kde_test.cc.o"
+  "CMakeFiles/hotspot_kde_test.dir/hotspot_kde_test.cc.o.d"
+  "hotspot_kde_test"
+  "hotspot_kde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_kde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_mean_shift_test.dir/hotspot_mean_shift_test.cc.o"
+  "CMakeFiles/hotspot_mean_shift_test.dir/hotspot_mean_shift_test.cc.o.d"
+  "hotspot_mean_shift_test"
+  "hotspot_mean_shift_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_mean_shift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_property_test.dir/hotspot_property_test.cc.o"
+  "CMakeFiles/hotspot_property_test.dir/hotspot_property_test.cc.o.d"
+  "hotspot_property_test"
+  "hotspot_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

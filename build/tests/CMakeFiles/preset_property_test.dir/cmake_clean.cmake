@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preset_property_test.dir/preset_property_test.cc.o"
+  "CMakeFiles/preset_property_test.dir/preset_property_test.cc.o.d"
+  "preset_property_test"
+  "preset_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preset_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

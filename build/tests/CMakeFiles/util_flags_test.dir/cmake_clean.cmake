@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_flags_test.dir/util_flags_test.cc.o"
+  "CMakeFiles/util_flags_test.dir/util_flags_test.cc.o.d"
+  "util_flags_test"
+  "util_flags_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

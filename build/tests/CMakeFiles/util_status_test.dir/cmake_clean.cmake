@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_status_test.dir/util_status_test.cc.o"
+  "CMakeFiles/util_status_test.dir/util_status_test.cc.o.d"
+  "util_status_test"
+  "util_status_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

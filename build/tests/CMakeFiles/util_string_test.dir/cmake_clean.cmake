@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_string_test.dir/util_string_test.cc.o"
+  "CMakeFiles/util_string_test.dir/util_string_test.cc.o.d"
+  "util_string_test"
+  "util_string_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_vec_math_test.dir/util_vec_math_test.cc.o"
+  "CMakeFiles/util_vec_math_test.dir/util_vec_math_test.cc.o.d"
+  "util_vec_math_test"
+  "util_vec_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_vec_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsd_scenario_test.dir/wsd_scenario_test.cc.o"
+  "CMakeFiles/wsd_scenario_test.dir/wsd_scenario_test.cc.o.d"
+  "wsd_scenario_test"
+  "wsd_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsd_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
