@@ -56,6 +56,73 @@ void BM_Dot(benchmark::State& state) {
 }
 BENCHMARK(BM_Dot)->Arg(32)->Arg(64)->Arg(128)->Arg(300);
 
+/// Temporarily pins the dispatched kernels to one backend; restores the
+/// default (best available) when the benchmark ends.
+class BackendGuard {
+ public:
+  explicit BackendGuard(VecBackend b) : applied_(SetVecBackend(b)) {}
+  ~BackendGuard() { SetVecBackend(VecBackend::kAvx2); }
+  VecBackend applied() const { return applied_; }
+
+ private:
+  VecBackend applied_;
+};
+
+void BM_DotBackend(benchmark::State& state) {
+  const auto backend = static_cast<VecBackend>(state.range(1));
+  BackendGuard guard(backend);
+  if (guard.applied() != backend) {
+    state.SkipWithError("backend unavailable");
+    return;
+  }
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(dim, 0.5f), y(dim, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(x.data(), y.data(), dim));
+  }
+  state.SetLabel(VecBackendName(backend));
+}
+BENCHMARK(BM_DotBackend)
+    ->Args({64, static_cast<int>(VecBackend::kScalar)})
+    ->Args({64, static_cast<int>(VecBackend::kAvx2)})
+    ->Args({300, static_cast<int>(VecBackend::kScalar)})
+    ->Args({300, static_cast<int>(VecBackend::kAvx2)});
+
+void BM_FusedGradStepBackend(benchmark::State& state) {
+  const auto backend = static_cast<VecBackend>(state.range(1));
+  BackendGuard guard(backend);
+  if (guard.applied() != backend) {
+    state.SkipWithError("backend unavailable");
+    return;
+  }
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  std::vector<float> center(dim, 0.5f), ctx(dim, 0.25f), grad(dim);
+  for (auto _ : state) {
+    FusedGradStep(1e-9f, center.data(), ctx.data(), grad.data(), dim);
+    benchmark::DoNotOptimize(ctx.data());
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetLabel(VecBackendName(backend));
+}
+BENCHMARK(BM_FusedGradStepBackend)
+    ->Args({64, static_cast<int>(VecBackend::kScalar)})
+    ->Args({64, static_cast<int>(VecBackend::kAvx2)})
+    ->Args({300, static_cast<int>(VecBackend::kScalar)})
+    ->Args({300, static_cast<int>(VecBackend::kAvx2)});
+
+/// The fused kernel against the two-pass Axpy pair it replaced.
+void BM_TwoPassGradStep(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  std::vector<float> center(dim, 0.5f), ctx(dim, 0.25f), grad(dim);
+  for (auto _ : state) {
+    Axpy(1e-9f, ctx.data(), grad.data(), dim);
+    Axpy(1e-9f, center.data(), ctx.data(), dim);
+    benchmark::DoNotOptimize(ctx.data());
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(BM_TwoPassGradStep)->Arg(64)->Arg(300);
+
 void BM_SigmoidTable(benchmark::State& state) {
   static const SigmoidTable table;
   float x = -6.0f;
@@ -99,6 +166,54 @@ void BM_SgdStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SgdStep)->Args({32, 1})->Args({32, 5})->Args({300, 1})
     ->Args({300, 5});
+
+/// Full TrainEdgeType batches through the persistent pool: measures
+/// spawn-free sharding and HOGWILD thread scaling on the trainer itself.
+void BM_TrainEdgeTypeThreads(benchmark::State& state) {
+  static SyntheticConfig config = [] {
+    SyntheticConfig c;
+    c.num_records = 4000;
+    c.num_users = 200;
+    return c;
+  }();
+  static auto ds = GenerateSynthetic(config);
+  static auto corpus = [] {
+    CorpusBuildOptions build;
+    return TokenizedCorpus::Build(ds->corpus, build);
+  }();
+  static auto hotspots = DetectHotspots(*corpus);
+  static auto graphs = BuildGraphs(*corpus, *hotspots);
+  static auto sampler = TypedNegativeSampler::Create(graphs->activity);
+
+  const int threads = static_cast<int>(state.range(0));
+  EmbeddingMatrix center(graphs->activity.num_vertices(), 64);
+  EmbeddingMatrix context(graphs->activity.num_vertices(), 64);
+  Rng init(1);
+  center.InitUniform(init);
+  context.InitZero();
+  TrainOptions opts;
+  opts.dim = 64;
+  opts.negatives = 5;
+  opts.num_threads = threads;
+  EdgeSamplingTrainer trainer(&graphs->activity, &center, &context,
+                              &sampler.ValueOrDie(), opts);
+  if (auto st = trainer.Prepare(); !st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  constexpr int64_t kBatch = 20000;
+  for (auto _ : state) {
+    (void)trainer.TrainEdgeType(EdgeType::kLW, kBatch, 0.02f);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_TrainEdgeTypeThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Kde2dDensity(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -31,6 +31,7 @@ Result<LineEmbedding> TrainCrossMap(const BuiltGraphs& graphs,
   train_opts.dim = options.dim;
   train_opts.negatives = options.negatives;
   train_opts.num_threads = options.num_threads;
+  train_opts.pool = options.pool;
   train_opts.seed = options.seed + 1;
   EdgeSamplingTrainer trainer(&g, &model.center, &model.context, &noise,
                               train_opts);

@@ -23,6 +23,9 @@ struct CrossMapOptions {
   /// CrossMap(U): also trains the auxiliary user edge types {UT, UW, UL}
   /// (paper §6.1.2).
   bool include_user_edges = false;
+  /// Externally-owned persistent worker pool; when null and
+  /// num_threads > 1 the underlying trainer owns one for the whole call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Trains CrossMap on the built activity graph.

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +12,7 @@
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/vec_math.h"
 
 namespace actor {
@@ -223,6 +224,18 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
   model.center.InitUniform(rng);
   model.context.InitZero();
 
+  // One persistent worker pool for the whole run — LINE pre-training, the
+  // edge-sampling trainer, and the record loop all share it, so thread
+  // spawn/join happens once per run rather than once per TrainEdgeType
+  // call (hundreds across epochs x edge types).
+  std::unique_ptr<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (options.num_threads > 1) {
+    pool_storage = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options.num_threads));
+    pool = pool_storage.get();
+  }
+
   // --- Lines 3-4: user-graph pre-training and hierarchical init ---------
   Stopwatch pretrain_timer;
   const bool has_user_graph =
@@ -234,6 +247,7 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
     user_opts.negatives = std::max(options.negatives, 5);
     user_opts.samples_per_edge = options.user_pretrain_samples_per_edge;
     user_opts.num_threads = options.num_threads;
+    user_opts.pool = pool;
     user_opts.seed = options.seed ^ 0xabcdef12ULL;
     user_opts.edge_types = {EdgeType::kUU};
     ACTOR_ASSIGN_OR_RETURN(LineEmbedding user_embedding,
@@ -253,6 +267,7 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
   train_opts.dim = options.dim;
   train_opts.negatives = options.negatives;
   train_opts.num_threads = options.num_threads;
+  train_opts.pool = pool;
   train_opts.seed = options.seed + 1;
   EdgeSamplingTrainer trainer(&g, &model.center, &model.context, &noise,
                               train_opts);
@@ -287,7 +302,6 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
           : 0;
 
   const SigmoidTable sigmoid;
-  const int threads = std::max(1, options.num_threads);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     const float frac =
         static_cast<float>(epoch) / static_cast<float>(options.epochs);
@@ -326,20 +340,17 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
                                 &grad2);
         }
       };
-      if (threads == 1) {
-        run_records(records_per_epoch, options.seed + 1000 + epoch);
+      const uint64_t record_step = 1000 + static_cast<uint64_t>(epoch);
+      if (pool == nullptr) {
+        run_records(records_per_epoch,
+                    ShardSeed(options.seed, record_step, 0));
       } else {
-        std::vector<std::thread> pool;
-        const int64_t per_thread =
-            (records_per_epoch + threads - 1) / threads;
-        int64_t remaining = records_per_epoch;
-        for (int t = 0; t < threads && remaining > 0; ++t) {
-          const int64_t n = std::min<int64_t>(per_thread, remaining);
-          remaining -= n;
-          pool.emplace_back(run_records, n,
-                            options.seed + 1000 + epoch + 7919ULL * (t + 1));
-        }
-        for (auto& th : pool) th.join();
+        pool->ShardedRange(
+            0, static_cast<std::size_t>(records_per_epoch),
+            [&](int t, std::size_t lo, std::size_t hi) {
+              run_records(static_cast<int64_t>(hi - lo),
+                          ShardSeed(options.seed, record_step, t));
+            });
       }
       model.stats.record_steps += records_per_epoch;
     }

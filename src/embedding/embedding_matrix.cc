@@ -1,28 +1,71 @@
 #include "embedding/embedding_matrix.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/vec_math.h"
 
 namespace actor {
 
+namespace {
+
+std::size_t PaddedStride(int32_t dim) {
+  constexpr std::size_t kFloatsPerVector =
+      EmbeddingMatrix::kRowAlignment / sizeof(float);
+  const std::size_t d = static_cast<std::size_t>(dim);
+  return (d + kFloatsPerVector - 1) / kFloatsPerVector * kFloatsPerVector;
+}
+
+}  // namespace
+
+void EmbeddingMatrix::FreeDeleter::operator()(float* p) const {
+  std::free(p);
+}
+
+std::unique_ptr<float[], EmbeddingMatrix::FreeDeleter>
+EmbeddingMatrix::Allocate(std::size_t rows, std::size_t stride) {
+  const std::size_t bytes = rows * stride * sizeof(float);
+  if (bytes == 0) return nullptr;
+  // stride is a multiple of kRowAlignment/sizeof(float), so bytes is a
+  // multiple of the alignment as std::aligned_alloc requires.
+  void* p = std::aligned_alloc(kRowAlignment, bytes);
+  ACTOR_CHECK(p != nullptr);
+  std::memset(p, 0, bytes);
+  return std::unique_ptr<float[], FreeDeleter>(static_cast<float*>(p));
+}
+
+EmbeddingMatrix::EmbeddingMatrix(int32_t rows, int32_t dim)
+    : rows_(rows), dim_(dim), stride_(PaddedStride(dim)) {
+  data_ = Allocate(static_cast<std::size_t>(rows), stride_);
+}
+
 EmbeddingMatrix EmbeddingMatrix::Clone() const {
   EmbeddingMatrix copy(rows_, dim_);
-  copy.data_ = data_;
+  if (data_ != nullptr) {
+    std::memcpy(copy.data_.get(), data_.get(),
+                static_cast<std::size_t>(rows_) * stride_ * sizeof(float));
+  }
   return copy;
 }
 
 void EmbeddingMatrix::InitUniform(Rng& rng) {
   const float scale = dim_ > 0 ? 1.0f / static_cast<float>(dim_) : 0.0f;
-  for (float& v : data_) {
-    v = (rng.UniformFloat() - 0.5f) * scale;
+  for (int32_t r = 0; r < rows_; ++r) {
+    float* v = row(r);
+    for (int32_t d = 0; d < dim_; ++d) {
+      v[d] = (rng.UniformFloat() - 0.5f) * scale;
+    }
   }
 }
 
 void EmbeddingMatrix::InitZero() {
-  std::memset(data_.data(), 0, data_.size() * sizeof(float));
+  if (data_ != nullptr) {
+    std::memset(data_.get(), 0,
+                static_cast<std::size_t>(rows_) * stride_ * sizeof(float));
+  }
 }
 
 void EmbeddingMatrix::SetRow(int32_t i, const float* src) {
@@ -31,13 +74,21 @@ void EmbeddingMatrix::SetRow(int32_t i, const float* src) {
 
 void EmbeddingMatrix::AppendRows(int32_t n, Rng* rng) {
   if (n <= 0) return;
-  const std::size_t old_size = data_.size();
+  const int32_t old_rows = rows_;
   rows_ += n;
-  data_.resize(static_cast<std::size_t>(rows_) * dim_, 0.0f);
+  auto grown = Allocate(static_cast<std::size_t>(rows_), stride_);
+  if (data_ != nullptr) {
+    std::memcpy(grown.get(), data_.get(),
+                static_cast<std::size_t>(old_rows) * stride_ * sizeof(float));
+  }
+  data_ = std::move(grown);
   if (rng != nullptr && dim_ > 0) {
     const float scale = 1.0f / static_cast<float>(dim_);
-    for (std::size_t i = old_size; i < data_.size(); ++i) {
-      data_[i] = (rng->UniformFloat() - 0.5f) * scale;
+    for (int32_t r = old_rows; r < rows_; ++r) {
+      float* v = row(r);
+      for (int32_t d = 0; d < dim_; ++d) {
+        v[d] = (rng->UniformFloat() - 0.5f) * scale;
+      }
     }
   }
 }

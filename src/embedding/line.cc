@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
+#include <memory>
 
 #include "embedding/negative_sampler.h"
 #include "embedding/sgd.h"
 #include "graph/alias_table.h"
+#include "util/thread_pool.h"
 #include "util/vec_math.h"
 
 namespace actor {
@@ -82,12 +83,11 @@ Result<LineEmbedding> TrainLine(const Heterograph& graph,
       options.total_samples > 0
           ? options.total_samples
           : static_cast<int64_t>(pooled.src.size()) * options.samples_per_edge;
-  const int threads = std::max(1, options.num_threads);
   const SigmoidTable sigmoid;
 
   std::atomic<int64_t> progress{0};
   auto shard = [&](int thread_id, int64_t samples) {
-    Rng rng(options.seed + 0x51ed2701ULL * (thread_id + 1));
+    Rng rng(ShardSeed(options.seed, /*step=*/0x11e5u, thread_id));
     const std::size_t dim = static_cast<std::size_t>(options.dim);
     std::vector<float> grad(dim);
     for (int64_t i = 0; i < samples; ++i) {
@@ -108,18 +108,22 @@ Result<LineEmbedding> TrainLine(const Heterograph& graph,
     }
   };
 
-  if (threads == 1) {
+  // Run on the caller's persistent pool when provided; otherwise spin up a
+  // pool for this call (only when actually multi-threaded).
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && options.num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options.num_threads));
+    pool = owned_pool.get();
+  }
+  if (pool == nullptr || pool->num_threads() == 1) {
     shard(0, total_samples);
   } else {
-    std::vector<std::thread> pool;
-    const int64_t per_thread = (total_samples + threads - 1) / threads;
-    int64_t remaining = total_samples;
-    for (int t = 0; t < threads && remaining > 0; ++t) {
-      const int64_t n = std::min<int64_t>(per_thread, remaining);
-      remaining -= n;
-      pool.emplace_back(shard, t, n);
-    }
-    for (auto& th : pool) th.join();
+    pool->ShardedRange(0, static_cast<std::size_t>(total_samples),
+                       [&shard](int t, std::size_t lo, std::size_t hi) {
+                         shard(t, static_cast<int64_t>(hi - lo));
+                       });
   }
 
   if (!second_order) result.context = result.center.Clone();

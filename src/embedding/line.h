@@ -9,6 +9,8 @@
 
 namespace actor {
 
+class ThreadPool;
+
 /// Options for LINE [24] training.
 struct LineOptions {
   int32_t dim = 32;
@@ -23,6 +25,10 @@ struct LineOptions {
   int samples_per_edge = 50;
   int num_threads = 1;
   uint64_t seed = 3;
+  /// Externally-owned persistent worker pool (e.g. TrainActor's); when
+  /// null and num_threads > 1 a pool is created for the call. The pool's
+  /// worker count overrides num_threads.
+  ThreadPool* pool = nullptr;
   /// Edge types to pool; empty means every non-empty type in the graph.
   /// LINE treats the pooled graph as homogeneous: one edge alias table,
   /// one degree-based noise distribution over all vertices.

@@ -1,10 +1,11 @@
 #include "embedding/sgd.h"
 
 #include <algorithm>
-#include <thread>
+#include <array>
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace actor {
 
@@ -19,7 +20,16 @@ EdgeSamplingTrainer::EdgeSamplingTrainer(
       options_(options) {
   ACTOR_CHECK(graph_ != nullptr && center_ != nullptr && context_ != nullptr &&
               negative_sampler_ != nullptr);
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else if (options_.num_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options_.num_threads));
+    pool_ = owned_pool_.get();
+  }
 }
+
+EdgeSamplingTrainer::~EdgeSamplingTrainer() = default;
 
 Status EdgeSamplingTrainer::Prepare() {
   if (!graph_->finalized()) {
@@ -56,23 +66,16 @@ Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
   if (edge_tables_[static_cast<int>(e)] == nullptr || num_samples == 0) {
     return Status::OK();  // nothing to train
   }
-  const int threads = std::max(1, options_.num_threads);
-  if (threads == 1) {
-    TrainShard(e, num_samples, lr, options_.seed + steps_done_);
+  const uint64_t step = static_cast<uint64_t>(steps_done_);
+  if (pool_ == nullptr || pool_->num_threads() == 1) {
+    TrainShard(e, num_samples, lr, ShardSeed(options_.seed, step, 0));
   } else {
-    const int64_t per_thread = (num_samples + threads - 1) / threads;
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    int64_t remaining = num_samples;
-    for (int t = 0; t < threads && remaining > 0; ++t) {
-      const int64_t n = std::min<int64_t>(per_thread, remaining);
-      remaining -= n;
-      const uint64_t seed =
-          options_.seed + steps_done_ + 0x9e3779b9ULL * (t + 1);
-      pool.emplace_back(
-          [this, e, n, lr, seed] { TrainShard(e, n, lr, seed); });
-    }
-    for (auto& th : pool) th.join();
+    pool_->ShardedRange(
+        0, static_cast<std::size_t>(num_samples),
+        [this, e, lr, step](int shard, std::size_t lo, std::size_t hi) {
+          TrainShard(e, static_cast<int64_t>(hi - lo), lr,
+                     ShardSeed(options_.seed, step, shard));
+        });
   }
   steps_done_ += num_samples;
   return Status::OK();
@@ -85,19 +88,34 @@ void EdgeSamplingTrainer::TrainShard(EdgeType e, int64_t num_samples,
   const AliasTable& table = *edge_tables_[static_cast<int>(e)];
   const std::size_t dim = static_cast<std::size_t>(center_->dim());
   std::vector<float> grad(dim);
-  for (int64_t i = 0; i < num_samples; ++i) {
-    const std::size_t idx = table.Sample(rng);
-    const VertexId u = edges.src[idx];
-    const VertexId v = edges.dst[idx];
-    const VertexType ctx_type = graph_->vertex_type(v);
-    Zero(grad.data(), dim);
-    NegativeSamplingUpdate(
-        center_->row(u), v, options_.negatives, lr, context_, sigmoid_, rng,
-        [this, e, ctx_type](Rng& r) {
-          return negative_sampler_->Sample(e, ctx_type, r);
-        },
-        grad.data());
-    Add(grad.data(), center_->row(u), dim);  // Eq. (12)
+
+  // Block-wise sampling: draw a block of edges up front and software-
+  // prefetch their center/context rows, so the (random, cache-hostile) row
+  // accesses of block i overlap with the alias-table draws of block i+1.
+  constexpr int64_t kBlock = 64;
+  std::array<std::size_t, kBlock> idx_buf;
+  for (int64_t base = 0; base < num_samples; base += kBlock) {
+    const int64_t block = std::min<int64_t>(kBlock, num_samples - base);
+    for (int64_t i = 0; i < block; ++i) {
+      const std::size_t idx = table.Sample(rng);
+      idx_buf[static_cast<std::size_t>(i)] = idx;
+      PrefetchRow(center_->row(edges.src[idx]), dim);
+      PrefetchRow(context_->row(edges.dst[idx]), dim);
+    }
+    for (int64_t i = 0; i < block; ++i) {
+      const std::size_t idx = idx_buf[static_cast<std::size_t>(i)];
+      const VertexId u = edges.src[idx];
+      const VertexId v = edges.dst[idx];
+      const VertexType ctx_type = graph_->vertex_type(v);
+      Zero(grad.data(), dim);
+      NegativeSamplingUpdate(
+          center_->row(u), v, options_.negatives, lr, context_, sigmoid_, rng,
+          [this, e, ctx_type](Rng& r) {
+            return negative_sampler_->Sample(e, ctx_type, r);
+          },
+          grad.data());
+      Add(grad.data(), center_->row(u), dim);  // Eq. (12)
+    }
   }
 }
 

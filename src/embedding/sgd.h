@@ -14,6 +14,19 @@
 
 namespace actor {
 
+class ThreadPool;
+
+/// Derives the RNG seed for one trainer shard. Every input is passed
+/// through SplitMix64 rounds so shard streams stay uncorrelated across
+/// shards, training phases, and epochs — an additive scheme such as
+/// `base + step + C * shard` hands xoshiro nearly identical seeds, which
+/// its SplitMix64 seeding only partially decorrelates.
+inline uint64_t ShardSeed(uint64_t base, uint64_t step, uint64_t shard) {
+  uint64_t h = SplitMix64(base);
+  h = SplitMix64(h ^ step);
+  return SplitMix64(h ^ shard);
+}
+
 /// One negative-sampling objective evaluation (Eq. (7)) for a *given*
 /// center vector against one positive context vertex plus `negatives`
 /// noise vertices.
@@ -34,13 +47,13 @@ void NegativeSamplingUpdate(const float* center_vec, VertexId positive,
                             const SigmoidTable& sigmoid, Rng& rng,
                             NegativeFn&& sample_negative, float* grad_out) {
   const std::size_t dim = static_cast<std::size_t>(context->dim());
-  // Positive term: label 1.
+  // Positive term: label 1. FusedGradStep performs Eqs. (8)+(9) in one
+  // pass over the context row (grad_out += g*ctx; ctx += g*center).
   {
     float* ctx = context->row(positive);
     const float score = sigmoid(Dot(center_vec, ctx, dim));
     const float g = (1.0f - score) * lr;  // Eq. (8)/(9) coefficient
-    Axpy(g, ctx, grad_out, dim);
-    Axpy(g, center_vec, ctx, dim);  // Eq. (9)
+    FusedGradStep(g, center_vec, ctx, grad_out, dim);
   }
   // Negative terms: label 0.
   for (int k = 0; k < negatives; ++k) {
@@ -49,8 +62,7 @@ void NegativeSamplingUpdate(const float* center_vec, VertexId positive,
     float* ctx = context->row(neg);
     const float score = sigmoid(Dot(center_vec, ctx, dim));
     const float g = -score * lr;  // Eq. (8)/(10) coefficient
-    Axpy(g, ctx, grad_out, dim);
-    Axpy(g, center_vec, ctx, dim);  // Eq. (10)
+    FusedGradStep(g, center_vec, ctx, grad_out, dim);  // Eq. (10)
   }
 }
 
@@ -63,6 +75,11 @@ struct TrainOptions {
   float initial_lr = 0.025f;
   int num_threads = 1;
   uint64_t seed = 1;
+  /// Externally-owned persistent worker pool. When null and
+  /// num_threads > 1 the trainer creates its own pool, kept alive for the
+  /// trainer's lifetime — never per TrainEdgeType call. The pool must
+  /// outlive the trainer; its worker count overrides num_threads.
+  ThreadPool* pool = nullptr;
 };
 
 /// Asynchronous stochastic gradient trainer over typed edges (paper
@@ -78,6 +95,9 @@ class EdgeSamplingTrainer {
                       EmbeddingMatrix* context,
                       const TypedNegativeSampler* negative_sampler,
                       TrainOptions options);
+
+  // Out-of-line: owned_pool_ holds a forward-declared ThreadPool.
+  ~EdgeSamplingTrainer();
 
   /// Builds the per-edge-type alias tables. Must be called once before
   /// TrainEdgeType. Edge types with no edges are skipped silently.
@@ -111,6 +131,8 @@ class EdgeSamplingTrainer {
   bool prepared_ = false;
   std::vector<std::unique_ptr<AliasTable>> edge_tables_;  // per edge type
   int64_t steps_done_ = 0;
+  ThreadPool* pool_ = nullptr;            // null => single-threaded
+  std::unique_ptr<ThreadPool> owned_pool_;  // backs pool_ when not borrowed
 };
 
 }  // namespace actor

@@ -1,11 +1,13 @@
 #include "embedding/skipgram.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 
 #include "embedding/sgd.h"
 #include "graph/alias_table.h"
+#include "util/thread_pool.h"
 #include "util/vec_math.h"
 
 namespace actor {
@@ -75,45 +77,67 @@ Result<LineEmbedding> TrainSkipGramOnWalks(
   result.context.InitZero();
 
   const SigmoidTable sigmoid;
-  Rng rng(options.seed + 1);
   const std::size_t dim = static_cast<std::size_t>(options.dim);
-  std::vector<float> grad(dim);
   const int64_t total_steps =
       static_cast<int64_t>(options.epochs) * total_positions;
-  int64_t done = 0;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    for (const auto& walk : walks) {
-      const int len = static_cast<int>(walk.size());
-      for (int i = 0; i < len; ++i) {
-        const float frac =
-            static_cast<float>(done) / static_cast<float>(total_steps);
-        const float lr = std::max(options.initial_lr * (1.0f - frac),
-                                  options.initial_lr * 1e-3f);
-        ++done;
-        const VertexId center = walk[i];
-        const int lo = std::max(0, i - options.window);
-        const int hi = std::min(len - 1, i + options.window);
-        for (int j = lo; j <= hi; ++j) {
-          if (j == i) continue;
-          const VertexId ctx = walk[j];
-          const Noise* noise = &pooled;
-          if (options.typed_negatives) {
-            const Noise& t =
-                typed[static_cast<int>(graph.vertex_type(ctx))];
-            if (t.table != nullptr) noise = &t;
+  // Walk positions processed so far, shared across shards so the linear
+  // learning-rate decay follows the global schedule.
+  std::atomic<int64_t> done{0};
+
+  // Trains every walk in [walk_lo, walk_hi), all epochs. Shards update the
+  // shared matrices lock-free (HOGWILD).
+  auto train_walks = [&](int shard, std::size_t walk_lo,
+                         std::size_t walk_hi) {
+    Rng rng(ShardSeed(options.seed, /*step=*/1, shard));
+    std::vector<float> grad(dim);
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+      for (std::size_t w = walk_lo; w < walk_hi; ++w) {
+        const auto& walk = walks[w];
+        const int len = static_cast<int>(walk.size());
+        for (int i = 0; i < len; ++i) {
+          const int64_t step = done.fetch_add(1, std::memory_order_relaxed);
+          const float frac =
+              static_cast<float>(step) / static_cast<float>(total_steps);
+          const float lr = std::max(options.initial_lr * (1.0f - frac),
+                                    options.initial_lr * 1e-3f);
+          const VertexId center = walk[i];
+          const int lo = std::max(0, i - options.window);
+          const int hi = std::min(len - 1, i + options.window);
+          for (int j = lo; j <= hi; ++j) {
+            if (j == i) continue;
+            const VertexId ctx = walk[j];
+            const Noise* noise = &pooled;
+            if (options.typed_negatives) {
+              const Noise& t =
+                  typed[static_cast<int>(graph.vertex_type(ctx))];
+              if (t.table != nullptr) noise = &t;
+            }
+            Zero(grad.data(), dim);
+            NegativeSamplingUpdate(
+                result.center.row(center), ctx, options.negatives, lr,
+                &result.context, sigmoid, rng,
+                [noise](Rng& r) {
+                  return noise->candidates[noise->table->Sample(r)];
+                },
+                grad.data());
+            Add(grad.data(), result.center.row(center), dim);
           }
-          Zero(grad.data(), dim);
-          NegativeSamplingUpdate(
-              result.center.row(center), ctx, options.negatives, lr,
-              &result.context, sigmoid, rng,
-              [noise](Rng& r) {
-                return noise->candidates[noise->table->Sample(r)];
-              },
-              grad.data());
-          Add(grad.data(), result.center.row(center), dim);
         }
       }
     }
+  };
+
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && options.num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options.num_threads));
+    pool = owned_pool.get();
+  }
+  if (pool == nullptr || pool->num_threads() == 1) {
+    train_walks(0, 0, walks.size());
+  } else {
+    pool->ShardedRange(0, walks.size(), train_walks);
   }
   return result;
 }

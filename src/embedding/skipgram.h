@@ -10,6 +10,8 @@
 
 namespace actor {
 
+class ThreadPool;
+
 /// Options for skip-gram training on random-walk corpora (the second half
 /// of metapath2vec [25]).
 struct SkipGramOptions {
@@ -20,6 +22,12 @@ struct SkipGramOptions {
   float initial_lr = 0.025f;
   int epochs = 2;
   uint64_t seed = 11;
+  /// Walks are sharded contiguously across threads; shards update the
+  /// shared matrices lock-free (HOGWILD). 1 keeps training deterministic.
+  int num_threads = 1;
+  /// Externally-owned persistent worker pool; when null and
+  /// num_threads > 1 a pool is created for the call.
+  ThreadPool* pool = nullptr;
   /// metapath2vec++ heterogeneous negative sampling: negatives share the
   /// context vertex's type. When false, negatives come from the pooled
   /// walk-frequency distribution (plain metapath2vec).

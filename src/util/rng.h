@@ -7,6 +7,19 @@
 
 namespace actor {
 
+/// SplitMix64 finalizer: a bijective avalanche mix of the full 64-bit
+/// input. The standard way to derive uncorrelated PRNG seeds from
+/// structured inputs (base seed, shard index, epoch): additive or
+/// multiplicative schemes like `seed + C * shard` leave nearby shards with
+/// correlated xoshiro streams, while one SplitMix64 round flips ~half the
+/// output bits per input bit.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Fast, reproducible 64-bit PRNG (xoshiro256**). Each trainer thread owns
 /// its own instance, seeded deterministically, so multi-threaded runs are
 /// replayable modulo HOGWILD write races.
@@ -18,12 +31,8 @@ class Rng {
   void Seed(uint64_t seed) {
     uint64_t x = seed;
     for (auto& s : state_) {
-      // SplitMix64 step.
+      s = SplitMix64(x);
       x += 0x9e3779b97f4a7c15ULL;
-      uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      s = z ^ (z >> 31);
     }
   }
 

@@ -37,6 +37,15 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn) {
+  ShardedRange(begin, end,
+               [&fn](int /*shard*/, std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) fn(i);
+               });
+}
+
+void ThreadPool::ShardedRange(
+    std::size_t begin, std::size_t end,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(n, num_threads());
@@ -45,9 +54,7 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
     if (lo >= hi) break;
-    Submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
+    Submit([c, lo, hi, &fn] { fn(static_cast<int>(c), lo, hi); });
   }
   Wait();
 }

@@ -12,8 +12,12 @@
 namespace actor {
 
 /// Fixed-size worker pool. Tasks are arbitrary closures; Wait() blocks until
-/// the queue drains and all in-flight tasks finish. Used by the HOGWILD
-/// trainer and by the hotspot detector.
+/// the queue drains and all in-flight tasks finish.
+///
+/// The pool is designed to be created once and threaded through an entire
+/// training run (TrainActor hands one instance to the LINE pre-trainer, the
+/// edge-sampling trainer, and the record loop), so the hot path pays one
+/// spawn/join cycle per run instead of one per TrainEdgeType call.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (at least 1).
@@ -36,6 +40,16 @@ class ThreadPool {
   /// concurrently on disjoint indices.
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
+
+  /// Splits [begin, end) into one near-equal contiguous chunk per worker
+  /// and runs fn(shard, lo, hi) for each on the pool, then waits. Shard ids
+  /// are dense in [0, chunks) so callers can derive per-shard RNG seeds.
+  /// When the range has fewer items than workers, only `end - begin` shards
+  /// run; an empty range runs nothing. fn must be safe to call concurrently
+  /// on disjoint ranges (the HOGWILD trainers rely on exactly that).
+  void ShardedRange(
+      std::size_t begin, std::size_t end,
+      const std::function<void(int, std::size_t, std::size_t)>& fn);
 
  private:
   void WorkerLoop();

@@ -2,7 +2,19 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define ACTOR_VEC_X86 1
+#include <immintrin.h>
+#endif
+
 namespace actor {
+
+// --------------------------------------------------------------------------
+// Scalar reference kernels. Simple loops that GCC/Clang auto-vectorize at
+// the baseline ISA; also the ground truth for the SIMD parity tests.
+// --------------------------------------------------------------------------
+
+namespace scalar {
 
 float Dot(const float* x, const float* y, std::size_t n) {
   float acc = 0.0f;
@@ -18,19 +30,212 @@ void Scale(float a, float* x, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) x[i] *= a;
 }
 
+void Add(const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += x[i];
+}
+
+float Norm2(const float* x, std::size_t n) { return std::sqrt(Dot(x, x, n)); }
+
+void FusedGradStep(float g, const float* center, float* ctx, float* grad,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float c = ctx[i];
+    grad[i] += g * c;
+    ctx[i] = c + g * center[i];
+  }
+}
+
+}  // namespace scalar
+
+// --------------------------------------------------------------------------
+// AVX2+FMA kernels. Compiled with per-function target attributes so the
+// translation unit builds at the baseline ISA and these bodies are only
+// executed after the CPUID check below passes. Rows of EmbeddingMatrix are
+// 32-byte aligned with padded stride, but callers may also pass arbitrary
+// stack buffers, so all loads/stores are unaligned ops (same throughput as
+// aligned ops on every AVX2 core when the address is in fact aligned).
+// --------------------------------------------------------------------------
+
+#ifdef ACTOR_VEC_X86
+namespace avx2 {
+
+#define ACTOR_AVX2_TARGET __attribute__((target("avx2,fma")))
+
+ACTOR_AVX2_TARGET static inline float HorizontalSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+ACTOR_AVX2_TARGET float Dot(const float* x, const float* y, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                           _mm256_loadu_ps(y + i + 8), acc1);
+  }
+  if (i + 8 <= n) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i),
+                           acc0);
+    i += 8;
+  }
+  float acc = HorizontalSum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+ACTOR_AVX2_TARGET void Axpy(float a, const float* x, float* y,
+                            std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(a, x[i], y[i]);
+}
+
+ACTOR_AVX2_TARGET void Scale(float a, float* x, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+ACTOR_AVX2_TARGET void Add(const float* x, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(out + i)));
+  }
+  for (; i < n; ++i) out[i] += x[i];
+}
+
+ACTOR_AVX2_TARGET float Norm2(const float* x, std::size_t n) {
+  return std::sqrt(Dot(x, x, n));
+}
+
+ACTOR_AVX2_TARGET void FusedGradStep(float g, const float* center, float* ctx,
+                                     float* grad, std::size_t n) {
+  const __m256 vg = _mm256_set1_ps(g);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 c = _mm256_loadu_ps(ctx + i);
+    _mm256_storeu_ps(grad + i,
+                     _mm256_fmadd_ps(vg, c, _mm256_loadu_ps(grad + i)));
+    _mm256_storeu_ps(
+        ctx + i, _mm256_fmadd_ps(vg, _mm256_loadu_ps(center + i), c));
+  }
+  for (; i < n; ++i) {
+    const float c = ctx[i];
+    grad[i] = std::fma(g, c, grad[i]);
+    ctx[i] = std::fma(g, center[i], c);
+  }
+}
+
+#undef ACTOR_AVX2_TARGET
+
+}  // namespace avx2
+#endif  // ACTOR_VEC_X86
+
+// --------------------------------------------------------------------------
+// Runtime dispatch. Function pointers are installed before main() by a
+// static initializer in this TU; SetVecBackend re-points them (benchmarks
+// and parity tests only).
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct KernelTable {
+  float (*dot)(const float*, const float*, std::size_t) = &scalar::Dot;
+  void (*axpy)(float, const float*, float*, std::size_t) = &scalar::Axpy;
+  void (*scale)(float, float*, std::size_t) = &scalar::Scale;
+  void (*add)(const float*, float*, std::size_t) = &scalar::Add;
+  float (*norm2)(const float*, std::size_t) = &scalar::Norm2;
+  void (*fused)(float, const float*, float*, float*, std::size_t) =
+      &scalar::FusedGradStep;
+};
+
+KernelTable g_kernels;
+VecBackend g_backend = VecBackend::kScalar;
+
+struct DispatchInit {
+  DispatchInit() { SetVecBackend(VecBackend::kAvx2); }
+};
+DispatchInit g_dispatch_init;
+
+}  // namespace
+
+bool Avx2Available() {
+#ifdef ACTOR_VEC_X86
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+VecBackend ActiveVecBackend() { return g_backend; }
+
+const char* VecBackendName(VecBackend backend) {
+  switch (backend) {
+    case VecBackend::kScalar:
+      return "scalar";
+    case VecBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+VecBackend SetVecBackend(VecBackend backend) {
+#ifdef ACTOR_VEC_X86
+  if (backend == VecBackend::kAvx2 && Avx2Available()) {
+    g_kernels.dot = &avx2::Dot;
+    g_kernels.axpy = &avx2::Axpy;
+    g_kernels.scale = &avx2::Scale;
+    g_kernels.add = &avx2::Add;
+    g_kernels.norm2 = &avx2::Norm2;
+    g_kernels.fused = &avx2::FusedGradStep;
+    g_backend = VecBackend::kAvx2;
+    return g_backend;
+  }
+#endif
+  g_kernels = KernelTable();
+  g_backend = VecBackend::kScalar;
+  return g_backend;
+}
+
+float Dot(const float* x, const float* y, std::size_t n) {
+  return g_kernels.dot(x, y, n);
+}
+
+void Axpy(float a, const float* x, float* y, std::size_t n) {
+  g_kernels.axpy(a, x, y, n);
+}
+
+void Scale(float a, float* x, std::size_t n) { g_kernels.scale(a, x, n); }
+
 void Copy(const float* x, float* out, std::size_t n) {
   std::memcpy(out, x, n * sizeof(float));
 }
 
 void Add(const float* x, float* out, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) out[i] += x[i];
+  g_kernels.add(x, out, n);
 }
 
 void Zero(float* x, std::size_t n) { std::memset(x, 0, n * sizeof(float)); }
 
-float Norm2(const float* x, std::size_t n) {
-  return std::sqrt(Dot(x, x, n));
-}
+float Norm2(const float* x, std::size_t n) { return g_kernels.norm2(x, n); }
 
 void NormalizeInPlace(float* x, std::size_t n) {
   const float norm = Norm2(x, n);
@@ -42,6 +247,11 @@ float Cosine(const float* x, const float* y, std::size_t n) {
   const float ny = Norm2(y, n);
   if (nx == 0.0f || ny == 0.0f) return 0.0f;
   return Dot(x, y, n) / (nx * ny);
+}
+
+void FusedGradStep(float g, const float* center, float* ctx, float* grad,
+                   std::size_t n) {
+  g_kernels.fused(g, center, ctx, grad, n);
 }
 
 SigmoidTable::SigmoidTable() {

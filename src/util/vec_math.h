@@ -8,7 +8,32 @@ namespace actor {
 
 /// Dense float vector kernels used by the embedding trainers. All functions
 /// operate on raw pointers so they can address rows of an EmbeddingMatrix
-/// without copies. Written as simple loops that GCC/Clang auto-vectorize.
+/// without copies.
+///
+/// Two implementations exist for every hot kernel: a portable scalar loop
+/// (namespace `scalar`, also the reference for parity tests) and an
+/// AVX2+FMA version selected at runtime. The top-level functions dispatch
+/// through function pointers initialized before main() from CPUID, so a
+/// single binary runs the fastest kernels the machine supports and falls
+/// back to the scalar loops everywhere else.
+
+/// Which kernel family the top-level functions currently dispatch to.
+enum class VecBackend { kScalar, kAvx2 };
+
+/// True when the running CPU supports the AVX2+FMA kernels.
+bool Avx2Available();
+
+/// Backend the dispatched kernels currently use. Defaults to the fastest
+/// available backend.
+VecBackend ActiveVecBackend();
+
+/// Forces the dispatched kernels onto `backend` (used by benchmarks and
+/// parity tests). Requests for an unavailable backend fall back to scalar.
+/// Returns the backend actually installed. Not safe to call while trainer
+/// threads are running.
+VecBackend SetVecBackend(VecBackend backend);
+
+const char* VecBackendName(VecBackend backend);
 
 /// Returns the dot product of x and y (length n).
 float Dot(const float* x, const float* y, std::size_t n);
@@ -36,6 +61,44 @@ void NormalizeInPlace(float* x, std::size_t n);
 
 /// Cosine similarity; 0 when either vector is all-zero.
 float Cosine(const float* x, const float* y, std::size_t n);
+
+/// Fused negative-sampling gradient step (Eqs. (8)-(10) coefficients):
+/// in one pass over the row,
+///   grad[i] += g * ctx[i]      (center-side gradient, pre-update ctx)
+///   ctx[i]  += g * center[i]   (context-side update)
+/// Equivalent to Axpy(g, ctx, grad, n) followed by Axpy(g, center, ctx, n),
+/// but loads/stores each ctx element once, which halves the memory traffic
+/// of the SGD inner loop.
+void FusedGradStep(float g, const float* center, float* ctx, float* grad,
+                   std::size_t n);
+
+/// Portable reference kernels; always available regardless of the active
+/// backend. The dispatched functions above are bit-compatible with these
+/// up to floating-point reassociation (Dot/Norm2) and FMA rounding
+/// (Axpy/FusedGradStep), covered by the parity tests.
+namespace scalar {
+float Dot(const float* x, const float* y, std::size_t n);
+void Axpy(float a, const float* x, float* y, std::size_t n);
+void Scale(float a, float* x, std::size_t n);
+void Add(const float* x, float* out, std::size_t n);
+float Norm2(const float* x, std::size_t n);
+void FusedGradStep(float g, const float* center, float* ctx, float* grad,
+                   std::size_t n);
+}  // namespace scalar
+
+/// Prefetches the first n floats at p into cache (write intent). Used by
+/// the block-wise edge samplers to hide the latency of the random row
+/// accesses behind the alias-table draws.
+inline void PrefetchRow(const float* p, std::size_t n) {
+#if defined(__GNUC__) || defined(__clang__)
+  for (std::size_t off = 0; off < n; off += 16) {
+    __builtin_prefetch(p + off, 1, 1);
+  }
+#else
+  (void)p;
+  (void)n;
+#endif
+}
 
 /// Numerically-stable logistic sigmoid.
 inline float Sigmoid(float x) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 
 namespace actor {
@@ -74,6 +76,62 @@ TEST(EmbeddingMatrixTest, CloneIsDeep) {
   copy.row(0)[0] = 9.0f;
   EXPECT_FLOAT_EQ(m.row(0)[0], 1.0f);
   EXPECT_FLOAT_EQ(copy.row(0)[0], 9.0f);
+}
+
+TEST(EmbeddingMatrixTest, RowsAreAligned) {
+  // Every row must start on a 32-byte boundary so AVX2 kernels can use
+  // aligned loads regardless of dim.
+  for (int dim : {1, 3, 5, 8, 17, 64, 300}) {
+    EmbeddingMatrix m(4, dim);
+    for (int r = 0; r < m.rows(); ++r) {
+      const auto addr = reinterpret_cast<std::uintptr_t>(m.row(r));
+      EXPECT_EQ(addr % EmbeddingMatrix::kRowAlignment, 0u)
+          << "dim=" << dim << " row=" << r;
+    }
+  }
+}
+
+TEST(EmbeddingMatrixTest, StrideIsDimRoundedUpToEightFloats) {
+  for (int dim : {1, 7, 8, 9, 16, 17, 300}) {
+    EmbeddingMatrix m(2, dim);
+    const std::size_t expected = ((dim + 7) / 8) * 8;
+    EXPECT_EQ(m.stride(), expected) << "dim=" << dim;
+    EXPECT_EQ(m.row(1) - m.row(0), static_cast<std::ptrdiff_t>(m.stride()));
+  }
+}
+
+TEST(EmbeddingMatrixTest, AppendRowsPreservesAlignmentAndData) {
+  EmbeddingMatrix m(2, 5);
+  Rng rng(7);
+  m.InitUniform(rng);
+  const float keep = m.row(1)[4];
+  m.AppendRows(3, &rng);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_FLOAT_EQ(m.row(1)[4], keep);
+  for (int r = 0; r < m.rows(); ++r) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(m.row(r));
+    EXPECT_EQ(addr % EmbeddingMatrix::kRowAlignment, 0u);
+  }
+}
+
+TEST(EmbeddingMatrixTest, SaveLoadRoundTripPaddedDim) {
+  // dim=5 pads each row to stride 8; padding must not leak into the file
+  // or the reloaded matrix.
+  const std::string path = ::testing::TempDir() + "/emb_padded.txt";
+  EmbeddingMatrix m(3, 5);
+  Rng rng(21);
+  m.InitUniform(rng);
+  ASSERT_TRUE(m.Save(path).ok());
+  auto loaded = EmbeddingMatrix::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rows(), 3);
+  EXPECT_EQ(loaded->dim(), 5);
+  for (int r = 0; r < 3; ++r) {
+    for (int d = 0; d < 5; ++d) {
+      EXPECT_NEAR(loaded->row(r)[d], m.row(r)[d], 1e-6f);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(EmbeddingMatrixTest, SaveLoadRoundTrip) {

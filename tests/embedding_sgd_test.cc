@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/thread_pool.h"
 #include "util/vec_math.h"
 
 namespace actor {
@@ -169,6 +175,44 @@ TEST(EdgeSamplingTrainerTest, TrainingSeparatesTopics) {
   EXPECT_GT(l0_w0, l0_w5);
 }
 
+TEST(ShardSeedTest, DistinctAcrossShardsAndSteps) {
+  std::set<uint64_t> seeds;
+  for (uint64_t step : {0ull, 1ull, 2ull, 4000ull}) {
+    for (uint64_t shard = 0; shard < 8; ++shard) {
+      seeds.insert(ShardSeed(/*base=*/42, step, shard));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4u * 8u);
+}
+
+TEST(ShardSeedTest, ShardStreamsAreDecorrelated) {
+  // The old additive scheme (seed + step + GOLDEN * (shard + 1)) produced
+  // xorshift128+ states differing only in a few low bits, so neighbouring
+  // shards emitted correlated streams. SplitMix64 mixing must give shards
+  // with adjacent ids fully distinct draw sequences.
+  const uint64_t base = 7, step = 12000;
+  std::vector<Rng> rngs;
+  for (uint64_t shard = 0; shard < 4; ++shard) {
+    rngs.emplace_back(ShardSeed(base, step, shard));
+  }
+  for (std::size_t a = 0; a < rngs.size(); ++a) {
+    for (std::size_t b = a + 1; b < rngs.size(); ++b) {
+      Rng x(ShardSeed(base, step, a)), y(ShardSeed(base, step, b));
+      int equal = 0;
+      for (int i = 0; i < 256; ++i) {
+        if (x.Next() == y.Next()) ++equal;
+      }
+      EXPECT_EQ(equal, 0) << "shards " << a << " and " << b;
+    }
+  }
+}
+
+TEST(ShardSeedTest, BaseSeedChangesAllShards) {
+  for (uint64_t shard = 0; shard < 4; ++shard) {
+    EXPECT_NE(ShardSeed(1, 0, shard), ShardSeed(2, 0, shard));
+  }
+}
+
 TEST(EdgeSamplingTrainerTest, MultiThreadedTrainingRuns) {
   Heterograph g = TwoTopicGraph();
   auto noise = TypedNegativeSampler::Create(g);
@@ -188,6 +232,65 @@ TEST(EdgeSamplingTrainerTest, MultiThreadedTrainingRuns) {
     for (int d = 0; d < 8; ++d) {
       EXPECT_TRUE(std::isfinite(center.row(r)[d]));
       EXPECT_TRUE(std::isfinite(context.row(r)[d]));
+    }
+  }
+}
+
+TEST(EdgeSamplingTrainerTest, SharedExternalPoolTrainsAcrossTrainers) {
+  // The persistent-pool contract: one pool, owned by the caller, serves
+  // several trainers without respawning threads.
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    EmbeddingMatrix center(8, 8), context(8, 8);
+    Rng rng(17 + round);
+    center.InitUniform(rng);
+    TrainOptions options;
+    options.dim = 8;
+    options.num_threads = 2;
+    options.pool = &pool;
+    EdgeSamplingTrainer trainer(&g, &center, &context, &*noise, options);
+    ASSERT_TRUE(trainer.Prepare().ok());
+    ASSERT_TRUE(trainer.TrainEdgeType(EdgeType::kLW, 5000, 0.05f).ok());
+    EXPECT_EQ(trainer.steps_done(), 5000);
+    for (int r = 0; r < 8; ++r) {
+      for (int d = 0; d < 8; ++d) {
+        ASSERT_TRUE(std::isfinite(center.row(r)[d]));
+      }
+    }
+  }
+}
+
+TEST(EdgeSamplingTrainerTest, SingleThreadDeterministicWithPoolPresent) {
+  // A pool being available must not break the sequential single-thread
+  // path: num_threads == 1 ignores the pool and stays bit-deterministic.
+  Heterograph g = TwoTopicGraph();
+  auto noise = TypedNegativeSampler::Create(g);
+  ASSERT_TRUE(noise.ok());
+  ThreadPool pool(4);
+  auto run = [&](EmbeddingMatrix* center, EmbeddingMatrix* context) {
+    Rng rng(31);
+    center->InitUniform(rng);
+    context->InitZero();
+    TrainOptions options;
+    options.dim = 8;
+    options.negatives = 2;
+    options.seed = 31;
+    options.num_threads = 1;
+    options.pool = &pool;
+    EdgeSamplingTrainer trainer(&g, center, context, &*noise, options);
+    ASSERT_TRUE(trainer.Prepare().ok());
+    ASSERT_TRUE(trainer.TrainEdgeType(EdgeType::kLW, 3000, 0.05f).ok());
+  };
+  EmbeddingMatrix c1(8, 8), x1(8, 8), c2(8, 8), x2(8, 8);
+  run(&c1, &x1);
+  run(&c2, &x2);
+  for (int r = 0; r < 8; ++r) {
+    for (int d = 0; d < 8; ++d) {
+      ASSERT_EQ(c1.row(r)[d], c2.row(r)[d]) << "row " << r << " dim " << d;
+      ASSERT_EQ(x1.row(r)[d], x2.row(r)[d]) << "row " << r << " dim " << d;
     }
   }
 }

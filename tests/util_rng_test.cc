@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <set>
 
 namespace actor {
@@ -27,6 +29,30 @@ TEST(RngTest, ReseedReproduces) {
   const uint64_t first = a.Next();
   a.Seed(9);
   EXPECT_EQ(a.Next(), first);
+}
+
+TEST(SplitMix64Test, DistinctOutputsForConsecutiveInputs) {
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 1000; ++x) outputs.insert(SplitMix64(x));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(SplitMix64Test, AvalancheOnAdjacentInputs) {
+  // One flipped input bit must flip roughly half the output bits — the
+  // property that makes SplitMix64 safe for deriving shard seeds from
+  // consecutive integers.
+  for (uint64_t x : {0ull, 1ull, 17ull, 0x9e3779b9ull, ~0ull - 5}) {
+    const int flipped = std::popcount(SplitMix64(x) ^ SplitMix64(x + 1));
+    EXPECT_GE(flipped, 16) << "x=" << x;
+    EXPECT_LE(flipped, 48) << "x=" << x;
+  }
+}
+
+TEST(SplitMix64Test, KnownReferenceValues) {
+  // Reference sequence of the canonical splitmix64 (Vigna) from seed 0:
+  // each call advances the state by the golden gamma and mixes.
+  EXPECT_EQ(SplitMix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(0x9e3779b97f4a7c15ULL), 0x6e789e6aa1b965f4ULL);
 }
 
 TEST(RngTest, UniformInRange) {

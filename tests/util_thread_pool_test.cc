@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace actor {
@@ -75,6 +78,92 @@ TEST(ThreadPoolTest, SequentialWaves) {
     pool.Wait();
     EXPECT_EQ(counter.load(), (wave + 1) * 20);
   }
+}
+
+TEST(ThreadPoolTest, ParallelForRangeSmallerThanPool) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(0, 3, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShardedRangeCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.ShardedRange(0, 101, [&hits](int, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShardedRangeEmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ShardedRange(7, 7, [&calls](int, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  pool.ShardedRange(9, 3, [&calls](int, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ShardedRangeFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::vector<int> shards;
+  pool.ShardedRange(10, 13, [&](int shard, std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(lo, hi);
+    shards.push_back(shard);
+  });
+  // 3 items across 8 workers: exactly 3 non-empty single-item shards with
+  // dense shard ids.
+  ASSERT_EQ(ranges.size(), 3u);
+  std::sort(ranges.begin(), ranges.end());
+  std::sort(shards.begin(), shards.end());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ranges[i].first, 10 + i);
+    EXPECT_EQ(ranges[i].second, 11 + i);
+    EXPECT_EQ(shards[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, ShardedRangeShardIdsAreDenseAndDistinct) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<int> shards;
+  pool.ShardedRange(0, 1000, [&](int shard, std::size_t, std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    shards.push_back(shard);
+  });
+  std::sort(shards.begin(), shards.end());
+  ASSERT_EQ(shards.size(), 4u);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(shards[s], s);
+}
+
+TEST(ThreadPoolTest, ManySmallTasksDrainCompletely) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10000);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyShardedRanges) {
+  // The persistent-pool contract: one pool serves hundreds of batch calls
+  // (epochs x edge types) without respawning workers.
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ShardedRange(0, 50, [&sum](int, std::size_t lo, std::size_t hi) {
+      sum.fetch_add(static_cast<int64_t>(hi - lo));
+    });
+  }
+  EXPECT_EQ(sum.load(), 200 * 50);
 }
 
 TEST(ThreadPoolTest, DestructionWithPendingWorkCompletes) {

@@ -2,13 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.h"
 
 namespace actor {
 namespace {
+
+/// Distance in representable floats between a and b (0 = bit-identical).
+int64_t UlpDiff(float a, float b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) return INT64_MAX;
+  auto to_ordered = [](float f) -> int64_t {
+    const int32_t bits = std::bit_cast<int32_t>(f);
+    return bits >= 0 ? bits : INT32_MIN - static_cast<int64_t>(bits);
+  };
+  const int64_t d = to_ordered(a) - to_ordered(b);
+  return d >= 0 ? d : -d;
+}
 
 TEST(VecMathTest, DotBasic) {
   const float x[] = {1.0f, 2.0f, 3.0f};
@@ -165,6 +179,167 @@ TEST_P(VecSizeSweep, CosineBounded) {
 INSTANTIATE_TEST_SUITE_P(Sizes, VecSizeSweep,
                          ::testing::Values(0u, 1u, 2u, 3u, 7u, 16u, 31u, 64u,
                                            128u, 300u));
+
+TEST(VecBackendTest, SetBackendRoundTrip) {
+  const VecBackend original = ActiveVecBackend();
+  EXPECT_EQ(SetVecBackend(VecBackend::kScalar), VecBackend::kScalar);
+  EXPECT_EQ(ActiveVecBackend(), VecBackend::kScalar);
+  const VecBackend applied = SetVecBackend(VecBackend::kAvx2);
+  if (Avx2Available()) {
+    EXPECT_EQ(applied, VecBackend::kAvx2);
+  } else {
+    EXPECT_EQ(applied, VecBackend::kScalar);
+  }
+  SetVecBackend(original);
+}
+
+TEST(VecBackendTest, DefaultIsBestAvailable) {
+  // The static initializer installs AVX2 kernels when the CPU has them.
+  if (Avx2Available()) {
+    EXPECT_EQ(ActiveVecBackend(), VecBackend::kAvx2);
+  } else {
+    EXPECT_EQ(ActiveVecBackend(), VecBackend::kScalar);
+  }
+}
+
+TEST(VecBackendTest, BackendNames) {
+  EXPECT_STREQ(VecBackendName(VecBackend::kScalar), "scalar");
+  EXPECT_STREQ(VecBackendName(VecBackend::kAvx2), "avx2");
+}
+
+TEST(ScalarKernelTest, FusedGradStepMatchesTwoAxpys) {
+  // The fused kernel is defined as Axpy(g, ctx, grad) then
+  // Axpy(g, center, ctx); the scalar version must match bit-for-bit...
+  // up to FMA contraction the compiler may apply to either loop, so
+  // compare within 1 ulp.
+  const std::size_t n = 37;
+  Rng rng(99);
+  std::vector<float> center(n), ctx(n), ctx2(n), grad(n), grad2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    center[i] = rng.UniformFloat() - 0.5f;
+    ctx[i] = ctx2[i] = rng.UniformFloat() - 0.5f;
+    grad[i] = grad2[i] = rng.UniformFloat() - 0.5f;
+  }
+  const float g = 0.37f;
+  scalar::FusedGradStep(g, center.data(), ctx.data(), grad.data(), n);
+  scalar::Axpy(g, ctx2.data(), grad2.data(), n);
+  scalar::Axpy(g, center.data(), ctx2.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(UlpDiff(ctx[i], ctx2[i]), 1) << "i=" << i;
+    EXPECT_LE(UlpDiff(grad[i], grad2[i]), 1) << "i=" << i;
+  }
+}
+
+/// SIMD/scalar kernel parity across every dim in 1..257, covering all
+/// vector-width tail cases (non-multiple-of-8/16 lengths). Elementwise
+/// kernels must agree within 1 ulp (FMA rounds differently from
+/// mul-then-add); reductions (Dot/Norm2) reassociate, so both backends are
+/// compared against a double-precision reference instead.
+class KernelParity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Avx2Available()) {
+      GTEST_SKIP() << "no AVX2 on this machine; nothing to compare";
+    }
+  }
+  void TearDown() override { SetVecBackend(VecBackend::kAvx2); }
+
+  static std::vector<float> RandomVec(std::size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = rng.UniformFloat() - 0.5f;
+    return v;
+  }
+};
+
+TEST_F(KernelParity, DotMatchesDoubleReference) {
+  for (std::size_t n = 1; n <= 257; ++n) {
+    const auto x = RandomVec(n, 2 * n);
+    const auto y = RandomVec(n, 2 * n + 1);
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ref += static_cast<double>(x[i]) * y[i];
+    }
+    const float tol = 1e-5f + 1e-6f * static_cast<float>(n);
+    SetVecBackend(VecBackend::kAvx2);
+    EXPECT_NEAR(Dot(x.data(), y.data(), n), ref, tol) << "n=" << n;
+    SetVecBackend(VecBackend::kScalar);
+    EXPECT_NEAR(Dot(x.data(), y.data(), n), ref, tol) << "n=" << n;
+  }
+}
+
+TEST_F(KernelParity, AxpyWithin1Ulp) {
+  for (std::size_t n = 1; n <= 257; ++n) {
+    const auto x = RandomVec(n, 3 * n);
+    auto y_simd = RandomVec(n, 3 * n + 1);
+    auto y_ref = y_simd;
+    SetVecBackend(VecBackend::kAvx2);
+    Axpy(0.25f, x.data(), y_simd.data(), n);
+    scalar::Axpy(0.25f, x.data(), y_ref.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_LE(UlpDiff(y_simd[i], y_ref[i]), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelParity, AddExact) {
+  for (std::size_t n = 1; n <= 257; ++n) {
+    const auto x = RandomVec(n, 5 * n);
+    auto out_simd = RandomVec(n, 5 * n + 1);
+    auto out_ref = out_simd;
+    SetVecBackend(VecBackend::kAvx2);
+    Add(x.data(), out_simd.data(), n);
+    scalar::Add(x.data(), out_ref.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out_simd[i], out_ref[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelParity, ScaleExact) {
+  for (std::size_t n = 1; n <= 257; ++n) {
+    auto x_simd = RandomVec(n, 7 * n);
+    auto x_ref = x_simd;
+    SetVecBackend(VecBackend::kAvx2);
+    Scale(0.815f, x_simd.data(), n);
+    scalar::Scale(0.815f, x_ref.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(x_simd[i], x_ref[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelParity, Norm2Close) {
+  for (std::size_t n = 1; n <= 257; ++n) {
+    const auto x = RandomVec(n, 11 * n);
+    SetVecBackend(VecBackend::kAvx2);
+    const float simd = Norm2(x.data(), n);
+    const float ref = scalar::Norm2(x.data(), n);
+    EXPECT_NEAR(simd, ref, 1e-5f + 1e-6f * static_cast<float>(n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(KernelParity, FusedGradStepWithin1Ulp) {
+  for (std::size_t n = 1; n <= 257; ++n) {
+    const auto center = RandomVec(n, 13 * n);
+    auto ctx_simd = RandomVec(n, 13 * n + 1);
+    auto ctx_ref = ctx_simd;
+    auto grad_simd = RandomVec(n, 13 * n + 2);
+    auto grad_ref = grad_simd;
+    SetVecBackend(VecBackend::kAvx2);
+    FusedGradStep(-0.125f, center.data(), ctx_simd.data(), grad_simd.data(),
+                  n);
+    scalar::FusedGradStep(-0.125f, center.data(), ctx_ref.data(),
+                          grad_ref.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_LE(UlpDiff(ctx_simd[i], ctx_ref[i]), 1)
+          << "n=" << n << " i=" << i;
+      ASSERT_LE(UlpDiff(grad_simd[i], grad_ref[i]), 1)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace actor
