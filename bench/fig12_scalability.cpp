@@ -12,11 +12,14 @@
 // Run:  ./fig12_scalability [--scale=0.25] [--base_samples=2000000]
 
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <thread>
 
 #include "bench_common.h"
 #include "core/actor.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -28,8 +31,11 @@ struct RunResult {
 /// Trains ACTOR with an explicit total sample budget expressed through
 /// samples_per_edge, and returns the wall-clock time plus the actual step
 /// count (the integer samples_per_edge quantizes the requested budget).
+/// `pool` is the sweep-owned persistent worker pool (null for the
+/// single-threaded runs), so the thread sweep measures HOGWILD training on
+/// long-lived workers rather than per-run thread spawn/join.
 RunResult TimeActor(const actor::BuiltGraphs& graphs, int64_t total_samples,
-                    int threads) {
+                    int threads, actor::ThreadPool* pool) {
   const int64_t edges = graphs.activity.num_directed_edges();
   actor::ActorOptions options;
   options.dim = 32;
@@ -38,12 +44,32 @@ RunResult TimeActor(const actor::BuiltGraphs& graphs, int64_t total_samples,
       std::max<int>(1, static_cast<int>(total_samples / std::max<int64_t>(
                                                             1, edges)));
   options.num_threads = threads;
+  options.pool = pool;
   actor::Stopwatch timer;
   auto model = actor::TrainActor(graphs, options);
   model.status().CheckOK();
   return {timer.ElapsedSeconds(),
           model->stats.edge_steps + model->stats.record_steps};
 }
+
+/// Pools for the thread sweeps, created once per thread count and reused
+/// by every run at that width (ROADMAP: the Fig. 12 sweep must exercise
+/// the persistent pool through ActorOptions/TrainOptions::pool).
+class PoolCache {
+ public:
+  actor::ThreadPool* ForThreads(int threads) {
+    if (threads <= 1) return nullptr;
+    auto& slot = pools_[threads];
+    if (slot == nullptr) {
+      slot = std::make_unique<actor::ThreadPool>(
+          static_cast<std::size_t>(threads));
+    }
+    return slot.get();
+  }
+
+ private:
+  std::map<int, std::unique_ptr<actor::ThreadPool>> pools_;
+};
 
 }  // namespace
 
@@ -64,6 +90,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(
                   data->graphs.activity.num_directed_edges()));
 
+  PoolCache pools;
+
   // (a) Edge scaling: 1x..4x sampled edges, 1 thread.
   std::printf("Fig. 12a — edge scaling (1 thread)\n");
   std::printf("%10s %12s %14s %14s\n", "multiple", "seconds", "steps",
@@ -71,7 +99,7 @@ int main(int argc, char** argv) {
   double base_time = 0.0;
   for (int multiple = 1; multiple <= 4; ++multiple) {
     const int64_t samples = base_samples * multiple;
-    const RunResult run = TimeActor(data->graphs, samples, 1);
+    const RunResult run = TimeActor(data->graphs, samples, 1, nullptr);
     if (multiple == 1) base_time = run.seconds;
     std::printf("%9dx %12.2f %14lld %14.3f\n", multiple, run.seconds,
                 static_cast<long long>(run.steps),
@@ -83,7 +111,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(base_samples));
   std::printf("%10s %12s %12s\n", "threads", "seconds", "speedup");
   for (int threads = 1; threads <= 4; ++threads) {
-    const RunResult run = TimeActor(data->graphs, base_samples, threads);
+    const RunResult run = TimeActor(data->graphs, base_samples, threads,
+                                    pools.ForThreads(threads));
     std::printf("%10d %12.2f %11.2fx\n", threads, run.seconds,
                 base_time / run.seconds);
   }
@@ -94,8 +123,8 @@ int main(int argc, char** argv) {
               "time vs 1x");
   double weak_base = 0.0;
   for (int factor = 1; factor <= 4; ++factor) {
-    const RunResult run =
-        TimeActor(data->graphs, base_samples * factor, factor);
+    const RunResult run = TimeActor(data->graphs, base_samples * factor,
+                                    factor, pools.ForThreads(factor));
     if (factor == 1) weak_base = run.seconds;
     std::printf("%10d %12.2f %14.3f %16.2f\n", factor, run.seconds,
                 1e6 * run.seconds / static_cast<double>(run.steps),

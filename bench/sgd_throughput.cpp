@@ -92,18 +92,22 @@ double MeasureKernelGflops(const char* kernel, int dim) {
   std::vector<float> x(n, 0.5f), y(n, 0.25f), z(n, 0.125f);
   const int64_t reps = 2'000'000;
   Stopwatch timer;
-  volatile float sink = 0.0f;
+  // Plain accumulator + one volatile store at the end: compound assignment
+  // to a volatile is deprecated in C++20, and a single opaque store is
+  // enough to keep the loops from being optimized out.
+  float acc = 0.0f;
   if (std::string(kernel) == "dot") {
-    for (int64_t r = 0; r < reps; ++r) sink += Dot(x.data(), y.data(), n);
+    for (int64_t r = 0; r < reps; ++r) acc += Dot(x.data(), y.data(), n);
   } else if (std::string(kernel) == "axpy") {
     for (int64_t r = 0; r < reps; ++r) Axpy(1e-9f, x.data(), y.data(), n);
-    sink += y[0];
+    acc += y[0];
   } else {  // fused_grad_step
     for (int64_t r = 0; r < reps; ++r) {
       FusedGradStep(1e-9f, x.data(), y.data(), z.data(), n);
     }
-    sink += z[0];
+    acc += z[0];
   }
+  volatile float sink = acc;
   (void)sink;
   const double secs = timer.ElapsedSeconds();
   // dot: 2n flops; axpy: 2n; fused: 4n.

@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Pre-PR verification gate for the ACTOR repo (documented in ROADMAP.md).
+#
+# Runs, in order:
+#   1. format check      — clang-format --dry-run (skipped if not installed)
+#   2. repo lint         — invariants generic tools can't express (below)
+#   3. clang-tidy        — .clang-tidy over src/ (skipped if not installed)
+#   4. build/test matrix — the default / sanitize / tsan presets, each built
+#                          and run through ctest --output-on-failure. The
+#                          tsan preset runs the `tsan`-labeled HOGWILD smoke
+#                          tests under ThreadSanitizer and must produce zero
+#                          reports (suppressions: tsan.supp).
+#
+# Usage:
+#   scripts/check.sh               # everything
+#   scripts/check.sh --lint-only   # steps 1-3 only (seconds, no build)
+#   scripts/check.sh --preset tsan # lint + a single preset's build/test
+#
+# Repo lint invariants:
+#   L1: no raw std::thread construction outside util/thread_pool — all
+#       parallelism goes through the shared pool (hardware_concurrency
+#       queries are allowed).
+#   L2: no rand()/srand()/time() — randomness must flow through util/rng.h
+#       so every run is seed-reproducible; clocks through util/stopwatch.h.
+#   L3: no aligned SIMD load/store intrinsics in kernels — callers may pass
+#       arbitrary stack buffers, so kernels must use loadu/storeu.
+#   L4: every tests/*.cc is registered with actor_test() in
+#       tests/CMakeLists.txt (and every registration has a source file).
+
+set -u -o pipefail
+cd "$(dirname "$0")/.."
+
+MODE="all"
+ONLY_PRESET=""
+case "${1:-}" in
+  --lint-only) MODE="lint" ;;
+  --preset) MODE="one"; ONLY_PRESET="${2:?--preset needs a name}" ;;
+  "") ;;
+  *) echo "usage: $0 [--lint-only | --preset <default|sanitize|tsan>]" >&2
+     exit 2 ;;
+esac
+
+FAILURES=0
+note() { printf '\n==> %s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+pass() { printf 'ok:   %s\n' "$*"; }
+
+# --- 1. Format check -------------------------------------------------------
+note "format check"
+CXX_SOURCES=$(find src tests bench examples -name '*.cc' -o -name '*.h' \
+              -o -name '*.cpp' | sort)
+if command -v clang-format >/dev/null 2>&1; then
+  if clang-format --dry-run -Werror $CXX_SOURCES 2>&1 | head -40; then
+    pass "clang-format"
+  else
+    fail "clang-format found formatting drift"
+  fi
+else
+  echo "skip: clang-format not installed in this container"
+fi
+
+# --- 2. Repo lint ----------------------------------------------------------
+note "repo lint"
+
+# L1: raw std::thread outside util/thread_pool.
+L1=$(grep -rn 'std::thread\b' src bench examples \
+       --include='*.cc' --include='*.h' --include='*.cpp' \
+     | grep -v 'hardware_concurrency' \
+     | grep -v '^src/util/thread_pool' || true)
+if [ -n "$L1" ]; then
+  fail "L1: raw std::thread outside util/thread_pool:"; echo "$L1"
+else
+  pass "L1: no raw std::thread outside util/thread_pool"
+fi
+
+# L2: banned libc randomness/clock calls.
+L2=$(grep -rnE '(^|[^_[:alnum:]])(rand|srand|time)\(' src bench examples \
+       --include='*.cc' --include='*.h' --include='*.cpp' || true)
+if [ -n "$L2" ]; then
+  fail "L2: rand()/srand()/time() found (use util/rng.h, util/stopwatch.h):"
+  echo "$L2"
+else
+  pass "L2: no rand()/srand()/time()"
+fi
+
+# L3: aligned SIMD memory intrinsics (kernels must tolerate unaligned
+# caller buffers; EmbeddingMatrix rows are aligned, stack scratch is not).
+L3=$(grep -rnE '_mm(256|512)?_(load|store)_p[sd]\(' src \
+       --include='*.cc' --include='*.h' || true)
+if [ -n "$L3" ]; then
+  fail "L3: aligned SIMD load/store in kernels (use loadu/storeu):"
+  echo "$L3"
+else
+  pass "L3: no aligned SIMD load/store intrinsics"
+fi
+
+# L4: tests/*.cc <-> actor_test() registration, both directions.
+L4_STATUS=0
+for f in tests/*_test.cc; do
+  name=$(basename "$f" .cc)
+  if ! grep -qE "actor_test\($name([ )]|$)" tests/CMakeLists.txt; then
+    fail "L4: $f is not registered in tests/CMakeLists.txt"; L4_STATUS=1
+  fi
+done
+while read -r name; do
+  if [ ! -f "tests/$name.cc" ]; then
+    fail "L4: actor_test($name) registered but tests/$name.cc missing"
+    L4_STATUS=1
+  fi
+done < <(sed -nE 's/^actor_test\(([a-z0-9_]+).*/\1/p' tests/CMakeLists.txt)
+[ "$L4_STATUS" -eq 0 ] && pass "L4: tests and CMake registrations agree"
+
+# --- 3. clang-tidy ---------------------------------------------------------
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  if find src -name '*.cc' | xargs clang-tidy -p build --quiet; then
+    pass "clang-tidy"
+  else
+    fail "clang-tidy reported findings"
+  fi
+else
+  echo "skip: clang-tidy not installed in this container (.clang-tidy is"
+  echo "      still the source of truth where it is available)"
+fi
+
+if [ "$MODE" = "lint" ]; then
+  note "lint-only mode: skipping build/test matrix"
+  [ "$FAILURES" -eq 0 ] || { echo; echo "$FAILURES check(s) failed"; exit 1; }
+  echo; echo "all lint checks passed"; exit 0
+fi
+
+# --- 4. Build + test matrix ------------------------------------------------
+PRESETS=(default sanitize tsan)
+[ "$MODE" = "one" ] && PRESETS=("$ONLY_PRESET")
+for preset in "${PRESETS[@]}"; do
+  note "preset $preset: configure + build"
+  if ! cmake --preset "$preset" >/dev/null; then
+    fail "preset $preset: configure"; continue
+  fi
+  if ! cmake --build --preset "$preset" -j "$(nproc)"; then
+    fail "preset $preset: build"; continue
+  fi
+  note "preset $preset: ctest"
+  if ctest --preset "$preset" -j "$(nproc)"; then
+    pass "preset $preset tests"
+  else
+    fail "preset $preset: tests"
+  fi
+done
+
+echo
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES check(s) failed"; exit 1
+fi
+echo "all checks passed"

@@ -227,10 +227,13 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
   // One persistent worker pool for the whole run — LINE pre-training, the
   // edge-sampling trainer, and the record loop all share it, so thread
   // spawn/join happens once per run rather than once per TrainEdgeType
-  // call (hundreds across epochs x edge types).
+  // call (hundreds across epochs x edge types). A caller-owned pool
+  // (options.pool) extends that to once per *process* across runs.
+  // num_threads <= 1 ignores any provided pool: the whole run stays on the
+  // sequential, bit-deterministic path.
   std::unique_ptr<ThreadPool> pool_storage;
-  ThreadPool* pool = nullptr;
-  if (options.num_threads > 1) {
+  ThreadPool* pool = options.num_threads > 1 ? options.pool : nullptr;
+  if (pool == nullptr && options.num_threads > 1) {
     pool_storage = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(options.num_threads));
     pool = pool_storage.get();

@@ -10,6 +10,8 @@
 
 namespace actor {
 
+class ThreadPool;
+
 /// Hyper-parameters of ACTOR (Algorithm 1). Paper defaults: d = 300,
 /// η = 0.02, K = 1, m = 256, MaxEpoch = 100; this library defaults to a
 /// laptop-scale d and derives the per-epoch sample budget from the graph
@@ -29,6 +31,16 @@ struct ActorOptions {
   int samples_per_edge = 20;
   int num_threads = 1;
   uint64_t seed = 17;
+
+  /// Externally-owned persistent worker pool shared by the LINE
+  /// pre-trainer, the edge-sampling trainer, and the record loop. When
+  /// null and num_threads > 1, TrainActor creates one pool for the run.
+  /// Callers running many configurations back to back (the Fig. 12 thread
+  /// sweep, parameter tuning) pass one pool so workers are spawned once
+  /// per process instead of once per run. Must outlive the call; when
+  /// num_threads > 1 its worker count overrides num_threads, and
+  /// num_threads <= 1 ignores the pool (sequential, deterministic run).
+  ThreadPool* pool = nullptr;
 
   /// Inter-record structure (ablation "ACTOR w/o inter" disables): LINE
   /// pre-training of the user interaction graph, user-guided

@@ -26,6 +26,8 @@ class CdfSampler {
   }
 
   std::size_t Sample(Rng& rng) const {
+    ACTOR_DCHECK(!cdf_.empty() && total_ > 0.0)
+        << "sampling from empty/zero-mass distribution ";
     const double u = rng.UniformDouble() * total_;
     auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
     if (it == cdf_.end()) return cdf_.size() - 1;

@@ -39,7 +39,33 @@ EmbeddingMatrix::Allocate(std::size_t rows, std::size_t stride) {
 
 EmbeddingMatrix::EmbeddingMatrix(int32_t rows, int32_t dim)
     : rows_(rows), dim_(dim), stride_(PaddedStride(dim)) {
+  ACTOR_DCHECK(rows >= 0 && dim >= 0) << rows << "x" << dim;
   data_ = Allocate(static_cast<std::size_t>(rows), stride_);
+  ACTOR_DCHECK(reinterpret_cast<std::uintptr_t>(data_.get()) %
+                   kRowAlignment ==
+               0)
+      << "matrix buffer not " << kRowAlignment << "-byte aligned";
+}
+
+bool EmbeddingMatrix::DebugValidate() const {
+  if constexpr (kDebugChecksEnabled) {
+    ACTOR_DCHECK(reinterpret_cast<std::uintptr_t>(data_.get()) %
+                     kRowAlignment ==
+                 0)
+        << "matrix buffer not " << kRowAlignment << "-byte aligned";
+    for (int32_t r = 0; r < rows_; ++r) {
+      const float* v = row(r);
+      for (int32_t d = 0; d < dim_; ++d) {
+        ACTOR_DCHECK(std::isfinite(v[d]))
+            << "non-finite entry at (" << r << ", " << d << "): " << v[d];
+      }
+      for (std::size_t p = static_cast<std::size_t>(dim_); p < stride_; ++p) {
+        ACTOR_DCHECK(v[p] == 0.0f)
+            << "padding float " << p << " of row " << r << " is " << v[p];
+      }
+    }
+  }
+  return true;
 }
 
 EmbeddingMatrix EmbeddingMatrix::Clone() const {
@@ -69,6 +95,9 @@ void EmbeddingMatrix::InitZero() {
 }
 
 void EmbeddingMatrix::SetRow(int32_t i, const float* src) {
+  if constexpr (kDebugChecksEnabled) {
+    for (int32_t d = 0; d < dim_; ++d) ACTOR_DCHECK_FINITE(src[d]);
+  }
   Copy(src, row(i), static_cast<std::size_t>(dim_));
 }
 

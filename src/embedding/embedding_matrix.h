@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -45,11 +46,19 @@ class EmbeddingMatrix {
   bool empty() const { return rows_ == 0 || dim_ == 0; }
 
   float* row(int32_t i) {
+    ACTOR_DCHECK(i >= 0 && i < rows_) << "row " << i << " of " << rows_;
     return data_.get() + static_cast<std::size_t>(i) * stride_;
   }
   const float* row(int32_t i) const {
+    ACTOR_DCHECK(i >= 0 && i < rows_) << "row " << i << " of " << rows_;
     return data_.get() + static_cast<std::size_t>(i) * stride_;
   }
+
+  /// Debug-only full-matrix invariant sweep: every entry finite (HOGWILD
+  /// updates can silently propagate NaN through shared rows), every padding
+  /// float still zero, and the buffer still kRowAlignment-aligned. No-op in
+  /// release builds; returns true so it can sit inside assertions.
+  bool DebugValidate() const;
 
   /// word2vec-style initialization: U(-0.5/dim, 0.5/dim) per entry, drawn
   /// in row-major entry order (padding entries stay zero and consume no

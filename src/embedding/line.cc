@@ -109,8 +109,9 @@ Result<LineEmbedding> TrainLine(const Heterograph& graph,
   };
 
   // Run on the caller's persistent pool when provided; otherwise spin up a
-  // pool for this call (only when actually multi-threaded).
-  ThreadPool* pool = options.pool;
+  // pool for this call (only when actually multi-threaded). num_threads <= 1
+  // ignores any pool: sequential and bit-deterministic.
+  ThreadPool* pool = options.num_threads > 1 ? options.pool : nullptr;
   std::unique_ptr<ThreadPool> owned_pool;
   if (pool == nullptr && options.num_threads > 1) {
     owned_pool = std::make_unique<ThreadPool>(

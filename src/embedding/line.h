@@ -27,7 +27,8 @@ struct LineOptions {
   uint64_t seed = 3;
   /// Externally-owned persistent worker pool (e.g. TrainActor's); when
   /// null and num_threads > 1 a pool is created for the call. The pool's
-  /// worker count overrides num_threads.
+  /// worker count overrides num_threads; num_threads <= 1 ignores the
+  /// pool (sequential, bit-deterministic path).
   ThreadPool* pool = nullptr;
   /// Edge types to pool; empty means every non-empty type in the graph.
   /// LINE treats the pooled graph as homogeneous: one edge alias table,

@@ -20,12 +20,17 @@ EdgeSamplingTrainer::EdgeSamplingTrainer(
       options_(options) {
   ACTOR_CHECK(graph_ != nullptr && center_ != nullptr && context_ != nullptr &&
               negative_sampler_ != nullptr);
-  if (options_.pool != nullptr) {
-    pool_ = options_.pool;
-  } else if (options_.num_threads > 1) {
-    owned_pool_ = std::make_unique<ThreadPool>(
-        static_cast<std::size_t>(options_.num_threads));
-    pool_ = owned_pool_.get();
+  // num_threads <= 1 is the sequential, bit-deterministic path: ignore any
+  // provided pool entirely rather than sharding over its workers (a shared
+  // pool from TrainActor may have more workers than this trainer wants).
+  if (options_.num_threads > 1) {
+    if (options_.pool != nullptr) {
+      pool_ = options_.pool;
+    } else {
+      owned_pool_ = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(options_.num_threads));
+      pool_ = owned_pool_.get();
+    }
   }
 }
 
@@ -78,6 +83,11 @@ Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
         });
   }
   steps_done_ += num_samples;
+  // HOGWILD updates cannot be checked per-step without serializing the
+  // shards; instead sweep both matrices for NaN/inf (and torn padding)
+  // after every batch in debug builds.
+  ACTOR_DCHECK(center_->DebugValidate());
+  ACTOR_DCHECK(context_->DebugValidate());
   return Status::OK();
 }
 

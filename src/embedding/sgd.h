@@ -8,6 +8,7 @@
 #include "embedding/negative_sampler.h"
 #include "graph/alias_table.h"
 #include "graph/heterograph.h"
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/vec_math.h"
@@ -53,6 +54,7 @@ void NegativeSamplingUpdate(const float* center_vec, VertexId positive,
     float* ctx = context->row(positive);
     const float score = sigmoid(Dot(center_vec, ctx, dim));
     const float g = (1.0f - score) * lr;  // Eq. (8)/(9) coefficient
+    ACTOR_DCHECK_FINITE(g);
     FusedGradStep(g, center_vec, ctx, grad_out, dim);
   }
   // Negative terms: label 0.
@@ -62,6 +64,7 @@ void NegativeSamplingUpdate(const float* center_vec, VertexId positive,
     float* ctx = context->row(neg);
     const float score = sigmoid(Dot(center_vec, ctx, dim));
     const float g = -score * lr;  // Eq. (8)/(10) coefficient
+    ACTOR_DCHECK_FINITE(g);
     FusedGradStep(g, center_vec, ctx, grad_out, dim);  // Eq. (10)
   }
 }
@@ -78,7 +81,9 @@ struct TrainOptions {
   /// Externally-owned persistent worker pool. When null and
   /// num_threads > 1 the trainer creates its own pool, kept alive for the
   /// trainer's lifetime — never per TrainEdgeType call. The pool must
-  /// outlive the trainer; its worker count overrides num_threads.
+  /// outlive the trainer; when num_threads > 1 its worker count overrides
+  /// num_threads, and num_threads <= 1 ignores the pool (sequential,
+  /// bit-deterministic path).
   ThreadPool* pool = nullptr;
 };
 

@@ -127,7 +127,8 @@ Result<LineEmbedding> TrainSkipGramOnWalks(
     }
   };
 
-  ThreadPool* pool = options.pool;
+  // num_threads <= 1 ignores any provided pool (sequential path).
+  ThreadPool* pool = options.num_threads > 1 ? options.pool : nullptr;
   std::unique_ptr<ThreadPool> owned_pool;
   if (pool == nullptr && options.num_threads > 1) {
     owned_pool = std::make_unique<ThreadPool>(

@@ -57,10 +57,30 @@ Result<AliasTable> AliasTable::Create(const std::vector<double>& weights) {
   for (uint32_t s : small) prob[s] = 1.0;
   for (uint32_t l : large) prob[l] = 1.0;
 
+  // Invariants of a well-formed Walker table: every bucket keeps a valid
+  // acceptance probability and alias index, and the reconstructed sampling
+  // mass sum_i (prob[i] + donated mass) / n is exactly the normalized
+  // weights, which must sum to ~1.
+  if constexpr (kDebugChecksEnabled) {
+    double mass = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ACTOR_DCHECK(prob[i] >= 0.0 && prob[i] <= 1.0 + 1e-9)
+          << "bucket " << i << " acceptance probability " << prob[i];
+      ACTOR_DCHECK(alias[i] < n)
+          << "bucket " << i << " alias " << alias[i] << " out of range";
+      ACTOR_DCHECK_FINITE(norm[i]);
+      mass += norm[i];
+    }
+    ACTOR_DCHECK(std::fabs(mass - 1.0) < 1e-6)
+        << "normalized weights sum to " << mass;
+  }
+
   return AliasTable(std::move(prob), std::move(alias), std::move(norm));
 }
 
 double AliasTable::Probability(std::size_t i) const {
+  ACTOR_DCHECK(i < norm_weights_.size())
+      << "Probability() index " << i << " out of range";
   return norm_weights_[i];
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -22,8 +23,13 @@ class AliasTable {
   /// weight. Thread-safe given distinct Rng instances.
   std::size_t Sample(Rng& rng) const {
     const std::size_t i = rng.Uniform(prob_.size());
-    return rng.UniformDouble() < prob_[i] ? i
-                                          : static_cast<std::size_t>(alias_[i]);
+    const std::size_t drawn =
+        rng.UniformDouble() < prob_[i] ? i : static_cast<std::size_t>(alias_[i]);
+    // A torn table (alias entry past the end) would silently corrupt the
+    // trainers that index rows with the draw; catch it at the source.
+    ACTOR_DCHECK(drawn < prob_.size())
+        << "alias table draw out of range (bucket " << i << ")";
+    return drawn;
   }
 
   std::size_t size() const { return prob_.size(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace actor {
@@ -140,6 +141,28 @@ Result<BuiltGraphs> BuildGraphs(const TokenizedCorpus& corpus,
 
   ACTOR_RETURN_NOT_OK(out.activity.Finalize());
   ACTOR_RETURN_NOT_OK(out.user_graph.Finalize());
+
+  // Every record unit must be a live vertex of the expected type in the
+  // finalized activity graph — the record-level trainer indexes embedding
+  // rows with these ids without further checks.
+  if constexpr (kDebugChecksEnabled) {
+    const int32_t nv = out.activity.num_vertices();
+    for (const RecordUnits& units : out.record_units) {
+      ACTOR_DCHECK(units.time_unit >= 0 && units.time_unit < nv);
+      ACTOR_DCHECK(out.activity.vertex_type(units.time_unit) ==
+                   VertexType::kTime);
+      ACTOR_DCHECK(units.location_unit >= 0 && units.location_unit < nv);
+      ACTOR_DCHECK(out.activity.vertex_type(units.location_unit) ==
+                   VertexType::kLocation);
+      for (VertexId w : units.word_units) {
+        ACTOR_DCHECK(w >= 0 && w < nv);
+        ACTOR_DCHECK(out.activity.vertex_type(w) == VertexType::kWord);
+      }
+      ACTOR_DCHECK(units.author >= 0 && units.author < nv);
+      ACTOR_DCHECK(out.activity.vertex_type(units.author) ==
+                   VertexType::kUser);
+    }
+  }
   return out;
 }
 

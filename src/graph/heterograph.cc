@@ -83,6 +83,26 @@ Status Heterograph::Finalize() {
       degree_[e][de.src[i]] += de.weight[i];
     }
     accum.clear();
+
+    // Post-build consistency: every directed edge connects endpoint types
+    // matching its edge type, the CSR cursors land exactly on the next
+    // row's offset, and weighted degrees are finite and non-negative.
+    if constexpr (kDebugChecksEnabled) {
+      for (std::size_t i = 0; i < de.size(); ++i) {
+        auto derived = EdgeTypeBetween(types_[de.src[i]], types_[de.dst[i]]);
+        ACTOR_DCHECK(derived.ok() &&
+                     *derived == static_cast<EdgeType>(e))
+            << "edge (" << de.src[i] << ", " << de.dst[i]
+            << ") stored under edge type " << e;
+        ACTOR_DCHECK(de.weight[i] > 0.0) << "edge " << i << " weight";
+      }
+      for (int32_t v = 0; v < n; ++v) {
+        ACTOR_DCHECK(cursor[v] == csr.offsets[v + 1])
+            << "CSR row " << v << " under-filled for edge type " << e;
+        ACTOR_DCHECK_FINITE(degree_[e][v]);
+        ACTOR_DCHECK(degree_[e][v] >= 0.0) << "degree of vertex " << v;
+      }
+    }
   }
   finalized_ = true;
   return Status::OK();
@@ -118,6 +138,7 @@ std::span<const double> Heterograph::NeighborWeights(EdgeType type,
 
 double Heterograph::Degree(EdgeType type, VertexId v) const {
   ACTOR_CHECK(finalized_) << "Degree() requires Finalize()";
+  ACTOR_DCHECK(v >= 0 && v < num_vertices()) << "vertex id " << v;
   return degree_[static_cast<int>(type)][v];
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -47,8 +48,14 @@ class Heterograph {
   bool finalized() const { return finalized_; }
 
   int32_t num_vertices() const { return static_cast<int32_t>(types_.size()); }
-  VertexType vertex_type(VertexId v) const { return types_[v]; }
-  const std::string& vertex_name(VertexId v) const { return names_[v]; }
+  VertexType vertex_type(VertexId v) const {
+    ACTOR_DCHECK(v >= 0 && v < num_vertices()) << "vertex id " << v;
+    return types_[v];
+  }
+  const std::string& vertex_name(VertexId v) const {
+    ACTOR_DCHECK(v >= 0 && v < num_vertices()) << "vertex id " << v;
+    return names_[v];
+  }
 
   /// All vertices of the given type, in id order.
   const std::vector<VertexId>& VerticesOfType(VertexType type) const;

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace actor {
@@ -31,6 +32,11 @@ class PointGrid {
  public:
   PointGrid(const std::vector<GeoPoint>& points, double cell)
       : points_(points), cell_(cell) {
+    // cell == bandwidth; a zero/NaN cell would fold every point into one
+    // bucket (or scatter them across int-overflowed keys) without any
+    // visible error.
+    ACTOR_DCHECK(cell > 0.0) << "grid cell size " << cell;
+    ACTOR_DCHECK_FINITE(cell);
     cells_.reserve(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
       cells_[Key(points[i])].push_back(i);
@@ -222,12 +228,20 @@ Result<std::vector<double>> MeanShiftModes1dCircular(
   auto wrap = [&](double v) {
     v = std::fmod(v, period);
     if (v < 0.0) v += period;
+    // fmod can return exactly `period` when v is a tiny negative number
+    // (v + period rounds up); clamp so downstream binning stays in range.
+    if (v >= period) v = 0.0;
+    ACTOR_DCHECK(v >= 0.0 && v < period)
+        << "circular wrap of " << v << " escaped [0, " << period << ")";
     return v;
   };
   auto circ_dist = [&](double a, double b) {
     double d = std::fabs(a - b);
     d = std::fmod(d, period);
-    return d > period / 2.0 ? period - d : d;
+    d = d > period / 2.0 ? period - d : d;
+    ACTOR_DCHECK(d >= 0.0 && d <= period / 2.0)
+        << "circular distance " << d << " for period " << period;
+    return d;
   };
 
   // Seeds from occupied histogram bins.

@@ -1,6 +1,7 @@
 #ifndef ACTOR_UTIL_LOGGING_H_
 #define ACTOR_UTIL_LOGGING_H_
 
+#include <cmath>
 #include <sstream>
 #include <string>
 
@@ -61,5 +62,35 @@ class FatalLogMessage {
   if (!(cond))                                                         \
   ::actor::internal::FatalLogMessage(__FILE__, __LINE__).stream()      \
       << "Check failed: " #cond " "
+
+namespace actor {
+
+/// True when the ACTOR_DCHECK invariant layer is compiled in (Debug builds
+/// or -DACTOR_ENABLE_DCHECKS=ON; the `sanitize` preset turns it on). Tests
+/// use this to decide whether DCHECK death cases are expected to fire.
+#if defined(ACTOR_DEBUG_CHECKS)
+inline constexpr bool kDebugChecksEnabled = true;
+#else
+inline constexpr bool kDebugChecksEnabled = false;
+#endif
+
+}  // namespace actor
+
+/// Debug-only invariant check: identical to ACTOR_CHECK when
+/// ACTOR_DEBUG_CHECKS is defined, compiled out (condition never evaluated,
+/// but still type-checked) otherwise. Use for per-element / hot-path
+/// invariants too expensive for release builds: index bounds, probability
+/// mass, degree consistency, NaN propagation.
+#if defined(ACTOR_DEBUG_CHECKS)
+#define ACTOR_DCHECK(cond) ACTOR_CHECK(cond)
+#else
+#define ACTOR_DCHECK(cond) \
+  while (false) ACTOR_CHECK(cond)
+#endif
+
+/// Debug-only finiteness check for a float/double expression; catches NaN
+/// and +/-inf escaping the SGD updates, KDE bandwidths, etc.
+#define ACTOR_DCHECK_FINITE(val) \
+  ACTOR_DCHECK(std::isfinite(val)) << "non-finite value: " #val " = " << (val) << " "
 
 #endif  // ACTOR_UTIL_LOGGING_H_

@@ -48,6 +48,56 @@ void FusedGradStep(float g, const float* center, float* ctx, float* grad,
 }  // namespace scalar
 
 // --------------------------------------------------------------------------
+// Relaxed-atomic kernels: the scalar loops with every load/store routed
+// through the RelaxedLoad/RelaxedStore accessors. In ACTOR_TSAN builds the
+// accessors are relaxed std::atomic_ref operations, which is what makes
+// the HOGWILD trainers race-clean under ThreadSanitizer; elsewhere they
+// are plain memory accesses and these functions are bit-identical to
+// scalar:: (same iteration order, no FMA contraction differences).
+// --------------------------------------------------------------------------
+
+namespace relaxed {
+
+float Dot(const float* x, const float* y, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += RelaxedLoad(x + i) * RelaxedLoad(y + i);
+  }
+  return acc;
+}
+
+void Axpy(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    RelaxedStore(y + i, RelaxedLoad(y + i) + a * RelaxedLoad(x + i));
+  }
+}
+
+void Scale(float a, float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    RelaxedStore(x + i, a * RelaxedLoad(x + i));
+  }
+}
+
+void Add(const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    RelaxedStore(out + i, RelaxedLoad(out + i) + RelaxedLoad(x + i));
+  }
+}
+
+float Norm2(const float* x, std::size_t n) { return std::sqrt(Dot(x, x, n)); }
+
+void FusedGradStep(float g, const float* center, float* ctx, float* grad,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float c = RelaxedLoad(ctx + i);
+    RelaxedStore(grad + i, RelaxedLoad(grad + i) + g * c);
+    RelaxedStore(ctx + i, c + g * RelaxedLoad(center + i));
+  }
+}
+
+}  // namespace relaxed
+
+// --------------------------------------------------------------------------
 // AVX2+FMA kernels. Compiled with per-function target attributes so the
 // translation unit builds at the baseline ISA and these bodies are only
 // executed after the CPUID check below passes. Rows of EmbeddingMatrix are
@@ -191,6 +241,8 @@ const char* VecBackendName(VecBackend backend) {
   switch (backend) {
     case VecBackend::kScalar:
       return "scalar";
+    case VecBackend::kRelaxed:
+      return "relaxed";
     case VecBackend::kAvx2:
       return "avx2";
   }
@@ -198,6 +250,21 @@ const char* VecBackendName(VecBackend backend) {
 }
 
 VecBackend SetVecBackend(VecBackend backend) {
+#if defined(ACTOR_TSAN)
+  // Under ThreadSanitizer only the relaxed-atomic kernels are installed:
+  // the SIMD intrinsics (and plain scalar loops) would surface the
+  // intentional HOGWILD races as reports. Requests for any backend land on
+  // kRelaxed so existing benchmarks/tests keep working in TSan builds.
+  (void)backend;
+  g_kernels.dot = &relaxed::Dot;
+  g_kernels.axpy = &relaxed::Axpy;
+  g_kernels.scale = &relaxed::Scale;
+  g_kernels.add = &relaxed::Add;
+  g_kernels.norm2 = &relaxed::Norm2;
+  g_kernels.fused = &relaxed::FusedGradStep;
+  g_backend = VecBackend::kRelaxed;
+  return g_backend;
+#else
 #ifdef ACTOR_VEC_X86
   if (backend == VecBackend::kAvx2 && Avx2Available()) {
     g_kernels.dot = &avx2::Dot;
@@ -210,9 +277,20 @@ VecBackend SetVecBackend(VecBackend backend) {
     return g_backend;
   }
 #endif
+  if (backend == VecBackend::kRelaxed) {
+    g_kernels.dot = &relaxed::Dot;
+    g_kernels.axpy = &relaxed::Axpy;
+    g_kernels.scale = &relaxed::Scale;
+    g_kernels.add = &relaxed::Add;
+    g_kernels.norm2 = &relaxed::Norm2;
+    g_kernels.fused = &relaxed::FusedGradStep;
+    g_backend = VecBackend::kRelaxed;
+    return g_backend;
+  }
   g_kernels = KernelTable();
   g_backend = VecBackend::kScalar;
   return g_backend;
+#endif  // ACTOR_TSAN
 }
 
 float Dot(const float* x, const float* y, std::size_t n) {

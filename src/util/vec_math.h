@@ -1,6 +1,7 @@
 #ifndef ACTOR_UTIL_VEC_MATH_H_
 #define ACTOR_UTIL_VEC_MATH_H_
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 
@@ -18,7 +19,10 @@ namespace actor {
 /// back to the scalar loops everywhere else.
 
 /// Which kernel family the top-level functions currently dispatch to.
-enum class VecBackend { kScalar, kAvx2 };
+/// kRelaxed is the TSan-annotated scalar family (see relaxed:: below); in a
+/// ACTOR_TSAN build it replaces both other backends so every shared-row
+/// access is visible to ThreadSanitizer as an intentional relaxed atomic.
+enum class VecBackend { kScalar, kRelaxed, kAvx2 };
 
 /// True when the running CPU supports the AVX2+FMA kernels.
 bool Avx2Available();
@@ -85,6 +89,41 @@ float Norm2(const float* x, std::size_t n);
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
                    std::size_t n);
 }  // namespace scalar
+
+/// HOGWILD row accessors. The asynchronous SGD trainers update shared
+/// EmbeddingMatrix rows without locks (paper §5.2, HOGWILD [45]); those
+/// races are intentional, but ThreadSanitizer cannot tell them from bugs.
+/// Under ACTOR_TSAN every shared-row load/store is routed through these
+/// relaxed std::atomic_ref accessors, so TSan sees deliberate atomics and
+/// a clean run means "no *unintentional* races". In every other build they
+/// compile to plain loads/stores (on x86 a relaxed float load/store is a
+/// plain mov anyway), so the release hot path is unchanged.
+#if defined(ACTOR_TSAN)
+inline float RelaxedLoad(const float* p) {
+  return std::atomic_ref<float>(*const_cast<float*>(p))
+      .load(std::memory_order_relaxed);
+}
+inline void RelaxedStore(float* p, float v) {
+  std::atomic_ref<float>(*p).store(v, std::memory_order_relaxed);
+}
+#else
+inline float RelaxedLoad(const float* p) { return *p; }
+inline void RelaxedStore(float* p, float v) { *p = v; }
+#endif
+
+/// Scalar kernels expressed entirely through RelaxedLoad/RelaxedStore.
+/// Same iteration order as scalar::, hence bit-identical results (covered
+/// by the parity tests). Installed as the active backend in ACTOR_TSAN
+/// builds; compiled in all builds so parity stays testable everywhere.
+namespace relaxed {
+float Dot(const float* x, const float* y, std::size_t n);
+void Axpy(float a, const float* x, float* y, std::size_t n);
+void Scale(float a, float* x, std::size_t n);
+void Add(const float* x, float* out, std::size_t n);
+float Norm2(const float* x, std::size_t n);
+void FusedGradStep(float g, const float* center, float* ctx, float* grad,
+                   std::size_t n);
+}  // namespace relaxed
 
 /// Prefetches the first n floats at p into cache (write intent). Used by
 /// the block-wise edge samplers to hide the latency of the random row

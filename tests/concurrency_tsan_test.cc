@@ -1,0 +1,130 @@
+// Multi-threaded HOGWILD smoke tests, labeled `tsan` in tests/CMakeLists.
+// Under the `tsan` preset (ACTOR_ENABLE_TSAN=ON) the shared-row kernels run
+// through relaxed std::atomic_ref accessors and ThreadSanitizer verifies
+// there are no *unintentional* races across TrainActor, LINE, and the
+// skip-gram walk trainer; `ctest --preset tsan` must pass with zero
+// reports. In regular builds these double as plain concurrency smoke tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/actor.h"
+#include "embedding/line.h"
+#include "embedding/skipgram.h"
+#include "eval/pipeline.h"
+#include "util/thread_pool.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+constexpr int kThreads = 4;
+
+bool AllFinite(const EmbeddingMatrix& m) {
+  for (int32_t r = 0; r < m.rows(); ++r) {
+    for (int32_t d = 0; d < m.dim(); ++d) {
+      if (!std::isfinite(m.row(r)[d])) return false;
+    }
+  }
+  return true;
+}
+
+/// Dense-ish L-W graph: every location connects to every word, words form
+/// a clique. Small enough for TSan's slowdown, dense enough that shards
+/// collide on rows constantly (the interesting case for race detection).
+Heterograph DenseGraph(int locations, int words) {
+  Heterograph g;
+  std::vector<VertexId> locs, ws;
+  for (int i = 0; i < locations; ++i) {
+    locs.push_back(g.AddVertex(VertexType::kLocation, "L" + std::to_string(i)));
+  }
+  for (int i = 0; i < words; ++i) {
+    ws.push_back(g.AddVertex(VertexType::kWord, "w" + std::to_string(i)));
+  }
+  for (VertexId l : locs) {
+    for (VertexId w : ws) EXPECT_TRUE(g.AccumulateEdge(l, w, 2.0).ok());
+  }
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    for (std::size_t j = i + 1; j < ws.size(); ++j) {
+      EXPECT_TRUE(g.AccumulateEdge(ws[i], ws[j], 1.0).ok());
+    }
+  }
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+TEST(ConcurrencyTsanTest, TrainActorMultiThreadOnSharedPool) {
+  PipelineOptions pipeline = UTGeoPipeline(0.1);
+  pipeline.synthetic.num_records = 1200;
+  pipeline.synthetic.seed = 99;
+  auto prepared = PrepareDataset(pipeline, "tsan-actor");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  ThreadPool pool(kThreads);
+  ActorOptions options;
+  options.dim = 16;
+  options.epochs = 2;
+  options.samples_per_edge = 2;
+  options.num_threads = kThreads;
+  options.pool = &pool;
+  auto model = TrainActor(prepared->graphs, options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_GT(model->stats.edge_steps, 0);
+  EXPECT_TRUE(AllFinite(model->center));
+  EXPECT_TRUE(AllFinite(model->context));
+}
+
+TEST(ConcurrencyTsanTest, TrainLineMultiThread) {
+  Heterograph g = DenseGraph(4, 24);
+  LineOptions options;
+  options.dim = 16;
+  options.order = 2;
+  options.samples_per_edge = 40;
+  options.num_threads = kThreads;
+  auto embedding = TrainLine(g, options);
+  ASSERT_TRUE(embedding.ok()) << embedding.status().ToString();
+  EXPECT_TRUE(AllFinite(embedding->center));
+  EXPECT_TRUE(AllFinite(embedding->context));
+}
+
+TEST(ConcurrencyTsanTest, TrainSkipGramMultiThread) {
+  Heterograph g = DenseGraph(4, 24);
+  // Synthetic walks cycling through every vertex so all shards touch all
+  // rows of the shared matrices.
+  std::vector<std::vector<VertexId>> walks;
+  const int32_t n = g.num_vertices();
+  for (int w = 0; w < 24; ++w) {
+    std::vector<VertexId> walk;
+    for (int i = 0; i < 20; ++i) {
+      walk.push_back(static_cast<VertexId>((w * 7 + i * 3) % n));
+    }
+    walks.push_back(std::move(walk));
+  }
+  SkipGramOptions options;
+  options.dim = 16;
+  options.epochs = 2;
+  options.num_threads = kThreads;
+  auto embedding = TrainSkipGramOnWalks(g, walks, options);
+  ASSERT_TRUE(embedding.ok()) << embedding.status().ToString();
+  EXPECT_TRUE(AllFinite(embedding->center));
+  EXPECT_TRUE(AllFinite(embedding->context));
+}
+
+TEST(ConcurrencyTsanTest, TsanBuildInstallsRelaxedBackend) {
+#if defined(ACTOR_TSAN)
+  EXPECT_EQ(ActiveVecBackend(), VecBackend::kRelaxed);
+  EXPECT_EQ(SetVecBackend(VecBackend::kAvx2), VecBackend::kRelaxed);
+#else
+  // Release/sanitize builds keep the fast dispatch: requesting AVX2 must
+  // never silently land on the relaxed scalar path.
+  const VecBackend restored = SetVecBackend(VecBackend::kAvx2);
+  EXPECT_EQ(restored, Avx2Available() ? VecBackend::kAvx2
+                                      : VecBackend::kScalar);
+#endif
+}
+
+}  // namespace
+}  // namespace actor

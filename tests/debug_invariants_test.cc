@@ -1,0 +1,158 @@
+// Exercises the ACTOR_DCHECK invariant layer (util/logging.h): positive
+// cases prove the invariants hold on real pipelines, death cases prove the
+// checks actually fire on contract violations in debug builds. Death tests
+// skip themselves when ACTOR_DEBUG_CHECKS is compiled out (the default
+// Release build); the `sanitize` preset enables the layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "embedding/embedding_matrix.h"
+#include "graph/alias_table.h"
+#include "graph/heterograph.h"
+#include "hotspot/mean_shift.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace actor {
+namespace {
+
+#define SKIP_WITHOUT_DCHECKS()                                       \
+  if (!kDebugChecksEnabled) {                                        \
+    GTEST_SKIP() << "ACTOR_DCHECK compiled out (release build); run " \
+                    "under the sanitize preset";                     \
+  }
+
+// ---------------------------------------------------------------------------
+// Alias table: probability-mass and index-bound invariants.
+// ---------------------------------------------------------------------------
+
+TEST(DebugInvariantsTest, AliasTableMassSumsToOneOnSkewedWeights) {
+  // Heavy skew plus zeros: the regime where a buggy Walker construction
+  // loses or duplicates mass.
+  std::vector<double> weights = {1e-12, 5.0, 0.0, 1e6, 3.0, 0.0, 7.5};
+  auto table = AliasTable::Create(weights);
+  ASSERT_TRUE(table.ok());
+  double mass = 0.0;
+  for (std::size_t i = 0; i < table->size(); ++i) {
+    mass += table->Probability(i);
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(DebugInvariantsTest, AliasTableSampleStaysInBounds) {
+  std::vector<double> weights = {0.1, 2.0, 0.0, 30.0};
+  auto table = AliasTable::Create(weights);
+  ASSERT_TRUE(table.ok());
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t drawn = table->Sample(rng);  // DCHECKs internally
+    ASSERT_LT(drawn, weights.size());
+    ASSERT_NE(drawn, 2u) << "zero-weight index drawn";
+  }
+}
+
+TEST(DebugInvariantsTest, AliasTableProbabilityOutOfRangeDies) {
+  SKIP_WITHOUT_DCHECKS();
+  auto table = AliasTable::Create({1.0, 2.0, 3.0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_DEATH((void)table->Probability(3), "Check failed");
+}
+
+// ---------------------------------------------------------------------------
+// Heterograph: vertex-id bounds and build consistency.
+// ---------------------------------------------------------------------------
+
+Heterograph SmallGraph() {
+  Heterograph g;
+  const VertexId l = g.AddVertex(VertexType::kLocation, "L0");
+  const VertexId w0 = g.AddVertex(VertexType::kWord, "w0");
+  const VertexId w1 = g.AddVertex(VertexType::kWord, "w1");
+  EXPECT_TRUE(g.AccumulateEdge(l, w0, 2.0).ok());
+  EXPECT_TRUE(g.AccumulateEdge(l, w1, 1.0).ok());
+  EXPECT_TRUE(g.AccumulateEdge(w0, w1, 4.0).ok());
+  EXPECT_TRUE(g.Finalize().ok());  // runs the Finalize invariant sweep
+  return g;
+}
+
+TEST(DebugInvariantsTest, FinalizeConsistencyHoldsOnSmallGraph) {
+  Heterograph g = SmallGraph();
+  EXPECT_EQ(g.num_directed_edges(), 6);
+  EXPECT_DOUBLE_EQ(g.Degree(EdgeType::kLW, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g.Degree(EdgeType::kWW, 1), 4.0);
+}
+
+TEST(DebugInvariantsTest, VertexTypeOutOfRangeDies) {
+  SKIP_WITHOUT_DCHECKS();
+  Heterograph g = SmallGraph();
+  EXPECT_DEATH((void)g.vertex_type(g.num_vertices()), "Check failed");
+  EXPECT_DEATH((void)g.vertex_type(-1), "Check failed");
+}
+
+TEST(DebugInvariantsTest, DegreeOutOfRangeDies) {
+  SKIP_WITHOUT_DCHECKS();
+  Heterograph g = SmallGraph();
+  EXPECT_DEATH((void)g.Degree(EdgeType::kLW, g.num_vertices()),
+               "Check failed");
+}
+
+// ---------------------------------------------------------------------------
+// Embedding matrix: alignment, row bounds, finite entries.
+// ---------------------------------------------------------------------------
+
+TEST(DebugInvariantsTest, MatrixValidatesAfterInit) {
+  EmbeddingMatrix m(13, 10);  // dim not a multiple of 8 -> live padding
+  Rng rng(3);
+  m.InitUniform(rng);
+  EXPECT_TRUE(m.DebugValidate());
+}
+
+TEST(DebugInvariantsTest, RowOutOfRangeDies) {
+  SKIP_WITHOUT_DCHECKS();
+  EmbeddingMatrix m(4, 8);
+  EXPECT_DEATH((void)m.row(4), "Check failed");
+  EXPECT_DEATH((void)m.row(-1), "Check failed");
+}
+
+TEST(DebugInvariantsTest, SetRowRejectsNaN) {
+  SKIP_WITHOUT_DCHECKS();
+  EmbeddingMatrix m(2, 4);
+  const float bad[4] = {0.0f, std::numeric_limits<float>::quiet_NaN(), 0.0f,
+                        0.0f};
+  EXPECT_DEATH(m.SetRow(0, bad), "non-finite");
+}
+
+// ---------------------------------------------------------------------------
+// Mean shift: option validation (failure Status) and circular wraparound.
+// ---------------------------------------------------------------------------
+
+TEST(DebugInvariantsTest, MeanShiftRejectsNonPositiveBandwidth) {
+  MeanShiftOptions options;
+  options.bandwidth = 0.0;
+  auto modes = MeanShiftModes2d({{0.0, 0.0}}, options);
+  EXPECT_FALSE(modes.ok());
+  EXPECT_TRUE(modes.status().IsInvalidArgument());
+}
+
+TEST(DebugInvariantsTest, CircularWrapHandlesSeamInputs) {
+  // Values at/over the seam and tiny negatives: the wrap invariant
+  // (result in [0, period)) is DCHECKed inside, including the fmod edge
+  // case where -1e-18 + 24 rounds to exactly 24.
+  const std::vector<double> values = {23.9999, 24.0, 24.0001, -0.0001,
+                                      -1e-18,  48.0, -23.9999, 12.0};
+  MeanShiftOptions options;
+  options.bandwidth = 1.0;
+  options.merge_radius = 0.5;
+  auto modes = MeanShiftModes1dCircular(values, 24.0, options);
+  ASSERT_TRUE(modes.ok()) << modes.status().ToString();
+  for (double m : *modes) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LT(m, 24.0);
+  }
+}
+
+}  // namespace
+}  // namespace actor

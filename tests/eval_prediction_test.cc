@@ -214,12 +214,16 @@ TEST(CaseStudyTest, LabelsRenderModality) {
   ASSERT_TRUE(text.ok());
   // Truth label for record 3 is its word.
   for (const auto& c : *text) {
-    if (c.is_truth) EXPECT_EQ(c.label, "w3");
+    if (c.is_truth) {
+      EXPECT_EQ(c.label, "w3");
+    }
   }
   auto time = CaseStudyRanking(model, corpus, 3, PredictionTask::kTime);
   ASSERT_TRUE(time.ok());
   for (const auto& c : *time) {
-    if (c.is_truth) EXPECT_EQ(c.label, "day 0, 03:00");
+    if (c.is_truth) {
+      EXPECT_EQ(c.label, "day 0, 03:00");
+    }
   }
 }
 

@@ -320,6 +320,78 @@ TEST_F(KernelParity, Norm2Close) {
   }
 }
 
+/// The relaxed (TSan-annotated) kernels mirror the scalar loops statement
+/// for statement, so outside FMA-contraction wiggle they must agree with
+/// scalar:: within 1 ulp — this is the guarantee that the TSan build
+/// trains the same model the release build does.
+TEST(RelaxedKernelParity, ElementwiseMatchesScalarWithin1Ulp) {
+  Rng seed_rng(41);
+  for (std::size_t n = 1; n <= 257; n += 3) {
+    Rng rng(seed_rng.Next());
+    std::vector<float> x(n), base(n), grad(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.UniformFloat() - 0.5f;
+      base[i] = rng.UniformFloat() - 0.5f;
+      grad[i] = rng.UniformFloat() - 0.5f;
+    }
+    auto y_rel = base, y_ref = base;
+    relaxed::Axpy(0.25f, x.data(), y_rel.data(), n);
+    scalar::Axpy(0.25f, x.data(), y_ref.data(), n);
+    auto add_rel = base, add_ref = base;
+    relaxed::Add(x.data(), add_rel.data(), n);
+    scalar::Add(x.data(), add_ref.data(), n);
+    auto s_rel = base, s_ref = base;
+    relaxed::Scale(0.815f, s_rel.data(), n);
+    scalar::Scale(0.815f, s_ref.data(), n);
+    auto ctx_rel = base, ctx_ref = base;
+    auto grad_rel = grad, grad_ref = grad;
+    relaxed::FusedGradStep(-0.125f, x.data(), ctx_rel.data(),
+                           grad_rel.data(), n);
+    scalar::FusedGradStep(-0.125f, x.data(), ctx_ref.data(),
+                          grad_ref.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_LE(UlpDiff(y_rel[i], y_ref[i]), 1) << "axpy n=" << n;
+      ASSERT_EQ(add_rel[i], add_ref[i]) << "add n=" << n;
+      ASSERT_EQ(s_rel[i], s_ref[i]) << "scale n=" << n;
+      ASSERT_LE(UlpDiff(ctx_rel[i], ctx_ref[i]), 1) << "fused ctx n=" << n;
+      ASSERT_LE(UlpDiff(grad_rel[i], grad_ref[i]), 1) << "fused grad n=" << n;
+    }
+  }
+}
+
+TEST(RelaxedKernelParity, DotMatchesDoubleReference) {
+  for (std::size_t n = 1; n <= 257; n += 3) {
+    Rng rng(17 * n);
+    std::vector<float> x(n), y(n);
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.UniformFloat() - 0.5f;
+      y[i] = rng.UniformFloat() - 0.5f;
+      ref += static_cast<double>(x[i]) * y[i];
+    }
+    const float tol = 1e-5f + 1e-6f * static_cast<float>(n);
+    EXPECT_NEAR(relaxed::Dot(x.data(), y.data(), n), ref, tol) << "n=" << n;
+    EXPECT_NEAR(relaxed::Norm2(x.data(), n),
+                std::sqrt(relaxed::Dot(x.data(), x.data(), n)), 0.0f);
+  }
+}
+
+#if !defined(ACTOR_TSAN)
+/// Release-build guarantee behind the "zero throughput regression" claim:
+/// the relaxed accessors only change dispatch in ACTOR_TSAN builds, so a
+/// normal build must still install the AVX2 kernels by default.
+TEST(RelaxedKernelParity, ReleaseDispatchStillPrefersSimd) {
+  const VecBackend active = ActiveVecBackend();
+  EXPECT_EQ(active, Avx2Available() ? VecBackend::kAvx2
+                                    : VecBackend::kScalar);
+  EXPECT_EQ(SetVecBackend(VecBackend::kRelaxed), VecBackend::kRelaxed);
+  const float x[] = {1.0f, 2.0f, 3.0f};
+  const float y[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(x, y, 3), 12.0f);  // dispatches through relaxed::Dot
+  SetVecBackend(VecBackend::kAvx2);  // restore the default for other tests
+}
+#endif
+
 TEST_F(KernelParity, FusedGradStepWithin1Ulp) {
   for (std::size_t n = 1; n <= 257; ++n) {
     const auto center = RandomVec(n, 13 * n);
