@@ -1,0 +1,200 @@
+// Streaming ingest-throughput harness: times the full OnlineActor
+// Ingest() cycle (decay -> resolve -> accumulate -> sampler refresh ->
+// re-embed) on a synthetic activity stream and emits BENCH_online.json so
+// the streaming path's perf trajectory is tracked across PRs, alongside
+// BENCH_sgd.json for the batch trainer.
+//
+// Rows: full-rebuild mode at 1 thread (the pre-port behavior, via
+// incremental_sampler=false) plus the incremental-sampler path at
+// 1/2/4/8 threads on the persistent pool. See EXPERIMENTS.md for the
+// machine-drift caveat before comparing against committed numbers.
+//
+// Usage: online_throughput [--records=12000] [--batches=12] [--dim=32]
+//                          [--out=BENCH_online.json]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/online_actor.h"
+#include "data/corpus.h"
+#include "data/synthetic.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+struct OnlineRow {
+  std::string sampler;  // "full_rebuild" or "incremental"
+  int threads = 1;
+  double batches_per_sec = 0.0;
+  double records_per_sec = 0.0;
+};
+
+struct Workload {
+  std::vector<std::vector<TokenizedRecord>> stream;
+};
+
+/// One timed run over the shared stream. Warm-up ingests bootstrap the
+/// unit catalogue and edge store so the timed section measures the
+/// steady-state decay -> refresh -> re-embed cycle, not cold growth.
+OnlineRow MeasureIngest(const Workload& work, int32_t dim, bool incremental,
+                        int threads) {
+  OnlineRow row;
+  row.sampler = incremental ? "incremental" : "full_rebuild";
+  row.threads = threads;
+
+  OnlineActorOptions options;
+  options.dim = dim;
+  options.decay_per_batch = 0.7;
+  options.samples_per_edge_per_batch = 3.0;
+  options.incremental_sampler = incremental;
+  options.num_threads = threads;
+  auto model = OnlineActor::Create(options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "create: %s\n", model.status().ToString().c_str());
+    return row;
+  }
+  const int batches = static_cast<int>(work.stream.size());
+  const int warm = batches / 3;
+  std::size_t timed_records = 0;
+  for (int i = 0; i < warm; ++i) {
+    if (auto st = model->Ingest(work.stream[i]); !st.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
+      return row;
+    }
+  }
+  Stopwatch timer;
+  for (int i = warm; i < batches; ++i) {
+    if (auto st = model->Ingest(work.stream[i]); !st.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
+      return row;
+    }
+    timed_records += work.stream[i].size();
+  }
+  const double secs = timer.ElapsedSeconds();
+  if (secs > 0.0) {
+    row.batches_per_sec = static_cast<double>(batches - warm) / secs;
+    row.records_per_sec = static_cast<double>(timed_records) / secs;
+  }
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int records = static_cast<int>(flags.GetInt("records", 12000));
+  const int batches = static_cast<int>(flags.GetInt("batches", 12));
+  const int32_t dim = static_cast<int32_t>(flags.GetInt("dim", 32));
+  const std::string out_path = flags.GetString("out", "BENCH_online.json");
+  if (records < batches || batches < 3 || dim < 1) {
+    std::fprintf(stderr,
+                 "invalid flags: --records=%d --batches=%d --dim=%d "
+                 "(need records >= batches >= 3, dim >= 1)\n",
+                 records, batches, dim);
+    return 1;
+  }
+
+  std::printf("building synthetic stream...\n");
+  SyntheticConfig config;
+  config.seed = 300;
+  config.num_records = records;
+  config.num_users = 400;
+  config.num_topics = 12;
+  config.num_venues = 80;
+  config.num_communities = 8;
+  auto ds = GenerateSynthetic(config, "online-throughput");
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  CorpusBuildOptions build;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  Workload work;
+  work.stream.resize(static_cast<std::size_t>(batches));
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    work.stream[i * static_cast<std::size_t>(batches) / corpus->size()]
+        .push_back(corpus->record(i));
+  }
+
+  std::vector<OnlineRow> rows;
+  rows.push_back(MeasureIngest(work, dim, /*incremental=*/false, 1));
+  for (int threads : {1, 2, 4, 8}) {
+    rows.push_back(MeasureIngest(work, dim, /*incremental=*/true, threads));
+  }
+  for (const auto& row : rows) {
+    std::printf("sampler=%-12s threads=%d  %.3f batches/s  %.1f records/s\n",
+                row.sampler.c_str(), row.threads, row.batches_per_sec,
+                row.records_per_sec);
+  }
+
+  auto find = [&rows](const std::string& sampler, int threads) {
+    for (const auto& r : rows) {
+      if (r.sampler == sampler && r.threads == threads) {
+        return r.batches_per_sec;
+      }
+    }
+    return 0.0;
+  };
+  const double full1 = find("full_rebuild", 1);
+  const double inc1 = find("incremental", 1);
+  const double inc8 = find("incremental", 8);
+  const double incremental_speedup = full1 > 0.0 ? inc1 / full1 : 0.0;
+  const double thread_speedup = inc1 > 0.0 ? inc8 / inc1 : 0.0;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"online_throughput\",\n";
+  out << "  \"records\": " << records << ",\n";
+  out << "  \"batches\": " << batches << ",\n";
+  out << "  \"dim\": " << dim << ",\n";
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"simd_available\": " << (Avx2Available() ? "true" : "false")
+      << ",\n";
+  char buf[160];
+  out << "  \"throughput\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"sampler\": \"%s\", \"threads\": %d, "
+                  "\"batches_per_sec\": %.3f, \"records_per_sec\": %.1f}%s\n",
+                  rows[i].sampler.c_str(), rows[i].threads,
+                  rows[i].batches_per_sec, rows[i].records_per_sec,
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"incremental_sampler_speedup_1t\": %.3f,\n",
+                incremental_speedup);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"thread_speedup_8t_vs_1t\": %.3f\n",
+                thread_speedup);
+  out << buf;
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", out_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s (incremental x%.2f at 1 thread, threads x%.2f at 8 vs 1)\n",
+      out_path.c_str(), incremental_speedup, thread_speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace actor
+
+int main(int argc, char** argv) { return actor::Main(argc, argv); }

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON files and flag throughput regressions.
+
+Works on any file following the repo's bench schema (BENCH_sgd.json,
+BENCH_online.json): a top-level "throughput" array of rows, where each row
+mixes identity fields (backend, sampler, threads, ...) with metric fields
+(steps_per_sec, batches_per_sec, records_per_sec). Rows are matched across
+the two files by their identity fields; every metric is compared and drops
+beyond --threshold (default 10%) are reported.
+
+Intended use (see EXPERIMENTS.md "Benchmark workflow"): regenerate the
+bench on your machine, diff against the committed baseline, and A/B the
+prior commit on the SAME machine before calling a drop a regression —
+committed numbers come from whatever container produced them, so raw
+cross-machine deltas are expected.
+
+Usage:
+  scripts/bench_compare.py BASELINE.json FRESH.json [--threshold=0.10]
+                           [--strict]
+
+Exit codes: 0 = no regressions (or none beyond threshold), 1 = regressions
+found AND --strict was given, 2 = usage/parse error. Without --strict,
+regressions only warn — the default check.sh hook must not fail on
+machine drift.
+"""
+
+import json
+import sys
+
+METRIC_FIELDS = ("steps_per_sec", "batches_per_sec", "records_per_sec")
+
+
+def parse_args(argv):
+    threshold = 0.10
+    strict = False
+    paths = []
+    for arg in argv:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg == "--strict":
+            strict = True
+        elif arg.startswith("--"):
+            raise ValueError(f"unknown flag {arg}")
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        raise ValueError("need exactly two JSON paths (baseline, fresh)")
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"--threshold must be in (0, 1), got {threshold}")
+    return paths[0], paths[1], threshold, strict
+
+
+def row_key(row):
+    """Identity of a throughput row: every non-metric field, sorted."""
+    return tuple(
+        sorted((k, v) for k, v in row.items() if k not in METRIC_FIELDS)
+    )
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    rows = data.get("throughput")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError(f"{path}: no 'throughput' array")
+    return data, {row_key(r): r for r in rows}
+
+
+def describe(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main(argv):
+    try:
+        base_path, fresh_path, threshold, strict = parse_args(argv)
+        base_data, base_rows = load_rows(base_path)
+        _, fresh_rows = load_rows(fresh_path)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for key, base in base_rows.items():
+        fresh = fresh_rows.get(key)
+        if fresh is None:
+            print(f"  missing in fresh run: {describe(key)}")
+            continue
+        for metric in METRIC_FIELDS:
+            if metric not in base or metric not in fresh:
+                continue
+            old, new = float(base[metric]), float(fresh[metric])
+            if old <= 0.0:
+                continue
+            compared += 1
+            delta = (new - old) / old
+            marker = ""
+            if delta < -threshold:
+                marker = "  <-- REGRESSION"
+                regressions.append((key, metric, old, new, delta))
+            print(
+                f"  {describe(key)} {metric}: "
+                f"{old:.1f} -> {new:.1f} ({delta:+.1%}){marker}"
+            )
+    for key in fresh_rows:
+        if key not in base_rows:
+            print(f"  new row (no baseline): {describe(key)}")
+
+    if compared == 0:
+        print("bench_compare: no comparable metrics found", file=sys.stderr)
+        return 2
+    bench = base_data.get("bench", base_path)
+    if regressions:
+        print(
+            f"\nWARNING: {len(regressions)} metric(s) in '{bench}' dropped "
+            f"more than {threshold:.0%} vs {base_path}."
+        )
+        print(
+            "Before treating this as a real regression, rebuild the prior "
+            "commit and rerun the bench on THIS machine (EXPERIMENTS.md, "
+            "'Benchmark workflow') — committed baselines carry machine "
+            "drift."
+        )
+        return 1 if strict else 0
+    print(f"\nno regressions beyond {threshold:.0%} in '{bench}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

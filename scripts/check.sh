@@ -15,6 +15,12 @@
 #   scripts/check.sh               # everything
 #   scripts/check.sh --lint-only   # steps 1-3 only (seconds, no build)
 #   scripts/check.sh --preset tsan # lint + a single preset's build/test
+#   scripts/check.sh --bench       # build default preset, rerun the
+#                                  # throughput benches, and diff against
+#                                  # the committed BENCH_*.json via
+#                                  # scripts/bench_compare.py (warns on
+#                                  # >10% drops; see EXPERIMENTS.md for the
+#                                  # machine-drift caveat)
 #
 # Repo lint invariants:
 #   L1: no raw std::thread construction outside util/thread_pool — all
@@ -26,6 +32,9 @@
 #       arbitrary stack buffers, so kernels must use loadu/storeu.
 #   L4: every tests/*.cc is registered with actor_test() in
 #       tests/CMakeLists.txt (and every registration has a source file).
+#   L5: every relative markdown link in *.md resolves to a file in the
+#       repo (docs rot silently otherwise; external URLs are not checked
+#       — the container has no network).
 
 set -u -o pipefail
 cd "$(dirname "$0")/.."
@@ -35,8 +44,10 @@ ONLY_PRESET=""
 case "${1:-}" in
   --lint-only) MODE="lint" ;;
   --preset) MODE="one"; ONLY_PRESET="${2:?--preset needs a name}" ;;
+  --bench) MODE="bench" ;;
   "") ;;
-  *) echo "usage: $0 [--lint-only | --preset <default|sanitize|tsan>]" >&2
+  *) echo "usage: $0 [--lint-only | --preset <default|sanitize|tsan>" \
+          "| --bench]" >&2
      exit 2 ;;
 esac
 
@@ -110,6 +121,23 @@ while read -r name; do
 done < <(sed -nE 's/^actor_test\(([a-z0-9_]+).*/\1/p' tests/CMakeLists.txt)
 [ "$L4_STATUS" -eq 0 ] && pass "L4: tests and CMake registrations agree"
 
+# L5: relative markdown links must resolve. Matches [text](path) where path
+# is not an external URL or pure #anchor; strips any #fragment before the
+# existence check.
+L5_STATUS=0
+while IFS=: read -r md link; do
+  target="${link%%#*}"
+  [ -z "$target" ] && continue  # same-file #anchor
+  if [ ! -e "$(dirname "$md")/$target" ] && [ ! -e "$target" ]; then
+    fail "L5: $md links to missing file: $link"; L5_STATUS=1
+  fi
+done < <(grep -rnoE '\]\(([^)#:[:space:]]+[^):[:space:]]*)\)' \
+           --include='*.md' . 2>/dev/null \
+         | grep -v '/build' | grep -v 'third_party' \
+         | sed -E 's/:[0-9]+:\]\(/:/; s/\)$//' \
+         | grep -vE ':(https?|mailto)' )
+[ "$L5_STATUS" -eq 0 ] && pass "L5: markdown links resolve"
+
 # --- 3. clang-tidy ---------------------------------------------------------
 note "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -128,6 +156,40 @@ if [ "$MODE" = "lint" ]; then
   note "lint-only mode: skipping build/test matrix"
   [ "$FAILURES" -eq 0 ] || { echo; echo "$FAILURES check(s) failed"; exit 1; }
   echo; echo "all lint checks passed"; exit 0
+fi
+
+# --- Benchmark regression hook --------------------------------------------
+# Rebuilds the default preset, reruns the throughput harnesses, and diffs
+# the fresh numbers against the committed BENCH_*.json baselines. Drops
+# beyond 10% print a REGRESSION warning but do not fail the gate: the
+# committed numbers carry machine drift, so the protocol (EXPERIMENTS.md,
+# "Benchmark workflow") is to A/B the prior commit on the same machine
+# before believing a drop.
+if [ "$MODE" = "bench" ]; then
+  note "bench mode: rebuild + throughput comparison"
+  cmake --preset default >/dev/null || { fail "configure"; exit 1; }
+  cmake --build --preset default -j "$(nproc)" \
+    --target sgd_throughput online_throughput \
+    || { fail "bench build"; exit 1; }
+  BENCH_TMP=$(mktemp -d)
+  trap 'rm -rf "$BENCH_TMP"' EXIT
+  for bench in sgd online; do
+    json="BENCH_${bench}.json"
+    if [ ! -f "$json" ]; then
+      echo "skip: no committed $json baseline"; continue
+    fi
+    note "running ${bench}_throughput"
+    if ! "build/bench/${bench}_throughput" --out="$BENCH_TMP/$json"; then
+      fail "${bench}_throughput run"; continue
+    fi
+    note "comparing $json (committed vs fresh)"
+    python3 scripts/bench_compare.py "$json" "$BENCH_TMP/$json" \
+      || fail "bench_compare on $json"
+  done
+  echo
+  [ "$FAILURES" -eq 0 ] || { echo "$FAILURES check(s) failed"; exit 1; }
+  echo "bench comparison done (warnings above, if any, need same-machine A/B)"
+  exit 0
 fi
 
 # --- 4. Build + test matrix ------------------------------------------------

@@ -1,23 +1,15 @@
 #include "core/online_actor.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "embedding/sgd.h"
-#include "graph/alias_table.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace actor {
-namespace {
-
-uint64_t PackKey(VertexId u, VertexId v) {
-  const uint64_t a = static_cast<uint32_t>(u < v ? u : v);
-  const uint64_t b = static_cast<uint32_t>(u < v ? v : u);
-  return (a << 32) | b;
-}
-
-}  // namespace
 
 Result<OnlineActor> OnlineActor::Create(OnlineActorOptions options) {
   if (options.dim <= 0 || options.negatives < 1) {
@@ -29,11 +21,37 @@ Result<OnlineActor> OnlineActor::Create(OnlineActorOptions options) {
   if (options.samples_per_edge_per_batch <= 0.0) {
     return Status::InvalidArgument("samples_per_edge_per_batch must be > 0");
   }
+  if (options.min_edge_weight <= 0.0) {
+    return Status::InvalidArgument("min_edge_weight must be > 0");
+  }
   OnlineActor model(options);
   model.center_ = EmbeddingMatrix(0, options.dim);
   model.context_ = EmbeddingMatrix(0, options.dim);
+  for (auto& store : model.edges_) {
+    store.set_min_weight(options.min_edge_weight);
+  }
+  // Same pool contract as EdgeSamplingTrainer: num_threads <= 1 is the
+  // sequential, bit-deterministic path and ignores any provided pool
+  // entirely (the PR 2 bug class); num_threads > 1 borrows the caller's
+  // persistent pool or owns a private one for the actor's lifetime.
+  if (options.num_threads > 1) {
+    if (options.pool != nullptr) {
+      model.pool_ = options.pool;
+    } else {
+      model.owned_pool_ = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(options.num_threads));
+      model.pool_ = model.owned_pool_.get();
+    }
+  }
   return model;
 }
+
+// Out-of-line: owned_pool_ holds a forward-declared ThreadPool.
+OnlineActor::OnlineActor(OnlineActorOptions options)
+    : options_(options), rng_(options.seed) {}
+OnlineActor::~OnlineActor() = default;
+OnlineActor::OnlineActor(OnlineActor&&) noexcept = default;
+OnlineActor& OnlineActor::operator=(OnlineActor&&) noexcept = default;
 
 VertexId OnlineActor::AddUnit(VertexType type, std::string name) {
   const VertexId id = static_cast<VertexId>(types_.size());
@@ -113,26 +131,17 @@ void OnlineActor::AccumulateEdge(VertexId a, VertexId b) {
   if (a == b || a == kInvalidVertex || b == kInvalidVertex) return;
   auto type = EdgeTypeBetween(types_[a], types_[b]);
   if (!type.ok()) return;
-  edges_[static_cast<int>(*type)][PackKey(a, b)] += 1.0;
+  edges_[static_cast<int>(*type)].Accumulate(a, b);
 }
 
 void OnlineActor::DecayEdges() {
   if (options_.decay_per_batch >= 1.0) return;
-  for (auto& per_type : edges_) {
-    for (auto it = per_type.begin(); it != per_type.end();) {
-      it->second *= options_.decay_per_batch;
-      if (it->second < options_.min_edge_weight) {
-        it = per_type.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
+  for (auto& store : edges_) store.Decay(options_.decay_per_batch);
 }
 
 std::size_t OnlineActor::num_live_edges() const {
   std::size_t total = 0;
-  for (const auto& per_type : edges_) total += per_type.size();
+  for (const auto& store : edges_) total += store.size();
   return total;
 }
 
@@ -179,76 +188,123 @@ Status OnlineActor::Ingest(const std::vector<TokenizedRecord>& batch) {
   return TrainBatch();
 }
 
+Status OnlineActor::RefreshSamplers(int e) {
+  OnlineEdgeStore& store = edges_[e];
+  SamplerCache& cache = samplers_[e];
+  if (!options_.incremental_sampler) {
+    // A/B lever: reconstruct from scratch every batch, releasing storage,
+    // as the pre-port implementation did.
+    cache = SamplerCache();
+  }
+  if (cache.built && cache.version == store.version()) {
+    // Pure-decay batch for this type: uniform decay preserves the relative
+    // distribution, so the cached tables are still exact.
+    return Status::OK();
+  }
+  // The alias table over raw weights samples the *decayed* distribution
+  // exactly (uniform scale cancels in the normalization).
+  ACTOR_RETURN_NOT_OK(cache.edge_table.Rebuild(store.raw_weights()));
+  for (auto& noise : cache.noise) {
+    noise.candidates.clear();
+    noise.weights.clear();
+    noise.valid = false;
+  }
+  for (const auto& [v, d] : store.raw_degrees()) {
+    NoiseTable& noise = cache.noise[static_cast<int>(types_[v])];
+    noise.candidates.push_back(v);
+    noise.weights.push_back(std::pow(d, 0.75));
+  }
+  for (auto& noise : cache.noise) {
+    if (noise.candidates.empty()) continue;
+    ACTOR_RETURN_NOT_OK(noise.table.Rebuild(noise.weights));
+    noise.valid = true;
+  }
+  cache.built = true;
+  cache.version = store.version();
+  return Status::OK();
+}
+
 Status OnlineActor::TrainBatch() {
+  for (int e = 0; e < kNumEdgeTypes; ++e) {
+    const OnlineEdgeStore& store = edges_[e];
+    if (store.empty()) continue;
+    ACTOR_RETURN_NOT_OK(RefreshSamplers(e));
+    // Both directions of every undirected edge carry the per-edge budget,
+    // as in the pre-port flattening.
+    const auto samples = static_cast<int64_t>(
+        options_.samples_per_edge_per_batch * 2.0 *
+        static_cast<double>(store.size()));
+    if (samples <= 0) continue;
+    const uint64_t step = train_steps_;
+    if (pool_ == nullptr || pool_->num_threads() == 1) {
+      TrainTypeShard(e, samples, ShardSeed(options_.seed, step, 0));
+    } else {
+      pool_->ShardedRange(
+          0, static_cast<std::size_t>(samples),
+          [this, e, step](int shard, std::size_t lo, std::size_t hi) {
+            TrainTypeShard(e, static_cast<int64_t>(hi - lo),
+                           ShardSeed(options_.seed, step, shard));
+          });
+    }
+    train_steps_ += static_cast<uint64_t>(samples);
+  }
+  // HOGWILD updates cannot be checked per-step without serializing the
+  // shards; sweep both matrices for NaN/inf after every batch in debug
+  // builds instead (same policy as EdgeSamplingTrainer).
+  ACTOR_DCHECK(center_.DebugValidate());
+  ACTOR_DCHECK(context_.DebugValidate());
+  return Status::OK();
+}
+
+void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed) {
+  Rng rng(seed);
+  const OnlineEdgeStore& store = edges_[e];
+  const SamplerCache& cache = samplers_[e];
+  // Decayed-weight / alias-mass consistency: the sampler must describe
+  // exactly the live edge set, or draws would index dropped slots.
+  ACTOR_DCHECK(cache.built && cache.edge_table.size() == store.size())
+      << "sampler for edge type " << e << " covers "
+      << cache.edge_table.size() << " edges, store holds " << store.size();
+  const std::vector<VertexId>& src = store.src();
+  const std::vector<VertexId>& dst = store.dst();
   const std::size_t dim = static_cast<std::size_t>(options_.dim);
+  const float lr = options_.learning_rate;
   std::vector<float> grad(dim);
 
-  for (int e = 0; e < kNumEdgeTypes; ++e) {
-    const auto& per_type = edges_[e];
-    if (per_type.empty()) continue;
-
-    // Flatten the live edges of this type and build sampling tables.
-    std::vector<VertexId> src, dst;
-    std::vector<double> weight;
-    src.reserve(per_type.size() * 2);
-    dst.reserve(per_type.size() * 2);
-    weight.reserve(per_type.size() * 2);
-    std::unordered_map<VertexId, double> degree;
-    for (const auto& [key, w] : per_type) {
-      const VertexId a = static_cast<VertexId>(key >> 32);
-      const VertexId b = static_cast<VertexId>(key & 0xffffffffULL);
-      src.push_back(a);
-      dst.push_back(b);
-      weight.push_back(w);
-      src.push_back(b);
-      dst.push_back(a);
-      weight.push_back(w);
-      degree[a] += w;
-      degree[b] += w;
+  // Block-wise sampling with software prefetch, as in
+  // EdgeSamplingTrainer::TrainShard: the random center/context row
+  // accesses of block i overlap the alias draws of block i+1. The low bit
+  // of each buffered entry is the edge orientation (undirected edges are
+  // stored once; each draw picks a direction uniformly, which matches the
+  // pre-port both-directions flattening in distribution).
+  constexpr int64_t kBlock = 64;
+  std::array<std::size_t, kBlock> idx_buf;
+  for (int64_t base = 0; base < num_samples; base += kBlock) {
+    const int64_t block = std::min<int64_t>(kBlock, num_samples - base);
+    for (int64_t i = 0; i < block; ++i) {
+      const std::size_t idx = cache.edge_table.Sample(rng);
+      const std::size_t flip = rng.Next() & 1;
+      idx_buf[static_cast<std::size_t>(i)] = (idx << 1) | flip;
+      PrefetchRow(center_.row(flip ? dst[idx] : src[idx]), dim);
+      PrefetchRow(context_.row(flip ? src[idx] : dst[idx]), dim);
     }
-    ACTOR_ASSIGN_OR_RETURN(AliasTable edge_table, AliasTable::Create(weight));
-
-    // Noise tables per context vertex type within this edge type.
-    struct Noise {
-      std::vector<VertexId> candidates;
-      std::unique_ptr<AliasTable> table;
-    };
-    Noise noise[kNumVertexTypes];
-    {
-      std::vector<double> noise_weights[kNumVertexTypes];
-      for (const auto& [v, d] : degree) {
-        const int t = static_cast<int>(types_[v]);
-        noise[t].candidates.push_back(v);
-        noise_weights[t].push_back(std::pow(d, 0.75));
-      }
-      for (int t = 0; t < kNumVertexTypes; ++t) {
-        if (noise[t].candidates.empty()) continue;
-        ACTOR_ASSIGN_OR_RETURN(AliasTable table,
-                               AliasTable::Create(noise_weights[t]));
-        noise[t].table = std::make_unique<AliasTable>(std::move(table));
-      }
-    }
-
-    const int64_t samples = static_cast<int64_t>(
-        options_.samples_per_edge_per_batch * static_cast<double>(src.size()));
-    for (int64_t i = 0; i < samples; ++i) {
-      const std::size_t idx = edge_table.Sample(rng_);
-      const VertexId u = src[idx];
-      const VertexId v = dst[idx];
-      const Noise& ctx_noise = noise[static_cast<int>(types_[v])];
-      if (ctx_noise.table == nullptr) continue;
+    for (int64_t i = 0; i < block; ++i) {
+      const std::size_t packed = idx_buf[static_cast<std::size_t>(i)];
+      const std::size_t idx = packed >> 1;
+      const bool flip = (packed & 1) != 0;
+      const VertexId u = flip ? dst[idx] : src[idx];
+      const VertexId v = flip ? src[idx] : dst[idx];
+      const NoiseTable& noise = cache.noise[static_cast<int>(types_[v])];
+      if (!noise.valid) continue;
       Zero(grad.data(), dim);
       NegativeSamplingUpdate(
-          center_.row(u), v, options_.negatives, options_.learning_rate,
-          &context_, sigmoid_, rng_,
-          [&ctx_noise](Rng& r) {
-            return ctx_noise.candidates[ctx_noise.table->Sample(r)];
-          },
+          center_.row(u), v, options_.negatives, lr, &context_, sigmoid_,
+          rng,
+          [&noise](Rng& r) { return noise.candidates[noise.table.Sample(r)]; },
           grad.data());
       Add(grad.data(), center_.row(u), dim);
     }
   }
-  return Status::OK();
 }
 
 VertexId OnlineActor::SpatialUnit(const GeoPoint& location) const {

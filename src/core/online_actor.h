@@ -2,13 +2,16 @@
 #define ACTOR_CORE_ONLINE_ACTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/online_edge_store.h"
 #include "data/record.h"
 #include "data/vocabulary.h"
 #include "embedding/embedding_matrix.h"
+#include "graph/alias_table.h"
 #include "graph/types.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -16,7 +19,9 @@
 
 namespace actor {
 
-/// Options for the streaming extension (DESIGN.md; modeled on the
+class ThreadPool;
+
+/// Options for the streaming extension (docs/streaming.md; modeled on the
 /// recency-aware direction of the authors' ReAct [8], which the paper
 /// lists as the online successor of CrossMap).
 struct OnlineActorOptions {
@@ -26,14 +31,17 @@ struct OnlineActorOptions {
   uint64_t seed = 71;
 
   /// Per ingested batch, every live edge is sampled this many times in
-  /// expectation.
+  /// expectation. The main throughput/quality dial of the streaming path —
+  /// see the tuning table in docs/streaming.md.
   double samples_per_edge_per_batch = 3.0;
 
   /// Recency: every edge weight is multiplied by this factor at each
   /// Ingest() call, so stale co-occurrences fade ("recency-aware"). 1.0
   /// disables forgetting.
   double decay_per_batch = 0.7;
-  /// Edges whose decayed weight drops below this are dropped.
+  /// Edges whose decayed weight drops below this are dropped. Must be > 0
+  /// when decay_per_batch < 1 (otherwise edges would decay forever without
+  /// ever being reclaimed).
   double min_edge_weight = 0.05;
 
   /// A record farther than this from every spatial hotspot spawns a new
@@ -45,6 +53,27 @@ struct OnlineActorOptions {
 
   /// Train user edge types (UT/UW/UL) as in ACTOR's inter structure.
   bool use_user_edges = true;
+
+  /// Worker threads for the per-batch re-embed phase. With
+  /// num_threads <= 1 the re-embed loop is sequential and bit-deterministic
+  /// for a fixed seed; with more threads the sample budget is sharded over
+  /// the pool and the shared matrices are updated lock-free (HOGWILD, same
+  /// contract as TrainOptions::num_threads).
+  int num_threads = 1;
+  /// Externally-owned persistent worker pool (the PR 1 substrate). When
+  /// null and num_threads > 1 the actor creates its own pool, kept for the
+  /// actor's lifetime. The pool must outlive the actor; when
+  /// num_threads > 1 its worker count overrides num_threads, and
+  /// num_threads <= 1 ignores the pool entirely (sequential,
+  /// bit-deterministic path — the PR 2 contract).
+  ThreadPool* pool = nullptr;
+
+  /// When true (default), per-edge-type samplers are cached across batches
+  /// and rebuilt in place only when the underlying decayed distribution
+  /// actually changed (OnlineEdgeStore::version()). When false, every
+  /// batch reconstructs all samplers from scratch — the pre-port behavior,
+  /// kept as an A/B lever for bench/online_throughput.
+  bool incremental_sampler = true;
 };
 
 /// Streaming hierarchical cross-modal embedding: ingests record batches,
@@ -52,10 +81,23 @@ struct OnlineActorOptions {
 /// (hotspots, words, users), and refreshes the shared embedding space
 /// after every batch. Units never seen again fade from the sampling
 /// distribution but keep their vectors.
+///
+/// Each Ingest() runs the cycle described in docs/streaming.md:
+///   decay -> resolve units -> accumulate co-occurrences ->
+///   incremental sampler rebuild -> sharded re-embed.
+/// The re-embed phase runs on the shared ThreadPool/SIMD substrate: sample
+/// budgets are split with ThreadPool::ShardedRange, per-shard RNG streams
+/// derive from ShardSeed, and all shared-row arithmetic goes through the
+/// runtime-dispatched kernels in util/vec_math.h (so the TSan `relaxed`
+/// backend covers the streaming path too).
 class OnlineActor {
  public:
   /// Creates an empty model; the first Ingest() bootstraps everything.
   static Result<OnlineActor> Create(OnlineActorOptions options);
+
+  ~OnlineActor();
+  OnlineActor(OnlineActor&&) noexcept;
+  OnlineActor& operator=(OnlineActor&&) noexcept;
 
   /// Ingests one batch of tokenized records (ids from a caller-owned,
   /// append-only vocabulary), updates the unit graph, and trains.
@@ -85,8 +127,23 @@ class OnlineActor {
                                 VertexId candidate) const;
 
  private:
-  explicit OnlineActor(OnlineActorOptions options)
-      : options_(options), rng_(options.seed) {}
+  /// Cached per-edge-type samplers, stamped with the store version they
+  /// were built at. Rebuilt in place (allocation-free at steady state)
+  /// only when the store's relative distribution changed.
+  struct NoiseTable {
+    std::vector<VertexId> candidates;
+    std::vector<double> weights;  // degree^(3/4) scratch for rebuilds
+    AliasTable table;
+    bool valid = false;
+  };
+  struct SamplerCache {
+    bool built = false;
+    uint64_t version = 0;
+    AliasTable edge_table;
+    NoiseTable noise[kNumVertexTypes];
+  };
+
+  explicit OnlineActor(OnlineActorOptions options);  // out-of-line: pool_
 
   VertexId AddUnit(VertexType type, std::string name);
   /// Assign-or-spawn for the two hotspot families.
@@ -98,10 +155,19 @@ class OnlineActor {
   void AccumulateEdge(VertexId a, VertexId b);
   void DecayEdges();
   Status TrainBatch();
+  /// Brings samplers_[e] up to date with edges_[e] (no-op when the store
+  /// version matches — e.g. after pure-decay batches).
+  Status RefreshSamplers(int e);
+  /// One shard of the re-embed phase for edge type e: `num_samples` SGD
+  /// steps from the per-shard RNG stream seeded with `seed`.
+  void TrainTypeShard(int e, int64_t num_samples, uint64_t seed);
 
   OnlineActorOptions options_;
   Rng rng_;
   int64_t batches_ = 0;
+  /// Total re-embed SGD steps scheduled so far; the per-(batch, edge type)
+  /// component of ShardSeed.
+  uint64_t train_steps_ = 0;
 
   // Unit catalogue (grows, never shrinks).
   std::vector<VertexType> types_;
@@ -117,8 +183,13 @@ class OnlineActor {
   std::unordered_map<int32_t, VertexId> word_units_;
   std::unordered_map<int64_t, VertexId> user_units_;
 
-  // Decaying undirected edge weights per edge type, keyed by packed pair.
-  std::unordered_map<uint64_t, double> edges_[kNumEdgeTypes];
+  // Decaying undirected edge weights per edge type, in flat stores with
+  // incremental sampler maintenance (docs/streaming.md).
+  OnlineEdgeStore edges_[kNumEdgeTypes];
+  SamplerCache samplers_[kNumEdgeTypes];
+
+  ThreadPool* pool_ = nullptr;              // null => sequential re-embed
+  std::unique_ptr<ThreadPool> owned_pool_;  // backs pool_ when not borrowed
 
   SigmoidTable sigmoid_;
 };

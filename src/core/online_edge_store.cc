@@ -1,0 +1,147 @@
+#include "core/online_edge_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace actor {
+namespace {
+
+/// Below this scale the raw weights are within ~9 decades of the double
+/// overflow cliff on long streams; fold the scale in well before that.
+constexpr double kRenormScale = 1e-9;
+
+}  // namespace
+
+void OnlineEdgeStore::Accumulate(VertexId a, VertexId b, double w) {
+  ACTOR_DCHECK(a != b) << "self-loop on vertex " << a;
+  ACTOR_DCHECK(a != kInvalidVertex && b != kInvalidVertex)
+      << "invalid endpoint (" << a << ", " << b << ")";
+  ACTOR_DCHECK(w > 0.0) << "non-positive edge weight " << w;
+  const double raw = w / scale_;
+  const uint64_t key = PackKey(a, b);
+  auto [it, inserted] =
+      index_.emplace(key, static_cast<uint32_t>(src_.size()));
+  if (inserted) {
+    src_.push_back(a < b ? a : b);
+    dst_.push_back(a < b ? b : a);
+    raw_weight_.push_back(raw);
+  } else {
+    raw_weight_[it->second] += raw;
+  }
+  total_raw_ += raw;
+  AddDegree(a, raw);
+  AddDegree(b, raw);
+  ++version_;
+}
+
+void OnlineEdgeStore::Decay(double factor) {
+  ACTOR_DCHECK(factor > 0.0 && factor <= 1.0)
+      << "decay factor must be in (0, 1], got " << factor;
+  if (factor >= 1.0) return;  // never-forget mode: nothing decays or drops
+  scale_ *= factor;
+
+  // Drop edges whose effective weight fell below the threshold. The raw
+  // threshold is hoisted so the sweep is one compare per edge. Degrees are
+  // only decremented here; residue entries are purged in one pass below so
+  // a vertex losing several edges is never erased mid-sweep.
+  const double raw_min = min_weight_ / scale_;
+  bool dropped = false;
+  for (std::size_t i = 0; i < raw_weight_.size();) {
+    if (raw_weight_[i] >= raw_min) {
+      ++i;
+      continue;
+    }
+    dropped = true;
+    const double raw = raw_weight_[i];
+    total_raw_ -= raw;
+    raw_degree_[src_[i]] -= raw;
+    raw_degree_[dst_[i]] -= raw;
+    index_.erase(PackKey(src_[i], dst_[i]));
+    const std::size_t last = raw_weight_.size() - 1;
+    if (i != last) {
+      src_[i] = src_[last];
+      dst_[i] = dst_[last];
+      raw_weight_[i] = raw_weight_[last];
+      index_[PackKey(src_[i], dst_[i])] = static_cast<uint32_t>(i);
+    }
+    src_.pop_back();
+    dst_.pop_back();
+    raw_weight_.pop_back();
+  }
+  if (dropped) {
+    // A vertex with any live incident edge keeps raw degree >= raw_min;
+    // anything below half that quantum is subtraction residue of a vertex
+    // whose edges all dropped.
+    for (auto it = raw_degree_.begin(); it != raw_degree_.end();) {
+      if (it->second < raw_min * 0.5) {
+        it = raw_degree_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ++version_;
+  }
+  if (empty()) total_raw_ = 0.0;  // clear float residue on full drain
+  RenormalizeIfNeeded();
+  ACTOR_DCHECK(DebugCheckConsistent(/*after_decay=*/true));
+}
+
+double OnlineEdgeStore::EdgeWeight(VertexId a, VertexId b) const {
+  const auto it = index_.find(PackKey(a, b));
+  return it == index_.end() ? 0.0 : raw_weight_[it->second] * scale_;
+}
+
+void OnlineEdgeStore::RenormalizeIfNeeded() {
+  if (scale_ >= kRenormScale) return;
+  for (double& w : raw_weight_) w *= scale_;
+  for (auto& [v, d] : raw_degree_) d *= scale_;
+  total_raw_ *= scale_;
+  scale_ = 1.0;
+}
+
+void OnlineEdgeStore::AddDegree(VertexId v, double raw_w) {
+  raw_degree_[v] += raw_w;
+}
+
+bool OnlineEdgeStore::DebugCheckConsistent(bool after_decay) const {
+  if constexpr (!kDebugChecksEnabled) return true;
+  (void)after_decay;
+  ACTOR_DCHECK(src_.size() == dst_.size() &&
+               src_.size() == raw_weight_.size() &&
+               src_.size() == index_.size())
+      << "array/index size drift: " << src_.size() << "/" << dst_.size()
+      << "/" << raw_weight_.size() << "/" << index_.size();
+  double sum = 0.0;
+  std::unordered_map<VertexId, double> degrees;
+  for (std::size_t i = 0; i < raw_weight_.size(); ++i) {
+    ACTOR_DCHECK(src_[i] < dst_[i])
+        << "edge " << i << " not canonically oriented";
+    const auto it = index_.find(PackKey(src_[i], dst_[i]));
+    ACTOR_DCHECK(it != index_.end() && it->second == i)
+        << "hash index does not map edge " << i << " to its slot";
+    ACTOR_DCHECK_FINITE(raw_weight_[i]);
+    ACTOR_DCHECK(!after_decay ||
+                 raw_weight_[i] * scale_ >= min_weight_ * (1.0 - 1e-9))
+        << "edge " << i << " effective weight " << raw_weight_[i] * scale_
+        << " below min_weight " << min_weight_;
+    sum += raw_weight_[i];
+    degrees[src_[i]] += raw_weight_[i];
+    degrees[dst_[i]] += raw_weight_[i];
+  }
+  ACTOR_DCHECK(std::fabs(sum - total_raw_) <=
+               1e-9 * std::max(1.0, std::fabs(sum)))
+      << "cached raw total " << total_raw_ << " vs recomputed " << sum;
+  ACTOR_DCHECK(degrees.size() == raw_degree_.size())
+      << "degree map holds " << raw_degree_.size() << " vertices, expected "
+      << degrees.size();
+  for (const auto& [v, d] : degrees) {
+    const auto it = raw_degree_.find(v);
+    ACTOR_DCHECK(it != raw_degree_.end()) << "vertex " << v << " lost degree";
+    ACTOR_DCHECK(std::fabs(it->second - d) <= 1e-9 * std::max(1.0, d))
+        << "vertex " << v << " degree " << it->second << " vs recomputed "
+        << d;
+  }
+  return true;
+}
+
+}  // namespace actor

@@ -1,0 +1,145 @@
+#ifndef ACTOR_CORE_ONLINE_EDGE_STORE_H_
+#define ACTOR_CORE_ONLINE_EDGE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace actor {
+
+/// Decaying undirected co-occurrence edge store for one edge type of the
+/// streaming pipeline (docs/streaming.md).
+///
+/// The store keeps live edges in *flat, index-stable arrays* (`src`/`dst`/
+/// raw weights) plus a packed-pair hash index, so the per-batch re-embed
+/// cycle can rebuild its alias sampler straight from a contiguous weight
+/// vector instead of re-flattening a hash map — the incremental rebuild
+/// path of the OnlineActor substrate port.
+///
+/// Two structural properties make the decay cycle cheap:
+///
+/// * **Lazy uniform decay.** `Decay(f)` multiplies one scalar
+///   (`weight_scale()`), not every weight: effective weight = raw x scale.
+///   Because the decay is uniform, the *relative* sampling distribution —
+///   and therefore any alias table built over the raw weights — is
+///   unchanged by decay alone. Only edge drops and `Accumulate()` calls
+///   invalidate samplers, which is what `version()` tracks.
+/// * **Swap-remove compaction.** Edges whose effective weight falls below
+///   `min_weight` are dropped by swapping the last live edge into their
+///   slot, so the arrays stay dense with no tombstones and no reallocation
+///   churn.
+///
+/// Per-vertex decayed degrees (the d^(3/4) negative-sampling masses) are
+/// maintained incrementally under the same uniform-scale trick.
+///
+/// Thread-compatibility: mutations are single-threaded (the ingest phase);
+/// during the sharded re-embed phase the store is read-only and safe to
+/// read from any number of worker threads.
+class OnlineEdgeStore {
+ public:
+  OnlineEdgeStore() = default;
+
+  /// Sets the drop threshold for decayed edges. Must be > 0 (a zero
+  /// threshold would let edges decay toward denormal weights forever).
+  void set_min_weight(double min_weight) {
+    ACTOR_DCHECK(min_weight > 0.0)
+        << "min_weight must be > 0, got " << min_weight;
+    min_weight_ = min_weight;
+  }
+  double min_weight() const { return min_weight_; }
+
+  /// Adds `w` (effective) to the undirected edge {a, b}, creating it when
+  /// absent. Self-loops and invalid endpoints are caller bugs.
+  void Accumulate(VertexId a, VertexId b, double w = 1.0);
+
+  /// Multiplies every live weight by `factor` in (0, 1] (O(1) via the
+  /// shared scale), then drops edges whose effective weight fell below
+  /// min_weight(). factor == 1 is a no-op (the "never forget" mode).
+  void Decay(double factor);
+
+  /// Number of live undirected edges.
+  std::size_t size() const { return src_.size(); }
+  bool empty() const { return src_.empty(); }
+
+  /// Endpoint arrays, index-aligned with raw_weights(). For entry i the
+  /// canonical orientation is src()[i] < dst()[i]; samplers that need both
+  /// directions draw the orientation separately.
+  const std::vector<VertexId>& src() const { return src_; }
+  const std::vector<VertexId>& dst() const { return dst_; }
+
+  /// Raw (pre-scale) weights. Proportional to the effective weights — an
+  /// alias table built over this vector samples the decayed distribution
+  /// exactly, with no per-edge multiplication.
+  const std::vector<double>& raw_weights() const { return raw_weight_; }
+
+  /// Current uniform scale; effective weight of edge i is
+  /// raw_weights()[i] * weight_scale().
+  double weight_scale() const { return scale_; }
+
+  /// Effective (decayed) weight of edge i.
+  double weight(std::size_t i) const {
+    ACTOR_DCHECK(i < raw_weight_.size())
+        << "edge " << i << " of " << raw_weight_.size();
+    return raw_weight_[i] * scale_;
+  }
+
+  /// Effective weight of the undirected edge {a, b}; 0 when not live.
+  double EdgeWeight(VertexId a, VertexId b) const;
+
+  /// Sum of all effective weights.
+  double total_weight() const { return total_raw_ * scale_; }
+
+  /// Raw per-vertex decayed degrees (sum of incident raw weights), for
+  /// building the noise distribution ∝ degree^(3/4). Uniformly scaled like
+  /// the edge weights, so relative masses survive decay unchanged.
+  const std::unordered_map<VertexId, double>& raw_degrees() const {
+    return raw_degree_;
+  }
+
+  /// Monotonic counter bumped whenever the *relative* sampling
+  /// distribution changes (Accumulate, or drops during Decay). Uniform
+  /// decay alone does not bump it — samplers keyed on version() stay valid
+  /// across pure-decay batches.
+  uint64_t version() const { return version_; }
+
+  /// Debug-only O(E + V) consistency sweep: cached totals match the
+  /// arrays, the hash index is exact, and degrees equal the incident-weight
+  /// sums. With `after_decay` the decayed-weight floor is also enforced:
+  /// every live effective weight must be >= min_weight (Decay() just
+  /// compacted anything below it away; an Accumulate() may legitimately
+  /// insert smaller edges between decays). Returns true so it can sit
+  /// inside ACTOR_DCHECK.
+  bool DebugCheckConsistent(bool after_decay = false) const;
+
+ private:
+  static uint64_t PackKey(VertexId a, VertexId b) {
+    const uint64_t lo = static_cast<uint32_t>(a < b ? a : b);
+    const uint64_t hi = static_cast<uint32_t>(a < b ? b : a);
+    return (lo << 32) | hi;
+  }
+
+  /// Folds the pending scale into the raw weights when the scale becomes
+  /// tiny, preventing raw-weight blow-up on long streams. Distribution-
+  /// preserving, so samplers stay valid.
+  void RenormalizeIfNeeded();
+
+  void AddDegree(VertexId v, double raw_w);
+
+  double min_weight_ = 0.05;
+  double scale_ = 1.0;
+  double total_raw_ = 0.0;
+  uint64_t version_ = 0;
+
+  std::vector<VertexId> src_;
+  std::vector<VertexId> dst_;
+  std::vector<double> raw_weight_;
+  std::unordered_map<uint64_t, uint32_t> index_;  // packed pair -> slot
+  std::unordered_map<VertexId, double> raw_degree_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_CORE_ONLINE_EDGE_STORE_H_

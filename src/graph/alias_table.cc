@@ -4,7 +4,10 @@
 
 namespace actor {
 
-Result<AliasTable> AliasTable::Create(const std::vector<double>& weights) {
+Status AliasTable::BuildInto(const std::vector<double>& weights,
+                             std::vector<double>* prob,
+                             std::vector<uint32_t>* alias,
+                             std::vector<double>* norm_weights) {
   if (weights.empty()) {
     return Status::InvalidArgument("alias table needs at least one weight");
   }
@@ -23,12 +26,15 @@ Result<AliasTable> AliasTable::Create(const std::vector<double>& weights) {
   }
 
   const std::size_t n = weights.size();
-  std::vector<double> norm(n);
+  std::vector<double>& norm = *norm_weights;
+  norm.resize(n);
   for (std::size_t i = 0; i < n; ++i) norm[i] = weights[i] / total;
 
   // Scaled probabilities; "small" entries donate leftover mass from "large"
-  // ones.
-  std::vector<double> scaled(n);
+  // ones. `prob` doubles as the scaled-weight scratch until the donation
+  // loop rewrites it with acceptance probabilities.
+  std::vector<double>& scaled = *prob;
+  scaled.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     scaled[i] = norm[i] * static_cast<double>(n);
   }
@@ -39,23 +45,22 @@ Result<AliasTable> AliasTable::Create(const std::vector<double>& weights) {
     (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
   }
 
-  std::vector<double> prob(n, 1.0);
-  std::vector<uint32_t> alias(n);
-  for (std::size_t i = 0; i < n; ++i) alias[i] = static_cast<uint32_t>(i);
+  alias->resize(n);
+  for (std::size_t i = 0; i < n; ++i) (*alias)[i] = static_cast<uint32_t>(i);
 
   while (!small.empty() && !large.empty()) {
     const uint32_t s = small.back();
     small.pop_back();
     const uint32_t l = large.back();
     large.pop_back();
-    prob[s] = scaled[s];
-    alias[s] = l;
+    // scaled[s] < 1 is final: it becomes s's acceptance probability.
+    (*alias)[s] = l;
     scaled[l] = (scaled[l] + scaled[s]) - 1.0;
     (scaled[l] < 1.0 ? small : large).push_back(l);
   }
   // Remaining entries have probability 1 (floating-point leftovers).
-  for (uint32_t s : small) prob[s] = 1.0;
-  for (uint32_t l : large) prob[l] = 1.0;
+  for (uint32_t s : small) scaled[s] = 1.0;
+  for (uint32_t l : large) scaled[l] = 1.0;
 
   // Invariants of a well-formed Walker table: every bucket keeps a valid
   // acceptance probability and alias index, and the reconstructed sampling
@@ -64,10 +69,10 @@ Result<AliasTable> AliasTable::Create(const std::vector<double>& weights) {
   if constexpr (kDebugChecksEnabled) {
     double mass = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      ACTOR_DCHECK(prob[i] >= 0.0 && prob[i] <= 1.0 + 1e-9)
-          << "bucket " << i << " acceptance probability " << prob[i];
-      ACTOR_DCHECK(alias[i] < n)
-          << "bucket " << i << " alias " << alias[i] << " out of range";
+      ACTOR_DCHECK((*prob)[i] >= 0.0 && (*prob)[i] <= 1.0 + 1e-9)
+          << "bucket " << i << " acceptance probability " << (*prob)[i];
+      ACTOR_DCHECK((*alias)[i] < n)
+          << "bucket " << i << " alias " << (*alias)[i] << " out of range";
       ACTOR_DCHECK_FINITE(norm[i]);
       mass += norm[i];
     }
@@ -75,7 +80,19 @@ Result<AliasTable> AliasTable::Create(const std::vector<double>& weights) {
         << "normalized weights sum to " << mass;
   }
 
+  return Status::OK();
+}
+
+Result<AliasTable> AliasTable::Create(const std::vector<double>& weights) {
+  std::vector<double> prob;
+  std::vector<uint32_t> alias;
+  std::vector<double> norm;
+  ACTOR_RETURN_NOT_OK(BuildInto(weights, &prob, &alias, &norm));
   return AliasTable(std::move(prob), std::move(alias), std::move(norm));
+}
+
+Status AliasTable::Rebuild(const std::vector<double>& weights) {
+  return BuildInto(weights, &prob_, &alias_, &norm_weights_);
 }
 
 double AliasTable::Probability(std::size_t i) const {

@@ -13,15 +13,33 @@ namespace actor {
 /// Walker's alias method: O(n) construction, O(1) sampling from a discrete
 /// distribution (paper §5.2.3, [44]). Used for weighted edge sampling and
 /// for the negative-sampling noise distribution.
+///
+/// Two construction paths exist: `Create()` builds a fresh table, and
+/// `Rebuild()` re-derives the table in place, reusing the existing bucket
+/// storage. The streaming pipeline (docs/streaming.md) rebuilds its
+/// samplers after every ingested batch, so the in-place path keeps the
+/// decay → re-embed cycle allocation-free once the tables reach their
+/// steady-state size.
 class AliasTable {
  public:
+  /// An empty table; Sample() may not be called until a Rebuild() (or
+  /// assignment from Create()) succeeds. size() is 0.
+  AliasTable() = default;
+
   /// Builds the table from non-negative weights. Returns InvalidArgument if
   /// `weights` is empty, contains a negative value, or sums to zero.
   static Result<AliasTable> Create(const std::vector<double>& weights);
 
+  /// Rebuilds this table from `weights` without releasing bucket storage:
+  /// repeated rebuilds at steady-state size perform no allocations. Same
+  /// validation as Create(); on error the table is left unchanged and
+  /// remains safe to Sample() from (if it was before).
+  Status Rebuild(const std::vector<double>& weights);
+
   /// Draws an index in [0, size()) with probability proportional to its
   /// weight. Thread-safe given distinct Rng instances.
   std::size_t Sample(Rng& rng) const {
+    ACTOR_DCHECK(!prob_.empty()) << "sampling from an empty alias table";
     const std::size_t i = rng.Uniform(prob_.size());
     const std::size_t drawn =
         rng.UniformDouble() < prob_[i] ? i : static_cast<std::size_t>(alias_[i]);
@@ -38,6 +56,13 @@ class AliasTable {
   double Probability(std::size_t i) const;
 
  private:
+  /// Shared Walker construction: validates `weights` and fills the three
+  /// bucket arrays (resized, storage reused where capacity allows).
+  static Status BuildInto(const std::vector<double>& weights,
+                          std::vector<double>* prob,
+                          std::vector<uint32_t>* alias,
+                          std::vector<double>* norm_weights);
+
   AliasTable(std::vector<double> prob, std::vector<uint32_t> alias,
              std::vector<double> norm_weights)
       : prob_(std::move(prob)),

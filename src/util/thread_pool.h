@@ -16,8 +16,18 @@ namespace actor {
 ///
 /// The pool is designed to be created once and threaded through an entire
 /// training run (TrainActor hands one instance to the LINE pre-trainer, the
-/// edge-sampling trainer, and the record loop), so the hot path pays one
+/// edge-sampling trainer, and the record loop; OnlineActor borrows one the
+/// same way via OnlineActorOptions::pool), so the hot path pays one
 /// spawn/join cycle per run instead of one per TrainEdgeType call.
+///
+/// Synchronization contract: Submit() publishes the closure's captured
+/// state to the executing worker, and Wait()/ParallelFor()/ShardedRange()
+/// returning establishes happens-before from everything the tasks wrote
+/// back to the caller (mutex + condition variable internally). The HOGWILD
+/// trainers rely on exactly this: shared embedding rows are updated
+/// race-fully *during* a sharded call (through the relaxed-auditable
+/// kernels of util/vec_math.h, see DESIGN.md §7), but the batch boundary
+/// itself is a clean synchronization point.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (at least 1).
@@ -29,10 +39,13 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task for execution. Safe from any thread.
+  /// Enqueues a task for execution. Safe to call from any thread,
+  /// including from inside a running task (but a task must never Wait()
+  /// on the pool executing it — that deadlocks on a saturated queue).
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed (queue drained and
+  /// no task in flight). Only call from threads outside the pool.
   void Wait();
 
   /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
@@ -43,10 +56,13 @@ class ThreadPool {
 
   /// Splits [begin, end) into one near-equal contiguous chunk per worker
   /// and runs fn(shard, lo, hi) for each on the pool, then waits. Shard ids
-  /// are dense in [0, chunks) so callers can derive per-shard RNG seeds.
-  /// When the range has fewer items than workers, only `end - begin` shards
-  /// run; an empty range runs nothing. fn must be safe to call concurrently
-  /// on disjoint ranges (the HOGWILD trainers rely on exactly that).
+  /// are dense in [0, chunks) so callers can derive uncorrelated per-shard
+  /// RNG streams (the ShardSeed() SplitMix64 chain in embedding/sgd.h is
+  /// the canonical recipe, used by both EdgeSamplingTrainer and
+  /// OnlineActor). When the range has fewer items than workers, only
+  /// `end - begin` shards run; an empty range runs nothing. fn must be
+  /// safe to call concurrently on disjoint ranges (the HOGWILD trainers
+  /// rely on exactly that).
   void ShardedRange(
       std::size_t begin, std::size_t end,
       const std::function<void(int, std::size_t, std::size_t)>& fn);

@@ -37,6 +37,8 @@ VecBackend ActiveVecBackend();
 /// threads are running.
 VecBackend SetVecBackend(VecBackend backend);
 
+/// Stable lowercase name for a backend ("scalar", "relaxed", "avx2") —
+/// the spelling used in BENCH_sgd.json rows and bench output.
 const char* VecBackendName(VecBackend backend);
 
 /// Returns the dot product of x and y (length n).

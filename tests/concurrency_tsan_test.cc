@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/actor.h"
+#include "core/online_actor.h"
+#include "data/synthetic.h"
 #include "embedding/line.h"
 #include "embedding/skipgram.h"
 #include "eval/pipeline.h"
@@ -111,6 +113,48 @@ TEST(ConcurrencyTsanTest, TrainSkipGramMultiThread) {
   ASSERT_TRUE(embedding.ok()) << embedding.status().ToString();
   EXPECT_TRUE(AllFinite(embedding->center));
   EXPECT_TRUE(AllFinite(embedding->context));
+}
+
+TEST(ConcurrencyTsanTest, OnlineActorIngestMultiThread) {
+  // Streaming path: the sharded re-embed phase writes shared center/context
+  // rows lock-free through the dispatched kernels, so the relaxed backend
+  // must cover it — this is the TSan witness for the OnlineActor port.
+  // Exercises decay, drops, and incremental sampler rebuilds across
+  // batches while shards collide on the hottest rows.
+  SyntheticConfig config;
+  config.seed = 11;
+  config.num_records = 900;
+  config.num_users = 30;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.num_venues = 8;
+  config.keywords_per_topic = 12;
+  config.background_vocab = 30;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<std::vector<TokenizedRecord>> batches(3);
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    batches[i * batches.size() / corpus->size()].push_back(
+        corpus->record(i));
+  }
+
+  ThreadPool pool(kThreads);
+  OnlineActorOptions options;
+  options.dim = 16;
+  options.samples_per_edge_per_batch = 2.0;
+  options.num_threads = kThreads;
+  options.pool = &pool;  // caller-owned persistent pool, PR 1 substrate
+  auto model = OnlineActor::Create(options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(model->Ingest(batch).ok());
+  }
+  EXPECT_GT(model->num_live_edges(), 0u);
+  EXPECT_TRUE(AllFinite(model->center()));
 }
 
 TEST(ConcurrencyTsanTest, TsanBuildInstallsRelaxedBackend) {

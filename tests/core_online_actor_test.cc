@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "data/synthetic.h"
 #include "eval/mrr.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace actor {
 namespace {
@@ -219,6 +222,96 @@ TEST(OnlineActorTest, DeterministicForSeed) {
       ASSERT_FLOAT_EQ(a->center().row(v)[d], b->center().row(v)[d]);
     }
   }
+}
+
+TEST(OnlineActorTest, SingleThreadWithExternalPoolBitIdenticalToNoPool) {
+  // The PR 2 contract, extended to the streaming path: num_threads <= 1
+  // must ignore any provided pool entirely and stay on the sequential,
+  // bit-deterministic code path.
+  const auto batches = MakeBatches(800, 2, 21);
+  ThreadPool pool(4);
+  OnlineActorOptions with_pool = FastOptions();
+  with_pool.num_threads = 1;
+  with_pool.pool = &pool;
+  auto a = OnlineActor::Create(with_pool);
+  auto b = OnlineActor::Create(FastOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(a->Ingest(batch).ok());
+    ASSERT_TRUE(b->Ingest(batch).ok());
+  }
+  ASSERT_EQ(a->num_units(), b->num_units());
+  for (VertexId v = 0; v < a->num_units(); ++v) {
+    for (int d = 0; d < 16; ++d) {
+      ASSERT_FLOAT_EQ(a->center().row(v)[d], b->center().row(v)[d]);
+    }
+  }
+}
+
+TEST(OnlineActorTest, IncrementalSamplerMatchesFullRebuildDeterministically) {
+  // On the sequential path the cached in-place sampler rebuild must be an
+  // exact optimization: same draws, same updates, same embeddings as
+  // reconstructing every sampler from scratch each batch.
+  const auto batches = MakeBatches(800, 3, 21);
+  OnlineActorOptions incremental = FastOptions();
+  incremental.incremental_sampler = true;
+  OnlineActorOptions full = FastOptions();
+  full.incremental_sampler = false;
+  auto a = OnlineActor::Create(incremental);
+  auto b = OnlineActor::Create(full);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(a->Ingest(batch).ok());
+    ASSERT_TRUE(b->Ingest(batch).ok());
+  }
+  ASSERT_EQ(a->num_units(), b->num_units());
+  for (VertexId v = 0; v < a->num_units(); ++v) {
+    for (int d = 0; d < 16; ++d) {
+      ASSERT_FLOAT_EQ(a->center().row(v)[d], b->center().row(v)[d]);
+    }
+  }
+}
+
+TEST(OnlineActorTest, MultiThreadIngestLearnsStructure) {
+  // HOGWILD re-embed: not bit-deterministic, but it must still converge to
+  // a usable space and keep every vector finite.
+  const auto batches = MakeBatches(2000, 4, 9);
+  OnlineActorOptions options = FastOptions();
+  options.num_threads = 4;
+  options.samples_per_edge_per_batch = 4.0;
+  auto model = OnlineActor::Create(options);
+  ASSERT_TRUE(model.ok());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(model->Ingest(batch).ok());
+  }
+  for (VertexId v = 0; v < model->num_units(); ++v) {
+    for (int d = 0; d < 16; ++d) {
+      ASSERT_TRUE(std::isfinite(model->center().row(v)[d]));
+    }
+  }
+  // Same prequential ranking as LearnsCrossModalStructure, looser bar:
+  // HOGWILD noise costs a little quality but the space must stay usable.
+  Rng rng(3);
+  std::vector<int> ranks;
+  const auto& test = batches.back();
+  for (std::size_t q = 0; q < std::min<std::size_t>(test.size(), 300); ++q) {
+    const VertexId truth_unit = model->SpatialUnit(test[q].location);
+    if (truth_unit == kInvalidVertex) continue;
+    const double truth = model->ScoreRecordAgainstUnit(test[q], truth_unit);
+    std::vector<double> noise;
+    int attempts = 0;
+    while (static_cast<int>(noise.size()) < 10 && attempts++ < 200) {
+      const auto& other = test[rng.Uniform(test.size())];
+      const VertexId unit = model->SpatialUnit(other.location);
+      if (unit == truth_unit || unit == kInvalidVertex) continue;
+      noise.push_back(model->ScoreRecordAgainstUnit(test[q], unit));
+    }
+    if (noise.size() < 10) continue;
+    ranks.push_back(RankOfTruth(truth, noise));
+  }
+  ASSERT_GT(ranks.size(), 50u);
+  EXPECT_GT(MeanReciprocalRank(ranks), 0.35)
+      << "multi-thread streaming space degenerated";
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// OnlineEdgeStore: the decaying flat-array co-occurrence store behind
+// OnlineActor's streaming pipeline (docs/streaming.md). Positive tests
+// cover accumulate/decay/drop/version semantics; death tests prove the
+// ACTOR_DCHECK contracts fire in debug builds (sanitize preset).
+
+#include "core/online_edge_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace actor {
+namespace {
+
+#define SKIP_WITHOUT_DCHECKS()                                        \
+  if (!kDebugChecksEnabled) {                                         \
+    GTEST_SKIP() << "ACTOR_DCHECK compiled out (release build); run " \
+                    "under the sanitize preset";                      \
+  }
+
+TEST(OnlineEdgeStoreTest, AccumulateMergesDuplicatesEitherOrientation) {
+  OnlineEdgeStore store;
+  store.Accumulate(3, 7, 1.0);
+  store.Accumulate(7, 3, 2.0);  // same undirected edge, flipped
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.src()[0], 3);  // canonical orientation src < dst
+  EXPECT_EQ(store.dst()[0], 7);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(3, 7), 3.0);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(7, 3), 3.0);
+  EXPECT_DOUBLE_EQ(store.total_weight(), 3.0);
+  EXPECT_TRUE(store.DebugCheckConsistent());
+}
+
+TEST(OnlineEdgeStoreTest, DecayScalesWeightsLazily) {
+  OnlineEdgeStore store;
+  store.set_min_weight(0.01);
+  store.Accumulate(0, 1, 1.0);
+  store.Accumulate(1, 2, 4.0);
+  store.Decay(0.5);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(1, 2), 2.0);
+  // Lazy trick: raw weights are untouched, only the scale moved, so the
+  // relative distribution (what the alias table samples) is unchanged.
+  EXPECT_DOUBLE_EQ(store.raw_weights()[0], 1.0);
+  EXPECT_DOUBLE_EQ(store.raw_weights()[1], 4.0);
+  EXPECT_DOUBLE_EQ(store.weight_scale(), 0.5);
+  EXPECT_TRUE(store.DebugCheckConsistent(/*after_decay=*/true));
+}
+
+TEST(OnlineEdgeStoreTest, PureDecayKeepsVersionStable) {
+  OnlineEdgeStore store;
+  store.set_min_weight(0.01);
+  store.Accumulate(0, 1, 1.0);
+  const uint64_t v = store.version();
+  store.Decay(0.9);  // nothing drops: samplers stay valid, version holds
+  EXPECT_EQ(store.version(), v);
+  store.Accumulate(0, 2, 1.0);  // new edge: distribution changed
+  EXPECT_GT(store.version(), v);
+}
+
+TEST(OnlineEdgeStoreTest, DecayDropsEdgesBelowMinWeightAndFixesDegrees) {
+  OnlineEdgeStore store;
+  store.set_min_weight(0.5);
+  store.Accumulate(0, 1, 1.0);   // dies after one 0.4x decay
+  store.Accumulate(1, 2, 10.0);  // survives
+  const uint64_t v = store.version();
+  store.Decay(0.4);
+  EXPECT_GT(store.version(), v);  // drop invalidates cached samplers
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(1, 2), 4.0);
+  // Vertex 0 lost its only edge: its degree entry must be gone, and vertex
+  // 1's degree must only count the survivor.
+  EXPECT_EQ(store.raw_degrees().count(0), 0u);
+  const double deg1 = store.raw_degrees().at(1) * store.weight_scale();
+  EXPECT_NEAR(deg1, 4.0, 1e-12);
+  EXPECT_TRUE(store.DebugCheckConsistent(/*after_decay=*/true));
+}
+
+TEST(OnlineEdgeStoreTest, SwapRemoveKeepsIndexConsistent) {
+  OnlineEdgeStore store;
+  store.set_min_weight(0.5);
+  store.Accumulate(0, 1, 0.6);  // slot 0: drops
+  store.Accumulate(2, 3, 9.0);  // slot 1: survives, moves into slot 0
+  store.Accumulate(4, 5, 0.6);  // slot 2: drops
+  store.Accumulate(6, 7, 9.0);  // slot 3: survives
+  store.Decay(0.5);
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(2, 3), 4.5);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(6, 7), 4.5);
+  // Accumulating into a moved edge must hit its new slot, not a stale one.
+  store.Accumulate(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(2, 3), 5.5);
+  EXPECT_TRUE(store.DebugCheckConsistent());
+}
+
+TEST(OnlineEdgeStoreTest, FullDrainLeavesCleanEmptyStore) {
+  OnlineEdgeStore store;
+  store.set_min_weight(0.5);
+  store.Accumulate(0, 1, 1.0);
+  store.Accumulate(2, 3, 1.0);
+  store.Decay(0.1);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.raw_degrees().size(), 0u);
+  EXPECT_DOUBLE_EQ(store.total_weight(), 0.0);
+  // The drained store must accept a fresh stream.
+  store.Accumulate(5, 6, 2.0);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(5, 6), 2.0);
+  EXPECT_TRUE(store.DebugCheckConsistent());
+}
+
+TEST(OnlineEdgeStoreTest, LongDecayStreamRenormalizesWithoutDrift) {
+  OnlineEdgeStore store;
+  store.set_min_weight(1e-6);
+  store.Accumulate(0, 1, 1.0);
+  // 0.9^400 ~ 5e-19 would underflow the lazy scale past the renorm
+  // threshold several times over; refresh the edge so it never drops.
+  for (int i = 0; i < 400; ++i) {
+    store.Decay(0.9);
+    store.Accumulate(0, 1, 1.0);
+  }
+  // Fixed point of w' = 0.9 w + 1 is 10; after 400 rounds we are there.
+  EXPECT_NEAR(store.EdgeWeight(0, 1), 10.0, 1e-6);
+  EXPECT_GE(store.weight_scale(), 1e-9);
+  EXPECT_TRUE(store.DebugCheckConsistent());
+}
+
+TEST(OnlineEdgeStoreTest, DecayFactorOneIsNoOp) {
+  OnlineEdgeStore store;
+  store.Accumulate(0, 1, 1.0);
+  const uint64_t v = store.version();
+  store.Decay(1.0);
+  EXPECT_EQ(store.version(), v);
+  EXPECT_DOUBLE_EQ(store.EdgeWeight(0, 1), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Death tests: the DCHECK contracts guarding the streaming invariants.
+// ---------------------------------------------------------------------------
+
+TEST(OnlineEdgeStoreDeathTest, SelfLoopAccumulateDies) {
+  SKIP_WITHOUT_DCHECKS();
+  OnlineEdgeStore store;
+  EXPECT_DEATH(store.Accumulate(4, 4, 1.0), "self-loop");
+}
+
+TEST(OnlineEdgeStoreDeathTest, NonPositiveWeightDies) {
+  SKIP_WITHOUT_DCHECKS();
+  OnlineEdgeStore store;
+  EXPECT_DEATH(store.Accumulate(0, 1, 0.0), "non-positive edge weight");
+}
+
+TEST(OnlineEdgeStoreDeathTest, DecayFactorOutOfRangeDies) {
+  SKIP_WITHOUT_DCHECKS();
+  OnlineEdgeStore store;
+  store.Accumulate(0, 1, 1.0);
+  EXPECT_DEATH(store.Decay(0.0), "decay factor");
+  EXPECT_DEATH(store.Decay(1.5), "decay factor");
+}
+
+TEST(OnlineEdgeStoreDeathTest, NonPositiveMinWeightDies) {
+  SKIP_WITHOUT_DCHECKS();
+  OnlineEdgeStore store;
+  EXPECT_DEATH(store.set_min_weight(0.0), "min_weight");
+}
+
+}  // namespace
+}  // namespace actor
