@@ -6,11 +6,13 @@
 //
 // Rows: full-rebuild mode at 1 thread (the pre-port behavior, via
 // incremental_sampler=false) plus the incremental-sampler path at
-// 1/2/4/8 threads on the persistent pool. See EXPERIMENTS.md for the
+// 1/2/4/8 threads on the persistent pool, plus the sparse-stream
+// pure-decay column (empty Ingest() ticks, where the version-stamped
+// sampler cache short-circuits every rebuild). See EXPERIMENTS.md for the
 // machine-drift caveat before comparing against committed numbers.
 //
 // Usage: online_throughput [--records=12000] [--batches=12] [--dim=32]
-//                          [--out=BENCH_online.json]
+//                          [--pure_decay_ticks=6] [--out=BENCH_online.json]
 
 #include <cstdio>
 #include <fstream>
@@ -29,7 +31,7 @@ namespace actor {
 namespace {
 
 struct OnlineRow {
-  std::string sampler;  // "full_rebuild" or "incremental"
+  std::string sampler;  // "full_rebuild", "incremental", or "pure_decay"
   int threads = 1;
   double batches_per_sec = 0.0;
   double records_per_sec = 0.0;
@@ -84,17 +86,68 @@ OnlineRow MeasureIngest(const Workload& work, int32_t dim, bool incremental,
   return row;
 }
 
+/// Times `ticks` empty Ingest() calls — sparse-stream mode, where a time
+/// slice passes with no observations. The full stream is ingested first so
+/// the decay ticks run against a realistic edge population. Uniform decay
+/// keeps the cached samplers exact, so each tick is decay + training only
+/// (no alias rebuild); the contrast with the incremental rows is the cost
+/// of the accumulate + refresh phases. records_per_sec stays 0 — a decay
+/// tick carries no records.
+OnlineRow MeasurePureDecay(const Workload& work, int32_t dim, int threads,
+                           int ticks) {
+  OnlineRow row;
+  row.sampler = "pure_decay";
+  row.threads = threads;
+
+  OnlineActorOptions options;
+  options.dim = dim;
+  options.decay_per_batch = 0.7;
+  options.samples_per_edge_per_batch = 3.0;
+  options.incremental_sampler = true;
+  options.num_threads = threads;
+  auto model = OnlineActor::Create(options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "create: %s\n", model.status().ToString().c_str());
+    return row;
+  }
+  for (const auto& batch : work.stream) {
+    if (auto st = model->Ingest(batch); !st.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
+      return row;
+    }
+  }
+  Stopwatch timer;
+  for (int i = 0; i < ticks; ++i) {
+    if (auto st = model->Ingest({}); !st.ok()) {
+      std::fprintf(stderr, "decay tick: %s\n", st.ToString().c_str());
+      return row;
+    }
+  }
+  const double secs = timer.ElapsedSeconds();
+  if (secs > 0.0) {
+    row.batches_per_sec = static_cast<double>(ticks) / secs;
+  }
+  return row;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int records = static_cast<int>(flags.GetInt("records", 12000));
   const int batches = static_cast<int>(flags.GetInt("batches", 12));
   const int32_t dim = static_cast<int32_t>(flags.GetInt("dim", 32));
+  // Number of timed empty-Ingest ticks for the pure-decay column; 0
+  // disables the column. Kept modest by default: with decay 0.7/batch the
+  // edge set thins as ticks accumulate, and the column should measure the
+  // well-populated regime.
+  const int decay_ticks =
+      static_cast<int>(flags.GetInt("pure_decay_ticks", 6));
   const std::string out_path = flags.GetString("out", "BENCH_online.json");
-  if (records < batches || batches < 3 || dim < 1) {
+  if (records < batches || batches < 3 || dim < 1 || decay_ticks < 0) {
     std::fprintf(stderr,
                  "invalid flags: --records=%d --batches=%d --dim=%d "
-                 "(need records >= batches >= 3, dim >= 1)\n",
-                 records, batches, dim);
+                 "--pure_decay_ticks=%d (need records >= batches >= 3, "
+                 "dim >= 1, ticks >= 0)\n",
+                 records, batches, dim, decay_ticks);
     return 1;
   }
 
@@ -129,6 +182,9 @@ int Main(int argc, char** argv) {
   for (int threads : {1, 2, 4, 8}) {
     rows.push_back(MeasureIngest(work, dim, /*incremental=*/true, threads));
   }
+  if (decay_ticks > 0) {
+    rows.push_back(MeasurePureDecay(work, dim, /*threads=*/1, decay_ticks));
+  }
   for (const auto& row : rows) {
     std::printf("sampler=%-12s threads=%d  %.3f batches/s  %.1f records/s\n",
                 row.sampler.c_str(), row.threads, row.batches_per_sec,
@@ -146,8 +202,10 @@ int Main(int argc, char** argv) {
   const double full1 = find("full_rebuild", 1);
   const double inc1 = find("incremental", 1);
   const double inc8 = find("incremental", 8);
+  const double decay1 = find("pure_decay", 1);
   const double incremental_speedup = full1 > 0.0 ? inc1 / full1 : 0.0;
   const double thread_speedup = inc1 > 0.0 ? inc8 / inc1 : 0.0;
+  const double pure_decay_speedup = inc1 > 0.0 ? decay1 / inc1 : 0.0;
 
   std::ofstream out(out_path);
   if (!out) {
@@ -179,8 +237,12 @@ int Main(int argc, char** argv) {
                 "  \"incremental_sampler_speedup_1t\": %.3f,\n",
                 incremental_speedup);
   out << buf;
-  std::snprintf(buf, sizeof(buf), "  \"thread_speedup_8t_vs_1t\": %.3f\n",
-                thread_speedup);
+  std::snprintf(buf, sizeof(buf),
+                "  \"thread_speedup_8t_vs_1t\": %.3f,\n", thread_speedup);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"pure_decay_speedup_vs_ingest_1t\": %.3f\n",
+                pure_decay_speedup);
   out << buf;
   out << "}\n";
   out.flush();

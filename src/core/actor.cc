@@ -330,6 +330,7 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
     } else {
       // TL edges train as plain pairs inside the record step; LW/WT/WW
       // train through the record-level bag-of-words model.
+      // actor-lint: hogwild-region — dispatched onto pool workers below.
       auto run_records = [&](int64_t count, uint64_t seed) {
         Rng shard_rng(seed);
         std::vector<float> comp(options.dim), grad(options.dim),

@@ -146,11 +146,13 @@ std::size_t OnlineActor::num_live_edges() const {
 }
 
 Status OnlineActor::Ingest(const std::vector<TokenizedRecord>& batch) {
-  if (batch.empty()) {
-    return Status::InvalidArgument("cannot ingest an empty batch");
-  }
   // Recency decay happens before the new co-occurrences arrive, so the
-  // newest batch always carries full weight.
+  // newest batch always carries full weight. An empty batch is a valid
+  // pure-decay tick (sparse-stream mode): a time slice passed with no
+  // observations, so weights fade and training continues on the decayed
+  // distribution. Because uniform decay never bumps an edge store's
+  // version(), RefreshSamplers short-circuits and the tick skips every
+  // alias-table rebuild — the accumulate loop below is simply empty.
   DecayEdges();
 
   for (const TokenizedRecord& rec : batch) {
@@ -256,6 +258,8 @@ Status OnlineActor::TrainBatch() {
   return Status::OK();
 }
 
+// actor-lint: hogwild-region — runs concurrently on pool workers; shared
+// row access must go through the kernel API or RelaxedLoad/RelaxedStore.
 void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed) {
   Rng rng(seed);
   const OnlineEdgeStore& store = edges_[e];

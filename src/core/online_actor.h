@@ -100,7 +100,11 @@ class OnlineActor {
   OnlineActor& operator=(OnlineActor&&) noexcept;
 
   /// Ingests one batch of tokenized records (ids from a caller-owned,
-  /// append-only vocabulary), updates the unit graph, and trains.
+  /// append-only vocabulary), updates the unit graph, and trains. An empty
+  /// batch is a pure-decay tick (a time slice with no observations):
+  /// existing edge weights decay, no accumulation happens, and training
+  /// runs on the cached samplers — uniform decay preserves the sampling
+  /// distribution, so no alias table is rebuilt.
   Status Ingest(const std::vector<TokenizedRecord>& batch);
 
   /// Number of Ingest() calls so far.

@@ -86,6 +86,7 @@ Result<LineEmbedding> TrainLine(const Heterograph& graph,
   const SigmoidTable sigmoid;
 
   std::atomic<int64_t> progress{0};
+  // actor-lint: hogwild-region — dispatched onto pool workers below.
   auto shard = [&](int thread_id, int64_t samples) {
     Rng rng(ShardSeed(options.seed, /*step=*/0x11e5u, thread_id));
     const std::size_t dim = static_cast<std::size_t>(options.dim);

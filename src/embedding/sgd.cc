@@ -91,6 +91,8 @@ Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
   return Status::OK();
 }
 
+// actor-lint: hogwild-region — runs concurrently on pool workers; shared
+// row access must go through the kernel API or RelaxedLoad/RelaxedStore.
 void EdgeSamplingTrainer::TrainShard(EdgeType e, int64_t num_samples,
                                      float lr, uint64_t seed) {
   Rng rng(seed);

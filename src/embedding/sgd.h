@@ -42,6 +42,8 @@ inline uint64_t ShardSeed(uint64_t base, uint64_t step, uint64_t shard) {
 ///
 /// `sample_negative(rng)` returns a noise vertex id (or kInvalidVertex to
 /// skip one draw).
+// actor-lint: hogwild-region — called from every trainer shard; context
+// rows are shared and must only be touched through the fused kernels.
 template <typename NegativeFn>
 void NegativeSamplingUpdate(const float* center_vec, VertexId positive,
                             int negatives, float lr, EmbeddingMatrix* context,

@@ -86,6 +86,9 @@ Result<LineEmbedding> TrainSkipGramOnWalks(
 
   // Trains every walk in [walk_lo, walk_hi), all epochs. Shards update the
   // shared matrices lock-free (HOGWILD).
+  // actor-lint: hogwild-region — dispatched onto pool workers below; the
+  // named-lambda dispatch at the ShardedRange call site is invisible to the
+  // analyzer's lambda auto-detection, so the annotation carries the scope.
   auto train_walks = [&](int shard, std::size_t walk_lo,
                          std::size_t walk_hi) {
     Rng rng(ShardSeed(options.seed, /*step=*/1, shard));

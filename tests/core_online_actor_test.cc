@@ -60,10 +60,30 @@ TEST(OnlineActorTest, CreateValidatesOptions) {
   EXPECT_TRUE(OnlineActor::Create(o).status().IsInvalidArgument());
 }
 
-TEST(OnlineActorTest, EmptyBatchRejected) {
+TEST(OnlineActorTest, EmptyBatchIsAPureDecayTick) {
+  // Sparse-stream mode: an empty batch means a time slice passed with no
+  // observations. It must succeed, count as a batch, decay the live
+  // edges, and leave the model ready for the next real batch.
   auto model = OnlineActor::Create(FastOptions());
   ASSERT_TRUE(model.ok());
-  EXPECT_TRUE(model->Ingest({}).IsInvalidArgument());
+  ASSERT_TRUE(model->Ingest({}).ok());  // decay tick on an empty model
+  EXPECT_EQ(model->batches_ingested(), 1);
+
+  const auto batches = MakeBatches(600, 3);
+  ASSERT_TRUE(model->Ingest(batches[0]).ok());
+  const std::size_t live_before = model->num_live_edges();
+  ASSERT_GT(live_before, 0u);
+  // Enough consecutive decay ticks push every weight below the drop
+  // threshold; the edge set must shrink, proving DecayEdges really ran.
+  for (int i = 0; i < 64 && model->num_live_edges() > 0; ++i) {
+    ASSERT_TRUE(model->Ingest({}).ok());
+  }
+  EXPECT_LT(model->num_live_edges(), live_before);
+  EXPECT_GE(model->batches_ingested(), 3);
+
+  // The stream recovers: a real batch after the quiet period trains fine.
+  ASSERT_TRUE(model->Ingest(batches[1]).ok());
+  EXPECT_GT(model->num_live_edges(), 0u);
 }
 
 TEST(OnlineActorTest, UnitsGrowWithData) {

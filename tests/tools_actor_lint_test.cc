@@ -1,0 +1,326 @@
+// Fixture tests for tools/actor_lint: every rule must fire on a known-bad
+// snippet, every allowed form must pass, and the suppression machinery
+// (NOLINT / NOLINTNEXTLINE / staleness) must behave exactly as documented
+// in docs/static-analysis.md. The suite drives LintRepo() on virtual file
+// sets, so no filesystem or build tree is needed (except the one header
+// self-containedness test, which shells out to the real compiler).
+
+#include "tools/actor_lint/rules.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/actor_lint/lexer.h"
+
+namespace actor_lint {
+namespace {
+
+std::vector<Finding> Lint(const std::vector<FileEntry>& files) {
+  LintConfig config;
+  config.compile_headers = false;
+  return LintRepo(files, config);
+}
+
+int CountRule(const std::vector<Finding>& findings, const char* rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [rule](const Finding& f) { return f.rule == rule; }));
+}
+
+// --- Lexer -----------------------------------------------------------------
+
+TEST(Lexer, BlanksCommentsAndStringsButKeepsOffsets) {
+  const std::string src =
+      "int a; // std::thread in a comment\n"
+      "const char* s = \"std::thread in a string\";\n"
+      "int b;\n";
+  const LexedFile f = Lex("src/x.cc", src);
+  EXPECT_EQ(f.code.size(), src.size());
+  EXPECT_EQ(f.code.find("thread"), std::string::npos);
+  EXPECT_NE(f.code.find("int b;"), std::string::npos);
+  ASSERT_EQ(f.comments.size(), 1u);
+  EXPECT_EQ(f.comments[0].line, 1);
+  EXPECT_NE(f.comments[0].text.find("std::thread"), std::string::npos);
+  EXPECT_EQ(f.LineAt(f.code.find("int b;")), 3);
+}
+
+TEST(Lexer, RawStringsAndDigitSeparators) {
+  const std::string src =
+      "auto r = R\"x(std::thread rand( time( )x\";\n"
+      "int n = 1'000'000;  // separator, not a char literal\n"
+      "char c = 'r';\n"
+      "int rand_count;\n";
+  const LexedFile f = Lex("src/x.cc", src);
+  EXPECT_EQ(f.code.find("thread"), std::string::npos);
+  EXPECT_NE(f.code.find("1'000'000"), std::string::npos);
+  EXPECT_NE(f.code.find("rand_count"), std::string::npos);
+}
+
+TEST(Lexer, DisabledRegionsAreBlankedAndDefineBodiesKept) {
+  const std::string src =
+      "#if 0\n"
+      "std::thread dead;\n"
+      "#endif\n"
+      "#define BAD() srand(42)\n"
+      "#include \"util/rng.h\"\n"
+      "#include <vector>\n";
+  const LexedFile f = Lex("src/x.cc", src);
+  EXPECT_EQ(f.code.find("thread"), std::string::npos);
+  EXPECT_NE(f.code.find("srand(42)"), std::string::npos)
+      << "macro bodies must stay visible so they cannot hide banned calls";
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].path, "util/rng.h");
+  EXPECT_FALSE(f.includes[0].angled);
+  EXPECT_EQ(f.includes[1].path, "vector");
+  EXPECT_TRUE(f.includes[1].angled);
+}
+
+// --- R1: actor-thread ------------------------------------------------------
+
+TEST(RuleThread, FiresOnRawStdThread) {
+  const auto findings = Lint({{"src/x.cc",
+                              "#include <thread>\n"
+                              "std::thread t;\n"
+                              "auto f = std::async([] {});\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleThread), 2);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(RuleThread, AllowsHardwareConcurrencyAndThreadPool) {
+  const auto findings =
+      Lint({{"src/x.cc",
+            "unsigned n = std::thread::hardware_concurrency();\n"},
+           {"src/util/thread_pool.cc", "std::thread worker([] {});\n"},
+           {"src/y.cc", "// std::thread only in a comment\n"
+                        "const char* s = \"std::async\";\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleThread), 0);
+}
+
+// --- R2: actor-rng ---------------------------------------------------------
+
+TEST(RuleRng, FiresOnEveryBannedForm) {
+  const auto findings = Lint({{"src/x.cc",
+                              "int a = rand();\n"
+                              "void f() { srand(7); }\n"
+                              "long t = time(nullptr);\n"
+                              "long u = std::time(nullptr);\n"
+                              "std::random_device rd;\n"
+                              "auto n = std::chrono::system_clock::now();\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleRng), 6);
+}
+
+TEST(RuleRng, AllowsMemberCallsQualifiedCallsAndBlessedFiles) {
+  const auto findings =
+      Lint({{"src/x.cc",
+            "double v = stopwatch.time();\n"   // member call
+            "double w = clock->time();\n"      // member via pointer
+            "int z = Scheduler::time(3);\n"},  // non-std qualifier
+           {"src/util/rng.h", "std::random_device rd;\n"},
+           {"src/util/stopwatch.h",
+            "auto t = std::chrono::system_clock::now();\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleRng), 0);
+}
+
+// --- R3: actor-simd-aligned ------------------------------------------------
+
+TEST(RuleSimdAligned, FiresOnAlignedLoadStoreStream) {
+  const auto findings = Lint({{"src/util/k.cc",
+                              "__m256 v = _mm256_load_ps(p);\n"
+                              "_mm_store_pd(q, w);\n"
+                              "_mm512_stream_ps(r, x);\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleSimdAligned), 3);
+}
+
+TEST(RuleSimdAligned, AllowsUnalignedFormsAndNonSrcFiles) {
+  const auto findings =
+      Lint({{"src/util/k.cc",
+            "__m256 v = _mm256_loadu_ps(p);\n"
+            "_mm256_storeu_pd(q, w);\n"
+            "__m128 s = _mm_load_ss(p);\n"},  // scalar load, no alignment
+           {"bench/k.cc", "__m256 v = _mm256_load_ps(p);\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleSimdAligned), 0);
+}
+
+// --- R4: actor-hogwild -----------------------------------------------------
+
+TEST(RuleHogwild, FiresOnDirectRowSubscriptInDispatchedLambda) {
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void f() {\n"
+                              "  pool->ShardedRange(0, n, [&](int s) {\n"
+                              "    m.row(u)[0] += 1.0f;\n"
+                              "  });\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(RuleHogwild, FiresInsideAnnotatedRegion) {
+  const auto findings = Lint({{"src/other/x.cc",  // outside auto-detect dirs
+                              "// actor-lint: hogwild-region\n"
+                              "void Shard() {\n"
+                              "  float v = ctx->row(u)[k];\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(RuleHogwild, AllowsRelaxedAccessorsKernelCallsAndOutsideCode) {
+  const auto findings =
+      Lint({{"src/embedding/x.cc",
+            "void f() {\n"
+            "  pool->ShardedRange(0, n, [&](int s) {\n"
+            "    float v = RelaxedLoad(&m.row(u)[k]);\n"
+            "    RelaxedStore(&m.row(u)[k], v);\n"
+            "    Add(grad.data(), m.row(u), dim);\n"
+            "  });\n"
+            "  m.row(u)[0] = 1.0f;  // sequential code outside the region\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleHogwild), 0);
+}
+
+// --- R5b: actor-include-cycle ----------------------------------------------
+
+TEST(RuleIncludeCycle, FiresOnceOnACycle) {
+  const auto findings = Lint({{"src/a.h", "#include \"b.h\"\n"},
+                             {"src/b.h", "#include \"util/c.h\"\n"},
+                             {"src/util/c.h", "#include \"a.h\"\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleIncludeCycle), 1);
+  EXPECT_NE(findings[0].message.find("src/a.h"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/util/c.h"), std::string::npos);
+}
+
+TEST(RuleIncludeCycle, AcyclicGraphIsClean) {
+  const auto findings = Lint({{"src/a.h", "#include \"b.h\"\n"},
+                             {"src/b.h", "#include <vector>\n"},
+                             {"src/c.cc", "#include \"a.h\"\n"
+                                          "#include \"b.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleIncludeCycle), 0);
+}
+
+// --- R5a: actor-header-self ------------------------------------------------
+
+TEST(RuleHeaderSelf, CompileCheckAttributesTheBrokenHeader) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "actor_lint_hdr_test";
+  fs::create_directories(root / "src");
+  const auto write = [&root](const char* rel, const char* text) {
+    std::ofstream(root / rel) << text;
+  };
+  write("src/good.h", "#include <vector>\ninline int G() { return 1; }\n");
+  write("src/bad.h", "inline int B() { return UndeclaredThing(); }\n");
+
+  std::vector<FileEntry> files = {
+      {"src/good.h", "#include <vector>\ninline int G() { return 1; }\n"},
+      {"src/bad.h", "inline int B() { return UndeclaredThing(); }\n"}};
+  LintConfig config;
+  config.root = root.string();
+  config.compile_headers = true;
+  config.compile_flags = {"-std=c++20"};
+  const auto findings = LintRepo(files, config);
+  ASSERT_EQ(CountRule(findings, kRuleHeaderSelf), 1);
+  EXPECT_EQ(findings[0].file, "src/bad.h");
+  fs::remove_all(root);
+}
+
+// --- R6: actor-test-reg ----------------------------------------------------
+
+TEST(RuleTestReg, FiresInBothDirections) {
+  const auto findings =
+      Lint({{"tests/orphan_test.cc", "int main() {}\n"},
+           {"tests/CMakeLists.txt",
+            "# actor_test(commented_out_test) must be ignored\n"
+            "actor_test(ghost_test LABELS tsan)\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleTestReg), 2);
+  EXPECT_EQ(findings[0].file, "tests/CMakeLists.txt");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("ghost_test"), std::string::npos);
+  EXPECT_EQ(findings[1].file, "tests/orphan_test.cc");
+}
+
+TEST(RuleTestReg, MatchedRegistrationsAreClean) {
+  const auto findings =
+      Lint({{"tests/foo_test.cc", "int main() {}\n"},
+           {"tests/CMakeLists.txt", "actor_test(foo_test)\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleTestReg), 0);
+}
+
+// --- Suppressions ----------------------------------------------------------
+
+TEST(Suppression, NolintOnSameLineSuppresses) {
+  const auto findings =
+      Lint({{"src/x.cc", "int a = rand();  // NOLINT(actor-rng) fixture\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleRng), 0);
+  EXPECT_EQ(CountRule(findings, kRuleStaleNolint), 0);
+}
+
+TEST(Suppression, NolintNextLineAndWildcard) {
+  const auto findings = Lint({{"src/x.cc",
+                              "// NOLINTNEXTLINE(actor-rng)\n"
+                              "int a = rand();\n"
+                              "std::thread t;  // NOLINT(actor-*)\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleRng), 0);
+  EXPECT_EQ(CountRule(findings, kRuleThread), 0);
+  EXPECT_EQ(CountRule(findings, kRuleStaleNolint), 0);
+}
+
+TEST(Suppression, StaleNolintBecomesAFinding) {
+  // An actor-rule NOLINT that no longer suppresses anything must fail
+  // the lint, so silenced findings cannot rot in place. (Writing the
+  // paren syntax out here would register a real suppression — the
+  // analyzer scans this file too.)
+  const auto findings =
+      Lint({{"src/x.cc", "int clean = 0;  // NOLINT(actor-thread)\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleStaleNolint), 1);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(Suppression, PartiallyStaleListReportsOnlyTheDeadEntry) {
+  const auto findings = Lint(
+      {{"src/x.cc",
+        "int a = rand();  // NOLINT(actor-rng,actor-thread) half stale\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleRng), 0);
+  ASSERT_EQ(CountRule(findings, kRuleStaleNolint), 1);
+  EXPECT_NE(findings[0].message.find("actor-thread"), std::string::npos);
+}
+
+TEST(Suppression, NonActorNolintsAreIgnored) {
+  // clang-tidy style suppressions for other tools are not ours to police —
+  // and they do not suppress actor findings either.
+  const auto findings = Lint(
+      {{"src/x.cc",
+        "int a = rand();  // NOLINT(cppcoreguidelines-avoid-magic-numbers)\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleRng), 1);
+  EXPECT_EQ(CountRule(findings, kRuleStaleNolint), 0);
+}
+
+// --- Output formats --------------------------------------------------------
+
+TEST(Output, TextAndJsonFormats) {
+  const std::vector<Finding> findings = {
+      {"src/x.cc", 3, kRuleRng, "message with \"quotes\""}};
+  EXPECT_EQ(FormatFindingsText(findings),
+            "src/x.cc:3: [actor-rng] message with \"quotes\"\n");
+  const std::string json = FormatFindingsJson(findings);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_EQ(FormatFindingsJson({}), "[\n]\n");
+}
+
+TEST(Output, FindingsAreSortedAndDeterministic) {
+  const auto findings = Lint({{"src/b.cc", "int a = rand();\n"},
+                             {"src/a.cc", "std::thread t;\nint b = rand();\n"}});
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].file, "src/a.cc");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].file, "src/a.cc");
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].file, "src/b.cc");
+}
+
+}  // namespace
+}  // namespace actor_lint

@@ -1,0 +1,266 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace actor_lint {
+
+namespace {
+
+constexpr std::size_t kNpos = std::string::npos;
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+/// Cursor over raw directive text that transparently skips backslash-newline
+/// continuations, so multi-line directives parse as one logical line.
+struct DirCursor {
+  const std::string& src;
+  std::size_t pos;
+  std::size_t end;
+
+  bool AtEnd() {
+    Skip();
+    return pos >= end;
+  }
+  char Peek() {
+    Skip();
+    return pos < end ? src[pos] : '\0';
+  }
+  void Next() {
+    Skip();
+    if (pos < end) ++pos;
+  }
+  void Skip() {
+    while (pos + 1 < end && src[pos] == '\\' && src[pos + 1] == '\n') {
+      pos += 2;
+    }
+  }
+  void SkipWs() {
+    while (!AtEnd() && IsSpace(Peek())) Next();
+  }
+  std::string ReadIdent() {
+    std::string out;
+    while (!AtEnd() && IsIdentChar(Peek())) {
+      out += Peek();
+      Next();
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+int LexedFile::LineAt(std::size_t offset) const {
+  auto it =
+      std::upper_bound(line_offsets.begin(), line_offsets.end(), offset);
+  return static_cast<int>(it - line_offsets.begin());
+}
+
+LexedFile Lex(std::string path, std::string content) {
+  LexedFile f;
+  f.path = std::move(path);
+  f.content = std::move(content);
+  f.code = f.content;
+  const std::string& src = f.content;
+  std::string& code = f.code;
+  const std::size_t n = src.size();
+
+  f.line_offsets.push_back(0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (src[k] == '\n') f.line_offsets.push_back(k + 1);
+  }
+
+  auto blank = [&code](std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e && k < code.size(); ++k) {
+      if (code[k] != '\n') code[k] = ' ';
+    }
+  };
+
+  bool line_start = true;     // nothing but whitespace so far on this line
+  bool in_directive = false;  // between a line-start '#' and its logical EOL
+  std::size_t dir_begin = 0;
+  bool disabled = false;  // inside an `#if 0` region
+  int disabled_nest = 0;  // conditional nesting within the disabled region
+
+  // Parses the finished directive [dir_begin, dir_end), updates the
+  // disabled-region state, records includes, and blanks the directive from
+  // `code` (keeping #define bodies visible).
+  auto end_directive = [&](std::size_t dir_end) {
+    DirCursor cur{src, dir_begin, dir_end};
+    cur.Next();  // '#'
+    cur.SkipWs();
+    const std::string name = cur.ReadIdent();
+    if (disabled) {
+      if (name == "if" || name == "ifdef" || name == "ifndef") {
+        ++disabled_nest;
+      } else if (name == "endif") {
+        if (disabled_nest == 0) {
+          disabled = false;
+        } else {
+          --disabled_nest;
+        }
+      } else if ((name == "else" || name == "elif") && disabled_nest == 0) {
+        disabled = false;
+      }
+      blank(dir_begin, dir_end);
+      return;
+    }
+    if (name == "if") {
+      cur.SkipWs();
+      // Literal `#if 0` (optionally followed by a comment) disables the
+      // branch; any other condition is treated as potentially active so
+      // both sides of real feature conditionals stay visible to the rules.
+      std::string cond;
+      while (!cur.AtEnd() && !IsSpace(cur.Peek()) && cur.Peek() != '/') {
+        cond += cur.Peek();
+        cur.Next();
+      }
+      cur.SkipWs();
+      if (cond == "0" && (cur.AtEnd() || cur.Peek() == '/')) {
+        disabled = true;
+        disabled_nest = 0;
+      }
+    } else if (name == "include") {
+      cur.SkipWs();
+      const char open = cur.Peek();
+      if (open == '"' || open == '<') {
+        const char close = open == '<' ? '>' : '"';
+        cur.Next();
+        std::string inc;
+        while (!cur.AtEnd() && cur.Peek() != close && cur.Peek() != '\n') {
+          inc += cur.Peek();
+          cur.Next();
+        }
+        f.includes.push_back({f.LineAt(dir_begin), inc, open == '<'});
+      }
+    } else if (name == "define") {
+      // Keep the replacement text visible in `code` so banned calls cannot
+      // hide inside macros; blank only "#define NAME" (and its parameter
+      // list for function-like macros).
+      cur.SkipWs();
+      cur.ReadIdent();  // macro name
+      if (cur.Peek() == '(') {
+        while (!cur.AtEnd() && cur.Peek() != ')') cur.Next();
+        cur.Next();
+      }
+      blank(dir_begin, cur.pos);
+      return;
+    }
+    blank(dir_begin, dir_end);
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = src[i];
+    if (!in_directive && line_start && c == '#') {
+      in_directive = true;
+      dir_begin = i;
+      line_start = false;
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      if (in_directive) {
+        end_directive(i);
+        in_directive = false;
+      }
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (in_directive && c == '\\' && i + 1 < n && src[i + 1] == '\n') {
+      i += 2;  // logical directive line continues
+      continue;
+    }
+    if (!IsSpace(c)) line_start = false;
+
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t e = i;
+      while (e < n && src[e] != '\n') {
+        if (src[e] == '\\' && e + 1 < n && src[e + 1] == '\n') {
+          e += 2;  // backslash-newline continues a // comment
+        } else {
+          ++e;
+        }
+      }
+      if (!disabled) {
+        f.comments.push_back({f.LineAt(i), i, src.substr(i + 2, e - i - 2)});
+      }
+      blank(i, e);
+      i = e;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t close = src.find("*/", i + 2);
+      const std::size_t text_end = close == kNpos ? n : close;
+      const std::size_t e = close == kNpos ? n : close + 2;
+      if (!disabled) {
+        f.comments.push_back(
+            {f.LineAt(i), i, src.substr(i + 2, text_end - i - 2)});
+      }
+      blank(i, e);
+      i = e;
+      continue;
+    }
+    if (c == '"') {
+      // Raw string literal? Look back for R with an optional encoding
+      // prefix (u8R, uR, UR, LR) that is not part of a longer identifier.
+      bool raw = false;
+      if (i > 0 && src[i - 1] == 'R') {
+        std::size_t p = i - 1;
+        if (p > 0 && src[p - 1] == '8' && p > 1 && src[p - 2] == 'u') {
+          p -= 2;
+        } else if (p > 0 && (src[p - 1] == 'u' || src[p - 1] == 'U' ||
+                             src[p - 1] == 'L')) {
+          p -= 1;
+        }
+        raw = p == 0 || !IsIdentChar(src[p - 1]);
+      }
+      if (raw) {
+        std::size_t d = i + 1;
+        std::string delim;
+        while (d < n && src[d] != '(' && delim.size() < 20) delim += src[d++];
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t close = src.find(closer, d);
+        const std::size_t e = close == kNpos ? n : close + closer.size();
+        blank(i - 1, e);  // include the R prefix
+        i = e;
+        continue;
+      }
+      std::size_t e = i + 1;
+      while (e < n && src[e] != '"' && src[e] != '\n') {
+        e += src[e] == '\\' && e + 1 < n ? 2 : 1;
+      }
+      if (e < n && src[e] == '"') ++e;
+      blank(i, e);
+      i = e;
+      continue;
+    }
+    if (c == '\'') {
+      // A quote directly after an identifier/number character is a C++14
+      // digit separator (1'000'000), not a character literal.
+      if (i > 0 && IsIdentChar(src[i - 1])) {
+        ++i;
+        continue;
+      }
+      std::size_t e = i + 1;
+      while (e < n && src[e] != '\'' && src[e] != '\n') {
+        e += src[e] == '\\' && e + 1 < n ? 2 : 1;
+      }
+      if (e < n && src[e] == '\'') ++e;
+      blank(i, e);
+      i = e;
+      continue;
+    }
+    if (disabled && !in_directive && code[i] != '\n') code[i] = ' ';
+    ++i;
+  }
+  if (in_directive) end_directive(n);
+  return f;
+}
+
+}  // namespace actor_lint

@@ -1,0 +1,58 @@
+#ifndef ACTOR_TOOLS_ACTOR_LINT_LEXER_H_
+#define ACTOR_TOOLS_ACTOR_LINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace actor_lint {
+
+/// One comment (line or block), with its delimiters stripped. NOLINT
+/// suppressions and `actor-lint:` annotations are parsed from these.
+struct Comment {
+  int line = 0;           // 1-based line of the comment's first character
+  std::size_t begin = 0;  // byte offset of the opening delimiter
+  std::string text;       // body without // or /* */
+};
+
+/// One #include directive.
+struct Include {
+  int line = 0;
+  std::string path;     // as written, without quotes/brackets
+  bool angled = false;  // <...> vs "..."
+};
+
+/// Lexed view of one C++ source file. `code` is byte-aligned with
+/// `content`: every byte that is part of a comment, string literal,
+/// character literal, raw string, `#if 0` region, or preprocessor
+/// directive head is replaced with a space (newlines are preserved), so
+/// offsets and line numbers in `code` map 1:1 onto the original file.
+/// Rule scanners therefore cannot be fooled by banned identifiers inside
+/// comments or strings — the grep lints this tool replaces were.
+///
+/// Preprocessor handling: `#include` paths are extracted, `#if 0` ...
+/// `#endif`/`#else` regions are blanked entirely (including nested
+/// conditionals), and `#define` *bodies* stay visible in `code` so macros
+/// cannot smuggle banned calls past the rules. All other directive text is
+/// blanked.
+struct LexedFile {
+  std::string path;
+  std::string content;
+  std::string code;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+  std::vector<std::size_t> line_offsets;  // byte offset of each line start
+
+  /// 1-based line containing byte `offset`.
+  int LineAt(std::size_t offset) const;
+};
+
+/// True for [A-Za-z0-9_].
+bool IsIdentChar(char c);
+
+/// Lexes `content` (path is carried through for findings).
+LexedFile Lex(std::string path, std::string content);
+
+}  // namespace actor_lint
+
+#endif  // ACTOR_TOOLS_ACTOR_LINT_LEXER_H_

@@ -1,0 +1,165 @@
+// actor-lint: compile-commands-driven static analyzer for the ACTOR repo.
+//
+// Usage:
+//   actor_lint [--root=DIR] [--json] [--no-header-compile]
+//              [--compiler=CXX] [--compile-db=PATH] [--cache=PATH]
+//
+// Walks src/ tests/ bench/ examples/ under --root (the file list always
+// comes from the walk — compile_commands.json typically omits headers and
+// unregistered tests), lifts include/define/standard flags from the first
+// compile-commands entry when present, and runs every rule. Exit status:
+// 0 clean, 1 findings, 2 usage/internal error.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const std::size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+/// Extracts -I/-D/-isystem/-std= flags from the first "command" entry of a
+/// compile_commands.json. A full JSON parser is overkill for the one field
+/// we need: find `"command"`, take its string value, split on spaces
+/// (CMake-generated commands never embed quoted spaces in these flags).
+std::vector<std::string> FlagsFromCompileDb(const std::string& json) {
+  std::vector<std::string> flags;
+  const std::size_t key = json.find("\"command\"");
+  if (key == std::string::npos) return flags;
+  const std::size_t open = json.find('"', json.find(':', key));
+  if (open == std::string::npos) return flags;
+  std::string cmd;
+  for (std::size_t i = open + 1; i < json.size() && json[i] != '"'; ++i) {
+    if (json[i] == '\\' && i + 1 < json.size()) ++i;
+    cmd += json[i];
+  }
+  std::istringstream in(cmd);
+  std::string tok;
+  while (in >> tok) {
+    if (tok == "-isystem") {
+      std::string dir;
+      if (in >> dir) {
+        flags.push_back(tok);
+        flags.push_back(dir);
+      }
+    } else if (tok.rfind("-I", 0) == 0 || tok.rfind("-D", 0) == 0 ||
+               tok.rfind("-std=", 0) == 0) {
+      flags.push_back(tok);
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compiler = "c++";
+  std::string compile_db;
+  std::string cache_path;
+  bool json = false;
+  bool header_compile = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) {
+      return arg.substr(std::strlen(flag));
+    };
+    if (arg.rfind("--root=", 0) == 0) {
+      root = value("--root=");
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-header-compile") {
+      header_compile = false;
+    } else if (arg.rfind("--compiler=", 0) == 0) {
+      compiler = value("--compiler=");
+    } else if (arg.rfind("--compile-db=", 0) == 0) {
+      compile_db = value("--compile-db=");
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      cache_path = value("--cache=");
+    } else {
+      std::fprintf(stderr,
+                   "actor_lint: unknown argument '%s'\n"
+                   "usage: actor_lint [--root=DIR] [--json] "
+                   "[--no-header-compile] [--compiler=CXX] "
+                   "[--compile-db=PATH] [--cache=PATH]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (compile_db.empty()) {
+    compile_db = root + "/build/compile_commands.json";
+  }
+
+  std::vector<actor_lint::FileEntry> files;
+  for (const char* dir : {"src", "tests", "bench", "examples"}) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (const auto& entry :
+         fs::recursive_directory_iterator(base, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      if (!HasSuffix(rel, ".cc") && !HasSuffix(rel, ".cpp") &&
+          !HasSuffix(rel, ".h") && !HasSuffix(rel, "CMakeLists.txt")) {
+        continue;
+      }
+      std::string content;
+      if (!ReadFile(entry.path(), &content)) {
+        std::fprintf(stderr, "actor_lint: cannot read %s\n", rel.c_str());
+        return 2;
+      }
+      files.push_back({rel, std::move(content)});
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "actor_lint: no sources found under %s\n",
+                 root.c_str());
+    return 2;
+  }
+
+  actor_lint::LintConfig config;
+  config.root = root;
+  config.compiler = compiler;
+  config.compile_headers = header_compile;
+  config.cache_path = cache_path;
+  std::string db_json;
+  if (ReadFile(compile_db, &db_json)) {
+    config.compile_flags = FlagsFromCompileDb(db_json);
+  }
+  if (config.compile_flags.empty()) {
+    // No build tree yet — fall back to the project's canonical flags.
+    config.compile_flags = {"-std=c++20", "-I" + root + "/src"};
+  }
+
+  const std::vector<actor_lint::Finding> findings =
+      actor_lint::LintRepo(files, config);
+  if (json) {
+    std::fputs(actor_lint::FormatFindingsJson(findings).c_str(), stdout);
+  } else {
+    std::fputs(actor_lint::FormatFindingsText(findings).c_str(), stdout);
+  }
+  std::fprintf(stderr, "actor_lint: %zu file(s), %zu finding(s)\n",
+               files.size(), findings.size());
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,824 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lexer.h"
+
+namespace actor_lint {
+
+namespace {
+
+constexpr std::size_t kNpos = std::string::npos;
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const std::size_t len = std::char_traits<char>::length(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+std::size_t SkipWs(const std::string& s, std::size_t i) {
+  while (i < s.size() && IsSpace(s[i])) ++i;
+  return i;
+}
+
+/// True when s[pos..] starts with `word` as a whole identifier token.
+bool TokenAt(const std::string& s, std::size_t pos, const char* word) {
+  const std::size_t len = std::char_traits<char>::length(word);
+  if (pos + len > s.size() || s.compare(pos, len, word) != 0) return false;
+  if (pos > 0 && IsIdentChar(s[pos - 1])) return false;
+  return pos + len >= s.size() || !IsIdentChar(s[pos + len]);
+}
+
+/// Next occurrence of `word` as a whole token at or after `from`.
+std::size_t FindToken(const std::string& s, std::size_t from,
+                      const char* word) {
+  std::size_t pos = from;
+  while ((pos = s.find(word, pos)) != kNpos) {
+    if (TokenAt(s, pos, word)) return pos;
+    ++pos;
+  }
+  return kNpos;
+}
+
+/// Index of the delimiter matching s[open_idx] (one of ( [ {), or npos.
+std::size_t MatchForward(const std::string& s, std::size_t open_idx) {
+  const char open = s[open_idx];
+  const char close = open == '(' ? ')' : open == '[' ? ']' : '}';
+  int depth = 0;
+  for (std::size_t i = open_idx; i < s.size(); ++i) {
+    if (s[i] == open) ++depth;
+    if (s[i] == close && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+/// Index of the opener matching the closer at s[close_idx], or npos.
+std::size_t MatchBackward(const std::string& s, std::size_t close_idx,
+                          char open, char close) {
+  int depth = 0;
+  for (std::size_t i = close_idx + 1; i-- > 0;) {
+    if (s[i] == close) ++depth;
+    if (s[i] == open && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+/// Joins `dir` + "/" + `rel` and resolves "." / ".." segments (pure string
+/// math — never touches the filesystem, so virtual repos work in tests).
+std::string JoinNormalize(const std::string& dir, const std::string& rel) {
+  std::vector<std::string> parts;
+  auto push = [&parts](const std::string& p) {
+    std::size_t b = 0;
+    while (b <= p.size()) {
+      const std::size_t e = std::min(p.find('/', b), p.size());
+      const std::string seg = p.substr(b, e - b);
+      if (seg == "..") {
+        if (!parts.empty()) parts.pop_back();
+      } else if (!seg.empty() && seg != ".") {
+        parts.push_back(seg);
+      }
+      b = e + 1;
+    }
+  };
+  push(dir);
+  push(rel);
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string DirName(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == kNpos ? std::string() : path.substr(0, slash);
+}
+
+uint64_t Fnv1a(const std::string& s, uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// --- R1: parallelism flows through util/thread_pool ------------------------
+
+void CheckThread(const LexedFile& f, std::vector<Finding>* out) {
+  if (StartsWith(f.path, "src/util/thread_pool")) return;
+  const std::string& code = f.code;
+  std::size_t pos = 0;
+  while ((pos = FindToken(code, pos, "std")) != kNpos) {
+    const std::size_t after_std = SkipWs(code, pos + 3);
+    if (code.compare(after_std, 2, "::") != 0) {
+      pos += 3;
+      continue;
+    }
+    const std::size_t name_pos = SkipWs(code, after_std + 2);
+    const char* banned = nullptr;
+    for (const char* word : {"thread", "jthread", "async"}) {
+      if (TokenAt(code, name_pos, word)) {
+        banned = word;
+        break;
+      }
+    }
+    if (banned == nullptr) {
+      pos += 3;
+      continue;
+    }
+    // std::thread::hardware_concurrency() is a pure CPU query, not a
+    // parallelism primitive — the one historical exemption of grep L1.
+    std::size_t tail = SkipWs(
+        code, name_pos + std::char_traits<char>::length(banned));
+    bool allowed = false;
+    if (code.compare(tail, 2, "::") == 0) {
+      tail = SkipWs(code, tail + 2);
+      allowed = TokenAt(code, tail, "hardware_concurrency");
+    }
+    if (!allowed) {
+      out->push_back(
+          {f.path, f.LineAt(name_pos), kRuleThread,
+           std::string("raw std::") + banned +
+               " outside util/thread_pool — all parallelism must go "
+               "through ThreadPool (ShardedRange/ParallelFor/Submit)"});
+    }
+    pos = name_pos;
+  }
+}
+
+// --- R2: randomness/clocks flow through util/rng.h, util/stopwatch.h -------
+
+void CheckRng(const LexedFile& f, std::vector<Finding>* out) {
+  if (f.path == "src/util/rng.h" || f.path == "src/util/stopwatch.h") return;
+  const std::string& code = f.code;
+
+  // Member access (x.time(), x->time()) and non-std qualification
+  // (Foo::time()) are fine; bare and std:: calls hit libc/std.
+  auto banned_call = [&code](std::size_t pos) {
+    std::size_t j = pos;
+    while (j > 0 && IsSpace(code[j - 1])) --j;
+    if (j >= 2 && code[j - 1] == ':' && code[j - 2] == ':') {
+      std::size_t k = j - 2;
+      while (k > 0 && IsSpace(code[k - 1])) --k;
+      std::size_t b = k;
+      while (b > 0 && IsIdentChar(code[b - 1])) --b;
+      return code.compare(b, k - b, "std") == 0 || b == k;  // std:: or ::
+    }
+    if (j >= 1 && code[j - 1] == '.') return false;
+    if (j >= 2 && code[j - 1] == '>' && code[j - 2] == '-') return false;
+    return true;
+  };
+  for (const char* word : {"rand", "srand", "time"}) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(code, pos, word)) != kNpos) {
+      const std::size_t open =
+          SkipWs(code, pos + std::char_traits<char>::length(word));
+      if (open < code.size() && code[open] == '(' && banned_call(pos)) {
+        out->push_back(
+            {f.path, f.LineAt(pos), kRuleRng,
+             std::string(word) +
+                 "() breaks seed-reproducibility — use util/rng.h for "
+                 "randomness, util/stopwatch.h for clocks"});
+      }
+      ++pos;
+    }
+  }
+  std::size_t pos = 0;
+  while ((pos = FindToken(code, pos, "random_device")) != kNpos) {
+    out->push_back({f.path, f.LineAt(pos), kRuleRng,
+                    "std::random_device is non-reproducible — derive seeds "
+                    "through util/rng.h (SplitMix64/ShardSeed)"});
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = FindToken(code, pos, "system_clock")) != kNpos) {
+    std::size_t j = SkipWs(code, pos + 12);
+    if (code.compare(j, 2, "::") == 0) {
+      j = SkipWs(code, j + 2);
+      if (TokenAt(code, j, "now")) {
+        out->push_back(
+            {f.path, f.LineAt(pos), kRuleRng,
+             "std::chrono::system_clock::now() is wall-clock and "
+             "non-reproducible — time through util/stopwatch.h "
+             "(steady_clock)"});
+      }
+    }
+    ++pos;
+  }
+}
+
+// --- R3: no aligned SIMD load/store in kernel sources ----------------------
+
+void CheckSimdAligned(const LexedFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.path, "src/")) return;
+  const std::string& code = f.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("_mm", pos)) != kNpos) {
+    if (pos > 0 && IsIdentChar(code[pos - 1])) {
+      pos += 3;
+      continue;
+    }
+    std::size_t j = pos + 3;
+    while (j < code.size() && std::isdigit(static_cast<unsigned char>(code[j]))) {
+      ++j;
+    }
+    if (j >= code.size() || code[j] != '_') {
+      pos += 3;
+      continue;
+    }
+    ++j;
+    bool op = false;
+    for (const char* name : {"load", "store", "stream"}) {
+      const std::size_t len = std::char_traits<char>::length(name);
+      if (code.compare(j, len, name) == 0 && j + len < code.size() &&
+          code[j + len] == '_') {
+        j += len + 1;
+        op = true;
+        break;
+      }
+    }
+    if (op && code.compare(j, 1, "p") == 0 && j + 1 < code.size() &&
+        (code[j + 1] == 's' || code[j + 1] == 'd') &&
+        (j + 2 >= code.size() || !IsIdentChar(code[j + 2]))) {
+      out->push_back(
+          {f.path, f.LineAt(pos), kRuleSimdAligned,
+           code.substr(pos, j + 2 - pos) +
+               " assumes alignment — kernels must tolerate arbitrary "
+               "caller buffers, use the loadu/storeu forms"});
+    }
+    pos += 3;
+  }
+}
+
+// --- R4: HOGWILD row discipline --------------------------------------------
+
+struct Region {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Regions in which shared EmbeddingMatrix rows may be updated
+/// concurrently: lambda bodies dispatched onto the pool from
+/// src/embedding/ + src/core/, plus any scope annotated with
+/// `// actor-lint: hogwild-region` (used for shard helpers the lambdas
+/// delegate to).
+std::vector<Region> HogwildRegions(const LexedFile& f) {
+  std::vector<Region> regions;
+  const std::string& code = f.code;
+  for (const Comment& c : f.comments) {
+    if (c.text.find("actor-lint: hogwild-region") == kNpos) continue;
+    const std::size_t open = code.find('{', c.begin);
+    if (open == kNpos) continue;
+    const std::size_t close = MatchForward(code, open);
+    if (close != kNpos) regions.push_back({open, close});
+  }
+  const bool auto_detect =
+      StartsWith(f.path, "src/embedding/") || StartsWith(f.path, "src/core/");
+  if (auto_detect) {
+    for (const char* dispatch : {"ShardedRange", "ParallelFor", "Submit"}) {
+      std::size_t pos = 0;
+      while ((pos = FindToken(code, pos, dispatch)) != kNpos) {
+        const std::size_t open = SkipWs(
+            code, pos + std::char_traits<char>::length(dispatch));
+        ++pos;
+        if (open >= code.size() || code[open] != '(') continue;
+        const std::size_t close = MatchForward(code, open);
+        if (close == kNpos) continue;
+        const std::size_t intro = code.find('[', open + 1);
+        if (intro == kNpos || intro > close) continue;
+        const std::size_t intro_end = MatchForward(code, intro);
+        if (intro_end == kNpos) continue;
+        const std::size_t body = code.find('{', intro_end);
+        if (body == kNpos || body > close) continue;
+        const std::size_t body_end = MatchForward(code, body);
+        if (body_end != kNpos) regions.push_back({body, body_end});
+      }
+    }
+  }
+  return regions;
+}
+
+void CheckHogwild(const LexedFile& f, std::vector<Finding>* out) {
+  const std::vector<Region> regions = HogwildRegions(f);
+  if (regions.empty()) return;
+  const std::string& code = f.code;
+  std::set<std::size_t> reported;
+  for (const Region& region : regions) {
+    std::size_t pos = region.begin;
+    while ((pos = FindToken(code, pos, "row")) != kNpos &&
+           pos < region.end) {
+      const std::size_t row_pos = pos;
+      ++pos;
+      // Must be a member call: m.row(...) / m->row(...).
+      long j = static_cast<long>(row_pos) - 1;
+      while (j >= 0 && IsSpace(code[static_cast<std::size_t>(j)])) --j;
+      bool arrow = false;
+      if (j >= 1 && code[static_cast<std::size_t>(j)] == '>' &&
+          code[static_cast<std::size_t>(j) - 1] == '-') {
+        arrow = true;
+      } else if (!(j >= 0 && code[static_cast<std::size_t>(j)] == '.')) {
+        continue;
+      }
+      const std::size_t open = SkipWs(code, row_pos + 3);
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = MatchForward(code, open);
+      if (close == kNpos) continue;
+      const std::size_t after = SkipWs(code, close + 1);
+      if (after >= code.size() || code[after] != '[') continue;
+      // Direct element access on a shared row. Allowed only when the whole
+      // expression sits inside RelaxedLoad(...) / RelaxedStore(...).
+      j -= arrow ? 2 : 1;
+      while (j >= 0) {
+        const char ch = code[static_cast<std::size_t>(j)];
+        if (IsIdentChar(ch) || ch == '.' || ch == ':') {
+          --j;
+        } else if (ch == '>' && j >= 1 &&
+                   code[static_cast<std::size_t>(j) - 1] == '-') {
+          j -= 2;
+        } else if (ch == ']' || ch == ')') {
+          const std::size_t m = MatchBackward(
+              code, static_cast<std::size_t>(j), ch == ']' ? '[' : '(',
+              ch);
+          if (m == kNpos) break;
+          j = static_cast<long>(m) - 1;
+        } else {
+          break;
+        }
+      }
+      while (j >= 0 && IsSpace(code[static_cast<std::size_t>(j)])) --j;
+      while (j >= 0 && (code[static_cast<std::size_t>(j)] == '&' ||
+                        code[static_cast<std::size_t>(j)] == '*')) {
+        --j;
+      }
+      while (j >= 0 && IsSpace(code[static_cast<std::size_t>(j)])) --j;
+      bool wrapped = false;
+      if (j >= 0 && code[static_cast<std::size_t>(j)] == '(') {
+        --j;
+        while (j >= 0 && IsSpace(code[static_cast<std::size_t>(j)])) --j;
+        const long id_end = j;
+        while (j >= 0 && IsIdentChar(code[static_cast<std::size_t>(j)])) {
+          --j;
+        }
+        const std::string callee = code.substr(
+            static_cast<std::size_t>(j + 1),
+            static_cast<std::size_t>(id_end - j));
+        wrapped = callee == "RelaxedLoad" || callee == "RelaxedStore";
+      }
+      if (!wrapped && reported.insert(row_pos).second) {
+        out->push_back(
+            {f.path, f.LineAt(row_pos), kRuleHogwild,
+             "direct element access to a shared embedding row inside a "
+             "HOGWILD region — go through the vec_math kernel API "
+             "(FusedGradStep/Axpy/Add/...) or RelaxedLoad/RelaxedStore"});
+      }
+    }
+  }
+}
+
+// --- R5: header hygiene ----------------------------------------------------
+
+using IncludeGraph = std::map<std::string, std::vector<const Include*>>;
+
+/// Resolves `inc` as the build would: against the includer's directory,
+/// then against src/ (the one include root the build adds).
+std::string ResolveInclude(const std::string& includer,
+                           const std::string& inc,
+                           const std::set<std::string>& known) {
+  for (const std::string& candidate :
+       {JoinNormalize(DirName(includer), inc), JoinNormalize("src", inc),
+        JoinNormalize("", inc)}) {
+    if (known.count(candidate) > 0) return candidate;
+  }
+  return std::string();
+}
+
+void CheckIncludeCycles(const std::vector<LexedFile>& lexed,
+                        std::vector<Finding>* out) {
+  std::set<std::string> known;
+  std::map<std::string, const LexedFile*> by_path;
+  for (const LexedFile& f : lexed) {
+    known.insert(f.path);
+    by_path[f.path] = &f;
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+  std::set<std::string> seen_cycles;
+
+  std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = Color::kGray;
+        stack.push_back(node);
+        for (const Include& inc : by_path.at(node)->includes) {
+          const std::string target =
+              ResolveInclude(node, inc.path, known);
+          if (target.empty()) continue;
+          const Color c = color.count(target) > 0 ? color[target]
+                                                  : Color::kWhite;
+          if (c == Color::kGray) {
+            auto it = std::find(stack.begin(), stack.end(), target);
+            std::vector<std::string> cycle(it, stack.end());
+            auto min_it = std::min_element(cycle.begin(), cycle.end());
+            std::rotate(cycle.begin(), min_it, cycle.end());
+            std::string key;
+            for (const auto& p : cycle) key += p + " -> ";
+            if (seen_cycles.insert(key).second) {
+              out->push_back({node, inc.line, kRuleIncludeCycle,
+                              "include cycle: " + key + cycle.front()});
+            }
+          } else if (c == Color::kWhite) {
+            dfs(target);
+          }
+        }
+        stack.pop_back();
+        color[node] = Color::kBlack;
+      };
+  for (const LexedFile& f : lexed) {
+    if (color.count(f.path) == 0) dfs(f.path);
+  }
+}
+
+/// Runs `cmd` via the shell, captures combined stdout+stderr, returns the
+/// exit status (-1 when the shell could not be spawned).
+int RunCommand(const std::string& cmd, std::string* output) {
+  output->clear();
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output->append(buf, got);
+  }
+  return pclose(pipe);
+}
+
+std::string ShellQuote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+std::string FirstErrorLine(const std::string& output) {
+  std::istringstream in(output);
+  std::string line, first;
+  while (std::getline(in, line)) {
+    if (first.empty() && !line.empty()) first = line;
+    if (line.find("error") != kNpos) return line;
+  }
+  return first.empty() ? "compiler failed with no output" : first;
+}
+
+void CheckHeaderSelfContained(const std::vector<LexedFile>& lexed,
+                              const LintConfig& config,
+                              std::vector<Finding>* out) {
+  std::set<std::string> known;
+  std::map<std::string, const LexedFile*> by_path;
+  for (const LexedFile& f : lexed) {
+    known.insert(f.path);
+    by_path[f.path] = &f;
+  }
+  std::string flags_joined;
+  for (const auto& flag : config.compile_flags) flags_joined += flag + "\n";
+
+  // Hash of a header's transitive repo-include closure + compile flags:
+  // unchanged hash => the previous stand-alone compile result still holds.
+  auto closure_hash = [&](const std::string& header) {
+    std::set<std::string> closure;
+    std::vector<std::string> queue{header};
+    while (!queue.empty()) {
+      const std::string cur = queue.back();
+      queue.pop_back();
+      if (!closure.insert(cur).second) continue;
+      for (const Include& inc : by_path.at(cur)->includes) {
+        const std::string target = ResolveInclude(cur, inc.path, known);
+        if (!target.empty() && closure.count(target) == 0) {
+          queue.push_back(target);
+        }
+      }
+    }
+    uint64_t h = Fnv1a(flags_joined, 1469598103934665603ULL);
+    for (const std::string& p : closure) {
+      h = Fnv1a(p, h);
+      h = Fnv1a(by_path.at(p)->content, h);
+    }
+    return h;
+  };
+
+  std::map<std::string, uint64_t> cache;
+  if (!config.cache_path.empty()) {
+    std::ifstream in(config.cache_path);
+    std::string hex, path;
+    while (in >> hex >> path) {
+      cache[path] = std::strtoull(hex.c_str(), nullptr, 16);
+    }
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> to_check;
+  std::map<std::string, uint64_t> verified;
+  for (const LexedFile& f : lexed) {
+    if (!StartsWith(f.path, "src/") || !EndsWith(f.path, ".h")) continue;
+    const uint64_t h = closure_hash(f.path);
+    auto it = cache.find(f.path);
+    if (it != cache.end() && it->second == h) {
+      verified[f.path] = h;  // cache hit — carry forward
+    } else {
+      to_check.emplace_back(f.path, h);
+    }
+  }
+
+  auto compile = [&](const std::vector<std::string>& paths,
+                     std::string* output) {
+    std::string cmd = ShellQuote(config.compiler);
+    for (const auto& flag : config.compile_flags) {
+      cmd += " " + ShellQuote(flag);
+    }
+    cmd += " -fsyntax-only -x c++";
+    for (const auto& p : paths) {
+      cmd += " " + ShellQuote(config.root + "/" + p);
+    }
+    return RunCommand(cmd, output);
+  };
+
+  if (!to_check.empty()) {
+    // Fast path: one compiler invocation over every stale header. Only on
+    // failure are headers re-checked one by one to attribute the error.
+    std::vector<std::string> paths;
+    for (const auto& [p, h] : to_check) paths.push_back(p);
+    std::string output;
+    if (compile(paths, &output) == 0) {
+      for (const auto& [p, h] : to_check) verified[p] = h;
+    } else {
+      for (const auto& [p, h] : to_check) {
+        if (compile({p}, &output) == 0) {
+          verified[p] = h;
+        } else {
+          out->push_back({p, 1, kRuleHeaderSelf,
+                          "header is not self-contained: " +
+                              FirstErrorLine(output)});
+        }
+      }
+    }
+  }
+
+  if (!config.cache_path.empty()) {
+    std::ofstream cache_out(config.cache_path, std::ios::trunc);
+    for (const auto& [p, h] : verified) {
+      char hex[24];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(h));
+      cache_out << hex << " " << p << "\n";
+    }
+  }
+}
+
+// --- R6: tests <-> CMake registration --------------------------------------
+
+void CheckTestRegistration(const std::vector<FileEntry>& files,
+                           std::vector<Finding>* out) {
+  const FileEntry* cmake = nullptr;
+  std::vector<const FileEntry*> test_files;
+  for (const FileEntry& f : files) {
+    if (f.path == "tests/CMakeLists.txt") cmake = &f;
+    if (StartsWith(f.path, "tests/") && EndsWith(f.path, "_test.cc")) {
+      test_files.push_back(&f);
+    }
+  }
+  if (cmake == nullptr && test_files.empty()) return;
+
+  // Parse actor_test(<name> ...) registrations, comment-aware.
+  std::map<std::string, int> registered;  // name -> line
+  if (cmake != nullptr) {
+    std::istringstream in(cmake->content);
+    std::string raw;
+    int line_no = 0;
+    std::string stripped;
+    std::vector<std::size_t> line_starts;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      const std::size_t hash = raw.find('#');
+      line_starts.push_back(stripped.size());
+      stripped += raw.substr(0, hash == kNpos ? raw.size() : hash);
+      stripped += '\n';
+    }
+    std::size_t pos = 0;
+    while ((pos = FindToken(stripped, pos, "actor_test")) != kNpos) {
+      const std::size_t at = pos;
+      pos += 10;
+      std::size_t j = SkipWs(stripped, at + 10);
+      if (j >= stripped.size() || stripped[j] != '(') continue;
+      j = SkipWs(stripped, j + 1);
+      std::string name;
+      while (j < stripped.size() && !IsSpace(stripped[j]) &&
+             stripped[j] != ')') {
+        name += stripped[j++];
+      }
+      if (name.empty()) continue;
+      const int line = static_cast<int>(
+          std::upper_bound(line_starts.begin(), line_starts.end(), at) -
+          line_starts.begin());
+      registered.emplace(name, line);
+    }
+  }
+
+  std::set<std::string> source_names;
+  for (const FileEntry* f : test_files) {
+    const std::string name =
+        f->path.substr(6, f->path.size() - 6 - 3);  // strip tests/ and .cc
+    source_names.insert(name);
+    if (registered.count(name) == 0) {
+      out->push_back({f->path, 1, kRuleTestReg,
+                      "test binary is not registered with actor_test() in "
+                      "tests/CMakeLists.txt — it would never run in CI"});
+    }
+  }
+  for (const auto& [name, line] : registered) {
+    if (source_names.count(name) == 0) {
+      out->push_back({"tests/CMakeLists.txt", line, kRuleTestReg,
+                      "actor_test(" + name + ") is registered but tests/" +
+                          name + ".cc does not exist"});
+    }
+  }
+}
+
+// --- Suppressions ----------------------------------------------------------
+
+struct Suppression {
+  std::string file;
+  int target_line = 0;
+  int comment_line = 0;
+  std::string entry;  // "actor-<rule>" or "actor-*"
+  bool used = false;
+};
+
+void CollectSuppressions(const LexedFile& f,
+                         std::vector<Suppression>* out) {
+  for (const Comment& c : f.comments) {
+    std::size_t pos = c.text.find("NOLINT");
+    if (pos == kNpos) continue;
+    std::size_t j = pos + 6;
+    bool next_line = false;
+    if (c.text.compare(j, 8, "NEXTLINE") == 0) {
+      next_line = true;
+      j += 8;
+    }
+    if (j >= c.text.size() || c.text[j] != '(') continue;
+    const std::size_t close = c.text.find(')', j);
+    if (close == kNpos) continue;
+    std::string list = c.text.substr(j + 1, close - j - 1);
+    std::size_t b = 0;
+    while (b <= list.size()) {
+      const std::size_t e = std::min(list.find(',', b), list.size());
+      std::string entry = list.substr(b, e - b);
+      const std::size_t lead = entry.find_first_not_of(" \t");
+      const std::size_t trail = entry.find_last_not_of(" \t");
+      entry = lead == kNpos
+                  ? std::string()
+                  : entry.substr(lead, trail - lead + 1);
+      if (StartsWith(entry, "actor-")) {
+        out->push_back({f.path, next_line ? c.line + 1 : c.line, c.line,
+                        entry, false});
+      }
+      b = e + 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
+                              const LintConfig& config) {
+  std::vector<LexedFile> lexed;
+  for (const FileEntry& f : files) {
+    if (EndsWith(f.path, ".cc") || EndsWith(f.path, ".cpp") ||
+        EndsWith(f.path, ".h")) {
+      lexed.push_back(Lex(f.path, f.content));
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const LexedFile& f : lexed) {
+    CheckThread(f, &findings);
+    CheckRng(f, &findings);
+    CheckSimdAligned(f, &findings);
+    CheckHogwild(f, &findings);
+  }
+  CheckIncludeCycles(lexed, &findings);
+  if (config.compile_headers) {
+    CheckHeaderSelfContained(lexed, config, &findings);
+  }
+  CheckTestRegistration(files, &findings);
+
+  std::vector<Suppression> suppressions;
+  for (const LexedFile& f : lexed) {
+    CollectSuppressions(f, &suppressions);
+  }
+  std::vector<Finding> surviving;
+  for (Finding& finding : findings) {
+    bool suppressed = false;
+    for (Suppression& s : suppressions) {
+      if (s.file == finding.file && s.target_line == finding.line &&
+          (s.entry == "actor-*" || s.entry == finding.rule)) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) surviving.push_back(std::move(finding));
+  }
+  for (const Suppression& s : suppressions) {
+    if (!s.used) {
+      surviving.push_back(
+          {s.file, s.comment_line, kRuleStaleNolint,
+           "NOLINT(" + s.entry +
+               ") no longer suppresses anything — remove it so silenced "
+               "findings cannot rot"});
+    }
+  }
+
+  std::sort(surviving.begin(), surviving.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return surviving;
+}
+
+std::string FormatFindingsText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatFindingsJson(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"file\": \"" + JsonEscape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           JsonEscape(f.rule) + "\", \"message\": \"" +
+           JsonEscape(f.message) + "\"}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace actor_lint

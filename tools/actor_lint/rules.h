@@ -1,0 +1,70 @@
+#ifndef ACTOR_TOOLS_ACTOR_LINT_RULES_H_
+#define ACTOR_TOOLS_ACTOR_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace actor_lint {
+
+// Rule identifiers (the names accepted inside NOLINT(actor-...) lists).
+// R1: parallelism must flow through util/thread_pool.
+inline constexpr char kRuleThread[] = "actor-thread";
+// R2: randomness/clocks must flow through util/rng.h / util/stopwatch.h.
+inline constexpr char kRuleRng[] = "actor-rng";
+// R3: SIMD kernels must never assume alignment.
+inline constexpr char kRuleSimdAligned[] = "actor-simd-aligned";
+// R4: HOGWILD regions touch shared rows only via the kernel API.
+inline constexpr char kRuleHogwild[] = "actor-hogwild";
+// R5a: every src/**/*.h compiles stand-alone.
+inline constexpr char kRuleHeaderSelf[] = "actor-header-self";
+// R5b: the project include graph is acyclic.
+inline constexpr char kRuleIncludeCycle[] = "actor-include-cycle";
+// R6: tests/*_test.cc <-> actor_test() registrations agree.
+inline constexpr char kRuleTestReg[] = "actor-test-reg";
+// R7: every NOLINT(actor-*) must still suppress something.
+inline constexpr char kRuleStaleNolint[] = "actor-stale-nolint";
+
+/// One analyzer finding. Formats as `file:line: [rule] message`.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One input file, path repo-relative with forward slashes.
+struct FileEntry {
+  std::string path;
+  std::string content;
+};
+
+struct LintConfig {
+  /// Repo root on disk; only used by the header self-containedness
+  /// compile check (paths in FileEntry are resolved against it).
+  std::string root = ".";
+  /// Run the R5 stand-alone compile check (shells out to `compiler`).
+  bool compile_headers = false;
+  std::string compiler = "c++";
+  /// Include/define/standard flags for the compile check, normally lifted
+  /// from build/compile_commands.json.
+  std::vector<std::string> compile_flags;
+  /// Optional on-disk cache for header compile results, keyed on the hash
+  /// of the header's include closure + flags ("" disables caching).
+  std::string cache_path;
+};
+
+/// Runs every rule over the file set and returns the surviving findings
+/// (NOLINT-suppressed findings are dropped; stale suppressions become
+/// findings themselves). Deterministic: sorted by file, line, rule.
+std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
+                              const LintConfig& config);
+
+/// `file:line: [rule] message` lines.
+std::string FormatFindingsText(const std::vector<Finding>& findings);
+
+/// JSON array of {file, line, rule, message} objects.
+std::string FormatFindingsJson(const std::vector<Finding>& findings);
+
+}  // namespace actor_lint
+
+#endif  // ACTOR_TOOLS_ACTOR_LINT_RULES_H_
