@@ -75,20 +75,21 @@ int main(int argc, char** argv) {
   actor_options.epochs = 8;
   actor_options.samples_per_edge = 10;
   actor_options.negatives = 5;  // see Table 2 note on K at reduced dimension
-  auto actor_model = actor::TrainActor(data->graphs, actor_options);
+  auto actor_model = actor::TrainActor(*data->graphs, actor_options);
   actor_model.status().CheckOK();
   actor::EmbeddingCrossModalModel actor_scorer(
-      "ACTOR", &actor_model->center, &data->graphs, &data->hotspots);
+      "ACTOR", data->Snapshot(actor_model->center));
 
   actor::CrossMapOptions crossmap_options;
   crossmap_options.dim = 32;
   crossmap_options.epochs = 8;
   crossmap_options.samples_per_edge = 10;
   crossmap_options.negatives = 5;
-  auto crossmap_model = actor::TrainCrossMap(data->graphs, crossmap_options);
+  auto crossmap_model =
+      actor::TrainCrossMap(*data->graphs, crossmap_options);
   crossmap_model.status().CheckOK();
   actor::EmbeddingCrossModalModel crossmap_scorer(
-      "CrossMap", &crossmap_model->center, &data->graphs, &data->hotspots);
+      "CrossMap", data->Snapshot(crossmap_model->center));
 
   RunTask("Activity (Fig. 5)", actor::PredictionTask::kText, actor_scorer,
           crossmap_scorer, data->test, queries);

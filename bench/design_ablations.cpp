@@ -20,10 +20,10 @@ namespace {
 
 actor::MrrScores RunActor(const actor::PreparedDataset& data,
                           const actor::ActorOptions& options) {
-  auto model = actor::TrainActor(data.graphs, options);
+  auto model = actor::TrainActor(*data.graphs, options);
   model.status().CheckOK();
-  actor::EmbeddingCrossModalModel scorer("ACTOR", &model->center,
-                                         &data.graphs, &data.hotspots);
+  actor::EmbeddingCrossModalModel scorer("ACTOR",
+                                         data.Snapshot(model->center));
   actor::EvalOptions eval;
   eval.max_queries = 2000;
   auto scores = actor::EvaluateCrossModal(scorer, data.test, eval);
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
     char label[48];
     std::snprintf(label, sizeof(label),
                   "spatial bandwidth %.1f km (%zu hs)", bandwidth,
-                  swept->hotspots.spatial.size());
+                  swept->hotspots->spatial.size());
     PrintRow(label, RunActor(*swept, base));
   }
   return 0;

@@ -19,8 +19,7 @@ namespace {
 
 void Evaluate(const char* name, const actor::EmbeddingMatrix& center,
               const actor::PreparedDataset& data, double seconds) {
-  actor::EmbeddingCrossModalModel model(name, &center, &data.graphs,
-                                        &data.hotspots);
+  actor::EmbeddingCrossModalModel model(name, data.Snapshot(center));
   actor::EvalOptions eval;
   eval.max_queries = 2000;
   auto scores = actor::EvaluateCrossModal(model, data.test, eval);
@@ -49,7 +48,7 @@ int main(int argc, char** argv) {
     options.walk.walks_per_vertex = 3;
     options.walk.walk_length = 15;
     options.skipgram.epochs = 1;
-    auto model = actor::TrainDeepWalk(data->graphs.activity, options);
+    auto model = actor::TrainDeepWalk(data->graphs->activity, options);
     model.status().CheckOK();
     Evaluate("DeepWalk", model->center, *data, timer.ElapsedSeconds());
   }
@@ -62,7 +61,7 @@ int main(int argc, char** argv) {
     options.walk.walks_per_vertex = 3;
     options.walk.walk_length = 15;
     options.skipgram.epochs = 1;
-    auto model = actor::TrainNode2vec(data->graphs.activity, options);
+    auto model = actor::TrainNode2vec(data->graphs->activity, options);
     model.status().CheckOK();
     Evaluate("node2vec", model->center, *data, timer.ElapsedSeconds());
   }
@@ -73,7 +72,7 @@ int main(int argc, char** argv) {
     options.walk.walks_per_start = 10;
     options.walk.walk_length = 40;
     options.skipgram.epochs = 2;
-    auto model = actor::TrainMetapath2vec(data->graphs.activity, options);
+    auto model = actor::TrainMetapath2vec(data->graphs->activity, options);
     model.status().CheckOK();
     Evaluate("metapath2vec", model->center, *data, timer.ElapsedSeconds());
   }
@@ -84,7 +83,7 @@ int main(int argc, char** argv) {
     options.epochs = 8;
     options.samples_per_edge = 10;
     options.negatives = 5;
-    auto model = actor::TrainActor(data->graphs, options);
+    auto model = actor::TrainActor(*data->graphs, options);
     model.status().CheckOK();
     Evaluate("ACTOR", model->center, *data, timer.ElapsedSeconds());
   }

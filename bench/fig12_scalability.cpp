@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   data.status().CheckOK();
   std::printf("|E| = %lld directed edges\n\n",
               static_cast<long long>(
-                  data->graphs.activity.num_directed_edges()));
+                  data->graphs->activity.num_directed_edges()));
 
   PoolCache pools;
 
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   double base_time = 0.0;
   for (int multiple = 1; multiple <= 4; ++multiple) {
     const int64_t samples = base_samples * multiple;
-    const RunResult run = TimeActor(data->graphs, samples, 1, nullptr);
+    const RunResult run = TimeActor(*data->graphs, samples, 1, nullptr);
     if (multiple == 1) base_time = run.seconds;
     std::printf("%9dx %12.2f %14lld %14.3f\n", multiple, run.seconds,
                 static_cast<long long>(run.steps),
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(base_samples));
   std::printf("%10s %12s %12s\n", "threads", "seconds", "speedup");
   for (int threads = 1; threads <= 4; ++threads) {
-    const RunResult run = TimeActor(data->graphs, base_samples, threads,
+    const RunResult run = TimeActor(*data->graphs, base_samples, threads,
                                     pools.ForThreads(threads));
     std::printf("%10d %12.2f %11.2fx\n", threads, run.seconds,
                 base_time / run.seconds);
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
               "time vs 1x");
   double weak_base = 0.0;
   for (int factor = 1; factor <= 4; ++factor) {
-    const RunResult run = TimeActor(data->graphs, base_samples * factor,
+    const RunResult run = TimeActor(*data->graphs, base_samples * factor,
                                     factor, pools.ForThreads(factor));
     if (factor == 1) weak_base = run.seconds;
     std::printf("%10d %12.2f %14.3f %16.2f\n", factor, run.seconds,

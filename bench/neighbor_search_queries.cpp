@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   actor_options.epochs = 8;
   actor_options.samples_per_edge = 10;
   actor_options.negatives = 5;  // see Table 2 note on K at reduced dimension
-  auto actor_model = actor::TrainActor(data->graphs, actor_options);
+  auto actor_model = actor::TrainActor(*data->graphs, actor_options);
   actor_model.status().CheckOK();
 
   actor::CrossMapOptions crossmap_options;
@@ -66,15 +66,13 @@ int main(int argc, char** argv) {
   crossmap_options.epochs = 8;
   crossmap_options.samples_per_edge = 10;
   crossmap_options.negatives = 5;
-  auto crossmap_model = actor::TrainCrossMap(data->graphs, crossmap_options);
+  auto crossmap_model =
+      actor::TrainCrossMap(*data->graphs, crossmap_options);
   crossmap_model.status().CheckOK();
 
-  const actor::Vocabulary& vocab = data->full.vocab();
-  actor::NeighborSearcher actor_search(&actor_model->center, &data->graphs,
-                                       &data->hotspots, &vocab);
-  actor::NeighborSearcher crossmap_search(&crossmap_model->center,
-                                          &data->graphs, &data->hotspots,
-                                          &vocab);
+  actor::NeighborSearcher actor_search(data->Snapshot(actor_model->center));
+  actor::NeighborSearcher crossmap_search(
+      data->Snapshot(crossmap_model->center));
 
   // Fig. 9: spatial query at the busiest venue ("port of Los Angeles" in
   // the paper).

@@ -137,7 +137,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
     return 1;
   }
-  const BuiltGraphs& graphs = prepared->graphs;
+  const BuiltGraphs& graphs = *prepared->graphs;
   const EdgeType edge_type = DensestEdgeType(graphs.activity);
 
   const bool simd = Avx2Available();

@@ -29,15 +29,15 @@ int main(int argc, char** argv) {
     actor::Stopwatch timer;
     auto data = actor::PrepareDataset(options, name);
     data.status().CheckOK();
-    const auto& g = data->graphs.activity;
+    const auto& g = data->graphs->activity;
     std::printf(
         "%-10s %8zu %8zu %7zu %7zu %8d %10lld %9zu %10zu %7d %7zu %8.1f%%\n",
         name.c_str(), data->full.size(), data->split.train.size(),
         data->split.valid.size(), data->split.test.size(), g.num_vertices(),
         static_cast<long long>(g.num_directed_edges()),
-        data->hotspots.spatial.size(), data->hotspots.temporal.size(),
+        data->hotspots->spatial.size(), data->hotspots->temporal.size(),
         data->full.vocab().size(),
-        data->graphs.activity_users.size(),
+        data->graphs->activity_users.size(),
         100.0 * data->dataset.corpus.MentionFraction());
 
     // Supplementary: inter-record meta-graph instance counts (the
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     for (const auto& meta : actor::InterRecordMetaGraphs()) {
       std::printf(" %s=%lld", meta.name.c_str(),
                   static_cast<long long>(
-                      actor::CountInterRecordInstances(data->graphs, meta)));
+                      actor::CountInterRecordInstances(*data->graphs, meta)));
     }
     std::printf("   (prepared in %.1fs)\n", timer.ElapsedSeconds());
   }

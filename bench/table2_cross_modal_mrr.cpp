@@ -42,8 +42,7 @@ struct BenchConfig {
 void EvaluateEmbedding(const char* name, const actor::EmbeddingMatrix& center,
                        const actor::PreparedDataset& data,
                        const BenchConfig& config, double train_seconds) {
-  actor::EmbeddingCrossModalModel model(name, &center, &data.graphs,
-                                        &data.hotspots);
+  actor::EmbeddingCrossModalModel model(name, data.Snapshot(center));
   actor::EvalOptions eval;
   eval.max_queries = config.max_queries;
   auto scores = actor::EvaluateCrossModal(model, data.test, eval);
@@ -62,7 +61,7 @@ void RunDataset(const std::string& name,
   std::fprintf(stderr, "[%s prepared in %.1fs: %zu records, |E|=%lld]\n",
                name.c_str(), prep_timer.ElapsedSeconds(), data.full.size(),
                static_cast<long long>(
-                   data.graphs.activity.num_directed_edges()));
+                   data.graphs->activity.num_directed_edges()));
   PrintMrrHeader(name.c_str());
   actor::EvalOptions eval;
   eval.max_queries = config.max_queries;
@@ -95,7 +94,7 @@ void RunDataset(const std::string& name,
     options.skipgram.window = 3;
     options.skipgram.negatives = 5;
     options.skipgram.epochs = 2;
-    auto model = actor::TrainMetapath2vec(data.graphs.activity, options);
+    auto model = actor::TrainMetapath2vec(data.graphs->activity, options);
     model.status().CheckOK();
     EvaluateEmbedding("metapath2vec", model->center, data, config,
                       timer.ElapsedSeconds());
@@ -114,7 +113,7 @@ void RunDataset(const std::string& name,
         options.edge_types.push_back(e);
       }
     }
-    auto model = actor::TrainLine(data.graphs.activity, options);
+    auto model = actor::TrainLine(data.graphs->activity, options);
     model.status().CheckOK();
     EvaluateEmbedding(with_users ? "LINE(U)" : "LINE", model->center, data,
                       config, timer.ElapsedSeconds());
@@ -130,7 +129,7 @@ void RunDataset(const std::string& name,
     options.negatives = config.negatives;
     options.num_threads = config.threads;
     options.include_user_edges = with_users;
-    auto model = actor::TrainCrossMap(data.graphs, options);
+    auto model = actor::TrainCrossMap(*data.graphs, options);
     model.status().CheckOK();
     EvaluateEmbedding(with_users ? "CrossMap(U)" : "CrossMap", model->center,
                       data, config, timer.ElapsedSeconds());
@@ -145,7 +144,7 @@ void RunDataset(const std::string& name,
     options.samples_per_edge = config.spe;
     options.negatives = config.negatives;
     options.num_threads = config.threads;
-    auto model = actor::TrainActor(data.graphs, options);
+    auto model = actor::TrainActor(*data.graphs, options);
     model.status().CheckOK();
     EvaluateEmbedding("ACTOR", model->center, data, config,
                       timer.ElapsedSeconds());

@@ -48,10 +48,10 @@ int main(int argc, char** argv) {
       options.negatives = 5;  // see Table 2 note on K at reduced dimension
       options.use_inter = v.use_inter;
       options.use_bag_of_words = v.use_bow;
-      auto model = actor::TrainActor(data->graphs, options);
+      auto model = actor::TrainActor(*data->graphs, options);
       model.status().CheckOK();
-      actor::EmbeddingCrossModalModel scorer(v.label, &model->center,
-                                             &data->graphs, &data->hotspots);
+      actor::EmbeddingCrossModalModel scorer(
+          v.label, data->Snapshot(model->center));
       actor::EvalOptions eval;
       eval.max_queries = 2000;
       auto scores = actor::EvaluateCrossModal(scorer, data->test, eval);

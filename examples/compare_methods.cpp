@@ -47,8 +47,7 @@ int main(int argc, char** argv) {
 
   auto evaluate = [&](const char* name, const actor::EmbeddingMatrix& center,
                       double seconds) {
-    actor::EmbeddingCrossModalModel scorer(name, &center, &data.graphs,
-                                           &data.hotspots);
+    actor::EmbeddingCrossModalModel scorer(name, data.Snapshot(center));
     auto mrr = actor::EvaluateCrossModal(scorer, data.test);
     mrr.status().CheckOK();
     PrintRow(name, *mrr, seconds);
@@ -61,7 +60,7 @@ int main(int argc, char** argv) {
     opts.samples_per_edge = spe;
     opts.edge_types = {actor::EdgeType::kTL, actor::EdgeType::kLW,
                        actor::EdgeType::kWT, actor::EdgeType::kWW};
-    auto line = actor::TrainLine(data.graphs.activity, opts);
+    auto line = actor::TrainLine(data.graphs->activity, opts);
     line.status().CheckOK();
     evaluate("LINE", line->center, timer.ElapsedSeconds());
   }
@@ -72,7 +71,7 @@ int main(int argc, char** argv) {
     opts.epochs = epochs;
     opts.samples_per_edge = spe;
     opts.negatives = 5;  // matched to LINE's K (see EXPERIMENTS.md)
-    auto crossmap = actor::TrainCrossMap(data.graphs, opts);
+    auto crossmap = actor::TrainCrossMap(*data.graphs, opts);
     crossmap.status().CheckOK();
     evaluate("CrossMap", crossmap->center, timer.ElapsedSeconds());
   }
@@ -84,7 +83,7 @@ int main(int argc, char** argv) {
     opts.samples_per_edge = spe;
     opts.negatives = 5;
     opts.include_user_edges = true;
-    auto crossmap_u = actor::TrainCrossMap(data.graphs, opts);
+    auto crossmap_u = actor::TrainCrossMap(*data.graphs, opts);
     crossmap_u.status().CheckOK();
     evaluate("CrossMap(U)", crossmap_u->center, timer.ElapsedSeconds());
   }
@@ -97,7 +96,7 @@ int main(int argc, char** argv) {
     opts.negatives = 5;
     opts.use_inter = inter;
     opts.use_bag_of_words = bow;
-    auto model = actor::TrainActor(data.graphs, opts);
+    auto model = actor::TrainActor(*data.graphs, opts);
     model.status().CheckOK();
     evaluate(name, model->center, timer.ElapsedSeconds());
   };

@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
       "  %zu spatial + %zu temporal hotspots, |V|=%d, |E|=%lld directed "
       "(%.1fs)\n",
       data.name.c_str(), data.full.size(), data.train.size(),
-      data.test.size(), data.full.vocab().size(), data.hotspots.spatial.size(),
-      data.hotspots.temporal.size(), data.graphs.activity.num_vertices(),
-      static_cast<long long>(data.graphs.activity.num_directed_edges()),
+      data.test.size(), data.full.vocab().size(), data.hotspots->spatial.size(),
+      data.hotspots->temporal.size(), data.graphs->activity.num_vertices(),
+      static_cast<long long>(data.graphs->activity.num_directed_edges()),
       prep_timer.ElapsedSeconds());
 
   // --- 3: train ACTOR ------------------------------------------------------
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   options.dim = static_cast<int32_t>(flags.GetInt("dim", 32));
   options.epochs = static_cast<int>(flags.GetInt("epochs", 8));
   options.samples_per_edge = static_cast<int>(flags.GetInt("spe", 10));
-  auto model_result = actor::TrainActor(data.graphs, options);
+  auto model_result = actor::TrainActor(*data.graphs, options);
   model_result.status().CheckOK();
   actor::ActorModel& model = *model_result;
   std::printf("trained ACTOR: %.1fs pre-train + %.1fs train, %lld edge "
@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(model.stats.record_steps));
 
   // --- 4: cross-modal prediction -------------------------------------------
-  actor::EmbeddingCrossModalModel scorer("ACTOR", &model.center, &data.graphs,
-                                         &data.hotspots);
+  auto snapshot = data.Snapshot(model.center);
+  actor::EmbeddingCrossModalModel scorer("ACTOR", snapshot);
   auto mrr_result = actor::EvaluateCrossModal(scorer, data.test);
   mrr_result.status().CheckOK();
   std::printf("MRR  text=%.4f  location=%.4f  time=%.4f\n", mrr_result->text,
@@ -66,8 +66,7 @@ int main(int argc, char** argv) {
   // --- 5: a cross-modal neighbor query -------------------------------------
   // Ask for the words most associated with the first venue's location.
   const actor::GeoPoint venue = data.dataset.truth.venue_locations.front();
-  actor::NeighborSearcher searcher(&model.center, &data.graphs,
-                                   &data.hotspots, &data.full.vocab());
+  actor::NeighborSearcher searcher(snapshot);
   auto neighbors =
       searcher.QueryByLocation(venue, actor::VertexType::kWord, 8);
   neighbors.status().CheckOK();

@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
   options.epochs = 8;
   options.samples_per_edge = 10;
   options.negatives = 5;
-  auto model = actor::TrainActor(data->graphs, options);
+  auto model = actor::TrainActor(*data->graphs, options);
   model.status().CheckOK();
-  actor::EmbeddingCrossModalModel scorer("ACTOR", &model->center,
-                                         &data->graphs, &data->hotspots);
+  actor::EmbeddingCrossModalModel scorer("ACTOR",
+                                         data->Snapshot(model->center));
 
   std::printf("Trip planner ready (%zu test records as the candidate pool).\n",
               data->test.size());

@@ -50,11 +50,10 @@ int main(int argc, char** argv) {
   options.epochs = 8;
   options.samples_per_edge = 10;
   options.negatives = 5;
-  auto model = actor::TrainActor(data->graphs, options);
+  auto model = actor::TrainActor(*data->graphs, options);
   model.status().CheckOK();
 
-  actor::NeighborSearcher search(&model->center, &data->graphs,
-                                 &data->hotspots, &data->full.vocab());
+  actor::NeighborSearcher search(data->Snapshot(model->center));
   const auto& truth = data->dataset.truth;
 
   // Pick the busiest venue as "the waterfront plaza everyone visits".
@@ -67,7 +66,7 @@ int main(int argc, char** argv) {
   const int topic = truth.venue_topics[busiest];
 
   std::printf("City model trained: %zu records, %zu spatial hotspots.\n",
-              data->full.size(), data->hotspots.spatial.size());
+              data->full.size(), data->hotspots->spatial.size());
   std::printf("Featured venue: '%s' at (%.2f, %.2f), topic %d "
               "(peak hour %.1f).\n",
               truth.venue_keywords[busiest].c_str(), spot.x, spot.y, topic,
@@ -98,13 +97,13 @@ int main(int argc, char** argv) {
       search.QueryByKeyword(keyword, actor::VertexType::kLocation, 1);
   if (locations.ok() && !locations->empty()) {
     const int32_t hotspot_id =
-        data->hotspots.spatial.Assign(spot);
+        data->hotspots->spatial.Assign(spot);
     const actor::VertexId expected =
-        data->graphs.spatial_vertices[hotspot_id];
+        data->graphs->spatial_vertices[hotspot_id];
     std::printf("\nGround-truth check: top location %s the venue's own "
                 "hotspot (%s).\n",
                 (*locations)[0].vertex == expected ? "IS" : "is NOT",
-                data->graphs.activity.vertex_name(expected).c_str());
+                data->graphs->activity.vertex_name(expected).c_str());
   }
   return 0;
 }

@@ -2,9 +2,10 @@
 """Compare two benchmark JSON files and flag throughput regressions.
 
 Works on any file following the repo's bench schema (BENCH_sgd.json,
-BENCH_online.json): a top-level "throughput" array of rows, where each row
-mixes identity fields (backend, sampler, threads, ...) with metric fields
-(steps_per_sec, batches_per_sec, records_per_sec). Rows are matched across
+BENCH_online.json, BENCH_query.json): a top-level "throughput" array of
+rows, where each row mixes identity fields (backend, sampler, mode,
+threads, ...) with metric fields (steps_per_sec, batches_per_sec,
+records_per_sec, queries_per_sec). Rows are matched across
 the two files by their identity fields; every metric is compared and drops
 beyond --threshold (default 10%) are reported.
 
@@ -27,7 +28,12 @@ machine drift.
 import json
 import sys
 
-METRIC_FIELDS = ("steps_per_sec", "batches_per_sec", "records_per_sec")
+METRIC_FIELDS = (
+    "steps_per_sec",
+    "batches_per_sec",
+    "records_per_sec",
+    "queries_per_sec",
+)
 
 
 def parse_args(argv):

@@ -175,11 +175,11 @@ if [ "$MODE" = "bench" ]; then
   note "bench mode: rebuild + throughput comparison"
   cmake --preset default >/dev/null || { fail "configure"; exit 1; }
   cmake --build --preset default -j "$(nproc)" \
-    --target sgd_throughput online_throughput \
+    --target sgd_throughput online_throughput query_throughput \
     || { fail "bench build"; exit 1; }
   BENCH_TMP=$(mktemp -d)
   trap 'rm -rf "$BENCH_TMP"' EXIT
-  for bench in sgd online; do
+  for bench in sgd online query; do
     json="BENCH_${bench}.json"
     if [ ! -f "$json" ]; then
       echo "skip: no committed $json baseline"; continue

@@ -48,7 +48,9 @@ Result<OnlineActor> OnlineActor::Create(OnlineActorOptions options) {
 
 // Out-of-line: owned_pool_ holds a forward-declared ThreadPool.
 OnlineActor::OnlineActor(OnlineActorOptions options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options),
+      rng_(options.seed),
+      snapshots_(std::make_unique<SnapshotStore>()) {}
 OnlineActor::~OnlineActor() = default;
 OnlineActor::OnlineActor(OnlineActor&&) noexcept = default;
 OnlineActor& OnlineActor::operator=(OnlineActor&&) noexcept = default;
@@ -341,6 +343,31 @@ VertexId OnlineActor::TemporalUnit(double timestamp) const {
 VertexId OnlineActor::WordUnit(int32_t word_id) const {
   auto it = word_units_.find(word_id);
   return it == word_units_.end() ? kInvalidVertex : it->second;
+}
+
+std::shared_ptr<const ModelSnapshot> OnlineActor::PublishSnapshot() {
+  ModelSnapshot::OnlineCatalog catalog;
+  catalog.types = types_;
+  catalog.names = names_;
+  catalog.spatial_centers = spatial_;
+  catalog.spatial_units = spatial_units_;
+  catalog.temporal_hours = temporal_;
+  catalog.temporal_units = temporal_units_;
+  catalog.word_units = word_units_;
+  // Version stamping follows the OnlineEdgeStore scheme: each store's
+  // version() bumps on every accumulate/drop, and the batch count covers
+  // pure-decay ticks (which by design do not bump store versions). The sum
+  // is monotone across Ingest() calls, so snapshot versions totally order
+  // the published model states.
+  uint64_t version = static_cast<uint64_t>(batches_);
+  for (const auto& store : edges_) version += store.version();
+  auto snap = ModelSnapshot::FromOnline(center_, std::move(catalog), version);
+  snapshots_->Publish(snap);
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> OnlineActor::CurrentSnapshot() const {
+  return snapshots_->Acquire();
 }
 
 double OnlineActor::ScoreRecordAgainstUnit(const TokenizedRecord& record,

@@ -13,6 +13,7 @@
 #include "embedding/embedding_matrix.h"
 #include "graph/alias_table.h"
 #include "graph/types.h"
+#include "serve/model_snapshot.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/vec_math.h"
@@ -130,6 +131,26 @@ class OnlineActor {
   double ScoreRecordAgainstUnit(const TokenizedRecord& record,
                                 VertexId candidate) const;
 
+  /// Publishes the current model as an immutable ModelSnapshot and
+  /// installs it as the actor's current snapshot (docs/serving.md).
+  /// Copy-on-publish: the center matrix and unit catalogue are deep-copied
+  /// (O(units x dim)), so the caller decides how often to pay that — a
+  /// common cadence is once per Ingest(). Call from the ingest thread only
+  /// (the same thread that calls Ingest()); never concurrently with it.
+  /// The snapshot version follows the OnlineEdgeStore::version() scheme:
+  /// batches_ingested() plus the sum of the per-edge-type store versions,
+  /// so any batch that changed the sampled distribution (and any batch at
+  /// all, via the batch count) bumps it monotonically.
+  std::shared_ptr<const ModelSnapshot> PublishSnapshot();
+
+  /// Latest published snapshot (null before the first PublishSnapshot()).
+  /// Safe from any thread, concurrently with Ingest()/PublishSnapshot():
+  /// the slot swap is an atomic shared_ptr operation, and the snapshot
+  /// itself is immutable — this is the race-free read path for serving
+  /// queries against a live actor (see the tsan-labeled
+  /// QueryDuringIngest smoke test).
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
+
  private:
   /// Cached per-edge-type samplers, stamped with the store version they
   /// were built at. Rebuilt in place (allocation-free at steady state)
@@ -194,6 +215,10 @@ class OnlineActor {
 
   ThreadPool* pool_ = nullptr;              // null => sequential re-embed
   std::unique_ptr<ThreadPool> owned_pool_;  // backs pool_ when not borrowed
+
+  /// Atomic slot for the latest published snapshot. unique_ptr because the
+  /// store holds a std::atomic (non-movable) and OnlineActor is movable.
+  std::unique_ptr<SnapshotStore> snapshots_;
 
   SigmoidTable sigmoid_;
 };

@@ -11,26 +11,19 @@ constexpr double kUnresolvable = -1e9;
 }  // namespace
 
 EmbeddingCrossModalModel::EmbeddingCrossModalModel(
-    std::string name, const EmbeddingMatrix* center, const BuiltGraphs* graphs,
-    const Hotspots* hotspots)
-    : name_(std::move(name)),
-      center_(center),
-      graphs_(graphs),
-      hotspots_(hotspots) {}
+    std::string name, std::shared_ptr<const ModelSnapshot> snapshot)
+    : name_(std::move(name)), snapshot_(std::move(snapshot)) {}
 
 bool EmbeddingCrossModalModel::TextVector(const std::vector<int32_t>& words,
                                           std::vector<float>* out) const {
-  const std::size_t dim = static_cast<std::size_t>(center_->dim());
+  const EmbeddingMatrix& center = snapshot_->center();
+  const std::size_t dim = static_cast<std::size_t>(center.dim());
   out->assign(dim, 0.0f);
   int known = 0;
   for (int32_t w : words) {
-    if (w < 0 ||
-        static_cast<std::size_t>(w) >= graphs_->word_vertices.size()) {
-      continue;
-    }
-    const VertexId v = graphs_->word_vertices[w];
+    const VertexId v = snapshot_->WordVertex(w);
     if (v == kInvalidVertex) continue;
-    Add(center_->row(v), out->data(), dim);
+    Add(center.row(v), out->data(), dim);
     ++known;
   }
   if (known == 0) return false;
@@ -40,19 +33,19 @@ bool EmbeddingCrossModalModel::TextVector(const std::vector<int32_t>& words,
 
 bool EmbeddingCrossModalModel::LocationVector(const GeoPoint& location,
                                               std::vector<float>* out) const {
-  const int32_t h = hotspots_->spatial.Assign(location);
-  if (h < 0) return false;
-  const VertexId v = graphs_->spatial_vertices[h];
-  out->assign(center_->row(v), center_->row(v) + center_->dim());
+  const VertexId v = snapshot_->SpatialVertex(location);
+  if (v == kInvalidVertex) return false;
+  const EmbeddingMatrix& center = snapshot_->center();
+  out->assign(center.row(v), center.row(v) + center.dim());
   return true;
 }
 
 bool EmbeddingCrossModalModel::TimeVector(double timestamp,
                                           std::vector<float>* out) const {
-  const int32_t h = hotspots_->temporal.Assign(timestamp);
-  if (h < 0) return false;
-  const VertexId v = graphs_->temporal_vertices[h];
-  out->assign(center_->row(v), center_->row(v) + center_->dim());
+  const VertexId v = snapshot_->TemporalVertexAt(timestamp);
+  if (v == kInvalidVertex) return false;
+  const EmbeddingMatrix& center = snapshot_->center();
+  out->assign(center.row(v), center.row(v) + center.dim());
   return true;
 }
 
@@ -60,7 +53,7 @@ double EmbeddingCrossModalModel::CosineScore(
     const std::vector<const float*>& query_rows, const float* candidate,
     bool candidate_ok) const {
   if (!candidate_ok || query_rows.empty()) return kUnresolvable;
-  const std::size_t dim = static_cast<std::size_t>(center_->dim());
+  const std::size_t dim = static_cast<std::size_t>(snapshot_->dim());
   std::vector<float> query(dim, 0.0f);
   for (const float* row : query_rows) Add(row, query.data(), dim);
   Scale(1.0f / static_cast<float>(query_rows.size()), query.data(), dim);

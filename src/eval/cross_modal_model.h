@@ -1,14 +1,13 @@
 #ifndef ACTOR_EVAL_CROSS_MODAL_MODEL_H_
 #define ACTOR_EVAL_CROSS_MODAL_MODEL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/geo_topic_model.h"
 #include "data/record.h"
-#include "embedding/embedding_matrix.h"
-#include "graph/graph_builder.h"
-#include "hotspot/hotspot_detector.h"
+#include "serve/model_snapshot.h"
 
 namespace actor {
 
@@ -46,10 +45,11 @@ class CrossModalModel {
 /// mean unit vectors, and the score is their cosine similarity (§6.2.1).
 class EmbeddingCrossModalModel : public CrossModalModel {
  public:
-  /// All pointers must outlive the adapter.
-  EmbeddingCrossModalModel(std::string name, const EmbeddingMatrix* center,
-                           const BuiltGraphs* graphs,
-                           const Hotspots* hotspots);
+  /// Scores against one immutable model version; the adapter keeps the
+  /// snapshot alive, so there is no lifetime contract beyond the
+  /// shared_ptr (see docs/serving.md).
+  EmbeddingCrossModalModel(std::string name,
+                           std::shared_ptr<const ModelSnapshot> snapshot);
 
   std::string name() const override { return name_; }
 
@@ -69,8 +69,7 @@ class EmbeddingCrossModalModel : public CrossModalModel {
   /// Center vector of the temporal hotspot the timestamp maps to.
   bool TimeVector(double timestamp, std::vector<float>* out) const;
 
-  const EmbeddingMatrix& center() const { return *center_; }
-  const BuiltGraphs& graphs() const { return *graphs_; }
+  const ModelSnapshot& snapshot() const { return *snapshot_; }
 
  private:
   /// Cosine between the mean of `parts` and `candidate`; parts that are
@@ -80,9 +79,7 @@ class EmbeddingCrossModalModel : public CrossModalModel {
                      const float* candidate, bool candidate_ok) const;
 
   std::string name_;
-  const EmbeddingMatrix* center_;
-  const BuiltGraphs* graphs_;
-  const Hotspots* hotspots_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
 };
 
 /// Adapter for the geographical topic models (LGTA / MGTM).

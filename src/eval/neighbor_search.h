@@ -1,69 +1,16 @@
 #ifndef ACTOR_EVAL_NEIGHBOR_SEARCH_H_
 #define ACTOR_EVAL_NEIGHBOR_SEARCH_H_
 
-#include <string>
-#include <vector>
-
-#include "data/record.h"
-#include "data/vocabulary.h"
-#include "embedding/embedding_matrix.h"
-#include "graph/graph_builder.h"
-#include "hotspot/hotspot_detector.h"
-#include "util/result.h"
+#include "serve/query_engine.h"
 
 namespace actor {
 
-/// One cross-modal neighbor (paper §6.4): a unit of the requested type and
-/// its cosine similarity to the query.
-struct Neighbor {
-  VertexId vertex = kInvalidVertex;
-  std::string name;
-  VertexType type = VertexType::kWord;
-  double similarity = 0.0;
-};
-
-/// Cross-modal k-nearest-neighbor search in the learned embedding space.
-/// Backs the spatial / temporal / textual queries of Figs. 9-11.
-class NeighborSearcher {
- public:
-  /// All pointers must outlive the searcher.
-  NeighborSearcher(const EmbeddingMatrix* center, const BuiltGraphs* graphs,
-                   const Hotspots* hotspots, const Vocabulary* vocab);
-
-  /// Top-k units of `result_type` nearest to a geographic point (the point
-  /// is first snapped to its spatial hotspot, Fig. 9).
-  Result<std::vector<Neighbor>> QueryByLocation(const GeoPoint& location,
-                                                VertexType result_type,
-                                                int k) const;
-
-  /// Top-k units nearest to an hour-of-day (snapped to its temporal
-  /// hotspot, Fig. 10).
-  Result<std::vector<Neighbor>> QueryByHour(double hour,
-                                            VertexType result_type,
-                                            int k) const;
-
-  /// Top-k units nearest to a vocabulary keyword (Fig. 11). NotFound if the
-  /// word is unknown or absent from the graph.
-  Result<std::vector<Neighbor>> QueryByKeyword(const std::string& keyword,
-                                               VertexType result_type,
-                                               int k) const;
-
-  /// Top-k units of `result_type` by cosine against an arbitrary query
-  /// vector of the embedding dimension. `exclude` is omitted from results.
-  Result<std::vector<Neighbor>> QueryByVector(
-      const float* query, VertexType result_type, int k,
-      VertexId exclude = kInvalidVertex) const;
-
- private:
-  Result<std::vector<Neighbor>> QueryByVertex(VertexId v,
-                                              VertexType result_type,
-                                              int k) const;
-
-  const EmbeddingMatrix* center_;
-  const BuiltGraphs* graphs_;
-  const Hotspots* hotspots_;
-  const Vocabulary* vocab_;
-};
+/// The cross-modal k-NN search of Figs. 9-11 lives in the serving layer
+/// now: construct a QueryEngine from a published ModelSnapshot (e.g.
+/// PreparedDataset::Snapshot() or OnlineActor::PublishSnapshot()) instead
+/// of raw out-live-me pointers. This alias keeps the historical name for
+/// the eval-side callers; Neighbor moved to serve/query_engine.h.
+using NeighborSearcher = QueryEngine;
 
 }  // namespace actor
 

@@ -25,11 +25,21 @@ Result<PreparedDataset> PrepareDataset(const PipelineOptions& options,
   out.train = Subset(out.full, out.split.train);
   out.test = Subset(out.full, out.split.test);
 
-  ACTOR_ASSIGN_OR_RETURN(out.hotspots,
+  ACTOR_ASSIGN_OR_RETURN(Hotspots hotspots,
                          DetectHotspots(out.train, options.hotspots));
-  ACTOR_ASSIGN_OR_RETURN(out.graphs,
-                         BuildGraphs(out.train, out.hotspots, options.graph));
+  out.hotspots = std::make_shared<const Hotspots>(std::move(hotspots));
+  ACTOR_ASSIGN_OR_RETURN(
+      BuiltGraphs graphs,
+      BuildGraphs(out.train, *out.hotspots, options.graph));
+  out.graphs = std::make_shared<const BuiltGraphs>(std::move(graphs));
+  out.vocab = std::make_shared<const Vocabulary>(out.full.vocab());
   return out;
+}
+
+std::shared_ptr<const ModelSnapshot> PreparedDataset::Snapshot(
+    const EmbeddingMatrix& center, uint64_t version) const {
+  return ModelSnapshot::FromBatch(center, /*context=*/nullptr, graphs,
+                                  hotspots, vocab, version);
 }
 
 PipelineOptions UTGeoPipeline(double scale) {

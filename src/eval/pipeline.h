@@ -1,12 +1,15 @@
 #ifndef ACTOR_EVAL_PIPELINE_H_
 #define ACTOR_EVAL_PIPELINE_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "data/corpus.h"
 #include "data/synthetic.h"
 #include "graph/graph_builder.h"
 #include "hotspot/hotspot_detector.h"
+#include "serve/model_snapshot.h"
 #include "util/result.h"
 
 namespace actor {
@@ -24,7 +27,10 @@ struct PipelineOptions {
   uint64_t split_seed = 1234;
 };
 
-/// Everything the experiments need for one dataset.
+/// Everything the experiments need for one dataset. Hotspots, graphs, and
+/// the vocabulary are held by shared_ptr-to-const so trained models can be
+/// published as ModelSnapshots that share (rather than outlive-contract)
+/// them; they are immutable once PrepareDataset returns.
 struct PreparedDataset {
   std::string name;
   SyntheticDataset dataset;  // raw records + generator ground truth
@@ -32,8 +38,16 @@ struct PreparedDataset {
   CorpusSplit split;
   TokenizedCorpus train;
   TokenizedCorpus test;
-  Hotspots hotspots;  // detected on the training split
-  BuiltGraphs graphs; // built on the training split
+  std::shared_ptr<const Hotspots> hotspots;    // detected on the train split
+  std::shared_ptr<const BuiltGraphs> graphs;   // built on the train split
+  std::shared_ptr<const Vocabulary> vocab;     // copy of full.vocab()
+
+  /// Publishes `center` together with this dataset's graphs / hotspots /
+  /// vocabulary as an immutable serving snapshot (copy-on-publish; see
+  /// docs/serving.md). The usual way to stand up a QueryEngine or
+  /// EmbeddingCrossModalModel after TrainActor.
+  std::shared_ptr<const ModelSnapshot> Snapshot(const EmbeddingMatrix& center,
+                                                uint64_t version = 0) const;
 };
 
 /// Runs the full preparation pipeline.

@@ -21,9 +21,9 @@ Result<std::vector<TuningCandidate>> GridSearchActor(
   std::vector<TuningCandidate> results;
   results.reserve(grid.size());
   for (const ActorOptions& options : grid) {
-    ACTOR_ASSIGN_OR_RETURN(ActorModel model, TrainActor(data.graphs, options));
-    EmbeddingCrossModalModel scorer("tuning", &model.center, &data.graphs,
-                                    &data.hotspots);
+    ACTOR_ASSIGN_OR_RETURN(ActorModel model,
+                           TrainActor(*data.graphs, options));
+    EmbeddingCrossModalModel scorer("tuning", data.Snapshot(model.center));
     ACTOR_ASSIGN_OR_RETURN(MrrScores scores,
                            EvaluateCrossModal(scorer, valid, eval));
     TuningCandidate candidate;

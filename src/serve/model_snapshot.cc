@@ -1,0 +1,114 @@
+#include "serve/model_snapshot.h"
+
+#include <limits>
+#include <utility>
+
+namespace actor {
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromBatch(
+    const EmbeddingMatrix& center, const EmbeddingMatrix* context,
+    std::shared_ptr<const BuiltGraphs> graphs,
+    std::shared_ptr<const Hotspots> hotspots,
+    std::shared_ptr<const Vocabulary> vocab, uint64_t version) {
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->version_ = version;
+  snap->center_ = center.Clone();
+  if (context != nullptr) {
+    snap->context_ = std::make_unique<EmbeddingMatrix>(context->Clone());
+  }
+  snap->graphs_ = std::move(graphs);
+  snap->hotspots_ = std::move(hotspots);
+  snap->vocab_ = std::move(vocab);
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromOnline(
+    const EmbeddingMatrix& center, OnlineCatalog catalog, uint64_t version) {
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->version_ = version;
+  snap->center_ = center.Clone();
+  snap->catalog_ = std::move(catalog);
+  for (std::size_t v = 0; v < snap->catalog_.types.size(); ++v) {
+    snap->of_type_[static_cast<int>(snap->catalog_.types[v])].push_back(
+        static_cast<VertexId>(v));
+  }
+  return snap;
+}
+
+const std::vector<VertexId>& ModelSnapshot::VerticesOfType(
+    VertexType type) const {
+  if (graphs_ != nullptr) return graphs_->activity.VerticesOfType(type);
+  return of_type_[static_cast<int>(type)];
+}
+
+VertexType ModelSnapshot::vertex_type(VertexId v) const {
+  if (graphs_ != nullptr) return graphs_->activity.vertex_type(v);
+  return catalog_.types[static_cast<std::size_t>(v)];
+}
+
+const std::string& ModelSnapshot::vertex_name(VertexId v) const {
+  if (graphs_ != nullptr) return graphs_->activity.vertex_name(v);
+  return catalog_.names[static_cast<std::size_t>(v)];
+}
+
+VertexId ModelSnapshot::SpatialVertex(const GeoPoint& location) const {
+  if (graphs_ != nullptr) {
+    const int32_t h = hotspots_->spatial.Assign(location);
+    return h < 0 ? kInvalidVertex : graphs_->spatial_vertices[h];
+  }
+  // Same nearest-center scan as OnlineActor::SpatialUnit, so a snapshot
+  // resolves exactly like the live actor it was published from.
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < catalog_.spatial_centers.size(); ++i) {
+    const double d = Distance(location, catalog_.spatial_centers[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best < 0 ? kInvalidVertex : catalog_.spatial_units[best];
+}
+
+VertexId ModelSnapshot::TemporalVertexAt(double timestamp) const {
+  if (graphs_ != nullptr) {
+    const int32_t h = hotspots_->temporal.Assign(timestamp);
+    return h < 0 ? kInvalidVertex : graphs_->temporal_vertices[h];
+  }
+  return TemporalVertexAtHour(HourOfDay(timestamp));
+}
+
+VertexId ModelSnapshot::TemporalVertexAtHour(double hour) const {
+  if (graphs_ != nullptr) {
+    const int32_t h = hotspots_->temporal.AssignHour(hour);
+    return h < 0 ? kInvalidVertex : graphs_->temporal_vertices[h];
+  }
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < catalog_.temporal_hours.size(); ++i) {
+    const double d = CircularHourDistance(hour, catalog_.temporal_hours[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best < 0 ? kInvalidVertex : catalog_.temporal_units[best];
+}
+
+VertexId ModelSnapshot::WordVertex(int32_t word_id) const {
+  if (graphs_ != nullptr) {
+    if (word_id < 0 ||
+        static_cast<std::size_t>(word_id) >= graphs_->word_vertices.size()) {
+      return kInvalidVertex;
+    }
+    return graphs_->word_vertices[static_cast<std::size_t>(word_id)];
+  }
+  const auto it = catalog_.word_units.find(word_id);
+  return it == catalog_.word_units.end() ? kInvalidVertex : it->second;
+}
+
+int32_t ModelSnapshot::LookupWord(const std::string& keyword) const {
+  return vocab_ == nullptr ? -1 : vocab_->Lookup(keyword);
+}
+
+}  // namespace actor

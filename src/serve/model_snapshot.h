@@ -1,0 +1,184 @@
+#ifndef ACTOR_SERVE_MODEL_SNAPSHOT_H_
+#define ACTOR_SERVE_MODEL_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+#include "data/vocabulary.h"
+#include "embedding/embedding_matrix.h"
+#include "graph/graph_builder.h"
+#include "graph/types.h"
+#include "hotspot/hotspot_detector.h"
+
+namespace actor {
+
+/// An immutable, versioned bundle of everything the read path needs to
+/// answer cross-modal queries: center (and optionally context) embeddings
+/// plus the unit catalogue that maps modality values (locations, times,
+/// words) to embedding rows.
+///
+/// Snapshots are the serving boundary of the system (docs/serving.md).
+/// Trainers mutate their matrices in place (HOGWILD); queries never touch
+/// those matrices. Instead a trainer *publishes*: the embeddings are deep-
+/// copied into a new snapshot (copy-on-publish, O(rows x dim)), the unit
+/// catalogue is copied or shared by shared_ptr, and the result is handed
+/// out through SnapshotStore's atomic shared_ptr slot. A query holding a
+/// snapshot therefore sees one consistent model version forever — later
+/// Ingest()/publish cycles cannot change what it scores — and readers
+/// never block writers.
+///
+/// Two factory paths cover the two trainers:
+///   - FromBatch: wraps a finished TrainActor model together with the
+///     batch pipeline's BuiltGraphs / Hotspots / Vocabulary (shared,
+///     immutable after construction by contract).
+///   - FromOnline: wraps OnlineActor's live unit catalogue (copied, since
+///     the actor keeps growing it) — built by OnlineActor::PublishSnapshot.
+///
+/// All resolution methods are const, thread-safe, and bit-identical to the
+/// pre-snapshot code paths they replaced (the batch path delegates to the
+/// same Hotspots::Assign / lookup tables; the online path mirrors
+/// OnlineActor::SpatialUnit/TemporalUnit/WordUnit).
+class ModelSnapshot {
+ public:
+  /// Copied unit catalogue of a streaming model (OnlineActor's resolver
+  /// state at publish time).
+  struct OnlineCatalog {
+    std::vector<VertexType> types;
+    std::vector<std::string> names;
+    std::vector<GeoPoint> spatial_centers;
+    std::vector<VertexId> spatial_units;
+    std::vector<double> temporal_hours;
+    std::vector<VertexId> temporal_units;
+    std::unordered_map<int32_t, VertexId> word_units;
+  };
+
+  /// Publishes a batch-trained model. `center` is deep-copied; `context`
+  /// is deep-copied when non-null (most consumers only need center).
+  /// `graphs` and `hotspots` are required; `vocab` may be null, in which
+  /// case KeywordVertex()/LookupWord() report every keyword as unknown.
+  /// The shared structures must not be mutated after publishing.
+  static std::shared_ptr<const ModelSnapshot> FromBatch(
+      const EmbeddingMatrix& center, const EmbeddingMatrix* context,
+      std::shared_ptr<const BuiltGraphs> graphs,
+      std::shared_ptr<const Hotspots> hotspots,
+      std::shared_ptr<const Vocabulary> vocab, uint64_t version);
+
+  /// Publishes a streaming model: `center` is deep-copied and `catalog`
+  /// (already a copy of the actor's resolver state) is adopted.
+  static std::shared_ptr<const ModelSnapshot> FromOnline(
+      const EmbeddingMatrix& center, OnlineCatalog catalog, uint64_t version);
+
+  /// Monotonic model version. Batch snapshots are stamped by the trainer
+  /// (PublishActorModel uses the total SGD step count); online snapshots
+  /// use the OnlineEdgeStore::version() scheme (sum of the per-edge-type
+  /// store versions plus the batch count), so any Ingest() that changed
+  /// the model is visible as a version bump.
+  uint64_t version() const { return version_; }
+
+  /// The frozen center embeddings. One row per unit in the catalogue.
+  const EmbeddingMatrix& center() const { return center_; }
+  /// Frozen context embeddings; null unless the publisher included them.
+  const EmbeddingMatrix* context() const { return context_.get(); }
+  int32_t dim() const { return center_.dim(); }
+  int32_t num_units() const { return center_.rows(); }
+
+  // --- Unit catalogue -----------------------------------------------------
+
+  /// All units of `type`, in id order.
+  const std::vector<VertexId>& VerticesOfType(VertexType type) const;
+  VertexType vertex_type(VertexId v) const;
+  const std::string& vertex_name(VertexId v) const;
+
+  // --- Modality resolution (kInvalidVertex when unresolvable) -------------
+
+  /// Unit of the spatial hotspot nearest to `location`.
+  VertexId SpatialVertex(const GeoPoint& location) const;
+  /// Unit of the temporal hotspot circularly nearest to a raw timestamp
+  /// (seconds).
+  VertexId TemporalVertexAt(double timestamp) const;
+  /// Unit of the temporal hotspot circularly nearest to an hour-of-day.
+  VertexId TemporalVertexAtHour(double hour) const;
+  /// Unit of a vocabulary word id; kInvalidVertex when the id is out of
+  /// range or the word never made it into the model.
+  VertexId WordVertex(int32_t word_id) const;
+  /// Vocabulary id of `keyword`; -1 when unknown (always -1 without a
+  /// vocabulary — streaming snapshots resolve word ids, not strings).
+  int32_t LookupWord(const std::string& keyword) const;
+  bool has_vocab() const { return vocab_ != nullptr; }
+
+ private:
+  ModelSnapshot() = default;
+
+  uint64_t version_ = 0;
+  EmbeddingMatrix center_;                      // owned deep copy
+  std::unique_ptr<EmbeddingMatrix> context_;    // optional owned deep copy
+
+  // Batch path: shared immutable structures from the eval pipeline.
+  std::shared_ptr<const BuiltGraphs> graphs_;
+  std::shared_ptr<const Hotspots> hotspots_;
+  std::shared_ptr<const Vocabulary> vocab_;
+
+  // Online path (graphs_ == nullptr): copied resolver state plus derived
+  // per-type id lists so VerticesOfType has one shape on both paths.
+  OnlineCatalog catalog_;
+  std::vector<VertexId> of_type_[kNumVertexTypes];
+};
+
+/// The one mutable cell of the serving layer: an atomically swappable slot
+/// holding the latest published snapshot. Publish() installs a new version
+/// (writer side, typically the ingest thread); Acquire() grabs a reference
+/// to whatever is current (any thread, lock-free on libstdc++'s atomic
+/// shared_ptr). Readers keep their snapshot alive through the shared_ptr
+/// refcount, so a publish never invalidates an in-flight query.
+///
+/// TSan builds swap in the free-function atomic shared_ptr overloads:
+/// libstdc++'s std::atomic<shared_ptr> guards its raw pointer with a
+/// packed lock *bit* that ThreadSanitizer cannot model (it reports the
+/// guarded plain pointer accesses as races), while the free functions
+/// lock a pthread-mutex pool TSan fully understands. Same release/acquire
+/// publication contract either way — this keeps tsan.supp empty.
+#if defined(__cpp_lib_atomic_shared_ptr) && !defined(ACTOR_TSAN)
+#define ACTOR_SERVE_ATOMIC_SHARED_PTR 1
+#endif
+
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  void Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+#if defined(ACTOR_SERVE_ATOMIC_SHARED_PTR)
+    slot_.store(std::move(snapshot), std::memory_order_release);
+#else
+    std::atomic_store_explicit(&slot_, std::move(snapshot),
+                               std::memory_order_release);
+#endif
+  }
+
+  /// Latest published snapshot; null before the first Publish().
+  std::shared_ptr<const ModelSnapshot> Acquire() const {
+#if defined(ACTOR_SERVE_ATOMIC_SHARED_PTR)
+    return slot_.load(std::memory_order_acquire);
+#else
+    return std::atomic_load_explicit(&slot_, std::memory_order_acquire);
+#endif
+  }
+
+ private:
+#if defined(ACTOR_SERVE_ATOMIC_SHARED_PTR)
+  std::atomic<std::shared_ptr<const ModelSnapshot>> slot_;
+#else
+  // TSan / pre-C++20 path: the free-function atomic shared_ptr overloads.
+  std::shared_ptr<const ModelSnapshot> slot_;
+#endif
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_SERVE_MODEL_SNAPSHOT_H_

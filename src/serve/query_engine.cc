@@ -1,0 +1,87 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/vec_math.h"
+
+namespace actor {
+
+QueryEngine::QueryEngine(std::shared_ptr<const ModelSnapshot> snapshot)
+    : snapshot_(std::move(snapshot)) {}
+
+Result<std::vector<Neighbor>> QueryEngine::QueryByVector(
+    const float* query, VertexType result_type, int k,
+    VertexId exclude) const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  const ModelSnapshot& snap = *snapshot_;
+  const EmbeddingMatrix& center = snap.center();
+  const std::size_t dim = static_cast<std::size_t>(center.dim());
+  // One query against the whole type block: the query norm is fixed, so it
+  // is computed once here instead of once per row inside Cosine(). The
+  // per-row work is a single fused pass (dot + candidate norm).
+  const float query_norm = Norm2(query, dim);
+  std::vector<Neighbor> results;
+  for (VertexId v : snap.VerticesOfType(result_type)) {
+    if (v == exclude) continue;
+    float dot = 0.0f;
+    float norm2 = 0.0f;
+    DotAndNorm2(query, center.row(v), dim, &dot, &norm2);
+    const float row_norm = std::sqrt(norm2);
+    Neighbor n;
+    n.vertex = v;
+    n.similarity = (query_norm == 0.0f || row_norm == 0.0f)
+                       ? 0.0f
+                       : dot / (query_norm * row_norm);
+    results.push_back(std::move(n));
+  }
+  const std::size_t keep = std::min<std::size_t>(k, results.size());
+  std::partial_sort(results.begin(), results.begin() + keep, results.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.similarity > b.similarity;
+                    });
+  results.resize(keep);
+  for (auto& n : results) {
+    n.name = snap.vertex_name(n.vertex);
+    n.type = snap.vertex_type(n.vertex);
+  }
+  return results;
+}
+
+Result<std::vector<Neighbor>> QueryEngine::QueryByVertex(
+    VertexId v, VertexType result_type, int k) const {
+  return QueryByVector(snapshot_->center().row(v), result_type, k, v);
+}
+
+Result<std::vector<Neighbor>> QueryEngine::QueryByLocation(
+    const GeoPoint& location, VertexType result_type, int k) const {
+  const VertexId v = snapshot_->SpatialVertex(location);
+  if (v == kInvalidVertex) {
+    return Status::NotFound("no spatial hotspots available");
+  }
+  return QueryByVertex(v, result_type, k);
+}
+
+Result<std::vector<Neighbor>> QueryEngine::QueryByHour(
+    double hour, VertexType result_type, int k) const {
+  const VertexId v = snapshot_->TemporalVertexAtHour(hour);
+  if (v == kInvalidVertex) {
+    return Status::NotFound("no temporal hotspots available");
+  }
+  return QueryByVertex(v, result_type, k);
+}
+
+Result<std::vector<Neighbor>> QueryEngine::QueryByKeyword(
+    const std::string& keyword, VertexType result_type, int k) const {
+  const int32_t w = snapshot_->LookupWord(keyword);
+  if (w < 0) return Status::NotFound("keyword not in vocabulary: " + keyword);
+  const VertexId v = snapshot_->WordVertex(w);
+  if (v == kInvalidVertex) {
+    return Status::NotFound("keyword not present in the activity graph: " +
+                            keyword);
+  }
+  return QueryByVertex(v, result_type, k);
+}
+
+}  // namespace actor

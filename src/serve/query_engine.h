@@ -1,0 +1,77 @@
+#ifndef ACTOR_SERVE_QUERY_ENGINE_H_
+#define ACTOR_SERVE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "graph/types.h"
+#include "serve/model_snapshot.h"
+#include "util/result.h"
+
+namespace actor {
+
+/// One cross-modal neighbor (paper §6.4): a unit of the requested type and
+/// its cosine similarity to the query.
+struct Neighbor {
+  VertexId vertex = kInvalidVertex;
+  std::string name;
+  VertexType type = VertexType::kWord;
+  double similarity = 0.0;
+};
+
+/// Cross-modal top-k search over one immutable ModelSnapshot. Backs the
+/// spatial / temporal / textual queries of Figs. 9-11 for both batch and
+/// streaming models.
+///
+/// The engine keeps its snapshot alive through the shared_ptr, so it can
+/// be constructed from SnapshotStore::Acquire() and used while the trainer
+/// keeps ingesting: every query scores against the frozen copy, never the
+/// live matrices. All methods are const and thread-safe; results for a
+/// given snapshot are deterministic and bit-identical to the pre-snapshot
+/// NeighborSearcher (same accumulation order — the one-query-vs-matrix
+/// scoring loop hoists the query norm instead of recomputing it per row,
+/// and the fused DotAndNorm2 kernel preserves Dot/Norm2's reduction order
+/// per backend).
+class QueryEngine {
+ public:
+  explicit QueryEngine(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  const ModelSnapshot& snapshot() const { return *snapshot_; }
+
+  /// Top-k units of `result_type` nearest to a geographic point (the point
+  /// is first snapped to its spatial hotspot, Fig. 9).
+  Result<std::vector<Neighbor>> QueryByLocation(const GeoPoint& location,
+                                                VertexType result_type,
+                                                int k) const;
+
+  /// Top-k units nearest to an hour-of-day (snapped to its temporal
+  /// hotspot, Fig. 10).
+  Result<std::vector<Neighbor>> QueryByHour(double hour,
+                                            VertexType result_type,
+                                            int k) const;
+
+  /// Top-k units nearest to a vocabulary keyword (Fig. 11). NotFound if the
+  /// word is unknown or absent from the graph.
+  Result<std::vector<Neighbor>> QueryByKeyword(const std::string& keyword,
+                                               VertexType result_type,
+                                               int k) const;
+
+  /// Top-k units of `result_type` by cosine against an arbitrary query
+  /// vector of the embedding dimension. `exclude` is omitted from results.
+  Result<std::vector<Neighbor>> QueryByVector(
+      const float* query, VertexType result_type, int k,
+      VertexId exclude = kInvalidVertex) const;
+
+ private:
+  Result<std::vector<Neighbor>> QueryByVertex(VertexId v,
+                                              VertexType result_type,
+                                              int k) const;
+
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_SERVE_QUERY_ENGINE_H_

@@ -36,6 +36,22 @@ void Add(const float* x, float* out, std::size_t n) {
 
 float Norm2(const float* x, std::size_t n) { return std::sqrt(Dot(x, x, n)); }
 
+void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
+                 float* y_norm2) {
+  // Two independent accumulator chains in one pass; each sees exactly the
+  // addend sequence its stand-alone Dot() loop would, so results are
+  // bit-identical to Dot(x, y, n) and Dot(y, y, n).
+  float acc = 0.0f;
+  float nn = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float yv = y[i];
+    acc += x[i] * yv;
+    nn += yv * yv;
+  }
+  *dot = acc;
+  *y_norm2 = nn;
+}
+
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
                    std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
@@ -85,6 +101,19 @@ void Add(const float* x, float* out, std::size_t n) {
 }
 
 float Norm2(const float* x, std::size_t n) { return std::sqrt(Dot(x, x, n)); }
+
+void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
+                 float* y_norm2) {
+  float acc = 0.0f;
+  float nn = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float yv = RelaxedLoad(y + i);
+    acc += RelaxedLoad(x + i) * yv;
+    nn += yv * yv;
+  }
+  *dot = acc;
+  *y_norm2 = nn;
+}
 
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
                    std::size_t n) {
@@ -175,6 +204,41 @@ ACTOR_AVX2_TARGET float Norm2(const float* x, std::size_t n) {
   return std::sqrt(Dot(x, x, n));
 }
 
+ACTOR_AVX2_TARGET void DotAndNorm2(const float* x, const float* y,
+                                   std::size_t n, float* dot,
+                                   float* y_norm2) {
+  // Mirrors Dot()'s dual-accumulator 16-wide structure for both chains, so
+  // each result is bit-identical to the corresponding stand-alone Dot().
+  __m256 d0 = _mm256_setzero_ps();
+  __m256 d1 = _mm256_setzero_ps();
+  __m256 n0 = _mm256_setzero_ps();
+  __m256 n1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 ylo = _mm256_loadu_ps(y + i);
+    const __m256 yhi = _mm256_loadu_ps(y + i + 8);
+    d0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), ylo, d0);
+    d1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8), yhi, d1);
+    n0 = _mm256_fmadd_ps(ylo, ylo, n0);
+    n1 = _mm256_fmadd_ps(yhi, yhi, n1);
+  }
+  if (i + 8 <= n) {
+    const __m256 yv = _mm256_loadu_ps(y + i);
+    d0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), yv, d0);
+    n0 = _mm256_fmadd_ps(yv, yv, n0);
+    i += 8;
+  }
+  float acc = HorizontalSum(_mm256_add_ps(d0, d1));
+  float nn = HorizontalSum(_mm256_add_ps(n0, n1));
+  for (; i < n; ++i) {
+    const float yv = y[i];
+    acc += x[i] * yv;
+    nn += yv * yv;
+  }
+  *dot = acc;
+  *y_norm2 = nn;
+}
+
 ACTOR_AVX2_TARGET void FusedGradStep(float g, const float* center, float* ctx,
                                      float* grad, std::size_t n) {
   const __m256 vg = _mm256_set1_ps(g);
@@ -212,6 +276,8 @@ struct KernelTable {
   void (*scale)(float, float*, std::size_t) = &scalar::Scale;
   void (*add)(const float*, float*, std::size_t) = &scalar::Add;
   float (*norm2)(const float*, std::size_t) = &scalar::Norm2;
+  void (*dot_norm2)(const float*, const float*, std::size_t, float*, float*) =
+      &scalar::DotAndNorm2;
   void (*fused)(float, const float*, float*, float*, std::size_t) =
       &scalar::FusedGradStep;
 };
@@ -261,6 +327,7 @@ VecBackend SetVecBackend(VecBackend backend) {
   g_kernels.scale = &relaxed::Scale;
   g_kernels.add = &relaxed::Add;
   g_kernels.norm2 = &relaxed::Norm2;
+  g_kernels.dot_norm2 = &relaxed::DotAndNorm2;
   g_kernels.fused = &relaxed::FusedGradStep;
   g_backend = VecBackend::kRelaxed;
   return g_backend;
@@ -272,6 +339,7 @@ VecBackend SetVecBackend(VecBackend backend) {
     g_kernels.scale = &avx2::Scale;
     g_kernels.add = &avx2::Add;
     g_kernels.norm2 = &avx2::Norm2;
+    g_kernels.dot_norm2 = &avx2::DotAndNorm2;
     g_kernels.fused = &avx2::FusedGradStep;
     g_backend = VecBackend::kAvx2;
     return g_backend;
@@ -283,6 +351,7 @@ VecBackend SetVecBackend(VecBackend backend) {
     g_kernels.scale = &relaxed::Scale;
     g_kernels.add = &relaxed::Add;
     g_kernels.norm2 = &relaxed::Norm2;
+    g_kernels.dot_norm2 = &relaxed::DotAndNorm2;
     g_kernels.fused = &relaxed::FusedGradStep;
     g_backend = VecBackend::kRelaxed;
     return g_backend;
@@ -325,6 +394,11 @@ float Cosine(const float* x, const float* y, std::size_t n) {
   const float ny = Norm2(y, n);
   if (nx == 0.0f || ny == 0.0f) return 0.0f;
   return Dot(x, y, n) / (nx * ny);
+}
+
+void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
+                 float* y_norm2) {
+  g_kernels.dot_norm2(x, y, n, dot, y_norm2);
 }
 
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,

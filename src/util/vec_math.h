@@ -68,6 +68,16 @@ void NormalizeInPlace(float* x, std::size_t n);
 /// Cosine similarity; 0 when either vector is all-zero.
 float Cosine(const float* x, const float* y, std::size_t n);
 
+/// Fused one-query-vs-row scoring pass: in a single sweep over y,
+///   *dot     = Dot(x, y, n)
+///   *y_norm2 = Dot(y, y, n)   (the *squared* L2 norm of y)
+/// Each accumulator chain runs the exact reduction order of the separate
+/// Dot() calls in the same backend, so dot / (Norm2(x) * sqrt(y_norm2)) is
+/// bit-identical to Cosine(x, y, n) — which is how QueryEngine hoists the
+/// query norm out of its top-k loop without changing a single result bit.
+void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
+                 float* y_norm2);
+
 /// Fused negative-sampling gradient step (Eqs. (8)-(10) coefficients):
 /// in one pass over the row,
 ///   grad[i] += g * ctx[i]      (center-side gradient, pre-update ctx)
@@ -88,6 +98,8 @@ void Axpy(float a, const float* x, float* y, std::size_t n);
 void Scale(float a, float* x, std::size_t n);
 void Add(const float* x, float* out, std::size_t n);
 float Norm2(const float* x, std::size_t n);
+void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
+                 float* y_norm2);
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
                    std::size_t n);
 }  // namespace scalar
@@ -123,6 +135,8 @@ void Axpy(float a, const float* x, float* y, std::size_t n);
 void Scale(float a, float* x, std::size_t n);
 void Add(const float* x, float* out, std::size_t n);
 float Norm2(const float* x, std::size_t n);
+void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
+                 float* y_norm2);
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
                    std::size_t n);
 }  // namespace relaxed

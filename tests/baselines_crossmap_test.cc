@@ -39,14 +39,14 @@ class CrossMapTest : public ::testing::Test {
 PreparedDataset* CrossMapTest::data_ = nullptr;
 
 TEST_F(CrossMapTest, TrainsWithCorrectShapes) {
-  auto model = TrainCrossMap(data_->graphs, FastOptions());
+  auto model = TrainCrossMap(*data_->graphs, FastOptions());
   ASSERT_TRUE(model.ok()) << model.status().ToString();
-  EXPECT_EQ(model->center.rows(), data_->graphs.activity.num_vertices());
+  EXPECT_EQ(model->center.rows(), data_->graphs->activity.num_vertices());
   EXPECT_EQ(model->center.dim(), 16);
 }
 
 TEST_F(CrossMapTest, EmbeddingsFinite) {
-  auto model = TrainCrossMap(data_->graphs, FastOptions());
+  auto model = TrainCrossMap(*data_->graphs, FastOptions());
   ASSERT_TRUE(model.ok());
   for (int r = 0; r < model->center.rows(); ++r) {
     for (int d = 0; d < 16; ++d) {
@@ -56,8 +56,8 @@ TEST_F(CrossMapTest, EmbeddingsFinite) {
 }
 
 TEST_F(CrossMapTest, DeterministicForSeed) {
-  auto a = TrainCrossMap(data_->graphs, FastOptions());
-  auto b = TrainCrossMap(data_->graphs, FastOptions());
+  auto a = TrainCrossMap(*data_->graphs, FastOptions());
+  auto b = TrainCrossMap(*data_->graphs, FastOptions());
   ASSERT_TRUE(a.ok() && b.ok());
   for (int r = 0; r < a->center.rows(); ++r) {
     for (int d = 0; d < 16; ++d) {
@@ -69,8 +69,8 @@ TEST_F(CrossMapTest, DeterministicForSeed) {
 TEST_F(CrossMapTest, UserVariantDiffers) {
   CrossMapOptions with_u = FastOptions();
   with_u.include_user_edges = true;
-  auto plain = TrainCrossMap(data_->graphs, FastOptions());
-  auto with_users = TrainCrossMap(data_->graphs, with_u);
+  auto plain = TrainCrossMap(*data_->graphs, FastOptions());
+  auto with_users = TrainCrossMap(*data_->graphs, with_u);
   ASSERT_TRUE(plain.ok() && with_users.ok());
   bool any_diff = false;
   for (int r = 0; r < plain->center.rows() && !any_diff; ++r) {
@@ -87,9 +87,9 @@ TEST_F(CrossMapTest, UserVariantDiffers) {
 TEST_F(CrossMapTest, PlainVariantLeavesUserVectorsUntrained) {
   // Without user edges, user vertices receive no center updates: their
   // vectors stay at the random init scale (tiny norms vs trained units).
-  auto model = TrainCrossMap(data_->graphs, FastOptions());
+  auto model = TrainCrossMap(*data_->graphs, FastOptions());
   ASSERT_TRUE(model.ok());
-  const auto& g = data_->graphs.activity;
+  const auto& g = data_->graphs->activity;
   double user_norm = 0.0;
   const auto& users = g.VerticesOfType(VertexType::kUser);
   for (VertexId u : users) user_norm += Norm2(model->center.row(u), 16);
@@ -99,9 +99,9 @@ TEST_F(CrossMapTest, PlainVariantLeavesUserVectorsUntrained) {
 }
 
 TEST_F(CrossMapTest, CooccurrenceStructureLearned) {
-  auto model = TrainCrossMap(data_->graphs, FastOptions());
+  auto model = TrainCrossMap(*data_->graphs, FastOptions());
   ASSERT_TRUE(model.ok());
-  const auto& g = data_->graphs.activity;
+  const auto& g = data_->graphs->activity;
   const auto& lw = g.edges(EdgeType::kLW);
   double edge_sim = 0.0;
   const std::size_t n = std::min<std::size_t>(lw.size(), 1000);
@@ -116,10 +116,10 @@ TEST_F(CrossMapTest, CooccurrenceStructureLearned) {
 TEST_F(CrossMapTest, RejectsBadOptions) {
   CrossMapOptions o = FastOptions();
   o.dim = 0;
-  EXPECT_TRUE(TrainCrossMap(data_->graphs, o).status().IsInvalidArgument());
+  EXPECT_TRUE(TrainCrossMap(*data_->graphs, o).status().IsInvalidArgument());
   o = FastOptions();
   o.epochs = 0;
-  EXPECT_TRUE(TrainCrossMap(data_->graphs, o).status().IsInvalidArgument());
+  EXPECT_TRUE(TrainCrossMap(*data_->graphs, o).status().IsInvalidArgument());
 }
 
 TEST(CrossMapValidationTest, RejectsUnfinalizedGraph) {

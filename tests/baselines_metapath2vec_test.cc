@@ -40,14 +40,14 @@ class Metapath2vecTest : public ::testing::Test {
 PreparedDataset* Metapath2vecTest::data_ = nullptr;
 
 TEST_F(Metapath2vecTest, TrainsWithCorrectShapes) {
-  auto model = TrainMetapath2vec(data_->graphs.activity, FastOptions());
+  auto model = TrainMetapath2vec(data_->graphs->activity, FastOptions());
   ASSERT_TRUE(model.ok()) << model.status().ToString();
-  EXPECT_EQ(model->center.rows(), data_->graphs.activity.num_vertices());
+  EXPECT_EQ(model->center.rows(), data_->graphs->activity.num_vertices());
   EXPECT_EQ(model->center.dim(), 16);
 }
 
 TEST_F(Metapath2vecTest, EmbeddingsFinite) {
-  auto model = TrainMetapath2vec(data_->graphs.activity, FastOptions());
+  auto model = TrainMetapath2vec(data_->graphs->activity, FastOptions());
   ASSERT_TRUE(model.ok());
   for (int r = 0; r < model->center.rows(); ++r) {
     for (int d = 0; d < 16; ++d) {
@@ -61,14 +61,14 @@ TEST_F(Metapath2vecTest, AlternateMetaPath) {
   // T-L-W-W, the second path used for 4SQ in the paper.
   o.meta_path = {VertexType::kTime, VertexType::kLocation, VertexType::kWord,
                  VertexType::kWord};
-  auto model = TrainMetapath2vec(data_->graphs.activity, o);
+  auto model = TrainMetapath2vec(data_->graphs->activity, o);
   ASSERT_TRUE(model.ok()) << model.status().ToString();
 }
 
 TEST_F(Metapath2vecTest, InvalidMetaPathRejected) {
   Metapath2vecOptions o = FastOptions();
   o.meta_path = {VertexType::kTime, VertexType::kTime};
-  EXPECT_FALSE(TrainMetapath2vec(data_->graphs.activity, o).ok());
+  EXPECT_FALSE(TrainMetapath2vec(data_->graphs->activity, o).ok());
 }
 
 TEST_F(Metapath2vecTest, RequiresFinalizedGraph) {

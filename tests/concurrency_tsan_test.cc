@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/actor.h"
@@ -17,6 +20,7 @@
 #include "embedding/line.h"
 #include "embedding/skipgram.h"
 #include "eval/pipeline.h"
+#include "serve/query_engine.h"
 #include "util/thread_pool.h"
 #include "util/vec_math.h"
 
@@ -72,7 +76,7 @@ TEST(ConcurrencyTsanTest, TrainActorMultiThreadOnSharedPool) {
   options.samples_per_edge = 2;
   options.num_threads = kThreads;
   options.pool = &pool;
-  auto model = TrainActor(prepared->graphs, options);
+  auto model = TrainActor(*prepared->graphs, options);
   ASSERT_TRUE(model.ok()) << model.status().ToString();
   EXPECT_GT(model->stats.edge_steps, 0);
   EXPECT_TRUE(AllFinite(model->center));
@@ -155,6 +159,78 @@ TEST(ConcurrencyTsanTest, OnlineActorIngestMultiThread) {
   }
   EXPECT_GT(model->num_live_edges(), 0u);
   EXPECT_TRUE(AllFinite(model->center()));
+}
+
+TEST(ConcurrencyTsanTest, QueryDuringIngest) {
+  // The serving contract (docs/serving.md): query threads acquire the
+  // latest published snapshot and run top-k queries while the ingest
+  // thread keeps training and publishing. The only shared mutable cell is
+  // the SnapshotStore's atomic shared_ptr slot — TSan must see no races,
+  // and every query must score against one consistent frozen model.
+  SyntheticConfig config;
+  config.seed = 29;
+  config.num_records = 900;
+  config.num_users = 30;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.num_venues = 8;
+  config.keywords_per_topic = 12;
+  config.background_vocab = 30;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<std::vector<TokenizedRecord>> batches(6);
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    batches[i * batches.size() / corpus->size()].push_back(
+        corpus->record(i));
+  }
+
+  OnlineActorOptions options;
+  options.dim = 16;
+  options.samples_per_edge_per_batch = 2.0;
+  auto model = OnlineActor::Create(options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->Ingest(batches[0]).ok());
+  model->PublishSnapshot();
+  const GeoPoint probe = batches[0].front().location;
+
+  ThreadPool pool(kThreads);
+  std::atomic<int> query_failures{0};
+  std::atomic<int64_t> queries_done{0};
+  std::atomic<bool> ingest_done{false};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&, t] {
+      uint64_t spins = 0;
+      while (!ingest_done.load(std::memory_order_acquire) ||
+             spins < 50) {
+        ++spins;
+        auto snap = model->CurrentSnapshot();
+        if (snap == nullptr) continue;
+        QueryEngine engine(std::move(snap));
+        auto words = engine.QueryByLocation(probe, VertexType::kWord,
+                                            3 + (t % 3));
+        auto hours = engine.QueryByHour(9.0 + t, VertexType::kTime, 2);
+        if (!words.ok() || !hours.ok()) {
+          query_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        queries_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Ingest thread: keep training and publishing while queries run.
+  for (std::size_t b = 1; b < batches.size(); ++b) {
+    ASSERT_TRUE(model->Ingest(batches[b]).ok());
+    model->PublishSnapshot();
+  }
+  ingest_done.store(true, std::memory_order_release);
+  pool.Wait();
+
+  EXPECT_EQ(query_failures.load(), 0);
+  EXPECT_GT(queries_done.load(), 0);
+  EXPECT_TRUE(AllFinite(model->CurrentSnapshot()->center()));
 }
 
 TEST(ConcurrencyTsanTest, TsanBuildInstallsRelaxedBackend) {

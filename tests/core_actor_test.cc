@@ -43,9 +43,9 @@ class ActorTest : public ::testing::Test {
 PreparedDataset* ActorTest::data_ = nullptr;
 
 TEST_F(ActorTest, TrainsAndShapesMatch) {
-  auto model = TrainActor(data_->graphs, FastOptions());
+  auto model = TrainActor(*data_->graphs, FastOptions());
   ASSERT_TRUE(model.ok()) << model.status().ToString();
-  EXPECT_EQ(model->center.rows(), data_->graphs.activity.num_vertices());
+  EXPECT_EQ(model->center.rows(), data_->graphs->activity.num_vertices());
   EXPECT_EQ(model->center.dim(), 16);
   EXPECT_EQ(model->context.rows(), model->center.rows());
   EXPECT_GT(model->stats.edge_steps, 0);
@@ -54,7 +54,7 @@ TEST_F(ActorTest, TrainsAndShapesMatch) {
 }
 
 TEST_F(ActorTest, EmbeddingsFinite) {
-  auto model = TrainActor(data_->graphs, FastOptions());
+  auto model = TrainActor(*data_->graphs, FastOptions());
   ASSERT_TRUE(model.ok());
   for (int r = 0; r < model->center.rows(); ++r) {
     for (int d = 0; d < model->center.dim(); ++d) {
@@ -65,8 +65,8 @@ TEST_F(ActorTest, EmbeddingsFinite) {
 }
 
 TEST_F(ActorTest, DeterministicSingleThread) {
-  auto a = TrainActor(data_->graphs, FastOptions());
-  auto b = TrainActor(data_->graphs, FastOptions());
+  auto a = TrainActor(*data_->graphs, FastOptions());
+  auto b = TrainActor(*data_->graphs, FastOptions());
   ASSERT_TRUE(a.ok() && b.ok());
   for (int r = 0; r < a->center.rows(); ++r) {
     for (int d = 0; d < a->center.dim(); ++d) {
@@ -79,8 +79,8 @@ TEST_F(ActorTest, SeedChangesResult) {
   ActorOptions o1 = FastOptions();
   ActorOptions o2 = FastOptions();
   o2.seed = 6;
-  auto a = TrainActor(data_->graphs, o1);
-  auto b = TrainActor(data_->graphs, o2);
+  auto a = TrainActor(*data_->graphs, o1);
+  auto b = TrainActor(*data_->graphs, o2);
   ASSERT_TRUE(a.ok() && b.ok());
   bool any_diff = false;
   for (int r = 0; r < a->center.rows() && !any_diff; ++r) {
@@ -97,7 +97,7 @@ TEST_F(ActorTest, SeedChangesResult) {
 TEST_F(ActorTest, AblationWithoutInterSkipsPretraining) {
   ActorOptions o = FastOptions();
   o.use_inter = false;
-  auto model = TrainActor(data_->graphs, o);
+  auto model = TrainActor(*data_->graphs, o);
   ASSERT_TRUE(model.ok());
   EXPECT_DOUBLE_EQ(model->stats.pretrain_seconds, 0.0);
 }
@@ -105,7 +105,7 @@ TEST_F(ActorTest, AblationWithoutInterSkipsPretraining) {
 TEST_F(ActorTest, AblationWithoutIntraUsesPlainEdges) {
   ActorOptions o = FastOptions();
   o.use_bag_of_words = false;
-  auto model = TrainActor(data_->graphs, o);
+  auto model = TrainActor(*data_->graphs, o);
   ASSERT_TRUE(model.ok());
   EXPECT_EQ(model->stats.record_steps, 0);
   EXPECT_GT(model->stats.edge_steps, 0);
@@ -115,8 +115,8 @@ TEST_F(ActorTest, InterTrainingAddsEdgeSteps) {
   ActorOptions with = FastOptions();
   ActorOptions without = FastOptions();
   without.use_inter = false;
-  auto a = TrainActor(data_->graphs, with);
-  auto b = TrainActor(data_->graphs, without);
+  auto a = TrainActor(*data_->graphs, with);
+  auto b = TrainActor(*data_->graphs, without);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_GT(a->stats.edge_steps, b->stats.edge_steps);
 }
@@ -124,7 +124,7 @@ TEST_F(ActorTest, InterTrainingAddsEdgeSteps) {
 TEST_F(ActorTest, MultiThreadedTrainingRuns) {
   ActorOptions o = FastOptions();
   o.num_threads = 3;
-  auto model = TrainActor(data_->graphs, o);
+  auto model = TrainActor(*data_->graphs, o);
   ASSERT_TRUE(model.ok());
   for (int r = 0; r < model->center.rows(); ++r) {
     for (int d = 0; d < model->center.dim(); ++d) {
@@ -142,8 +142,8 @@ TEST_F(ActorTest, UserInitSeedsUnitVectors) {
   with_init.samples_per_edge = 1;
   ActorOptions no_init = with_init;
   no_init.init_from_users = false;
-  auto a = TrainActor(data_->graphs, with_init);
-  auto b = TrainActor(data_->graphs, no_init);
+  auto a = TrainActor(*data_->graphs, with_init);
+  auto b = TrainActor(*data_->graphs, no_init);
   ASSERT_TRUE(a.ok() && b.ok());
   bool any_diff = false;
   for (int r = 0; r < a->center.rows() && !any_diff; ++r) {
@@ -158,9 +158,9 @@ TEST_F(ActorTest, UserInitSeedsUnitVectors) {
 }
 
 TEST_F(ActorTest, CooccurringUnitsMoreSimilarThanRandom) {
-  auto model = TrainActor(data_->graphs, FastOptions());
+  auto model = TrainActor(*data_->graphs, FastOptions());
   ASSERT_TRUE(model.ok());
-  const auto& g = data_->graphs.activity;
+  const auto& g = data_->graphs->activity;
   // Average cosine over LW edges vs over random L-W pairs.
   const auto& lw = g.edges(EdgeType::kLW);
   ASSERT_GT(lw.size(), 0u);
@@ -193,16 +193,16 @@ TEST(ActorValidationTest, RejectsBadOptions) {
   ASSERT_TRUE(data.ok());
   ActorOptions o;
   o.dim = 0;
-  EXPECT_TRUE(TrainActor(data->graphs, o).status().IsInvalidArgument());
+  EXPECT_TRUE(TrainActor(*data->graphs, o).status().IsInvalidArgument());
   o = ActorOptions();
   o.negatives = 0;
-  EXPECT_TRUE(TrainActor(data->graphs, o).status().IsInvalidArgument());
+  EXPECT_TRUE(TrainActor(*data->graphs, o).status().IsInvalidArgument());
   o = ActorOptions();
   o.initial_lr = 0.0f;
-  EXPECT_TRUE(TrainActor(data->graphs, o).status().IsInvalidArgument());
+  EXPECT_TRUE(TrainActor(*data->graphs, o).status().IsInvalidArgument());
   o = ActorOptions();
   o.epochs = 0;
-  EXPECT_TRUE(TrainActor(data->graphs, o).status().IsInvalidArgument());
+  EXPECT_TRUE(TrainActor(*data->graphs, o).status().IsInvalidArgument());
 }
 
 TEST(ActorValidationTest, RejectsUnfinalizedGraphs) {

@@ -21,7 +21,7 @@ class ModelIoTest : public ::testing::Test {
     options.dim = 16;
     options.epochs = 3;
     options.samples_per_edge = 4;
-    auto model = TrainActor(data_->graphs, options);
+    auto model = TrainActor(*data_->graphs, options);
     ASSERT_TRUE(model.ok());
     model_ = new ActorModel(model.MoveValueOrDie());
   }
@@ -47,21 +47,21 @@ PreparedDataset* ModelIoTest::data_ = nullptr;
 ActorModel* ModelIoTest::model_ = nullptr;
 
 TEST_F(ModelIoTest, SaveCreatesFiles) {
-  ASSERT_TRUE(SaveActorModel(*model_, data_->graphs, dir_).ok());
+  ASSERT_TRUE(SaveActorModel(*model_, *data_->graphs, dir_).ok());
   EXPECT_TRUE(std::filesystem::exists(dir_ + "/center.txt"));
   EXPECT_TRUE(std::filesystem::exists(dir_ + "/context.txt"));
   EXPECT_TRUE(std::filesystem::exists(dir_ + "/vertices.tsv"));
 }
 
 TEST_F(ModelIoTest, RoundTripPreservesEverything) {
-  ASSERT_TRUE(SaveActorModel(*model_, data_->graphs, dir_).ok());
+  ASSERT_TRUE(SaveActorModel(*model_, *data_->graphs, dir_).ok());
   auto loaded = LoadedModel::Load(dir_);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ASSERT_EQ(loaded->num_vertices(), model_->center.rows());
   ASSERT_EQ(loaded->center().dim(), model_->center.dim());
   for (VertexId v = 0; v < loaded->num_vertices(); ++v) {
-    EXPECT_EQ(loaded->vertex_type(v), data_->graphs.activity.vertex_type(v));
-    EXPECT_EQ(loaded->vertex_name(v), data_->graphs.activity.vertex_name(v));
+    EXPECT_EQ(loaded->vertex_type(v), data_->graphs->activity.vertex_type(v));
+    EXPECT_EQ(loaded->vertex_name(v), data_->graphs->activity.vertex_name(v));
     for (int d = 0; d < loaded->center().dim(); ++d) {
       ASSERT_NEAR(loaded->center().row(v)[d], model_->center.row(v)[d],
                   1e-6f);
@@ -70,19 +70,19 @@ TEST_F(ModelIoTest, RoundTripPreservesEverything) {
 }
 
 TEST_F(ModelIoTest, LookupByName) {
-  ASSERT_TRUE(SaveActorModel(*model_, data_->graphs, dir_).ok());
+  ASSERT_TRUE(SaveActorModel(*model_, *data_->graphs, dir_).ok());
   auto loaded = LoadedModel::Load(dir_);
   ASSERT_TRUE(loaded.ok());
   // Every word in the vocabulary resolves to its graph vertex.
   const std::string word = data_->full.vocab().word(0);
   const VertexId expected =
-      data_->graphs.word_vertices[data_->full.vocab().Lookup(word)];
+      data_->graphs->word_vertices[data_->full.vocab().Lookup(word)];
   EXPECT_EQ(loaded->Lookup(word), expected);
   EXPECT_EQ(loaded->Lookup("no_such_unit_name_xyz"), kInvalidVertex);
 }
 
 TEST_F(ModelIoTest, NearestOfTypeAfterReload) {
-  ASSERT_TRUE(SaveActorModel(*model_, data_->graphs, dir_).ok());
+  ASSERT_TRUE(SaveActorModel(*model_, *data_->graphs, dir_).ok());
   auto loaded = LoadedModel::Load(dir_);
   ASSERT_TRUE(loaded.ok());
   const VertexId w = loaded->Lookup(data_->full.vocab().word(0));
@@ -109,7 +109,7 @@ TEST_F(ModelIoTest, MismatchedModelRejected) {
   ActorModel wrong;
   wrong.center = EmbeddingMatrix(3, 4);
   wrong.context = EmbeddingMatrix(3, 4);
-  EXPECT_TRUE(SaveActorModel(wrong, data_->graphs, dir_)
+  EXPECT_TRUE(SaveActorModel(wrong, *data_->graphs, dir_)
                   .IsInvalidArgument());
 }
 

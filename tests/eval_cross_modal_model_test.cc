@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "data/corpus.h"
+#include "serve/model_snapshot.h"
 #include "util/vec_math.h"
 
 namespace actor {
@@ -37,10 +40,10 @@ class CrossModalModelTest : public ::testing::Test {
     corpus_ = new TokenizedCorpus(corpus.MoveValueOrDie());
     auto hotspots = DetectHotspots(*corpus_);
     ASSERT_TRUE(hotspots.ok());
-    hotspots_ = new Hotspots(hotspots.MoveValueOrDie());
+    hotspots_ = std::make_shared<const Hotspots>(hotspots.MoveValueOrDie());
     auto graphs = BuildGraphs(*corpus_, *hotspots_);
     ASSERT_TRUE(graphs.ok());
-    graphs_ = new BuiltGraphs(graphs.MoveValueOrDie());
+    graphs_ = std::make_shared<const BuiltGraphs>(graphs.MoveValueOrDie());
 
     // Hand-crafted embedding: record-0 units along +x, record-1 units
     // along +y, so cross-record cosine is exactly 0.
@@ -57,20 +60,24 @@ class CrossModalModelTest : public ::testing::Test {
     set_unit(units1.time_unit, 0.0f, 1.0f);
     set_unit(units1.location_unit, 0.0f, 1.0f);
     for (VertexId w : units1.word_units) set_unit(w, 0.0f, 1.0f);
+    // Publish after the handcrafted vectors are in place: the snapshot
+    // deep-copies the matrix at this point.
+    snapshot_ = ModelSnapshot::FromBatch(*center_, /*context=*/nullptr,
+                                         graphs_, hotspots_,
+                                         /*vocab=*/nullptr, /*version=*/1);
   }
   static void TearDownTestSuite() {
+    snapshot_.reset();
     delete center_;
-    delete graphs_;
-    delete hotspots_;
+    graphs_.reset();
+    hotspots_.reset();
     delete corpus_;
     center_ = nullptr;
-    graphs_ = nullptr;
-    hotspots_ = nullptr;
     corpus_ = nullptr;
   }
 
   EmbeddingCrossModalModel Model() const {
-    return EmbeddingCrossModalModel("test", center_, graphs_, hotspots_);
+    return EmbeddingCrossModalModel("test", snapshot_);
   }
 
   static int32_t WordId(const std::string& w) {
@@ -78,15 +85,17 @@ class CrossModalModelTest : public ::testing::Test {
   }
 
   static TokenizedCorpus* corpus_;
-  static Hotspots* hotspots_;
-  static BuiltGraphs* graphs_;
+  static std::shared_ptr<const Hotspots> hotspots_;
+  static std::shared_ptr<const BuiltGraphs> graphs_;
   static EmbeddingMatrix* center_;
+  static std::shared_ptr<const ModelSnapshot> snapshot_;
 };
 
 TokenizedCorpus* CrossModalModelTest::corpus_ = nullptr;
-Hotspots* CrossModalModelTest::hotspots_ = nullptr;
-BuiltGraphs* CrossModalModelTest::graphs_ = nullptr;
+std::shared_ptr<const Hotspots> CrossModalModelTest::hotspots_;
+std::shared_ptr<const BuiltGraphs> CrossModalModelTest::graphs_;
 EmbeddingMatrix* CrossModalModelTest::center_ = nullptr;
+std::shared_ptr<const ModelSnapshot> CrossModalModelTest::snapshot_;
 
 TEST_F(CrossModalModelTest, MatchingRecordScoresOne) {
   auto model = Model();

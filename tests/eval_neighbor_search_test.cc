@@ -21,7 +21,7 @@ class NeighborSearchTest : public ::testing::Test {
     options.dim = 16;
     options.epochs = 4;
     options.samples_per_edge = 6;
-    auto model = TrainActor(data_->graphs, options);
+    auto model = TrainActor(*data_->graphs, options);
     ASSERT_TRUE(model.ok());
     model_ = new ActorModel(model.MoveValueOrDie());
   }
@@ -33,8 +33,7 @@ class NeighborSearchTest : public ::testing::Test {
   }
 
   NeighborSearcher MakeSearcher() {
-    return NeighborSearcher(&model_->center, &data_->graphs,
-                            &data_->hotspots, &data_->full.vocab());
+    return NeighborSearcher(data_->Snapshot(model_->center));
   }
 
   static PreparedDataset* data_;
@@ -106,7 +105,7 @@ TEST_F(NeighborSearchTest, BadKRejected) {
 TEST_F(NeighborSearchTest, KLargerThanTypeCount) {
   NeighborSearcher searcher = MakeSearcher();
   const std::size_t n_time =
-      data_->graphs.activity.VerticesOfType(VertexType::kTime).size();
+      data_->graphs->activity.VerticesOfType(VertexType::kTime).size();
   auto result =
       searcher.QueryByLocation({5, 5}, VertexType::kTime, 1000);
   ASSERT_TRUE(result.ok());
@@ -145,7 +144,7 @@ TEST_F(NeighborSearchTest, QueryByVectorMatchesVertexQuery) {
   // query results for that word.
   const std::string keyword = data_->full.vocab().word(1);
   const int32_t w = data_->full.vocab().Lookup(keyword);
-  const VertexId v = data_->graphs.word_vertices[w];
+  const VertexId v = data_->graphs->word_vertices[w];
   ASSERT_NE(v, kInvalidVertex);
   auto by_vec = searcher.QueryByVector(model_->center.row(v),
                                        VertexType::kWord, 5, v);

@@ -16,11 +16,11 @@ TEST(PipelineTest, PreparesAllStages) {
   EXPECT_GT(data->test.size(), 0u);
   EXPECT_EQ(data->train.size() + data->test.size() + data->split.valid.size(),
             data->full.size());
-  EXPECT_GT(data->hotspots.spatial.size(), 0u);
-  EXPECT_GT(data->hotspots.temporal.size(), 0u);
-  EXPECT_TRUE(data->graphs.activity.finalized());
-  EXPECT_TRUE(data->graphs.user_graph.finalized());
-  EXPECT_GT(data->graphs.activity.num_directed_edges(), 0);
+  EXPECT_GT(data->hotspots->spatial.size(), 0u);
+  EXPECT_GT(data->hotspots->temporal.size(), 0u);
+  EXPECT_TRUE(data->graphs->activity.finalized());
+  EXPECT_TRUE(data->graphs->user_graph.finalized());
+  EXPECT_GT(data->graphs->activity.num_directed_edges(), 0);
 }
 
 TEST(PipelineTest, SplitFractionsRespected) {
@@ -40,7 +40,7 @@ TEST(PipelineTest, GraphsBuiltFromTrainOnly) {
   options.synthetic.num_records = 1500;
   auto data = PrepareDataset(options, "train-only");
   ASSERT_TRUE(data.ok());
-  EXPECT_EQ(data->graphs.record_units.size(), data->train.size());
+  EXPECT_EQ(data->graphs->record_units.size(), data->train.size());
 }
 
 TEST(PipelineTest, DeterministicForSeeds) {
@@ -50,8 +50,8 @@ TEST(PipelineTest, DeterministicForSeeds) {
   auto b = PrepareDataset(options, "b");
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->train.size(), b->train.size());
-  EXPECT_EQ(a->graphs.activity.num_directed_edges(),
-            b->graphs.activity.num_directed_edges());
+  EXPECT_EQ(a->graphs->activity.num_directed_edges(),
+            b->graphs->activity.num_directed_edges());
 }
 
 TEST(PipelineTest, PresetsProduceDistinctDatasets) {
@@ -62,8 +62,8 @@ TEST(PipelineTest, PresetsProduceDistinctDatasets) {
   EXPECT_GT(utgeo->dataset.corpus.MentionFraction(), 0.1);
   EXPECT_DOUBLE_EQ(foursq->dataset.corpus.MentionFraction(), 0.0);
   // 4SQ user graph therefore has no UU edges.
-  EXPECT_EQ(foursq->graphs.user_graph.edges(EdgeType::kUU).size(), 0u);
-  EXPECT_GT(utgeo->graphs.user_graph.edges(EdgeType::kUU).size(), 0u);
+  EXPECT_EQ(foursq->graphs->user_graph.edges(EdgeType::kUU).size(), 0u);
+  EXPECT_GT(utgeo->graphs->user_graph.edges(EdgeType::kUU).size(), 0u);
 }
 
 TEST(PipelineTest, InvalidSyntheticConfigPropagates) {

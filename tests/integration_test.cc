@@ -29,7 +29,7 @@ class IntegrationTest : public ::testing::Test {
     actor_options.dim = 32;
     actor_options.epochs = 8;
     actor_options.samples_per_edge = 10;
-    auto actor_model = TrainActor(data_->graphs, actor_options);
+    auto actor_model = TrainActor(*data_->graphs, actor_options);
     ASSERT_TRUE(actor_model.ok());
     actor_ = new ActorModel(actor_model.MoveValueOrDie());
 
@@ -37,7 +37,7 @@ class IntegrationTest : public ::testing::Test {
     crossmap_options.dim = 32;
     crossmap_options.epochs = 8;
     crossmap_options.samples_per_edge = 10;
-    auto crossmap_model = TrainCrossMap(data_->graphs, crossmap_options);
+    auto crossmap_model = TrainCrossMap(*data_->graphs, crossmap_options);
     ASSERT_TRUE(crossmap_model.ok());
     crossmap_ = new LineEmbedding(crossmap_model.MoveValueOrDie());
   }
@@ -51,8 +51,7 @@ class IntegrationTest : public ::testing::Test {
   }
 
   static MrrScores Evaluate(const EmbeddingMatrix& center) {
-    EmbeddingCrossModalModel model("m", &center, &data_->graphs,
-                                   &data_->hotspots);
+    EmbeddingCrossModalModel model("m", data_->Snapshot(center));
     auto scores = EvaluateCrossModal(model, data_->test);
     EXPECT_TRUE(scores.ok());
     return *scores;
@@ -107,12 +106,12 @@ TEST_F(IntegrationTest, AblationsBelowComplete) {
 
   ActorOptions no_inter = base;
   no_inter.use_inter = false;
-  auto wo_inter = TrainActor(data_->graphs, no_inter);
+  auto wo_inter = TrainActor(*data_->graphs, no_inter);
   ASSERT_TRUE(wo_inter.ok());
 
   ActorOptions no_intra = base;
   no_intra.use_bag_of_words = false;
-  auto wo_intra = TrainActor(data_->graphs, no_intra);
+  auto wo_intra = TrainActor(*data_->graphs, no_intra);
   ASSERT_TRUE(wo_intra.ok());
 
   const MrrScores complete = Evaluate(actor_->center);
@@ -126,8 +125,7 @@ TEST_F(IntegrationTest, AblationsBelowComplete) {
 }
 
 TEST_F(IntegrationTest, CaseStudyTruthRankedHighByActor) {
-  EmbeddingCrossModalModel model("ACTOR", &actor_->center, &data_->graphs,
-                                 &data_->hotspots);
+  EmbeddingCrossModalModel model("ACTOR", data_->Snapshot(actor_->center));
   // Average rank of the truth over a batch of case studies must be far
   // better than the random expectation of 6.
   double rank_sum = 0.0;
@@ -147,12 +145,12 @@ TEST_F(IntegrationTest, TemporalHotspotCountPlausible) {
   // The paper's datasets yield 27-34 temporal hotspots; our circadian
   // generator should produce a comparable order (a handful to a few
   // dozen), not 2 and not hundreds.
-  EXPECT_GE(data_->hotspots.temporal.size(), 3u);
-  EXPECT_LE(data_->hotspots.temporal.size(), 40u);
+  EXPECT_GE(data_->hotspots->temporal.size(), 3u);
+  EXPECT_LE(data_->hotspots->temporal.size(), 40u);
 }
 
 TEST_F(IntegrationTest, EmbeddingsHaveUsedEveryUnitType) {
-  const auto& g = data_->graphs.activity;
+  const auto& g = data_->graphs->activity;
   for (VertexType t : {VertexType::kTime, VertexType::kLocation,
                        VertexType::kWord, VertexType::kUser}) {
     EXPECT_GT(g.VerticesOfType(t).size(), 0u);

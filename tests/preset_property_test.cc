@@ -36,8 +36,8 @@ TEST_P(PresetSweep, SplitPartitionsCorpus) {
 TEST_P(PresetSweep, EveryRecordResolvesToUnits) {
   const PreparedDataset data = Prepare(GetParam());
   for (const auto& rec : data.test.records()) {
-    EXPECT_GE(data.hotspots.spatial.Assign(rec.location), 0);
-    EXPECT_GE(data.hotspots.temporal.Assign(rec.timestamp), 0);
+    EXPECT_GE(data.hotspots->spatial.Assign(rec.location), 0);
+    EXPECT_GE(data.hotspots->temporal.Assign(rec.timestamp), 0);
     for (int32_t w : rec.word_ids) {
       ASSERT_GE(w, 0);
       ASSERT_LT(w, data.full.vocab().size());
@@ -47,7 +47,7 @@ TEST_P(PresetSweep, EveryRecordResolvesToUnits) {
 
 TEST_P(PresetSweep, GraphDegreesMatchEdgeWeights) {
   const PreparedDataset data = Prepare(GetParam());
-  const Heterograph& g = data.graphs.activity;
+  const Heterograph& g = data.graphs->activity;
   for (int e = 0; e < kNumEdgeTypes; ++e) {
     const EdgeType et = static_cast<EdgeType>(e);
     double degree_sum = 0.0;
@@ -64,11 +64,11 @@ TEST_P(PresetSweep, MentionPolicyGovernsUserGraph) {
   const PresetCase& c = GetParam();
   const PreparedDataset data = Prepare(c);
   const std::size_t uu_edges =
-      data.graphs.user_graph.edges(EdgeType::kUU).size();
+      data.graphs->user_graph.edges(EdgeType::kUU).size();
   if (c.has_mentions) {
     EXPECT_GT(uu_edges, 0u);
     for (const auto& meta : InterRecordMetaGraphs()) {
-      EXPECT_GT(CountInterRecordInstances(data.graphs, meta), 0) << meta.name;
+      EXPECT_GT(CountInterRecordInstances(*data.graphs, meta), 0) << meta.name;
     }
   } else {
     EXPECT_EQ(uu_edges, 0u);
@@ -78,11 +78,11 @@ TEST_P(PresetSweep, MentionPolicyGovernsUserGraph) {
 TEST_P(PresetSweep, IntraEdgeTypesAllPopulated) {
   const PreparedDataset data = Prepare(GetParam());
   for (EdgeType e : IntraEdgeTypes()) {
-    EXPECT_GT(data.graphs.activity.edges(e).size(), 0u) << EdgeTypeName(e);
+    EXPECT_GT(data.graphs->activity.edges(e).size(), 0u) << EdgeTypeName(e);
   }
   // Author edges always exist regardless of mention policy.
   for (EdgeType e : InterEdgeTypes()) {
-    EXPECT_GT(data.graphs.activity.edges(e).size(), 0u) << EdgeTypeName(e);
+    EXPECT_GT(data.graphs->activity.edges(e).size(), 0u) << EdgeTypeName(e);
   }
 }
 

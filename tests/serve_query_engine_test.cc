@@ -1,0 +1,164 @@
+// QueryEngine regression tests: results must be bit-identical to the
+// pre-snapshot NeighborSearcher algorithm (per-row Cosine() + partial
+// sort), including the hoisted-query-norm fused scoring path, and the
+// engine must keep its snapshot alive on its own.
+
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/actor.h"
+#include "eval/pipeline.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineOptions pipeline = UTGeoPipeline(0.1);
+    pipeline.synthetic.num_records = 1500;
+    pipeline.synthetic.seed = 23;
+    auto prepared = PrepareDataset(pipeline, "qe-test");
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    data_ = new PreparedDataset(prepared.MoveValueOrDie());
+    ActorOptions options;
+    options.dim = 16;
+    options.epochs = 3;
+    options.samples_per_edge = 4;
+    auto model = TrainActor(*data_->graphs, options);
+    ASSERT_TRUE(model.ok());
+    model_ = new ActorModel(model.MoveValueOrDie());
+    snapshot_ = data_->Snapshot(model_->center);
+  }
+  static void TearDownTestSuite() {
+    snapshot_.reset();
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  /// The pre-refactor scoring loop, verbatim: Cosine() per candidate row
+  /// (query norm recomputed every time), then the same partial sort.
+  static std::vector<Neighbor> Reference(const float* query,
+                                         VertexType result_type, int k,
+                                         VertexId exclude) {
+    const std::size_t dim = static_cast<std::size_t>(model_->center.dim());
+    std::vector<Neighbor> results;
+    for (VertexId v : data_->graphs->activity.VerticesOfType(result_type)) {
+      if (v == exclude) continue;
+      Neighbor n;
+      n.vertex = v;
+      n.similarity = Cosine(query, model_->center.row(v), dim);
+      results.push_back(std::move(n));
+    }
+    const std::size_t keep = std::min<std::size_t>(k, results.size());
+    std::partial_sort(results.begin(), results.begin() + keep,
+                      results.end(),
+                      [](const Neighbor& a, const Neighbor& b) {
+                        return a.similarity > b.similarity;
+                      });
+    results.resize(keep);
+    for (auto& n : results) {
+      n.name = data_->graphs->activity.vertex_name(n.vertex);
+      n.type = data_->graphs->activity.vertex_type(n.vertex);
+    }
+    return results;
+  }
+
+  static PreparedDataset* data_;
+  static ActorModel* model_;
+  static std::shared_ptr<const ModelSnapshot> snapshot_;
+};
+
+PreparedDataset* QueryEngineTest::data_ = nullptr;
+ActorModel* QueryEngineTest::model_ = nullptr;
+std::shared_ptr<const ModelSnapshot> QueryEngineTest::snapshot_;
+
+TEST_F(QueryEngineTest, BitIdenticalToPreRefactorCosineLoop) {
+  QueryEngine engine(snapshot_);
+  // Several query vectors x every result type x several k values, so the
+  // comparison covers full-type scans and truncated top-k alike.
+  for (VertexId q : {VertexId{0}, VertexId{3}, VertexId{17}}) {
+    ASSERT_LT(q, model_->center.rows());
+    const float* query = model_->center.row(q);
+    for (VertexType type : {VertexType::kWord, VertexType::kLocation,
+                            VertexType::kTime, VertexType::kUser}) {
+      for (int k : {1, 5, 100000}) {
+        auto got = engine.QueryByVector(query, type, k, q);
+        ASSERT_TRUE(got.ok());
+        const auto want = Reference(query, type, k, q);
+        ASSERT_EQ(got->size(), want.size())
+            << "q=" << q << " type=" << static_cast<int>(type) << " k=" << k;
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ((*got)[i].vertex, want[i].vertex) << "i=" << i;
+          // Bit-identical scores: the fused DotAndNorm2 path preserves
+          // Cosine()'s reduction order exactly.
+          ASSERT_EQ((*got)[i].similarity, want[i].similarity) << "i=" << i;
+          EXPECT_EQ((*got)[i].name, want[i].name);
+          EXPECT_EQ((*got)[i].type, want[i].type);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, ZeroQueryVectorScoresZeroEverywhere) {
+  QueryEngine engine(snapshot_);
+  const std::vector<float> zeros(model_->center.dim(), 0.0f);
+  auto result = engine.QueryByVector(zeros.data(), VertexType::kWord, 5);
+  ASSERT_TRUE(result.ok());
+  for (const auto& n : *result) {
+    EXPECT_EQ(n.similarity, 0.0);
+  }
+}
+
+TEST_F(QueryEngineTest, ModalityQueriesMatchVertexReference) {
+  QueryEngine engine(snapshot_);
+  // QueryByLocation == reference query from the snapped hotspot's vertex.
+  const GeoPoint location{20, 20};
+  const int32_t h = data_->hotspots->spatial.Assign(location);
+  ASSERT_GE(h, 0);
+  const VertexId lv = data_->graphs->spatial_vertices[h];
+  auto by_loc = engine.QueryByLocation(location, VertexType::kWord, 6);
+  ASSERT_TRUE(by_loc.ok());
+  const auto want =
+      Reference(model_->center.row(lv), VertexType::kWord, 6, lv);
+  ASSERT_EQ(by_loc->size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ((*by_loc)[i].vertex, want[i].vertex);
+    EXPECT_EQ((*by_loc)[i].similarity, want[i].similarity);
+  }
+}
+
+TEST_F(QueryEngineTest, StatusMessagesMatchPreRefactorContract) {
+  QueryEngine engine(snapshot_);
+  const auto bad_k =
+      engine.QueryByLocation({0, 0}, VertexType::kWord, 0).status();
+  EXPECT_TRUE(bad_k.IsInvalidArgument());
+  const auto unknown =
+      engine.QueryByKeyword("definitely_not_a_word", VertexType::kWord, 3)
+          .status();
+  EXPECT_TRUE(unknown.IsNotFound());
+  EXPECT_NE(unknown.ToString().find("keyword not in vocabulary"),
+            std::string::npos);
+}
+
+TEST_F(QueryEngineTest, EngineKeepsSnapshotAlive) {
+  auto local = data_->Snapshot(model_->center, /*version=*/9);
+  QueryEngine engine(local);
+  local.reset();  // the engine's shared_ptr is now the only owner
+  EXPECT_EQ(engine.snapshot().version(), 9u);
+  auto result = engine.QueryByHour(21.0, VertexType::kWord, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 4u);
+}
+
+}  // namespace
+}  // namespace actor

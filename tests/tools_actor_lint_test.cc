@@ -182,6 +182,76 @@ TEST(RuleHogwild, AllowsRelaxedAccessorsKernelCallsAndOutsideCode) {
   EXPECT_EQ(CountRule(findings, kRuleHogwild), 0);
 }
 
+// --- R8: actor-serve-readonly ----------------------------------------------
+
+TEST(RuleServeReadOnly, FiresOnMutatorCallsInEvalAndServe) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(EmbeddingMatrix& m) {\n"
+            "  m.InitUniform(16, rng);\n"
+            "  m.SetRow(0, v.data());\n"
+            "}\n"},
+           {"src/eval/y.cc",
+            "void g(EmbeddingMatrix* m) {\n"
+            "  m->InitZero(8);\n"
+            "  m->AppendRows(4);\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleServeReadOnly), 4);
+}
+
+TEST(RuleServeReadOnly, FiresOnRowElementWrites) {
+  const auto findings = Lint({{"src/eval/x.cc",
+                              "void f() {\n"
+                              "  m.row(u)[0] = 1.0f;\n"
+                              "  m.row(u)[1] += 2.0f;\n"
+                              "  snap->center().row(v)[k] *= 0.5f;\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleServeReadOnly), 3);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(RuleServeReadOnly, FiresOnRowInMutatedKernelArg) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f() {\n"
+            "  Axpy(0.1f, g.data(), m.row(u), dim);\n"
+            "  Scale(0.5f, m.row(u), dim);\n"
+            "  Zero(m.row(u), dim);\n"
+            "  FusedGradStep(g, c.row(a), x.row(b), grad.data(), dim);\n"
+            "  RelaxedStore(&m.row(u)[k], v);\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleServeReadOnly), 5);
+}
+
+TEST(RuleServeReadOnly, AllowsReadsAndOtherDirectories) {
+  const auto findings =
+      Lint({{"src/eval/x.cc",
+            "void f() {\n"
+            "  const float* r = m.row(u);\n"
+            "  float v = m.row(u)[0];\n"
+            "  bool eq = m.row(u)[0] == 1.0f;\n"
+            "  float d = Dot(q, m.row(u), dim);\n"
+            "  Add(center.row(v), out->data(), dim);\n"
+            "  DotAndNorm2(q, m.row(u), dim, &dot, &n2);\n"
+            "}\n"},
+           {"src/embedding/y.cc",  // mutation fine outside eval/serve
+            "void g() {\n"
+            "  m.row(u)[0] = 1.0f;\n"
+            "  m.InitUniform(16, rng);\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleServeReadOnly), 0);
+}
+
+TEST(RuleServeReadOnly, SuppressibleWithNolint) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f() {\n"
+            "  m.row(u)[0] = 1.0f;  // NOLINT(actor-serve-readonly)\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleServeReadOnly), 0);
+  EXPECT_EQ(CountRule(findings, kRuleStaleNolint), 0);
+}
+
 // --- R5b: actor-include-cycle ----------------------------------------------
 
 TEST(RuleIncludeCycle, FiresOnceOnACycle) {

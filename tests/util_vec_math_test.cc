@@ -268,6 +268,46 @@ TEST_F(KernelParity, DotMatchesDoubleReference) {
   }
 }
 
+TEST_F(KernelParity, DotAndNorm2MatchesSeparateDotsBitExactly) {
+  // The serving contract (docs/serving.md): each fused chain runs the
+  // exact reduction order of the corresponding separate Dot() call on the
+  // same backend, so cosine scores computed through DotAndNorm2 are
+  // bit-identical to the pre-fusion Cosine() path.
+  for (std::size_t n = 1; n <= 257; ++n) {
+    const auto x = RandomVec(n, 7 * n);
+    const auto y = RandomVec(n, 7 * n + 1);
+    for (VecBackend backend : {VecBackend::kAvx2, VecBackend::kScalar}) {
+      SetVecBackend(backend);
+      float dot = -1.0f, norm2 = -1.0f;
+      DotAndNorm2(x.data(), y.data(), n, &dot, &norm2);
+      ASSERT_EQ(dot, Dot(x.data(), y.data(), n))
+          << VecBackendName(backend) << " n=" << n;
+      ASSERT_EQ(norm2, Dot(y.data(), y.data(), n))
+          << VecBackendName(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST_F(KernelParity, DotAndNorm2MatchesDoubleReference) {
+  for (std::size_t n = 1; n <= 257; ++n) {
+    const auto x = RandomVec(n, 11 * n);
+    const auto y = RandomVec(n, 11 * n + 1);
+    double ref_dot = 0.0, ref_norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ref_dot += static_cast<double>(x[i]) * y[i];
+      ref_norm2 += static_cast<double>(y[i]) * y[i];
+    }
+    const float tol = 1e-5f + 1e-6f * static_cast<float>(n);
+    for (VecBackend backend : {VecBackend::kAvx2, VecBackend::kScalar}) {
+      SetVecBackend(backend);
+      float dot = 0.0f, norm2 = 0.0f;
+      DotAndNorm2(x.data(), y.data(), n, &dot, &norm2);
+      EXPECT_NEAR(dot, ref_dot, tol) << "n=" << n;
+      EXPECT_NEAR(norm2, ref_norm2, tol) << "n=" << n;
+    }
+  }
+}
+
 TEST_F(KernelParity, AxpyWithin1Ulp) {
   for (std::size_t n = 1; n <= 257; ++n) {
     const auto x = RandomVec(n, 3 * n);

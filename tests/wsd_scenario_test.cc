@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "core/actor.h"
 #include "eval/cross_modal_model.h"
@@ -63,10 +64,10 @@ class WsdScenarioTest : public ::testing::Test {
     corpus_ = new TokenizedCorpus(corpus.MoveValueOrDie());
     auto hotspots = DetectHotspots(*corpus_);
     ASSERT_TRUE(hotspots.ok());
-    hotspots_ = new Hotspots(hotspots.MoveValueOrDie());
+    hotspots_ = std::make_shared<const Hotspots>(hotspots.MoveValueOrDie());
     auto graphs = BuildGraphs(*corpus_, *hotspots_);
     ASSERT_TRUE(graphs.ok());
-    graphs_ = new BuiltGraphs(graphs.MoveValueOrDie());
+    graphs_ = std::make_shared<const BuiltGraphs>(graphs.MoveValueOrDie());
     ActorOptions options;
     options.dim = 16;
     options.epochs = 6;
@@ -75,15 +76,15 @@ class WsdScenarioTest : public ::testing::Test {
     auto model = TrainActor(*graphs_, options);
     ASSERT_TRUE(model.ok());
     model_ = new ActorModel(model.MoveValueOrDie());
+    snapshot_ = PublishActorModel(*model_, graphs_, hotspots_);
   }
   static void TearDownTestSuite() {
+    snapshot_.reset();
     delete model_;
-    delete graphs_;
-    delete hotspots_;
+    graphs_.reset();
+    hotspots_.reset();
     delete corpus_;
     model_ = nullptr;
-    graphs_ = nullptr;
-    hotspots_ = nullptr;
     corpus_ = nullptr;
   }
 
@@ -99,15 +100,17 @@ class WsdScenarioTest : public ::testing::Test {
   }
 
   static TokenizedCorpus* corpus_;
-  static Hotspots* hotspots_;
-  static BuiltGraphs* graphs_;
+  static std::shared_ptr<const Hotspots> hotspots_;
+  static std::shared_ptr<const BuiltGraphs> graphs_;
   static ActorModel* model_;
+  static std::shared_ptr<const ModelSnapshot> snapshot_;
 };
 
 TokenizedCorpus* WsdScenarioTest::corpus_ = nullptr;
-Hotspots* WsdScenarioTest::hotspots_ = nullptr;
-BuiltGraphs* WsdScenarioTest::graphs_ = nullptr;
+std::shared_ptr<const Hotspots> WsdScenarioTest::hotspots_;
+std::shared_ptr<const BuiltGraphs> WsdScenarioTest::graphs_;
 ActorModel* WsdScenarioTest::model_ = nullptr;
+std::shared_ptr<const ModelSnapshot> WsdScenarioTest::snapshot_;
 
 TEST_F(WsdScenarioTest, BothVenuesDetected) {
   EXPECT_GE(hotspots_->spatial.size(), 2u);
@@ -115,8 +118,7 @@ TEST_F(WsdScenarioTest, BothVenuesDetected) {
 }
 
 TEST_F(WsdScenarioTest, ContextDisambiguatesLocation) {
-  EmbeddingCrossModalModel scorer("ACTOR", &model_->center, graphs_,
-                                  hotspots_);
+  EmbeddingCrossModalModel scorer("ACTOR", snapshot_);
   const GeoPoint river_venue{5, 5};
   const GeoPoint city_venue{30, 30};
   const double morning = 9.0 * 3600.0;
@@ -132,8 +134,7 @@ TEST_F(WsdScenarioTest, ContextDisambiguatesLocation) {
 }
 
 TEST_F(WsdScenarioTest, ContextDisambiguatesText) {
-  EmbeddingCrossModalModel scorer("ACTOR", &model_->center, graphs_,
-                                  hotspots_);
+  EmbeddingCrossModalModel scorer("ACTOR", snapshot_);
   const GeoPoint river_venue{5, 5};
   const auto fishing = Words({"bank", "fishing"});
   const auto loan = Words({"bank", "loan"});
@@ -147,8 +148,7 @@ TEST_F(WsdScenarioTest, ContextDisambiguatesText) {
 TEST_F(WsdScenarioTest, AmbiguousWordSitsBetweenSenses) {
   // The single "bank" vector must be meaningfully related to *both*
   // venues (it co-occurs with each), unlike the sense-specific words.
-  EmbeddingCrossModalModel scorer("ACTOR", &model_->center, graphs_,
-                                  hotspots_);
+  EmbeddingCrossModalModel scorer("ACTOR", snapshot_);
   std::vector<float> bank_vec, river_loc, city_loc;
   ASSERT_TRUE(scorer.TextVector(Words({"bank"}), &bank_vec));
   ASSERT_TRUE(scorer.LocationVector({5, 5}, &river_loc));

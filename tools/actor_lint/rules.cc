@@ -391,6 +391,134 @@ void CheckHogwild(const LexedFile& f, std::vector<Finding>* out) {
   }
 }
 
+// --- R8: the serving read path never mutates embeddings --------------------
+
+/// True when the `row` token at `row_pos` is a member call (`m.row(` /
+/// `m->row(`). Mirrors the receiver scan in CheckHogwild.
+bool IsRowMemberCall(const std::string& code, std::size_t row_pos) {
+  long j = static_cast<long>(row_pos) - 1;
+  while (j >= 0 && IsSpace(code[static_cast<std::size_t>(j)])) --j;
+  if (j >= 1 && code[static_cast<std::size_t>(j)] == '>' &&
+      code[static_cast<std::size_t>(j) - 1] == '-') {
+    return true;
+  }
+  return j >= 0 && code[static_cast<std::size_t>(j)] == '.';
+}
+
+/// Splits the argument list of a call whose '(' sits at `open` into
+/// top-level (depth-0) argument spans. Returns false on unbalanced code.
+bool SplitCallArgs(const std::string& code, std::size_t open,
+                   std::vector<std::pair<std::size_t, std::size_t>>* args) {
+  const std::size_t close = MatchForward(code, open);
+  if (close == kNpos) return false;
+  int depth = 0;
+  std::size_t begin = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      args->emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  if (close > begin || args->empty()) args->emplace_back(begin, close);
+  return true;
+}
+
+void CheckServeReadOnly(const LexedFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.path, "src/eval/") && !StartsWith(f.path, "src/serve/")) {
+    return;
+  }
+  const std::string& code = f.code;
+
+  // (a) Member calls to EmbeddingMatrix mutators.
+  for (const char* mutator :
+       {"InitUniform", "InitZero", "SetRow", "AppendRows"}) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(code, pos, mutator)) != kNpos) {
+      const std::size_t hit = pos;
+      pos += std::char_traits<char>::length(mutator);
+      if (!IsRowMemberCall(code, hit)) continue;
+      const std::size_t open = SkipWs(code, pos);
+      if (open >= code.size() || code[open] != '(') continue;
+      out->push_back(
+          {f.path, f.LineAt(hit), kRuleServeReadOnly,
+           std::string("embedding mutation `") + mutator +
+               "` in the serving read path — eval/ and serve/ score "
+               "immutable ModelSnapshots; mutate before publish instead"});
+    }
+  }
+
+  // (b) Element writes through row(): `m.row(v)[i] = / += / -= ...`.
+  std::size_t pos = 0;
+  while ((pos = FindToken(code, pos, "row")) != kNpos) {
+    const std::size_t row_pos = pos;
+    ++pos;
+    if (!IsRowMemberCall(code, row_pos)) continue;
+    const std::size_t open = SkipWs(code, row_pos + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = MatchForward(code, open);
+    if (close == kNpos) continue;
+    const std::size_t bracket = SkipWs(code, close + 1);
+    if (bracket >= code.size() || code[bracket] != '[') continue;
+    const std::size_t bracket_close = MatchForward(code, bracket);
+    if (bracket_close == kNpos) continue;
+    const std::size_t after = SkipWs(code, bracket_close + 1);
+    if (after >= code.size()) continue;
+    const char c0 = code[after];
+    const char c1 = after + 1 < code.size() ? code[after + 1] : '\0';
+    const bool assign =
+        (c0 == '=' && c1 != '=') ||
+        ((c0 == '+' || c0 == '-' || c0 == '*' || c0 == '/') && c1 == '=');
+    if (assign) {
+      out->push_back(
+          {f.path, f.LineAt(row_pos), kRuleServeReadOnly,
+           "write through row() in the serving read path — published "
+           "snapshots are immutable; copy the matrix before mutating"});
+    }
+  }
+
+  // (c) row() passed as the mutated argument of a mutating kernel.
+  struct MutKernel {
+    const char* name;
+    int mutated[2];  // 0-based arg indices; -1 = unused slot
+  };
+  static constexpr MutKernel kKernels[] = {
+      {"Axpy", {2, -1}},       {"Scale", {1, -1}},
+      {"Add", {1, -1}},        {"Copy", {1, -1}},
+      {"Zero", {0, -1}},       {"NormalizeInPlace", {0, -1}},
+      {"FusedGradStep", {2, 3}}, {"RelaxedStore", {0, -1}},
+  };
+  for (const MutKernel& kernel : kKernels) {
+    std::size_t kpos = 0;
+    while ((kpos = FindToken(code, kpos, kernel.name)) != kNpos) {
+      const std::size_t hit = kpos;
+      kpos += std::char_traits<char>::length(kernel.name);
+      const std::size_t open = SkipWs(code, kpos);
+      if (open >= code.size() || code[open] != '(') continue;
+      std::vector<std::pair<std::size_t, std::size_t>> args;
+      if (!SplitCallArgs(code, open, &args)) continue;
+      for (const int idx : kernel.mutated) {
+        if (idx < 0 || static_cast<std::size_t>(idx) >= args.size()) {
+          continue;
+        }
+        const std::size_t arg_row =
+            FindToken(code, args[static_cast<std::size_t>(idx)].first, "row");
+        if (arg_row != kNpos &&
+            arg_row < args[static_cast<std::size_t>(idx)].second) {
+          out->push_back(
+              {f.path, f.LineAt(hit), kRuleServeReadOnly,
+               std::string("`") + kernel.name +
+                   "` mutates an embedding row in the serving read path — "
+                   "eval/ and serve/ may only read published snapshots"});
+          break;
+        }
+      }
+    }
+  }
+}
+
 // --- R5: header hygiene ----------------------------------------------------
 
 using IncludeGraph = std::map<std::string, std::vector<const Include*>>;
@@ -724,6 +852,7 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
     CheckRng(f, &findings);
     CheckSimdAligned(f, &findings);
     CheckHogwild(f, &findings);
+    CheckServeReadOnly(f, &findings);
   }
   CheckIncludeCycles(lexed, &findings);
   if (config.compile_headers) {

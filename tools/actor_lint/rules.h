@@ -23,6 +23,9 @@ inline constexpr char kRuleIncludeCycle[] = "actor-include-cycle";
 inline constexpr char kRuleTestReg[] = "actor-test-reg";
 // R7: every NOLINT(actor-*) must still suppress something.
 inline constexpr char kRuleStaleNolint[] = "actor-stale-nolint";
+// R8: the serving read path (src/serve/, src/eval/) never mutates
+// embedding matrices — snapshots are immutable after publish.
+inline constexpr char kRuleServeReadOnly[] = "actor-serve-readonly";
 
 /// One analyzer finding. Formats as `file:line: [rule] message`.
 struct Finding {
