@@ -10,6 +10,9 @@
 // contract's headline number — query threads running concurrently with a
 // live Ingest()+PublishSnapshot() writer (mode "concurrent_ingest"),
 // which exercises the SnapshotStore atomic slot under real contention.
+// A second section, "publish_cost", times the write side of the store:
+// microseconds per publish for the full-copy (delta_publish=false) path
+// vs the chunk-COW delta path at controlled dirty-row fractions.
 // See EXPERIMENTS.md for the machine-drift caveat before comparing
 // against committed numbers.
 //
@@ -17,6 +20,7 @@
 //                         [--k=10] [--queries=4000]
 //                         [--out=BENCH_query.json]
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -28,6 +32,8 @@
 #include "core/online_actor.h"
 #include "data/corpus.h"
 #include "data/synthetic.h"
+#include "embedding/dirty_rows.h"
+#include "serve/model_snapshot.h"
 #include "serve/query_engine.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -51,7 +57,7 @@ struct QueryRow {
 int64_t RunQueries(const QueryEngine& engine, const GeoPoint& probe,
                    int64_t count, int k, int worker) {
   int64_t ok = 0;
-  const EmbeddingMatrix& center = engine.snapshot().center();
+  const ChunkedMatrix& center = engine.snapshot().center();
   for (int64_t i = 0; i < count; ++i) {
     switch ((i + worker) % 3) {
       case 0: {
@@ -170,6 +176,91 @@ QueryRow MeasureConcurrentWithIngest(
   return row;
 }
 
+struct PublishRow {
+  int dirty_pct = 0;
+  double full_us = 0.0;   // us/publish, full-copy (delta_publish=false) path
+  double delta_us = 0.0;  // us/publish, chunk-COW delta path
+  double speedup = 0.0;   // full_us / delta_us
+};
+
+/// Rebuilds the actor's resolver state from the public catalogue
+/// accessors, mirroring what a full (delta_publish=false) publish copies
+/// per call: the O(units) type/name vectors plus the word-unit map. The
+/// handful of hotspot-center doubles the real path also copies is noise
+/// next to those, so omitting them only *understates* the full-copy cost.
+ModelSnapshot::OnlineCatalog MakeCatalog(const OnlineActor& model) {
+  ModelSnapshot::OnlineCatalog catalog;
+  const int32_t n = model.num_units();
+  catalog.types.reserve(static_cast<std::size_t>(n));
+  catalog.names.reserve(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    catalog.types.push_back(model.unit_type(v));
+    catalog.names.push_back(model.unit_name(v));
+    if (model.unit_type(v) == VertexType::kWord) {
+      catalog.word_units.emplace(
+          static_cast<int32_t>(catalog.word_units.size()), v);
+    }
+  }
+  return catalog;
+}
+
+/// Mean microseconds per call of one publish flavor: repeats `publish`
+/// until ~50ms of wall clock has passed (one untimed warm-up first).
+template <typename Fn>
+double TimePublish(Fn&& publish) {
+  publish();
+  Stopwatch timer;
+  int iters = 0;
+  double secs = 0.0;
+  do {
+    publish();
+    ++iters;
+    secs = timer.ElapsedSeconds();
+  } while (secs < 0.05);
+  return secs * 1e6 / iters;
+}
+
+/// The publish_cost section: us/publish for full-copy vs delta at dirty
+/// fractions of 1/5/10/25/100% of the model's rows. Dirty rows form one
+/// contiguous block at the tail of the id space — the clustered pattern a
+/// streaming batch produces (recently added and re-trained units share
+/// high ids). A uniform-random 10% of rows would land in nearly every
+/// 64-row chunk and degenerate the delta to a full matrix copy; the
+/// clustering is what the chunk-COW layout monetizes. The delta loop
+/// chains each snapshot as the next publish's predecessor, matching the
+/// steady-state PublishSnapshot() cycle.
+std::vector<PublishRow> MeasurePublishCost(const OnlineActor& model) {
+  std::vector<PublishRow> rows;
+  const auto base = model.CurrentSnapshot();
+  if (base == nullptr) return rows;
+  const EmbeddingMatrix& center = model.center();
+  const int32_t n = center.rows();
+  if (n <= 0 || base->num_units() != n) return rows;
+
+  uint64_t version = base->version();
+  for (int pct : {1, 5, 10, 25, 100}) {
+    PublishRow row;
+    row.dirty_pct = pct;
+    const int32_t span = std::max<int32_t>(1, n * pct / 100);
+    DirtyRowSet dirty;
+    dirty.Resize(n);
+    for (int32_t r = n - span; r < n; ++r) dirty.Mark(r);
+
+    row.full_us = TimePublish([&] {
+      auto snap =
+          ModelSnapshot::FromOnline(center, MakeCatalog(model), ++version);
+      (void)snap;
+    });
+    auto prev = base;
+    row.delta_us = TimePublish([&] {
+      prev = ModelSnapshot::FromOnlineDelta(center, ++version, prev, dirty);
+    });
+    row.speedup = row.delta_us > 0.0 ? row.full_us / row.delta_us : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int records = static_cast<int>(flags.GetInt("records", 12000));
@@ -247,6 +338,14 @@ int Main(int argc, char** argv) {
                 row.threads, row.queries_per_sec);
   }
 
+  const std::vector<PublishRow> publish = MeasurePublishCost(*model);
+  double speedup_10pct = 0.0;
+  for (const auto& row : publish) {
+    std::printf("publish dirty=%3d%%  full=%.1fus  delta=%.1fus  (x%.1f)\n",
+                row.dirty_pct, row.full_us, row.delta_us, row.speedup);
+    if (row.dirty_pct == 10) speedup_10pct = row.speedup;
+  }
+
   auto find = [&rows](const std::string& mode, int threads) {
     for (const auto& r : rows) {
       if (r.mode == mode && r.threads == threads) return r.queries_per_sec;
@@ -288,12 +387,26 @@ int Main(int argc, char** argv) {
     out << buf;
   }
   out << "  ],\n";
+  out << "  \"publish_cost\": [\n";
+  for (std::size_t i = 0; i < publish.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dirty_pct\": %d, \"full_us_per_publish\": %.2f, "
+                  "\"delta_us_per_publish\": %.2f, \"speedup\": %.2f}%s\n",
+                  publish[i].dirty_pct, publish[i].full_us,
+                  publish[i].delta_us, publish[i].speedup,
+                  i + 1 < publish.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"thread_speedup_8t_vs_1t\": %.3f,\n", thread_speedup);
   out << buf;
   std::snprintf(buf, sizeof(buf),
-                "  \"concurrent_ingest_retention_4t\": %.3f\n",
+                "  \"concurrent_ingest_retention_4t\": %.3f,\n",
                 live_retention);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"delta_publish_speedup_10pct\": %.3f\n", speedup_10pct);
   out << buf;
   out << "}\n";
   out.flush();
@@ -302,8 +415,9 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "wrote %s (threads x%.2f at 8 vs 1, live-ingest retention %.2f at 4t)\n",
-      out_path.c_str(), thread_speedup, live_retention);
+      "wrote %s (threads x%.2f at 8 vs 1, live-ingest retention %.2f at 4t, "
+      "delta publish x%.1f at 10%% dirty)\n",
+      out_path.c_str(), thread_speedup, live_retention, speedup_10pct);
   return 0;
 }
 

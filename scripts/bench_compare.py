@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Compare two benchmark JSON files and flag throughput regressions.
+"""Compare two benchmark JSON files and flag metric regressions.
 
 Works on any file following the repo's bench schema (BENCH_sgd.json,
-BENCH_online.json, BENCH_query.json): a top-level "throughput" array of
-rows, where each row mixes identity fields (backend, sampler, mode,
-threads, ...) with metric fields (steps_per_sec, batches_per_sec,
-records_per_sec, queries_per_sec). Rows are matched across
-the two files by their identity fields; every metric is compared and drops
-beyond --threshold (default 10%) are reported.
+BENCH_online.json, BENCH_query.json): top-level *section* arrays of rows,
+where each row mixes identity fields (backend, sampler, mode, threads,
+dirty_pct, ...) with metric fields. Known sections and their metrics:
+
+  throughput    steps_per_sec, batches_per_sec, records_per_sec,
+                queries_per_sec                          (higher is better)
+  publish_cost  full_us_per_publish, delta_us_per_publish (lower is better)
+                speedup                                   (higher is better)
+
+Rows are matched across the two files by their identity fields; every
+known metric present in BOTH files is compared, and changes in the bad
+direction beyond --threshold (default 10%) are reported. Sections or
+metric columns present in only one file — e.g. a baseline generated
+before a bench gained a new section — are warned about and skipped, never
+a hard error: check.sh --bench must keep working against old baselines.
 
 Intended use (see EXPERIMENTS.md "Benchmark workflow"): regenerate the
 bench on your machine, diff against the committed baseline, and A/B the
@@ -20,20 +29,28 @@ Usage:
                            [--strict]
 
 Exit codes: 0 = no regressions (or none beyond threshold), 1 = regressions
-found AND --strict was given, 2 = usage/parse error. Without --strict,
-regressions only warn — the default check.sh hook must not fail on
-machine drift.
+found AND --strict was given, 2 = usage/parse error or nothing comparable
+at all. Without --strict, regressions only warn — the default check.sh
+hook must not fail on machine drift.
 """
 
 import json
 import sys
 
-METRIC_FIELDS = (
-    "steps_per_sec",
-    "batches_per_sec",
-    "records_per_sec",
-    "queries_per_sec",
-)
+# section -> {metric: direction}; direction is the GOOD direction.
+SECTIONS = {
+    "throughput": {
+        "steps_per_sec": "higher",
+        "batches_per_sec": "higher",
+        "records_per_sec": "higher",
+        "queries_per_sec": "higher",
+    },
+    "publish_cost": {
+        "full_us_per_publish": "lower",
+        "delta_us_per_publish": "lower",
+        "speedup": "higher",
+    },
+}
 
 
 def parse_args(argv):
@@ -56,61 +73,109 @@ def parse_args(argv):
     return paths[0], paths[1], threshold, strict
 
 
-def row_key(row):
-    """Identity of a throughput row: every non-metric field, sorted."""
-    return tuple(
-        sorted((k, v) for k, v in row.items() if k not in METRIC_FIELDS)
-    )
+def row_key(row, metrics):
+    """Identity of a row: every non-metric field, sorted."""
+    return tuple(sorted((k, v) for k, v in row.items() if k not in metrics))
 
 
-def load_rows(path):
+def load_sections(path):
+    """Returns (data, {section: {row_key: row}}) for every known section."""
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
-    rows = data.get("throughput")
-    if not isinstance(rows, list) or not rows:
-        raise ValueError(f"{path}: no 'throughput' array")
-    return data, {row_key(r): r for r in rows}
+    sections = {}
+    for name, metrics in SECTIONS.items():
+        rows = data.get(name)
+        if rows is None:
+            continue  # caller decides whether absence deserves a warning
+        if not isinstance(rows, list):
+            raise ValueError(f"{path}: section '{name}' is not an array")
+        sections[name] = {row_key(r, metrics): r for r in rows}
+    for name, value in data.items():
+        if isinstance(value, list) and name not in SECTIONS:
+            print(f"  note: unknown section '{name}' in {path} — skipping")
+    if not sections:
+        known = ", ".join(sorted(SECTIONS))
+        raise ValueError(f"{path}: no known section array ({known})")
+    return data, sections
 
 
 def describe(key):
     return " ".join(f"{k}={v}" for k, v in key)
 
 
-def main(argv):
-    try:
-        base_path, fresh_path, threshold, strict = parse_args(argv)
-        base_data, base_rows = load_rows(base_path)
-        _, fresh_rows = load_rows(fresh_path)
-    except (ValueError, OSError, json.JSONDecodeError) as e:
-        print(f"bench_compare: {e}", file=sys.stderr)
-        return 2
-
-    regressions = []
+def compare_section(name, base_rows, fresh_rows, threshold, regressions):
+    """Prints the per-row diff of one section; returns #metrics compared."""
+    metrics = SECTIONS[name]
     compared = 0
+    warned_metrics = set()
     for key, base in base_rows.items():
         fresh = fresh_rows.get(key)
         if fresh is None:
-            print(f"  missing in fresh run: {describe(key)}")
+            print(f"  [{name}] missing in fresh run: {describe(key)}")
             continue
-        for metric in METRIC_FIELDS:
+        for metric, good in metrics.items():
             if metric not in base or metric not in fresh:
+                present_in = "fresh" if metric in fresh else "baseline"
+                if metric in base or metric in fresh:
+                    if metric not in warned_metrics:
+                        warned_metrics.add(metric)
+                        print(
+                            f"  [{name}] metric '{metric}' only in "
+                            f"{present_in} — skipping (regenerate the "
+                            f"baseline to compare it)"
+                        )
                 continue
             old, new = float(base[metric]), float(fresh[metric])
             if old <= 0.0:
                 continue
             compared += 1
             delta = (new - old) / old
+            # A drop is bad for higher-is-better metrics, a rise for
+            # lower-is-better ones.
+            bad = -delta if good == "higher" else delta
             marker = ""
-            if delta < -threshold:
+            if bad > threshold:
                 marker = "  <-- REGRESSION"
-                regressions.append((key, metric, old, new, delta))
+                regressions.append((name, key, metric, old, new, delta))
             print(
-                f"  {describe(key)} {metric}: "
+                f"  [{name}] {describe(key)} {metric}: "
                 f"{old:.1f} -> {new:.1f} ({delta:+.1%}){marker}"
             )
     for key in fresh_rows:
         if key not in base_rows:
-            print(f"  new row (no baseline): {describe(key)}")
+            print(f"  [{name}] new row (no baseline): {describe(key)}")
+    return compared
+
+
+def main(argv):
+    try:
+        base_path, fresh_path, threshold, strict = parse_args(argv)
+        base_data, base_sections = load_sections(base_path)
+        _, fresh_sections = load_sections(fresh_path)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for name in SECTIONS:
+        base_rows = base_sections.get(name)
+        fresh_rows = fresh_sections.get(name)
+        if base_rows is None and fresh_rows is None:
+            continue
+        if base_rows is None:
+            print(
+                f"  section '{name}' not in baseline {base_path} — "
+                f"skipping (regenerate the baseline to compare it)"
+            )
+            continue
+        if fresh_rows is None:
+            print(f"  section '{name}' not in fresh run {fresh_path} — "
+                  f"skipping")
+            continue
+        compared += compare_section(
+            name, base_rows, fresh_rows, threshold, regressions
+        )
 
     if compared == 0:
         print("bench_compare: no comparable metrics found", file=sys.stderr)
@@ -118,8 +183,8 @@ def main(argv):
     bench = base_data.get("bench", base_path)
     if regressions:
         print(
-            f"\nWARNING: {len(regressions)} metric(s) in '{bench}' dropped "
-            f"more than {threshold:.0%} vs {base_path}."
+            f"\nWARNING: {len(regressions)} metric(s) in '{bench}' moved "
+            f"the wrong way by more than {threshold:.0%} vs {base_path}."
         )
         print(
             "Before treating this as a real regression, rebuild the prior "

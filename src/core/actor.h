@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "embedding/dirty_rows.h"
 #include "embedding/embedding_matrix.h"
 #include "embedding/line.h"
 #include "graph/graph_builder.h"
@@ -84,6 +85,13 @@ struct ActorModel {
   EmbeddingMatrix center;
   EmbeddingMatrix context;
   ActorStats stats;
+  /// Rows (center and context, one union set) mutated since the last
+  /// publish. TrainActor leaves every row marked (a fresh model is fully
+  /// dirty); callers that keep training through EdgeSamplingTrainer with
+  /// TrainOptions::dirty_rows = &dirty and re-publish with
+  /// PublishActorModel(..., prev) get delta publishes — Clear() it after
+  /// each publish (docs/serving.md).
+  DirtyRowSet dirty;
 };
 
 /// Trains ACTOR on built graphs (Algorithm 1, lines 3-12; hotspot
@@ -93,18 +101,24 @@ struct ActorModel {
 Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
                               const ActorOptions& options);
 
-/// Final publish of a batch-trained model: deep-copies center and context
-/// into an immutable ModelSnapshot that shares the graphs / hotspots /
-/// vocabulary it was trained against (vocab may be null when keyword
-/// lookup is not needed). The snapshot version is the model's total SGD
-/// step count (edge + record steps) — monotone within a training run, the
-/// batch analogue of the OnlineEdgeStore::version() scheme. Callers going
+/// Publish of a batch-trained model: copies center and context into an
+/// immutable ModelSnapshot that shares the graphs / hotspots / vocabulary
+/// it was trained against (vocab may be null when keyword lookup is not
+/// needed). The snapshot version is the model's total SGD step count
+/// (edge + record steps) — monotone within a training run, the batch
+/// analogue of the OnlineEdgeStore::version() scheme. Callers going
 /// through the eval pipeline usually use PreparedDataset::Snapshot()
 /// instead, which fills the shared structures in.
+///
+/// With `prev` (a snapshot previously published from the same model), the
+/// copy is a delta publish: only chunks containing rows marked in
+/// model.dirty are copied, the rest are shared with `prev`. The caller
+/// clears model.dirty after a successful publish.
 std::shared_ptr<const ModelSnapshot> PublishActorModel(
     const ActorModel& model, std::shared_ptr<const BuiltGraphs> graphs,
     std::shared_ptr<const Hotspots> hotspots,
-    std::shared_ptr<const Vocabulary> vocab = nullptr);
+    std::shared_ptr<const Vocabulary> vocab = nullptr,
+    const ModelSnapshot* prev = nullptr);
 
 }  // namespace actor
 

@@ -61,6 +61,11 @@ VertexId OnlineActor::AddUnit(VertexType type, std::string name) {
   names_.push_back(std::move(name));
   center_.AppendRows(1, &rng_);
   context_.AppendRows(1, nullptr);
+  // A new unit's row is dirty by definition: no previous snapshot chunk
+  // can cover it. Resolve/AddUnit run on the ingest thread, outside any
+  // hogwild region, so marking the merged set directly is safe.
+  dirty_.Resize(static_cast<int32_t>(types_.size()));
+  dirty_.Mark(id);
   return id;
 }
 
@@ -241,14 +246,24 @@ Status OnlineActor::TrainBatch() {
     if (samples <= 0) continue;
     const uint64_t step = train_steps_;
     if (pool_ == nullptr || pool_->num_threads() == 1) {
-      TrainTypeShard(e, samples, ShardSeed(options_.seed, step, 0));
+      // Sequential path: no concurrent markers, mark the merged set.
+      TrainTypeShard(e, samples, ShardSeed(options_.seed, step, 0), &dirty_);
     } else {
+      shard_dirty_.resize(pool_->num_threads());
+      for (auto& s : shard_dirty_) {
+        s.Resize(num_units());
+        s.Clear();
+      }
       pool_->ShardedRange(
           0, static_cast<std::size_t>(samples),
           [this, e, step](int shard, std::size_t lo, std::size_t hi) {
             TrainTypeShard(e, static_cast<int64_t>(hi - lo),
-                           ShardSeed(options_.seed, step, shard));
+                           ShardSeed(options_.seed, step, shard),
+                           &shard_dirty_[static_cast<std::size_t>(shard)]);
           });
+      // Batch barrier: ShardedRange returned, the shard-local sets are
+      // published to the ingest thread — fold them into the merged set.
+      for (const auto& s : shard_dirty_) dirty_.MergeFrom(s);
     }
     train_steps_ += static_cast<uint64_t>(samples);
   }
@@ -262,7 +277,8 @@ Status OnlineActor::TrainBatch() {
 
 // actor-lint: hogwild-region — runs concurrently on pool workers; shared
 // row access must go through the kernel API or RelaxedLoad/RelaxedStore.
-void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed) {
+void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed,
+                                 DirtyRowSet* dirty) {
   Rng rng(seed);
   const OnlineEdgeStore& store = edges_[e];
   const SamplerCache& cache = samplers_[e];
@@ -303,12 +319,21 @@ void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed) {
       const NoiseTable& noise = cache.noise[static_cast<int>(types_[v])];
       if (!noise.valid) continue;
       Zero(grad.data(), dim);
+      // Dirty tracking marks the rows this step mutates — u (center), v
+      // and every negative draw (context) — into the shard-local set
+      // `dirty` points at, never a shared one (R4 discipline).
       NegativeSamplingUpdate(
           center_.row(u), v, options_.negatives, lr, &context_, sigmoid_,
           rng,
-          [&noise](Rng& r) { return noise.candidates[noise.table.Sample(r)]; },
+          [&noise, dirty](Rng& r) {
+            const VertexId n = noise.candidates[noise.table.Sample(r)];
+            dirty->Mark(n);
+            return n;
+          },
           grad.data());
       Add(grad.data(), center_.row(u), dim);
+      dirty->Mark(u);
+      dirty->Mark(v);
     }
   }
 }
@@ -345,7 +370,7 @@ VertexId OnlineActor::WordUnit(int32_t word_id) const {
   return it == word_units_.end() ? kInvalidVertex : it->second;
 }
 
-std::shared_ptr<const ModelSnapshot> OnlineActor::PublishSnapshot() {
+ModelSnapshot::OnlineCatalog OnlineActor::BuildCatalog() const {
   ModelSnapshot::OnlineCatalog catalog;
   catalog.types = types_;
   catalog.names = names_;
@@ -354,6 +379,10 @@ std::shared_ptr<const ModelSnapshot> OnlineActor::PublishSnapshot() {
   catalog.temporal_hours = temporal_;
   catalog.temporal_units = temporal_units_;
   catalog.word_units = word_units_;
+  return catalog;
+}
+
+std::shared_ptr<const ModelSnapshot> OnlineActor::PublishSnapshot() {
   // Version stamping follows the OnlineEdgeStore scheme: each store's
   // version() bumps on every accumulate/drop, and the batch count covers
   // pure-decay ticks (which by design do not bump store versions). The sum
@@ -361,7 +390,30 @@ std::shared_ptr<const ModelSnapshot> OnlineActor::PublishSnapshot() {
   // the published model states.
   uint64_t version = static_cast<uint64_t>(batches_);
   for (const auto& store : edges_) version += store.version();
-  auto snap = ModelSnapshot::FromOnline(center_, std::move(catalog), version);
+
+  auto prev = snapshots_->Acquire();
+  if (prev != nullptr && prev->version() == version) {
+    // No Ingest() since the last publish — the model is unchanged, so the
+    // published snapshot is still exact. Copying nothing makes publish a
+    // cheap no-op at any cadence.
+    return prev;
+  }
+  std::shared_ptr<const ModelSnapshot> snap;
+  if (options_.delta_publish && prev != nullptr) {
+    // Delta publish: copy only chunks containing rows dirtied since
+    // `prev`, share the rest. An unchanged unit count means no unit was
+    // added (the catalogue only grows through AddUnit), so the whole
+    // catalogue state is shared too.
+    snap = prev->num_units() == num_units()
+               ? ModelSnapshot::FromOnlineDelta(center_, version, prev, dirty_)
+               : ModelSnapshot::FromOnlineDelta(center_, version, prev, dirty_,
+                                                BuildCatalog());
+  } else {
+    snap = ModelSnapshot::FromOnline(center_, BuildCatalog(), version);
+  }
+  // The new snapshot is exact, so nothing is dirty relative to it — the
+  // next delta publish starts from a clean set.
+  dirty_.Clear();
   snapshots_->Publish(snap);
   return snap;
 }

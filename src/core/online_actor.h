@@ -10,6 +10,7 @@
 #include "core/online_edge_store.h"
 #include "data/record.h"
 #include "data/vocabulary.h"
+#include "embedding/dirty_rows.h"
 #include "embedding/embedding_matrix.h"
 #include "graph/alias_table.h"
 #include "graph/types.h"
@@ -75,6 +76,16 @@ struct OnlineActorOptions {
   /// batch reconstructs all samplers from scratch — the pre-port behavior,
   /// kept as an A/B lever for bench/online_throughput.
   bool incremental_sampler = true;
+
+  /// When true (default), PublishSnapshot() is a delta publish: only
+  /// chunks of the center matrix containing rows dirtied since the last
+  /// snapshot are copied, clean chunks and (when no unit was added) the
+  /// whole unit catalogue are shared with it (docs/serving.md). When
+  /// false, every publish is the pre-delta full copy — bit-identical
+  /// snapshot contents and query results either way (locked in by
+  /// serve_delta_publish_test); kept as an A/B lever for
+  /// bench/query_throughput's publish_cost section.
+  bool delta_publish = true;
 };
 
 /// Streaming hierarchical cross-modal embedding: ingests record batches,
@@ -132,11 +143,15 @@ class OnlineActor {
                                 VertexId candidate) const;
 
   /// Publishes the current model as an immutable ModelSnapshot and
-  /// installs it as the actor's current snapshot (docs/serving.md).
-  /// Copy-on-publish: the center matrix and unit catalogue are deep-copied
-  /// (O(units x dim)), so the caller decides how often to pay that — a
-  /// common cadence is once per Ingest(). Call from the ingest thread only
-  /// (the same thread that calls Ingest()); never concurrently with it.
+  /// installs it as the actor's current snapshot (docs/serving.md). With
+  /// delta_publish (default) the cost is proportional to the rows the
+  /// last batches touched — clean chunks and an unchanged catalogue are
+  /// shared with the previous snapshot; with delta_publish=false every
+  /// publish deep-copies O(units x dim). When the model version is
+  /// unchanged since the last publish (no Ingest() in between) the
+  /// already-published snapshot is returned as-is — a no-op publish that
+  /// copies nothing. Call from the ingest thread only (the same thread
+  /// that calls Ingest()); never concurrently with it.
   /// The snapshot version follows the OnlineEdgeStore::version() scheme:
   /// batches_ingested() plus the sum of the per-edge-type store versions,
   /// so any batch that changed the sampled distribution (and any batch at
@@ -184,8 +199,13 @@ class OnlineActor {
   /// version matches — e.g. after pure-decay batches).
   Status RefreshSamplers(int e);
   /// One shard of the re-embed phase for edge type e: `num_samples` SGD
-  /// steps from the per-shard RNG stream seeded with `seed`.
-  void TrainTypeShard(int e, int64_t num_samples, uint64_t seed);
+  /// steps from the per-shard RNG stream seeded with `seed`. `dirty` is
+  /// this shard's local dirty-row set (or the merged set directly on the
+  /// sequential path) — never a set shared with another running shard.
+  void TrainTypeShard(int e, int64_t num_samples, uint64_t seed,
+                      DirtyRowSet* dirty);
+  /// The copied resolver state a full (non-delta) publish adopts.
+  ModelSnapshot::OnlineCatalog BuildCatalog() const;
 
   OnlineActorOptions options_;
   Rng rng_;
@@ -212,6 +232,13 @@ class OnlineActor {
   // incremental sampler maintenance (docs/streaming.md).
   OnlineEdgeStore edges_[kNumEdgeTypes];
   SamplerCache samplers_[kNumEdgeTypes];
+
+  /// Center/context rows mutated since the last publish (one union set):
+  /// new units from AddUnit plus everything the re-embed shards touched.
+  /// Written only from the ingest thread outside hogwild regions; the
+  /// shards mark shard_dirty_, merged here at the TrainBatch barrier.
+  DirtyRowSet dirty_;
+  std::vector<DirtyRowSet> shard_dirty_;  // per-shard scratch
 
   ThreadPool* pool_ = nullptr;              // null => sequential re-embed
   std::unique_ptr<ThreadPool> owned_pool_;  // backs pool_ when not borrowed

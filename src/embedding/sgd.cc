@@ -72,15 +72,34 @@ Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
     return Status::OK();  // nothing to train
   }
   const uint64_t step = static_cast<uint64_t>(steps_done_);
+  DirtyRowSet* merged = options_.dirty_rows;
   if (pool_ == nullptr || pool_->num_threads() == 1) {
-    TrainShard(e, num_samples, lr, ShardSeed(options_.seed, step, 0));
+    // Sequential path: no concurrent markers, so the merged set is written
+    // directly.
+    TrainShard(e, num_samples, lr, ShardSeed(options_.seed, step, 0), merged);
   } else {
+    if (merged != nullptr) {
+      shard_dirty_.resize(pool_->num_threads());
+      for (auto& s : shard_dirty_) {
+        s.Resize(center_->rows());
+        s.Clear();
+      }
+    }
     pool_->ShardedRange(
         0, static_cast<std::size_t>(num_samples),
-        [this, e, lr, step](int shard, std::size_t lo, std::size_t hi) {
+        [this, e, lr, step, merged](int shard, std::size_t lo,
+                                    std::size_t hi) {
           TrainShard(e, static_cast<int64_t>(hi - lo), lr,
-                     ShardSeed(options_.seed, step, shard));
+                     ShardSeed(options_.seed, step, shard),
+                     merged == nullptr
+                         ? nullptr
+                         : &shard_dirty_[static_cast<std::size_t>(shard)]);
         });
+    if (merged != nullptr) {
+      // Batch barrier: ShardedRange has returned, so the shard-local sets
+      // are safely published to this thread.
+      for (const auto& s : shard_dirty_) merged->MergeFrom(s);
+    }
   }
   steps_done_ += num_samples;
   // HOGWILD updates cannot be checked per-step without serializing the
@@ -94,7 +113,8 @@ Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
 // actor-lint: hogwild-region — runs concurrently on pool workers; shared
 // row access must go through the kernel API or RelaxedLoad/RelaxedStore.
 void EdgeSamplingTrainer::TrainShard(EdgeType e, int64_t num_samples,
-                                     float lr, uint64_t seed) {
+                                     float lr, uint64_t seed,
+                                     DirtyRowSet* dirty) {
   Rng rng(seed);
   const auto& edges = graph_->edges(e);
   const AliasTable& table = *edge_tables_[static_cast<int>(e)];
@@ -120,13 +140,22 @@ void EdgeSamplingTrainer::TrainShard(EdgeType e, int64_t num_samples,
       const VertexId v = edges.dst[idx];
       const VertexType ctx_type = graph_->vertex_type(v);
       Zero(grad.data(), dim);
+      // Dirty tracking marks the rows this step mutates — u (center) and
+      // v plus every negative draw (context rows) — into the shard-local
+      // set, never a shared one (R4 discipline; merged at the barrier).
       NegativeSamplingUpdate(
           center_->row(u), v, options_.negatives, lr, context_, sigmoid_, rng,
-          [this, e, ctx_type](Rng& r) {
-            return negative_sampler_->Sample(e, ctx_type, r);
+          [this, e, ctx_type, dirty](Rng& r) {
+            const VertexId n = negative_sampler_->Sample(e, ctx_type, r);
+            if (dirty != nullptr && n != kInvalidVertex) dirty->Mark(n);
+            return n;
           },
           grad.data());
       Add(grad.data(), center_->row(u), dim);  // Eq. (12)
+      if (dirty != nullptr) {
+        dirty->Mark(u);
+        dirty->Mark(v);
+      }
     }
   }
 }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "embedding/dirty_rows.h"
 #include "embedding/embedding_matrix.h"
 #include "embedding/negative_sampler.h"
 #include "graph/alias_table.h"
@@ -87,6 +88,15 @@ struct TrainOptions {
   /// num_threads, and num_threads <= 1 ignores the pool (sequential,
   /// bit-deterministic path).
   ThreadPool* pool = nullptr;
+
+  /// Dirty-row tracking for the delta publish path (docs/serving.md).
+  /// When non-null, every TrainEdgeType call records the rows it touched —
+  /// center rows, positive context rows, and negative draws, one union set
+  /// — into this caller-owned set: shard-local sets inside the HOGWILD
+  /// region, merged here at the batch barrier (after ShardedRange
+  /// returns). Must cover the matrices' rows (Resize) and outlive the
+  /// trainer. Null (default) disables tracking at zero cost.
+  DirtyRowSet* dirty_rows = nullptr;
 };
 
 /// Asynchronous stochastic gradient trainer over typed edges (paper
@@ -127,7 +137,10 @@ class EdgeSamplingTrainer {
   bool prepared() const { return prepared_; }
 
  private:
-  void TrainShard(EdgeType e, int64_t num_samples, float lr, uint64_t seed);
+  /// `dirty` is the shard-local dirty set for this shard (or the merged
+  /// set directly on the sequential path); null when tracking is off.
+  void TrainShard(EdgeType e, int64_t num_samples, float lr, uint64_t seed,
+                  DirtyRowSet* dirty);
 
   const Heterograph* graph_;
   EmbeddingMatrix* center_;
@@ -140,6 +153,9 @@ class EdgeSamplingTrainer {
   int64_t steps_done_ = 0;
   ThreadPool* pool_ = nullptr;            // null => single-threaded
   std::unique_ptr<ThreadPool> owned_pool_;  // backs pool_ when not borrowed
+  /// Per-shard dirty scratch, merged into options_.dirty_rows at the
+  /// TrainEdgeType barrier (allocation-free at steady state).
+  std::vector<DirtyRowSet> shard_dirty_;
 };
 
 }  // namespace actor

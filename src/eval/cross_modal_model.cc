@@ -16,7 +16,7 @@ EmbeddingCrossModalModel::EmbeddingCrossModalModel(
 
 bool EmbeddingCrossModalModel::TextVector(const std::vector<int32_t>& words,
                                           std::vector<float>* out) const {
-  const EmbeddingMatrix& center = snapshot_->center();
+  const ChunkedMatrix& center = snapshot_->center();
   const std::size_t dim = static_cast<std::size_t>(center.dim());
   out->assign(dim, 0.0f);
   int known = 0;
@@ -35,7 +35,7 @@ bool EmbeddingCrossModalModel::LocationVector(const GeoPoint& location,
                                               std::vector<float>* out) const {
   const VertexId v = snapshot_->SpatialVertex(location);
   if (v == kInvalidVertex) return false;
-  const EmbeddingMatrix& center = snapshot_->center();
+  const ChunkedMatrix& center = snapshot_->center();
   out->assign(center.row(v), center.row(v) + center.dim());
   return true;
 }
@@ -44,7 +44,7 @@ bool EmbeddingCrossModalModel::TimeVector(double timestamp,
                                           std::vector<float>* out) const {
   const VertexId v = snapshot_->TemporalVertexAt(timestamp);
   if (v == kInvalidVertex) return false;
-  const EmbeddingMatrix& center = snapshot_->center();
+  const ChunkedMatrix& center = snapshot_->center();
   out->assign(center.row(v), center.row(v) + center.dim());
   return true;
 }

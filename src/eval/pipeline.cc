@@ -37,9 +37,10 @@ Result<PreparedDataset> PrepareDataset(const PipelineOptions& options,
 }
 
 std::shared_ptr<const ModelSnapshot> PreparedDataset::Snapshot(
-    const EmbeddingMatrix& center, uint64_t version) const {
+    const EmbeddingMatrix& center, uint64_t version, const ModelSnapshot* prev,
+    const DirtyRowSet* dirty) const {
   return ModelSnapshot::FromBatch(center, /*context=*/nullptr, graphs,
-                                  hotspots, vocab, version);
+                                  hotspots, vocab, version, prev, dirty);
 }
 
 PipelineOptions UTGeoPipeline(double scale) {

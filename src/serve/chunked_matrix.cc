@@ -1,0 +1,93 @@
+#include "serve/chunked_matrix.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace actor {
+
+ChunkedMatrix::ChunkPtr ChunkedMatrix::NewChunk(std::size_t stride) {
+  const std::size_t bytes = static_cast<std::size_t>(kChunkRows) * stride *
+                            sizeof(float);
+  // Same allocation contract as EmbeddingMatrix: aligned_alloc needs the
+  // size to be a multiple of the alignment; stride is a multiple of 8
+  // floats (32 bytes), so it already is.
+  float* p = static_cast<float*>(
+      std::aligned_alloc(EmbeddingMatrix::kRowAlignment, bytes));
+  ACTOR_CHECK(p != nullptr) << "chunk allocation failed (" << bytes
+                            << " bytes)";
+  std::memset(p, 0, bytes);
+  return ChunkPtr(p, [](const float* q) { std::free(const_cast<float*>(q)); });
+}
+
+ChunkedMatrix ChunkedMatrix::FullCopy(const EmbeddingMatrix& src) {
+  ChunkedMatrix out;
+  out.rows_ = src.rows();
+  out.dim_ = src.dim();
+  out.stride_ = src.stride();
+  if (out.empty()) return out;
+  const std::size_t num_chunks =
+      (static_cast<std::size_t>(out.rows_) + kChunkRows - 1) / kChunkRows;
+  out.chunks_.reserve(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const int32_t begin = static_cast<int32_t>(c) * kChunkRows;
+    const int32_t end = std::min(begin + kChunkRows, out.rows_);
+    ChunkPtr chunk = NewChunk(out.stride_);
+    // Rows are contiguous at stride granularity inside the flat matrix, so
+    // one memcpy moves the whole chunk, padding floats included.
+    std::memcpy(const_cast<float*>(chunk.get()), src.row(begin),
+                static_cast<std::size_t>(end - begin) * out.stride_ *
+                    sizeof(float));
+    out.chunks_.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+ChunkedMatrix ChunkedMatrix::DeltaCopy(const EmbeddingMatrix& src,
+                                       const ChunkedMatrix& prev,
+                                       const DirtyRowSet& dirty) {
+  if (prev.dim_ != src.dim() || prev.stride_ != src.stride() ||
+      prev.rows_ > src.rows()) {
+    return FullCopy(src);  // incompatible layout — nothing to share
+  }
+  ChunkedMatrix out;
+  out.rows_ = src.rows();
+  out.dim_ = src.dim();
+  out.stride_ = src.stride();
+  if (out.empty()) return out;
+  const std::size_t num_chunks =
+      (static_cast<std::size_t>(out.rows_) + kChunkRows - 1) / kChunkRows;
+  out.chunks_.reserve(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const int32_t begin = static_cast<int32_t>(c) * kChunkRows;
+    const int32_t end = std::min(begin + kChunkRows, out.rows_);
+    // Share iff the previous snapshot fully covers this chunk's row range
+    // and no row in it changed. Rows appended after `prev` are expected to
+    // be marked dirty by the trainer, but the coverage check keeps the
+    // copy correct even if a caller forgets.
+    const bool covered = end <= prev.rows_;
+    const bool clean =
+        covered && dirty.rows() >= end && !dirty.AnyInRange(begin, end);
+    if (clean) {
+      out.chunks_.push_back(prev.chunks_[c]);
+      continue;
+    }
+    ChunkPtr chunk = NewChunk(out.stride_);
+    std::memcpy(const_cast<float*>(chunk.get()), src.row(begin),
+                static_cast<std::size_t>(end - begin) * out.stride_ *
+                    sizeof(float));
+    out.chunks_.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+std::size_t ChunkedMatrix::SharedChunksWith(const ChunkedMatrix& other) const {
+  const std::size_t n = std::min(chunks_.size(), other.chunks_.size());
+  std::size_t shared = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (chunks_[c] == other.chunks_[c]) ++shared;
+  }
+  return shared;
+}
+
+}  // namespace actor

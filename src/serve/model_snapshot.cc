@@ -5,16 +5,33 @@
 
 namespace actor {
 
+std::shared_ptr<const ModelSnapshot::CatalogState>
+ModelSnapshot::MakeCatalogState(OnlineCatalog catalog) {
+  auto state = std::make_shared<CatalogState>();
+  state->catalog = std::move(catalog);
+  for (std::size_t v = 0; v < state->catalog.types.size(); ++v) {
+    state->of_type[static_cast<int>(state->catalog.types[v])].push_back(
+        static_cast<VertexId>(v));
+  }
+  return state;
+}
+
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromBatch(
     const EmbeddingMatrix& center, const EmbeddingMatrix* context,
     std::shared_ptr<const BuiltGraphs> graphs,
     std::shared_ptr<const Hotspots> hotspots,
-    std::shared_ptr<const Vocabulary> vocab, uint64_t version) {
+    std::shared_ptr<const Vocabulary> vocab, uint64_t version,
+    const ModelSnapshot* prev, const DirtyRowSet* dirty) {
   auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
   snap->version_ = version;
-  snap->center_ = center.Clone();
+  const bool delta = prev != nullptr && dirty != nullptr;
+  snap->center_ = delta ? ChunkedMatrix::DeltaCopy(center, prev->center_, *dirty)
+                        : ChunkedMatrix::FullCopy(center);
   if (context != nullptr) {
-    snap->context_ = std::make_unique<EmbeddingMatrix>(context->Clone());
+    const bool ctx_delta = delta && prev->context_ != nullptr;
+    snap->context_ = std::make_unique<ChunkedMatrix>(
+        ctx_delta ? ChunkedMatrix::DeltaCopy(*context, *prev->context_, *dirty)
+                  : ChunkedMatrix::FullCopy(*context));
   }
   snap->graphs_ = std::move(graphs);
   snap->hotspots_ = std::move(hotspots);
@@ -26,29 +43,54 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromOnline(
     const EmbeddingMatrix& center, OnlineCatalog catalog, uint64_t version) {
   auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
   snap->version_ = version;
-  snap->center_ = center.Clone();
-  snap->catalog_ = std::move(catalog);
-  for (std::size_t v = 0; v < snap->catalog_.types.size(); ++v) {
-    snap->of_type_[static_cast<int>(snap->catalog_.types[v])].push_back(
-        static_cast<VertexId>(v));
-  }
+  snap->center_ = ChunkedMatrix::FullCopy(center);
+  snap->online_ = MakeCatalogState(std::move(catalog));
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromOnlineDelta(
+    const EmbeddingMatrix& center, uint64_t version,
+    const std::shared_ptr<const ModelSnapshot>& prev,
+    const DirtyRowSet& dirty) {
+  ACTOR_DCHECK(prev != nullptr && prev->graphs_ == nullptr)
+      << "delta publish needs a previous online snapshot";
+  ACTOR_DCHECK(prev->num_units() == center.rows())
+      << "catalogue sharing requires an unchanged unit set ("
+      << prev->num_units() << " vs " << center.rows() << " rows)";
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->version_ = version;
+  snap->center_ = ChunkedMatrix::DeltaCopy(center, prev->center_, dirty);
+  snap->online_ = prev->online_;  // unit set unchanged — share outright
+  return snap;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromOnlineDelta(
+    const EmbeddingMatrix& center, uint64_t version,
+    const std::shared_ptr<const ModelSnapshot>& prev,
+    const DirtyRowSet& dirty, OnlineCatalog catalog) {
+  ACTOR_DCHECK(prev != nullptr && prev->graphs_ == nullptr)
+      << "delta publish needs a previous online snapshot";
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->version_ = version;
+  snap->center_ = ChunkedMatrix::DeltaCopy(center, prev->center_, dirty);
+  snap->online_ = MakeCatalogState(std::move(catalog));
   return snap;
 }
 
 const std::vector<VertexId>& ModelSnapshot::VerticesOfType(
     VertexType type) const {
   if (graphs_ != nullptr) return graphs_->activity.VerticesOfType(type);
-  return of_type_[static_cast<int>(type)];
+  return online_->of_type[static_cast<int>(type)];
 }
 
 VertexType ModelSnapshot::vertex_type(VertexId v) const {
   if (graphs_ != nullptr) return graphs_->activity.vertex_type(v);
-  return catalog_.types[static_cast<std::size_t>(v)];
+  return online_->catalog.types[static_cast<std::size_t>(v)];
 }
 
 const std::string& ModelSnapshot::vertex_name(VertexId v) const {
   if (graphs_ != nullptr) return graphs_->activity.vertex_name(v);
-  return catalog_.names[static_cast<std::size_t>(v)];
+  return online_->catalog.names[static_cast<std::size_t>(v)];
 }
 
 VertexId ModelSnapshot::SpatialVertex(const GeoPoint& location) const {
@@ -58,16 +100,17 @@ VertexId ModelSnapshot::SpatialVertex(const GeoPoint& location) const {
   }
   // Same nearest-center scan as OnlineActor::SpatialUnit, so a snapshot
   // resolves exactly like the live actor it was published from.
+  const OnlineCatalog& catalog = online_->catalog;
   int best = -1;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < catalog_.spatial_centers.size(); ++i) {
-    const double d = Distance(location, catalog_.spatial_centers[i]);
+  for (std::size_t i = 0; i < catalog.spatial_centers.size(); ++i) {
+    const double d = Distance(location, catalog.spatial_centers[i]);
     if (d < best_dist) {
       best_dist = d;
       best = static_cast<int>(i);
     }
   }
-  return best < 0 ? kInvalidVertex : catalog_.spatial_units[best];
+  return best < 0 ? kInvalidVertex : catalog.spatial_units[best];
 }
 
 VertexId ModelSnapshot::TemporalVertexAt(double timestamp) const {
@@ -83,16 +126,17 @@ VertexId ModelSnapshot::TemporalVertexAtHour(double hour) const {
     const int32_t h = hotspots_->temporal.AssignHour(hour);
     return h < 0 ? kInvalidVertex : graphs_->temporal_vertices[h];
   }
+  const OnlineCatalog& catalog = online_->catalog;
   int best = -1;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < catalog_.temporal_hours.size(); ++i) {
-    const double d = CircularHourDistance(hour, catalog_.temporal_hours[i]);
+  for (std::size_t i = 0; i < catalog.temporal_hours.size(); ++i) {
+    const double d = CircularHourDistance(hour, catalog.temporal_hours[i]);
     if (d < best_dist) {
       best_dist = d;
       best = static_cast<int>(i);
     }
   }
-  return best < 0 ? kInvalidVertex : catalog_.temporal_units[best];
+  return best < 0 ? kInvalidVertex : catalog.temporal_units[best];
 }
 
 VertexId ModelSnapshot::WordVertex(int32_t word_id) const {
@@ -103,8 +147,9 @@ VertexId ModelSnapshot::WordVertex(int32_t word_id) const {
     }
     return graphs_->word_vertices[static_cast<std::size_t>(word_id)];
   }
-  const auto it = catalog_.word_units.find(word_id);
-  return it == catalog_.word_units.end() ? kInvalidVertex : it->second;
+  const auto& word_units = online_->catalog.word_units;
+  const auto it = word_units.find(word_id);
+  return it == word_units.end() ? kInvalidVertex : it->second;
 }
 
 int32_t ModelSnapshot::LookupWord(const std::string& keyword) const {

@@ -10,10 +10,12 @@
 
 #include "data/record.h"
 #include "data/vocabulary.h"
+#include "embedding/dirty_rows.h"
 #include "embedding/embedding_matrix.h"
 #include "graph/graph_builder.h"
 #include "graph/types.h"
 #include "hotspot/hotspot_detector.h"
+#include "serve/chunked_matrix.h"
 
 namespace actor {
 
@@ -24,20 +26,27 @@ namespace actor {
 ///
 /// Snapshots are the serving boundary of the system (docs/serving.md).
 /// Trainers mutate their matrices in place (HOGWILD); queries never touch
-/// those matrices. Instead a trainer *publishes*: the embeddings are deep-
-/// copied into a new snapshot (copy-on-publish, O(rows x dim)), the unit
-/// catalogue is copied or shared by shared_ptr, and the result is handed
-/// out through SnapshotStore's atomic shared_ptr slot. A query holding a
-/// snapshot therefore sees one consistent model version forever — later
-/// Ingest()/publish cycles cannot change what it scores — and readers
-/// never block writers.
+/// those matrices. Instead a trainer *publishes*: the embeddings are
+/// copied into an immutable ChunkedMatrix and the result is handed out
+/// through SnapshotStore's atomic shared_ptr slot. Two publish flavors
+/// share one storage layout:
+///   - full copy (the delta_publish=false A/B path): every chunk is
+///     materialized, O(units x dim) per publish;
+///   - delta publish: only chunks containing rows the trainer marked
+///     dirty since the previous snapshot are copied; every clean chunk —
+///     and, on the online path, the whole unit catalogue when no unit was
+///     added — is shared with the previous snapshot by shared_ptr, so
+///     publish cost is proportional to the ingest batch.
+/// Either way a query holding a snapshot sees one consistent model
+/// version forever — later publishes swap chunk *pointers*, never chunk
+/// contents — and readers never block writers.
 ///
 /// Two factory paths cover the two trainers:
 ///   - FromBatch: wraps a finished TrainActor model together with the
 ///     batch pipeline's BuiltGraphs / Hotspots / Vocabulary (shared,
 ///     immutable after construction by contract).
-///   - FromOnline: wraps OnlineActor's live unit catalogue (copied, since
-///     the actor keeps growing it) — built by OnlineActor::PublishSnapshot.
+///   - FromOnline / FromOnlineDelta: wraps OnlineActor's live unit
+///     catalogue — built by OnlineActor::PublishSnapshot.
 ///
 /// All resolution methods are const, thread-safe, and bit-identical to the
 /// pre-snapshot code paths they replaced (the batch path delegates to the
@@ -57,21 +66,47 @@ class ModelSnapshot {
     std::unordered_map<int32_t, VertexId> word_units;
   };
 
-  /// Publishes a batch-trained model. `center` is deep-copied; `context`
-  /// is deep-copied when non-null (most consumers only need center).
-  /// `graphs` and `hotspots` are required; `vocab` may be null, in which
-  /// case KeywordVertex()/LookupWord() report every keyword as unknown.
-  /// The shared structures must not be mutated after publishing.
+  /// Publishes a batch-trained model. `center` is copied into chunked
+  /// storage; `context` likewise when non-null (most consumers only need
+  /// center). `graphs` and `hotspots` are required; `vocab` may be null,
+  /// in which case KeywordVertex()/LookupWord() report every keyword as
+  /// unknown. The shared structures must not be mutated after publishing.
+  ///
+  /// When `prev` and `dirty` are given, both matrices are delta-copied
+  /// against `prev`'s (chunks with no dirty row are shared). `dirty` must
+  /// cover every center *and* context row mutated since `prev` was
+  /// published from the same model (one union set — the trainers mark
+  /// center rows, positive context rows, and negative draws alike).
   static std::shared_ptr<const ModelSnapshot> FromBatch(
       const EmbeddingMatrix& center, const EmbeddingMatrix* context,
       std::shared_ptr<const BuiltGraphs> graphs,
       std::shared_ptr<const Hotspots> hotspots,
-      std::shared_ptr<const Vocabulary> vocab, uint64_t version);
+      std::shared_ptr<const Vocabulary> vocab, uint64_t version,
+      const ModelSnapshot* prev = nullptr,
+      const DirtyRowSet* dirty = nullptr);
 
-  /// Publishes a streaming model: `center` is deep-copied and `catalog`
-  /// (already a copy of the actor's resolver state) is adopted.
+  /// Publishes a streaming model with a full copy: every chunk of `center`
+  /// is materialized and `catalog` (already a copy of the actor's resolver
+  /// state) is adopted. This is the delta_publish=false A/B path.
   static std::shared_ptr<const ModelSnapshot> FromOnline(
       const EmbeddingMatrix& center, OnlineCatalog catalog, uint64_t version);
+
+  /// Delta publish with an unchanged unit set: center is chunk-COW copied
+  /// against `prev` (which must be an online-path snapshot) and the whole
+  /// catalogue state is shared with it. Requires
+  /// prev->num_units() == center.rows().
+  static std::shared_ptr<const ModelSnapshot> FromOnlineDelta(
+      const EmbeddingMatrix& center, uint64_t version,
+      const std::shared_ptr<const ModelSnapshot>& prev,
+      const DirtyRowSet& dirty);
+
+  /// Delta publish after units were added: center is chunk-COW copied
+  /// against `prev` (appended rows must be marked dirty) and the catalogue
+  /// is rebuilt from `catalog`.
+  static std::shared_ptr<const ModelSnapshot> FromOnlineDelta(
+      const EmbeddingMatrix& center, uint64_t version,
+      const std::shared_ptr<const ModelSnapshot>& prev,
+      const DirtyRowSet& dirty, OnlineCatalog catalog);
 
   /// Monotonic model version. Batch snapshots are stamped by the trainer
   /// (PublishActorModel uses the total SGD step count); online snapshots
@@ -81,9 +116,9 @@ class ModelSnapshot {
   uint64_t version() const { return version_; }
 
   /// The frozen center embeddings. One row per unit in the catalogue.
-  const EmbeddingMatrix& center() const { return center_; }
+  const ChunkedMatrix& center() const { return center_; }
   /// Frozen context embeddings; null unless the publisher included them.
-  const EmbeddingMatrix* context() const { return context_.get(); }
+  const ChunkedMatrix* context() const { return context_.get(); }
   int32_t dim() const { return center_.dim(); }
   int32_t num_units() const { return center_.rows(); }
 
@@ -112,21 +147,32 @@ class ModelSnapshot {
   bool has_vocab() const { return vocab_ != nullptr; }
 
  private:
+  /// The online path's resolver state plus the per-type id lists derived
+  /// from it. Held by shared_ptr so a delta publish with an unchanged unit
+  /// set shares the whole structure instead of re-copying O(units)
+  /// strings per publish.
+  struct CatalogState {
+    OnlineCatalog catalog;
+    std::vector<VertexId> of_type[kNumVertexTypes];
+  };
+
   ModelSnapshot() = default;
 
+  static std::shared_ptr<const CatalogState> MakeCatalogState(
+      OnlineCatalog catalog);
+
   uint64_t version_ = 0;
-  EmbeddingMatrix center_;                      // owned deep copy
-  std::unique_ptr<EmbeddingMatrix> context_;    // optional owned deep copy
+  ChunkedMatrix center_;                      // owned or chunk-shared
+  std::unique_ptr<ChunkedMatrix> context_;    // optional
 
   // Batch path: shared immutable structures from the eval pipeline.
   std::shared_ptr<const BuiltGraphs> graphs_;
   std::shared_ptr<const Hotspots> hotspots_;
   std::shared_ptr<const Vocabulary> vocab_;
 
-  // Online path (graphs_ == nullptr): copied resolver state plus derived
-  // per-type id lists so VerticesOfType has one shape on both paths.
-  OnlineCatalog catalog_;
-  std::vector<VertexId> of_type_[kNumVertexTypes];
+  // Online path (graphs_ == nullptr): resolver state, shared across delta
+  // publishes while the unit set is unchanged.
+  std::shared_ptr<const CatalogState> online_;
 };
 
 /// The one mutable cell of the serving layer: an atomically swappable slot

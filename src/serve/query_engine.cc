@@ -16,7 +16,7 @@ Result<std::vector<Neighbor>> QueryEngine::QueryByVector(
     VertexId exclude) const {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   const ModelSnapshot& snap = *snapshot_;
-  const EmbeddingMatrix& center = snap.center();
+  const ChunkedMatrix& center = snap.center();
   const std::size_t dim = static_cast<std::size_t>(center.dim());
   // One query against the whole type block: the query norm is fixed, so it
   // is computed once here instead of once per row inside Cosine(). The

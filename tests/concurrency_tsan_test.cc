@@ -29,7 +29,10 @@ namespace {
 
 constexpr int kThreads = 4;
 
-bool AllFinite(const EmbeddingMatrix& m) {
+// Template: covers both the trainers' flat EmbeddingMatrix and the
+// snapshots' chunk-COW ChunkedMatrix (same row(i)/rows()/dim() surface).
+template <typename Matrix>
+bool AllFinite(const Matrix& m) {
   for (int32_t r = 0; r < m.rows(); ++r) {
     for (int32_t d = 0; d < m.dim(); ++d) {
       if (!std::isfinite(m.row(r)[d])) return false;
@@ -231,6 +234,89 @@ TEST(ConcurrencyTsanTest, QueryDuringIngest) {
   EXPECT_EQ(query_failures.load(), 0);
   EXPECT_GT(queries_done.load(), 0);
   EXPECT_TRUE(AllFinite(model->CurrentSnapshot()->center()));
+}
+
+TEST(ConcurrencyTsanTest, DeltaPublishQueryDuringIngest) {
+  // Delta-publish flavor of QueryDuringIngest, with the re-embed phase
+  // sharded over a pool: shards mark shard-local dirty sets inside the
+  // hogwild region, the ingest thread merges them at the batch barrier
+  // and chunk-COW publishes against the previous snapshot, all while
+  // query threads keep acquiring and scoring. TSan must see no races in
+  // the dirty bookkeeping or the chunk sharing, and a snapshot held from
+  // before the writer started must stay byte-frozen throughout.
+  SyntheticConfig config;
+  config.seed = 43;
+  config.num_records = 900;
+  config.num_users = 30;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.num_venues = 8;
+  config.keywords_per_topic = 12;
+  config.background_vocab = 30;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<std::vector<TokenizedRecord>> batches(6);
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    batches[i * batches.size() / corpus->size()].push_back(
+        corpus->record(i));
+  }
+
+  ThreadPool train_pool(kThreads);
+  OnlineActorOptions options;
+  options.dim = 16;
+  options.samples_per_edge_per_batch = 2.0;
+  options.num_threads = kThreads;
+  options.pool = &train_pool;
+  options.delta_publish = true;  // explicit: this is the delta smoke
+  auto model = OnlineActor::Create(options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->Ingest(batches[0]).ok());
+  auto held = model->PublishSnapshot();
+  ASSERT_NE(held, nullptr);
+  const float held_probe = held->center().row(0)[0];
+  const GeoPoint probe = batches[0].front().location;
+
+  ThreadPool query_pool(kThreads);
+  std::atomic<int> query_failures{0};
+  std::atomic<bool> ingest_done{false};
+  for (int t = 0; t < kThreads; ++t) {
+    query_pool.Submit([&, t] {
+      uint64_t spins = 0;
+      uint64_t last_version = 0;
+      while (!ingest_done.load(std::memory_order_acquire) || spins < 50) {
+        ++spins;
+        auto snap = model->CurrentSnapshot();
+        if (snap == nullptr) continue;
+        if (snap->version() < last_version) {
+          query_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_version = snap->version();
+        QueryEngine engine(std::move(snap));
+        auto words = engine.QueryByLocation(probe, VertexType::kWord,
+                                            3 + (t % 3));
+        if (!words.ok()) {
+          query_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::size_t b = 1; b < batches.size(); ++b) {
+    ASSERT_TRUE(model->Ingest(batches[b]).ok());
+    model->PublishSnapshot();
+  }
+  ingest_done.store(true, std::memory_order_release);
+  query_pool.Wait();
+
+  EXPECT_EQ(query_failures.load(), 0);
+  EXPECT_EQ(held->center().row(0)[0], held_probe);  // frozen under deltas
+  auto last = model->CurrentSnapshot();
+  ASSERT_NE(last, nullptr);
+  EXPECT_GT(last->version(), held->version());
+  EXPECT_TRUE(AllFinite(last->center()));
 }
 
 TEST(ConcurrencyTsanTest, TsanBuildInstallsRelaxedBackend) {

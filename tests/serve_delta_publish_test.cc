@@ -1,0 +1,303 @@
+// Delta publish (dirty-row tracking + chunk-COW snapshots): the
+// delta_publish=false A/B lever must be bit-identical to the delta path
+// in snapshot contents AND query results; clean chunks must actually be
+// shared; versions stay monotone under interleaved publishes from both
+// trainers; and a snapshot handle stays frozen while later deltas land.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/actor.h"
+#include "core/online_actor.h"
+#include "data/synthetic.h"
+#include "embedding/dirty_rows.h"
+#include "eval/pipeline.h"
+#include "serve/chunked_matrix.h"
+#include "serve/model_snapshot.h"
+#include "serve/query_engine.h"
+
+namespace actor {
+namespace {
+
+std::vector<std::vector<TokenizedRecord>> MakeBatches(int records,
+                                                      int batches,
+                                                      uint64_t seed = 5) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.num_records = records;
+  config.num_users = 60;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.num_venues = 12;
+  config.keywords_per_topic = 15;
+  config.background_vocab = 30;
+  auto ds = GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  EXPECT_TRUE(corpus.ok());
+  std::vector<std::vector<TokenizedRecord>> out(batches);
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    out[i * batches / corpus->size()].push_back(corpus->record(i));
+  }
+  return out;
+}
+
+OnlineActorOptions FastOnlineOptions() {
+  OnlineActorOptions o;
+  o.dim = 16;
+  o.samples_per_edge_per_batch = 2.0;
+  return o;
+}
+
+bool SameMatrix(const ChunkedMatrix& a, const ChunkedMatrix& b) {
+  if (a.rows() != b.rows() || a.dim() != b.dim()) return false;
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    if (std::memcmp(a.row(r), b.row(r),
+                    sizeof(float) * static_cast<std::size_t>(a.dim())) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameNeighbors(const std::vector<Neighbor>& a,
+                   const std::vector<Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].vertex != b[i].vertex || a[i].name != b[i].name ||
+        a[i].similarity != b[i].similarity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- The A/B lever: delta publishes are bit-identical to full copies -------
+
+TEST(DeltaPublishABTest, OnlineDeltaMatchesFullCopyBitIdentical) {
+  // Two actors, same seed, same stream, sequential (bit-deterministic)
+  // training; only the publish flavor differs. Every published snapshot
+  // must agree bit-for-bit: same version, same matrix contents, same
+  // query results. This is what lets delta_publish default to true.
+  const auto batches = MakeBatches(900, 4);
+  OnlineActorOptions delta_opts = FastOnlineOptions();
+  delta_opts.delta_publish = true;
+  OnlineActorOptions full_opts = FastOnlineOptions();
+  full_opts.delta_publish = false;
+  auto delta_model = OnlineActor::Create(delta_opts);
+  auto full_model = OnlineActor::Create(full_opts);
+  ASSERT_TRUE(delta_model.ok());
+  ASSERT_TRUE(full_model.ok());
+
+  const GeoPoint probe = batches[0].front().location;
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(delta_model->Ingest(batch).ok());
+    ASSERT_TRUE(full_model->Ingest(batch).ok());
+    auto ds = delta_model->PublishSnapshot();
+    auto fs = full_model->PublishSnapshot();
+    ASSERT_NE(ds, nullptr);
+    ASSERT_NE(fs, nullptr);
+    EXPECT_EQ(ds->version(), fs->version());
+    EXPECT_EQ(ds->num_units(), fs->num_units());
+    EXPECT_TRUE(SameMatrix(ds->center(), fs->center()));
+    for (VertexId v = 0; v < ds->num_units(); ++v) {
+      EXPECT_EQ(ds->vertex_type(v), fs->vertex_type(v));
+      EXPECT_EQ(ds->vertex_name(v), fs->vertex_name(v));
+    }
+
+    QueryEngine dq(ds), fq(fs);
+    auto dw = dq.QueryByLocation(probe, VertexType::kWord, 8);
+    auto fw = fq.QueryByLocation(probe, VertexType::kWord, 8);
+    ASSERT_TRUE(dw.ok());
+    ASSERT_TRUE(fw.ok());
+    EXPECT_TRUE(SameNeighbors(*dw, *fw));
+    auto dh = dq.QueryByHour(13.0, VertexType::kLocation, 5);
+    auto fh = fq.QueryByHour(13.0, VertexType::kLocation, 5);
+    ASSERT_TRUE(dh.ok());
+    ASSERT_TRUE(fh.ok());
+    EXPECT_TRUE(SameNeighbors(*dh, *fh));
+  }
+}
+
+// --- Chunk sharing and the no-op publish ------------------------------------
+
+TEST(DeltaPublishTest, CleanChunksAreSharedWithPreviousSnapshot) {
+  const auto batches = MakeBatches(900, 2);
+  auto model = OnlineActor::Create(FastOnlineOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Ingest(batches[0]).ok());
+  auto base = model->PublishSnapshot();
+  ASSERT_NE(base, nullptr);
+  const int32_t n = model->center().rows();
+  ASSERT_GT(n, 2 * ChunkedMatrix::kChunkRows);  // several chunks to share
+
+  // Delta with a few dirty rows in the FIRST chunk only: every other
+  // chunk must be shared by pointer, and the contents must still equal
+  // the source matrix exactly.
+  DirtyRowSet dirty;
+  dirty.Resize(n);
+  dirty.Mark(0);
+  dirty.Mark(ChunkedMatrix::kChunkRows - 1);
+  auto delta = ModelSnapshot::FromOnlineDelta(model->center(),
+                                              base->version() + 1, base,
+                                              dirty);
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->center().num_chunks(), base->center().num_chunks());
+  EXPECT_EQ(delta->center().SharedChunksWith(base->center()),
+            base->center().num_chunks() - 1);
+  EXPECT_TRUE(SameMatrix(delta->center(), base->center()));
+
+  // A fully-dirty delta shares nothing but still matches.
+  DirtyRowSet all;
+  all.Resize(n);
+  all.MarkAll();
+  auto fresh = ModelSnapshot::FromOnlineDelta(model->center(),
+                                              base->version() + 2, base, all);
+  EXPECT_EQ(fresh->center().SharedChunksWith(base->center()), 0);
+  EXPECT_TRUE(SameMatrix(fresh->center(), base->center()));
+}
+
+TEST(DeltaPublishTest, PublishWithoutIngestIsANoOp) {
+  const auto batches = MakeBatches(600, 2);
+  auto model = OnlineActor::Create(FastOnlineOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Ingest(batches[0]).ok());
+  auto first = model->PublishSnapshot();
+  ASSERT_NE(first, nullptr);
+  // No Ingest() in between: the model version is unchanged, so publish
+  // must hand back the already-published snapshot, not a new copy.
+  auto second = model->PublishSnapshot();
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(model->CurrentSnapshot().get(), first.get());
+  // The next real batch resumes normal (new-snapshot) publishes.
+  ASSERT_TRUE(model->Ingest(batches[1]).ok());
+  auto third = model->PublishSnapshot();
+  ASSERT_NE(third, nullptr);
+  EXPECT_NE(third.get(), first.get());
+  EXPECT_GT(third->version(), first->version());
+}
+
+// --- Snapshot isolation under interleaved delta publishes ------------------
+
+TEST(DeltaPublishTest, OldSnapshotStaysFrozenWhileNewChunksLand) {
+  const auto batches = MakeBatches(900, 4);
+  auto model = OnlineActor::Create(FastOnlineOptions());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Ingest(batches[0]).ok());
+  auto held = model->PublishSnapshot();
+  ASSERT_NE(held, nullptr);
+
+  // Copy a prefix of the held snapshot's rows and a query result.
+  const int32_t probe_rows = held->num_units();
+  std::vector<std::vector<float>> frozen(
+      static_cast<std::size_t>(probe_rows));
+  for (int32_t r = 0; r < probe_rows; ++r) {
+    frozen[static_cast<std::size_t>(r)].assign(
+        held->center().row(r), held->center().row(r) + held->dim());
+  }
+  QueryEngine held_engine(held);
+  const GeoPoint probe = batches[0].front().location;
+  auto before = held_engine.QueryByLocation(probe, VertexType::kWord, 8);
+  ASSERT_TRUE(before.ok());
+
+  // Keep training and delta-publishing over the held snapshot's chunks.
+  uint64_t last_version = held->version();
+  for (std::size_t b = 1; b < batches.size(); ++b) {
+    ASSERT_TRUE(model->Ingest(batches[b]).ok());
+    auto snap = model->PublishSnapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_GT(snap->version(), last_version);  // monotone under deltas
+    last_version = snap->version();
+  }
+
+  // The held snapshot must be byte-for-byte what it was at acquire time —
+  // later publishes swap chunk pointers, never chunk contents.
+  for (int32_t r = 0; r < probe_rows; ++r) {
+    EXPECT_EQ(std::memcmp(frozen[static_cast<std::size_t>(r)].data(),
+                          held->center().row(r),
+                          sizeof(float) * static_cast<std::size_t>(
+                              held->dim())),
+              0)
+        << "row " << r << " mutated under the held snapshot";
+  }
+  auto after = held_engine.QueryByLocation(probe, VertexType::kWord, 8);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(SameNeighbors(*before, *after));
+}
+
+TEST(DeltaPublishTest, InterleavedTrainerPublishesStayMonotonePerTrainer) {
+  // One SnapshotStore fed by both trainers (the serving layer does not
+  // care who published): each trainer's own version sequence must be
+  // strictly increasing, and the store always serves the latest publish.
+  PipelineOptions pipeline = UTGeoPipeline(0.1);
+  pipeline.synthetic.num_records = 1200;
+  auto prepared = PrepareDataset(pipeline, "delta-interleave");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ActorOptions actor_options;
+  actor_options.dim = 16;
+  actor_options.epochs = 1;
+  actor_options.samples_per_edge = 1;
+  auto batch_model = TrainActor(*prepared->graphs, actor_options);
+  ASSERT_TRUE(batch_model.ok()) << batch_model.status().ToString();
+
+  const auto batches = MakeBatches(900, 3);
+  auto online = OnlineActor::Create(FastOnlineOptions());
+  ASSERT_TRUE(online.ok());
+
+  SnapshotStore store;
+  // Batch publish #1 (full: a fresh TrainActor model is fully dirty).
+  auto batch_snap = PublishActorModel(*batch_model, prepared->graphs,
+                                      prepared->hotspots, prepared->vocab);
+  ASSERT_NE(batch_snap, nullptr);
+  store.Publish(batch_snap);
+  EXPECT_EQ(store.Acquire().get(), batch_snap.get());
+
+  uint64_t online_version = 0;
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(online->Ingest(batch).ok());
+    auto online_snap = online->PublishSnapshot();
+    ASSERT_NE(online_snap, nullptr);
+    EXPECT_GT(online_snap->version(), online_version);
+    online_version = online_snap->version();
+    store.Publish(online_snap);
+    EXPECT_EQ(store.Acquire().get(), online_snap.get());
+  }
+
+  // Batch publish #2, as a delta this time: nudge one center row, mark it
+  // dirty, republish against the first batch snapshot.
+  const uint64_t batch_version = batch_snap->version();
+  batch_model->dirty.Clear();
+  std::vector<float> nudged(static_cast<std::size_t>(actor_options.dim),
+                            0.25f);
+  batch_model->center.SetRow(0, nudged.data());
+  batch_model->dirty.Mark(0);
+  batch_model->stats.edge_steps += 1;  // version bump source
+  auto batch_delta = PublishActorModel(*batch_model, prepared->graphs,
+                                       prepared->hotspots, prepared->vocab,
+                                       batch_snap.get());
+  ASSERT_NE(batch_delta, nullptr);
+  EXPECT_GT(batch_delta->version(), batch_version);
+  store.Publish(batch_delta);
+  EXPECT_EQ(store.Acquire().get(), batch_delta.get());
+
+  // The delta carries the nudge, shares every clean chunk, and the held
+  // first snapshot still serves the pre-nudge row.
+  EXPECT_EQ(batch_delta->center().row(0)[0], 0.25f);
+  EXPECT_NE(batch_snap->center().row(0)[0], 0.25f);
+  EXPECT_GT(batch_delta->center().SharedChunksWith(batch_snap->center()), 0);
+  for (int32_t r = 1; r < batch_snap->num_units(); ++r) {
+    ASSERT_EQ(std::memcmp(batch_delta->center().row(r),
+                          batch_snap->center().row(r),
+                          sizeof(float) * static_cast<std::size_t>(
+                              batch_snap->dim())),
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace actor

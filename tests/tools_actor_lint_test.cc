@@ -182,6 +182,47 @@ TEST(RuleHogwild, AllowsRelaxedAccessorsKernelCallsAndOutsideCode) {
   EXPECT_EQ(CountRule(findings, kRuleHogwild), 0);
 }
 
+TEST(RuleHogwild, FiresOnMemberDirtySetWriteInDispatchedLambda) {
+  // DirtyRowSet has no atomics: marking a member set shared across shards
+  // from inside a hogwild region is a data race (the delta-publish
+  // contract routes marks through shard-local sets, merged at barriers).
+  const auto findings = Lint({{"src/core/x.cc",
+                              "void f() {\n"
+                              "  pool->ShardedRange(0, n, [&](int s) {\n"
+                              "    dirty_.Mark(u);\n"
+                              "  });\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(RuleHogwild, FiresOnMemberDirtySetWriteInAnnotatedRegion) {
+  const auto findings = Lint({{"src/other/x.cc",  // outside auto-detect dirs
+                              "// actor-lint: hogwild-region\n"
+                              "void Shard() {\n"
+                              "  dirty_.MarkAll();\n"
+                              "  this->dirty_.Clear();\n"
+                              "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleHogwild), 2);
+}
+
+TEST(RuleHogwild, AllowsShardLocalDirtySetWrites) {
+  const auto findings =
+      Lint({{"src/core/x.cc",
+            "// actor-lint: hogwild-region\n"
+            "void Shard(DirtyRowSet* dirty) {\n"
+            "  dirty->Mark(u);\n"                // threaded shard parameter
+            "  DirtyRowSet local;\n"
+            "  local.Mark(v);\n"                 // shard-local value
+            "  shard_dirty_[s].Mark(w);\n"       // subscripted per-shard slot
+            "}\n"
+            "void Merge() {\n"
+            "  dirty_.Mark(u);\n"  // sequential code outside any region
+            "  dirty_.Clear();\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleHogwild), 0);
+}
+
 // --- R8: actor-serve-readonly ----------------------------------------------
 
 TEST(RuleServeReadOnly, FiresOnMutatorCallsInEvalAndServe) {

@@ -314,9 +314,69 @@ std::vector<Region> HogwildRegions(const LexedFile& f) {
   return regions;
 }
 
+/// Second half of R4: dirty-row bookkeeping inside a HOGWILD region. A
+/// shard may only mark rows in a set it exclusively owns — the
+/// `DirtyRowSet*` parameter threaded into the shard helper or a
+/// subscripted per-shard slot (`shard_dirty_[shard]`). Writing a plain
+/// member set (trailing-underscore receiver, e.g. `dirty_.Mark(u)`) from
+/// inside a region is a data race: DirtyRowSet is a plain bitset with no
+/// atomics, shared across all running shards.
+void CheckDirtyMarks(const LexedFile& f, const std::vector<Region>& regions,
+                     std::vector<Finding>* out) {
+  const std::string& code = f.code;
+  std::set<std::size_t> reported;
+  for (const Region& region : regions) {
+    for (const char* method : {"Mark", "MarkAll", "Clear"}) {
+      std::size_t pos = region.begin;
+      while ((pos = FindToken(code, pos, method)) != kNpos &&
+             pos < region.end) {
+        const std::size_t call_pos = pos;
+        ++pos;
+        // Must be a call: Method(...)
+        const std::size_t open = SkipWs(
+            code, call_pos + std::char_traits<char>::length(method));
+        if (open >= code.size() || code[open] != '(') continue;
+        // Receiver scan: `.` or `->` immediately before the method name.
+        long j = static_cast<long>(call_pos) - 1;
+        while (j >= 0 && IsSpace(code[static_cast<std::size_t>(j)])) --j;
+        if (j >= 1 && code[static_cast<std::size_t>(j)] == '>' &&
+            code[static_cast<std::size_t>(j) - 1] == '-') {
+          j -= 2;
+        } else if (j >= 0 && code[static_cast<std::size_t>(j)] == '.') {
+          j -= 1;
+        } else {
+          continue;  // free function / constructor — not a receiver call
+        }
+        while (j >= 0 && IsSpace(code[static_cast<std::size_t>(j)])) --j;
+        // Subscripted receiver (`shard_dirty_[shard].Mark`) is the
+        // per-shard slot idiom — exclusively owned, allowed.
+        if (j >= 0 && code[static_cast<std::size_t>(j)] == ']') continue;
+        // Plain identifier receiver: flag only the member-naming
+        // convention (trailing underscore). Locals and the threaded
+        // `DirtyRowSet* dirty` parameter pass.
+        const long id_end = j;
+        while (j >= 0 && IsIdentChar(code[static_cast<std::size_t>(j)])) {
+          --j;
+        }
+        if (id_end < 0 || j == id_end) continue;
+        if (code[static_cast<std::size_t>(id_end)] != '_') continue;
+        if (reported.insert(call_pos).second) {
+          out->push_back(
+              {f.path, f.LineAt(call_pos), kRuleHogwild,
+               "member dirty-row set written from inside a HOGWILD region "
+               "— mark the shard-owned set instead (the DirtyRowSet* shard "
+               "parameter or shard_dirty_[shard]) and merge at the batch "
+               "barrier"});
+        }
+      }
+    }
+  }
+}
+
 void CheckHogwild(const LexedFile& f, std::vector<Finding>* out) {
   const std::vector<Region> regions = HogwildRegions(f);
   if (regions.empty()) return;
+  CheckDirtyMarks(f, regions, out);
   const std::string& code = f.code;
   std::set<std::size_t> reported;
   for (const Region& region : regions) {
