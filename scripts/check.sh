@@ -23,6 +23,10 @@
 # Usage:
 #   scripts/check.sh               # everything
 #   scripts/check.sh --lint-only   # steps 1-4 only (seconds, no build)
+#   scripts/check.sh --lint-fast   # actor-lint --changed-only against the
+#                                  # symbol cache: re-lints only files whose
+#                                  # hash changed plus their call-graph
+#                                  # neighborhood (sub-second inner loop)
 #   scripts/check.sh --preset tsan # lint + a single preset's build/test
 #   scripts/check.sh --bench       # build default preset, rerun the
 #                                  # throughput benches, and diff against
@@ -42,11 +46,12 @@ MODE="all"
 ONLY_PRESET=""
 case "${1:-}" in
   --lint-only) MODE="lint" ;;
+  --lint-fast) MODE="lint_fast" ;;
   --preset) MODE="one"; ONLY_PRESET="${2:?--preset needs a name}" ;;
   --bench) MODE="bench" ;;
   "") ;;
-  *) echo "usage: $0 [--lint-only | --preset <default|sanitize|tsan>" \
-          "| --bench]" >&2
+  *) echo "usage: $0 [--lint-only | --lint-fast" \
+          "| --preset <default|sanitize|tsan> | --bench]" >&2
      exit 2 ;;
 esac
 
@@ -54,6 +59,51 @@ FAILURES=0
 note() { printf '\n==> %s\n' "$*"; }
 fail() { printf 'FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
 pass() { printf 'ok:   %s\n' "$*"; }
+
+# Build the analyzer from source when the checkout is newer than the cached
+# binary (one-time ~6 s; the header-compile + symbol-index caches in build/
+# keep repeat runs well under a second).
+build_lint_bin() {
+  mkdir -p build
+  LINT_BIN=build/actor_lint
+  LINT_SRCS=(tools/actor_lint/lexer.cc tools/actor_lint/symbols.cc
+             tools/actor_lint/callgraph.cc tools/actor_lint/rules.cc
+             tools/actor_lint/main.cc)
+  LINT_STALE=0
+  for src in "${LINT_SRCS[@]}" tools/actor_lint/lexer.h \
+             tools/actor_lint/symbols.h tools/actor_lint/callgraph.h \
+             tools/actor_lint/rules.h; do
+    [ "$src" -nt "$LINT_BIN" ] && LINT_STALE=1
+  done
+  if [ ! -x "$LINT_BIN" ] || [ "$LINT_STALE" -eq 1 ]; then
+    echo "building $LINT_BIN"
+    if ! c++ -std=c++20 -O2 -Wall -Wextra -pthread "${LINT_SRCS[@]}" \
+         -o "$LINT_BIN"
+    then
+      fail "actor-lint: build failed"
+      LINT_BIN=""
+    fi
+  fi
+}
+
+# --lint-fast: the sub-second inner loop. Re-lints only files whose hash
+# differs from the symbol cache, plus their call-graph neighborhood and
+# transitive includers; whole-repo rules (include cycles, test
+# registration) always run. Header compiles are skipped — the full gate
+# still owns R5a.
+if [ "$MODE" = "lint_fast" ]; then
+  note "actor-lint --changed-only"
+  build_lint_bin
+  [ -n "$LINT_BIN" ] || { echo; echo "1 check(s) failed"; exit 1; }
+  if "$LINT_BIN" --cache=build/actor_lint.cache \
+       --symbols=build/actor_lint.symbols --changed-only \
+       --no-header-compile; then
+    pass "actor-lint (changed-only)"
+    exit 0
+  fi
+  fail "actor-lint reported findings (rule catalog: docs/static-analysis.md)"
+  echo; echo "1 check(s) failed"; exit 1
+fi
 
 # --- 1. Format check -------------------------------------------------------
 note "format check"
@@ -89,28 +139,10 @@ fi
 
 # --- 2. actor-lint ---------------------------------------------------------
 note "actor-lint"
-# Build the analyzer from source when the checkout is newer than the cached
-# binary (one-time ~6 s; the header-compile cache in build/ keeps repeat
-# runs well under a second).
-mkdir -p build
-LINT_BIN=build/actor_lint
-LINT_SRCS=(tools/actor_lint/lexer.cc tools/actor_lint/rules.cc
-           tools/actor_lint/main.cc)
-LINT_STALE=0
-for src in "${LINT_SRCS[@]}" tools/actor_lint/lexer.h \
-           tools/actor_lint/rules.h; do
-  [ "$src" -nt "$LINT_BIN" ] && LINT_STALE=1
-done
-if [ ! -x "$LINT_BIN" ] || [ "$LINT_STALE" -eq 1 ]; then
-  echo "building $LINT_BIN"
-  if ! c++ -std=c++20 -O2 -Wall -Wextra "${LINT_SRCS[@]}" -o "$LINT_BIN"
-  then
-    fail "actor-lint: build failed"
-    LINT_BIN=""
-  fi
-fi
+build_lint_bin
 if [ -n "$LINT_BIN" ]; then
-  if "$LINT_BIN" --cache=build/actor_lint.cache; then
+  if "$LINT_BIN" --cache=build/actor_lint.cache \
+       --symbols=build/actor_lint.symbols; then
     pass "actor-lint"
   else
     fail "actor-lint reported findings (rule catalog:" \

@@ -328,6 +328,19 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
   // Per-shard dirty scratch for the record loop, reused across epochs.
   std::vector<DirtyRowSet> record_dirty(pool == nullptr ? 0
                                                         : pool->num_threads());
+  // Per-shard gradient scratch for the record loop, allocated at the
+  // dispatch boundary: the record shard body runs on the hot path and
+  // must not allocate.
+  const std::size_t record_shards = pool == nullptr ? 1 : pool->num_threads();
+  std::vector<std::vector<float>> rec_comp(record_shards),
+      rec_grad(record_shards), rec_grad2(record_shards);
+  if (options.use_bag_of_words) {
+    for (std::size_t t = 0; t < record_shards; ++t) {
+      rec_comp[t].resize(static_cast<std::size_t>(options.dim));
+      rec_grad[t].resize(static_cast<std::size_t>(options.dim));
+      rec_grad2[t].resize(static_cast<std::size_t>(options.dim));
+    }
+  }
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     const float frac =
         static_cast<float>(epoch) / static_cast<float>(options.epochs);
@@ -352,26 +365,28 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
       }
     } else {
       // TL edges train as plain pairs inside the record step; LW/WT/WW
-      // train through the record-level bag-of-words model.
-      // actor-lint: hogwild-region — dispatched onto pool workers below.
-      auto run_records = [&](int64_t count, uint64_t seed,
-                             DirtyRowSet* dirty) {
+      // train through the record-level bag-of-words model. The analyzer
+      // derives the HOGWILD scope from the ShardedRange dispatch below;
+      // the shard body uses only the caller-owned per-shard scratch.
+      auto run_records = [&](int64_t count, uint64_t seed, DirtyRowSet* dirty,
+                             int t) {
         Rng shard_rng(seed);
-        std::vector<float> comp(options.dim), grad(options.dim),
-            grad2(options.dim);
         for (int64_t i = 0; i < count; ++i) {
           const auto& units =
               graphs.record_units[shard_rng.Uniform(graphs.record_units.size())];
           TrainRecordBagOfWords(units, noise, sigmoid, options.negatives, lr,
                                 options.bow_sum_composite, shard_rng,
-                                &model.center, &model.context, &comp, &grad,
-                                &grad2, dirty);
+                                &model.center, &model.context,
+                                &rec_comp[static_cast<std::size_t>(t)],
+                                &rec_grad[static_cast<std::size_t>(t)],
+                                &rec_grad2[static_cast<std::size_t>(t)],
+                                dirty);
         }
       };
       const uint64_t record_step = 1000 + static_cast<uint64_t>(epoch);
       if (pool == nullptr) {
         run_records(records_per_epoch, ShardSeed(options.seed, record_step, 0),
-                    &model.dirty);
+                    &model.dirty, 0);
       } else {
         for (auto& s : record_dirty) {
           s.Resize(g.num_vertices());
@@ -382,7 +397,7 @@ Result<ActorModel> TrainActor(const BuiltGraphs& graphs,
             [&](int t, std::size_t lo, std::size_t hi) {
               run_records(static_cast<int64_t>(hi - lo),
                           ShardSeed(options.seed, record_step, t),
-                          &record_dirty[static_cast<std::size_t>(t)]);
+                          &record_dirty[static_cast<std::size_t>(t)], t);
             });
         // Batch barrier: fold the shard-local sets into the model's.
         for (const auto& s : record_dirty) model.dirty.MergeFrom(s);

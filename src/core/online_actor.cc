@@ -245,21 +245,30 @@ Status OnlineActor::TrainBatch() {
         static_cast<double>(store.size()));
     if (samples <= 0) continue;
     const uint64_t step = train_steps_;
+    const std::size_t dim = static_cast<std::size_t>(options_.dim);
     if (pool_ == nullptr || pool_->num_threads() == 1) {
       // Sequential path: no concurrent markers, mark the merged set.
-      TrainTypeShard(e, samples, ShardSeed(options_.seed, step, 0), &dirty_);
+      std::vector<float> grad(dim);
+      TrainTypeShard(e, samples, ShardSeed(options_.seed, step, 0), &dirty_,
+                     grad.data());
     } else {
       shard_dirty_.resize(pool_->num_threads());
       for (auto& s : shard_dirty_) {
         s.Resize(num_units());
         s.Clear();
       }
+      // Per-shard gradient scratch, allocated at the dispatch boundary:
+      // the shard bodies themselves are allocation-free (hot-path rule).
+      std::vector<float> shard_grad(pool_->num_threads() * dim);
+      float* const grad_base = shard_grad.data();
       pool_->ShardedRange(
           0, static_cast<std::size_t>(samples),
-          [this, e, step](int shard, std::size_t lo, std::size_t hi) {
+          [this, e, step, grad_base, dim](int shard, std::size_t lo,
+                                          std::size_t hi) {
             TrainTypeShard(e, static_cast<int64_t>(hi - lo),
                            ShardSeed(options_.seed, step, shard),
-                           &shard_dirty_[static_cast<std::size_t>(shard)]);
+                           &shard_dirty_[static_cast<std::size_t>(shard)],
+                           grad_base + static_cast<std::size_t>(shard) * dim);
           });
       // Batch barrier: ShardedRange returned, the shard-local sets are
       // published to the ingest thread — fold them into the merged set.
@@ -275,10 +284,12 @@ Status OnlineActor::TrainBatch() {
   return Status::OK();
 }
 
-// actor-lint: hogwild-region — runs concurrently on pool workers; shared
-// row access must go through the kernel API or RelaxedLoad/RelaxedStore.
+// Runs concurrently on pool workers (the analyzer derives the HOGWILD
+// scope from the ShardedRange dispatch): shared row access must go through
+// the kernel API or RelaxedLoad/RelaxedStore, and the body is
+// allocation-free — `grad` scratch is owned by the dispatch site.
 void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed,
-                                 DirtyRowSet* dirty) {
+                                 DirtyRowSet* dirty, float* grad) {
   Rng rng(seed);
   const OnlineEdgeStore& store = edges_[e];
   const SamplerCache& cache = samplers_[e];
@@ -291,7 +302,6 @@ void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed,
   const std::vector<VertexId>& dst = store.dst();
   const std::size_t dim = static_cast<std::size_t>(options_.dim);
   const float lr = options_.learning_rate;
-  std::vector<float> grad(dim);
 
   // Block-wise sampling with software prefetch, as in
   // EdgeSamplingTrainer::TrainShard: the random center/context row
@@ -318,7 +328,7 @@ void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed,
       const VertexId v = flip ? src[idx] : dst[idx];
       const NoiseTable& noise = cache.noise[static_cast<int>(types_[v])];
       if (!noise.valid) continue;
-      Zero(grad.data(), dim);
+      Zero(grad, dim);
       // Dirty tracking marks the rows this step mutates — u (center), v
       // and every negative draw (context) — into the shard-local set
       // `dirty` points at, never a shared one (R4 discipline).
@@ -330,8 +340,8 @@ void OnlineActor::TrainTypeShard(int e, int64_t num_samples, uint64_t seed,
             dirty->Mark(n);
             return n;
           },
-          grad.data());
-      Add(grad.data(), center_.row(u), dim);
+          grad);
+      Add(grad, center_.row(u), dim);
       dirty->Mark(u);
       dirty->Mark(v);
     }

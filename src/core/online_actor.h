@@ -202,8 +202,10 @@ class OnlineActor {
   /// steps from the per-shard RNG stream seeded with `seed`. `dirty` is
   /// this shard's local dirty-row set (or the merged set directly on the
   /// sequential path) — never a set shared with another running shard.
+  /// `grad` is caller-owned gradient scratch of length options_.dim (shard
+  /// bodies run on the hot path and must not allocate).
   void TrainTypeShard(int e, int64_t num_samples, uint64_t seed,
-                      DirtyRowSet* dirty);
+                      DirtyRowSet* dirty, float* grad);
   /// The copied resolver state a full (non-delta) publish adopts.
   ModelSnapshot::OnlineCatalog BuildCatalog() const;
 

@@ -86,29 +86,6 @@ Result<LineEmbedding> TrainLine(const Heterograph& graph,
   const SigmoidTable sigmoid;
 
   std::atomic<int64_t> progress{0};
-  // actor-lint: hogwild-region — dispatched onto pool workers below.
-  auto shard = [&](int thread_id, int64_t samples) {
-    Rng rng(ShardSeed(options.seed, /*step=*/0x11e5u, thread_id));
-    const std::size_t dim = static_cast<std::size_t>(options.dim);
-    std::vector<float> grad(dim);
-    for (int64_t i = 0; i < samples; ++i) {
-      // Linear learning-rate decay over the global budget.
-      const int64_t done = progress.fetch_add(1, std::memory_order_relaxed);
-      const float frac =
-          static_cast<float>(done) / static_cast<float>(total_samples);
-      const float lr =
-          std::max(options.initial_lr * (1.0f - frac), options.initial_lr * 1e-3f);
-      const std::size_t idx = edge_table.Sample(rng);
-      const VertexId u = pooled.src[idx];
-      const VertexId v = pooled.dst[idx];
-      Zero(grad.data(), dim);
-      NegativeSamplingUpdate(
-          result.center.row(u), v, options.negatives, lr, context, sigmoid,
-          rng, [&noise](Rng& r) { return noise.Sample(r); }, grad.data());
-      Add(grad.data(), result.center.row(u), dim);
-    }
-  };
-
   // Run on the caller's persistent pool when provided; otherwise spin up a
   // pool for this call (only when actually multi-threaded). num_threads <= 1
   // ignores any pool: sequential and bit-deterministic.
@@ -119,6 +96,35 @@ Result<LineEmbedding> TrainLine(const Heterograph& graph,
         static_cast<std::size_t>(options.num_threads));
     pool = owned_pool.get();
   }
+  // Per-shard gradient scratch, allocated at the dispatch boundary: the
+  // shard body runs on the hot path and must not allocate.
+  const std::size_t dim = static_cast<std::size_t>(options.dim);
+  const std::size_t num_shards = pool == nullptr ? 1 : pool->num_threads();
+  std::vector<float> shard_grad(num_shards * dim);
+  float* const grad_base = shard_grad.data();
+  // The analyzer derives this lambda's HOGWILD scope from the ShardedRange
+  // dispatch below (shared rows only through the fused kernels).
+  auto shard = [&](int thread_id, int64_t samples) {
+    Rng rng(ShardSeed(options.seed, /*step=*/0x11e5u, thread_id));
+    float* const grad = grad_base + static_cast<std::size_t>(thread_id) * dim;
+    for (int64_t i = 0; i < samples; ++i) {
+      // Linear learning-rate decay over the global budget.
+      const int64_t done = progress.fetch_add(1, std::memory_order_relaxed);
+      const float frac =
+          static_cast<float>(done) / static_cast<float>(total_samples);
+      const float lr =
+          std::max(options.initial_lr * (1.0f - frac), options.initial_lr * 1e-3f);
+      const std::size_t idx = edge_table.Sample(rng);
+      const VertexId u = pooled.src[idx];
+      const VertexId v = pooled.dst[idx];
+      Zero(grad, dim);
+      NegativeSamplingUpdate(
+          result.center.row(u), v, options.negatives, lr, context, sigmoid,
+          rng, [&noise](Rng& r) { return noise.Sample(r); }, grad);
+      Add(grad, result.center.row(u), dim);
+    }
+  };
+
   if (pool == nullptr || pool->num_threads() == 1) {
     shard(0, total_samples);
   } else {

@@ -73,10 +73,13 @@ Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
   }
   const uint64_t step = static_cast<uint64_t>(steps_done_);
   DirtyRowSet* merged = options_.dirty_rows;
+  const std::size_t dim = static_cast<std::size_t>(center_->dim());
   if (pool_ == nullptr || pool_->num_threads() == 1) {
     // Sequential path: no concurrent markers, so the merged set is written
     // directly.
-    TrainShard(e, num_samples, lr, ShardSeed(options_.seed, step, 0), merged);
+    std::vector<float> grad(dim);
+    TrainShard(e, num_samples, lr, ShardSeed(options_.seed, step, 0), merged,
+               grad.data());
   } else {
     if (merged != nullptr) {
       shard_dirty_.resize(pool_->num_threads());
@@ -85,15 +88,20 @@ Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
         s.Clear();
       }
     }
+    // Per-shard gradient scratch, allocated at the dispatch boundary: the
+    // shard bodies themselves are allocation-free (hot-path rule).
+    std::vector<float> shard_grad(pool_->num_threads() * dim);
+    float* const grad_base = shard_grad.data();
     pool_->ShardedRange(
         0, static_cast<std::size_t>(num_samples),
-        [this, e, lr, step, merged](int shard, std::size_t lo,
-                                    std::size_t hi) {
+        [this, e, lr, step, merged, grad_base, dim](int shard, std::size_t lo,
+                                                    std::size_t hi) {
           TrainShard(e, static_cast<int64_t>(hi - lo), lr,
                      ShardSeed(options_.seed, step, shard),
                      merged == nullptr
                          ? nullptr
-                         : &shard_dirty_[static_cast<std::size_t>(shard)]);
+                         : &shard_dirty_[static_cast<std::size_t>(shard)],
+                     grad_base + static_cast<std::size_t>(shard) * dim);
         });
     if (merged != nullptr) {
       // Batch barrier: ShardedRange has returned, so the shard-local sets
@@ -110,16 +118,17 @@ Status EdgeSamplingTrainer::TrainEdgeType(EdgeType e, int64_t num_samples,
   return Status::OK();
 }
 
-// actor-lint: hogwild-region — runs concurrently on pool workers; shared
-// row access must go through the kernel API or RelaxedLoad/RelaxedStore.
+// Runs concurrently on pool workers (the analyzer derives the HOGWILD
+// scope from the ShardedRange dispatch): shared row access must go through
+// the kernel API or RelaxedLoad/RelaxedStore, and the body is
+// allocation-free — `grad` scratch is owned by the dispatch site.
 void EdgeSamplingTrainer::TrainShard(EdgeType e, int64_t num_samples,
                                      float lr, uint64_t seed,
-                                     DirtyRowSet* dirty) {
+                                     DirtyRowSet* dirty, float* grad) {
   Rng rng(seed);
   const auto& edges = graph_->edges(e);
   const AliasTable& table = *edge_tables_[static_cast<int>(e)];
   const std::size_t dim = static_cast<std::size_t>(center_->dim());
-  std::vector<float> grad(dim);
 
   // Block-wise sampling: draw a block of edges up front and software-
   // prefetch their center/context rows, so the (random, cache-hostile) row
@@ -139,7 +148,7 @@ void EdgeSamplingTrainer::TrainShard(EdgeType e, int64_t num_samples,
       const VertexId u = edges.src[idx];
       const VertexId v = edges.dst[idx];
       const VertexType ctx_type = graph_->vertex_type(v);
-      Zero(grad.data(), dim);
+      Zero(grad, dim);
       // Dirty tracking marks the rows this step mutates — u (center) and
       // v plus every negative draw (context rows) — into the shard-local
       // set, never a shared one (R4 discipline; merged at the barrier).
@@ -150,8 +159,8 @@ void EdgeSamplingTrainer::TrainShard(EdgeType e, int64_t num_samples,
             if (dirty != nullptr && n != kInvalidVertex) dirty->Mark(n);
             return n;
           },
-          grad.data());
-      Add(grad.data(), center_->row(u), dim);  // Eq. (12)
+          grad);
+      Add(grad, center_->row(u), dim);  // Eq. (12)
       if (dirty != nullptr) {
         dirty->Mark(u);
         dirty->Mark(v);

@@ -42,9 +42,9 @@ inline uint64_t ShardSeed(uint64_t base, uint64_t step, uint64_t shard) {
 /// every member word row.
 ///
 /// `sample_negative(rng)` returns a noise vertex id (or kInvalidVertex to
-/// skip one draw).
-// actor-lint: hogwild-region — called from every trainer shard; context
-// rows are shared and must only be touched through the fused kernels.
+/// skip one draw). Called from every trainer shard: context rows are
+/// shared, so they must only be touched through the fused kernels (the
+/// analyzer derives this HOGWILD scope from the dispatch call graph).
 template <typename NegativeFn>
 void NegativeSamplingUpdate(const float* center_vec, VertexId positive,
                             int negatives, float lr, EmbeddingMatrix* context,
@@ -139,8 +139,10 @@ class EdgeSamplingTrainer {
  private:
   /// `dirty` is the shard-local dirty set for this shard (or the merged
   /// set directly on the sequential path); null when tracking is off.
+  /// `grad` is caller-owned gradient scratch of length dim() — shard
+  /// bodies run on the hot path and must not allocate.
   void TrainShard(EdgeType e, int64_t num_samples, float lr, uint64_t seed,
-                  DirtyRowSet* dirty);
+                  DirtyRowSet* dirty, float* grad);
 
   const Heterograph* graph_;
   EmbeddingMatrix* center_;

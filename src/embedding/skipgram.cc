@@ -85,10 +85,8 @@ Result<LineEmbedding> TrainSkipGramOnWalks(
   std::atomic<int64_t> done{0};
 
   // Trains every walk in [walk_lo, walk_hi), all epochs. Shards update the
-  // shared matrices lock-free (HOGWILD).
-  // actor-lint: hogwild-region — dispatched onto pool workers below; the
-  // named-lambda dispatch at the ShardedRange call site is invisible to the
-  // analyzer's lambda auto-detection, so the annotation carries the scope.
+  // shared matrices lock-free (HOGWILD) — the analyzer derives this scope
+  // from the named-lambda ShardedRange dispatch below.
   auto train_walks = [&](int shard, std::size_t walk_lo,
                          std::size_t walk_hi) {
     Rng rng(ShardSeed(options.seed, /*step=*/1, shard));

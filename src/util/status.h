@@ -1,7 +1,6 @@
 #ifndef ACTOR_UTIL_STATUS_H_
 #define ACTOR_UTIL_STATUS_H_
 
-#include <memory>
 #include <string>
 #include <utility>
 
@@ -26,24 +25,20 @@ enum class StatusCode {
 /// ...).
 const char* StatusCodeToString(StatusCode code);
 
-/// A success-or-error value. Cheap to return in the success case (a single
-/// null pointer); carries a code and message otherwise.
+/// A success-or-error value. The representation is inline (code + message
+/// string): constructing an error from an already-built message moves the
+/// string, so Status construction itself never allocates — serving-path
+/// code may return errors without violating the hot-path-blocking rule.
 class Status {
  public:
   /// Constructs an OK status.
   Status() = default;
 
-  Status(StatusCode code, std::string msg) {
-    if (code != StatusCode::kOk) {
-      rep_ = std::make_unique<Rep>(Rep{code, std::move(msg)});
-    }
-  }
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
 
-  Status(const Status& other) { CopyFrom(other); }
-  Status& operator=(const Status& other) {
-    if (this != &other) CopyFrom(other);
-    return *this;
-  }
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
   Status(Status&&) = default;
   Status& operator=(Status&&) = default;
 
@@ -73,13 +68,10 @@ class Status {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
 
-  bool ok() const { return rep_ == nullptr; }
-  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   /// Error message; empty for OK statuses.
-  const std::string& message() const {
-    static const std::string kEmpty;
-    return rep_ ? rep_->msg : kEmpty;
-  }
+  const std::string& message() const { return msg_; }
 
   bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
@@ -99,16 +91,8 @@ class Status {
   void CheckOK() const;
 
  private:
-  struct Rep {
-    StatusCode code;
-    std::string msg;
-  };
-
-  void CopyFrom(const Status& other) {
-    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
-  }
-
-  std::unique_ptr<Rep> rep_;  // null == OK
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;  // empty for OK
 };
 
 }  // namespace actor

@@ -409,6 +409,351 @@ TEST(Suppression, NonActorNolintsAreIgnored) {
   EXPECT_EQ(CountRule(findings, kRuleStaleNolint), 0);
 }
 
+// --- Interprocedural R4: call-graph HOGWILD propagation --------------------
+
+TEST(CallGraphHogwild, PropagatesIntoHelperWithZeroAnnotations) {
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void Helper(M& m) {\n"
+                              "  m.row(u)[0] += 1.0f;\n"
+                              "}\n"
+                              "void f(M& m) {\n"
+                              "  pool->ShardedRange(0, n, [&](int s) {\n"
+                              "    Helper(m);\n"
+                              "  });\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(CallGraphHogwild, PropagatesTwoHopsAcrossFiles) {
+  const auto findings = Lint(
+      {{"src/embedding/a.cc",
+        "void f(M& m) {\n"
+        "  pool->ParallelFor(0, n, [&](int i) { StepOne(m); });\n"
+        "}\n"},
+       {"src/core/b.cc",
+        "void StepOne(M& m) {\n"
+        "  StepTwo(m);\n"
+        "}\n"
+        "void StepTwo(M& m) {\n"
+        "  m.row(u)[0] += 1.0f;\n"
+        "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].file, "src/core/b.cc");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(CallGraphHogwild, LambdaVariableDispatchedByName) {
+  // `pool->ShardedRange(0, n, shard)` seeds the named lambda's body even
+  // though no lambda literal appears at the dispatch site.
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void f(M& m) {\n"
+                              "  auto shard = [&](int t, std::size_t lo,\n"
+                              "                   std::size_t hi) {\n"
+                              "    m.row(u)[0] += 1.0f;\n"
+                              "  };\n"
+                              "  pool->ShardedRange(0, n, shard);\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(CallGraphHogwild, LambdaVariableCalledFromDispatchLambda) {
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void f(M& m) {\n"
+                              "  auto shard = [&](int t) {\n"
+                              "    m.row(u)[0] += 1.0f;\n"
+                              "  };\n"
+                              "  pool->ShardedRange(0, n, [&](int a) {\n"
+                              "    shard(a);\n"
+                              "  });\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(CallGraphHogwild, OverloadsAreDiscriminatedByArity) {
+  // The 2-arg Step is dispatched; the 1-arg overload's row write must not
+  // fire — the conservative resolver still prunes by argument count.
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void Step(M& m, int k) {\n"
+                              "  m.row(u)[0] += 1.0f;\n"
+                              "}\n"
+                              "void Step(M& m) {\n"
+                              "  m.row(u)[1] += 2.0f;\n"
+                              "}\n"
+                              "void f(M& m) {\n"
+                              "  pool->ShardedRange(0, n, [&](int s) {\n"
+                              "    Step(m, s);\n"
+                              "  });\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(CallGraphHogwild, MemberCallReachesOnlyTheMethod) {
+  // `agg.Score(m)` is a member call: it resolves to Agg::Score, not the
+  // free function of the same name.
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "struct Agg {\n"
+                              "  void Score(M& m) {\n"
+                              "    m.row(u)[0] += 1.0f;\n"
+                              "  }\n"
+                              "};\n"
+                              "void Score(M& m) {\n"
+                              "  m.row(u)[1] += 2.0f;\n"
+                              "}\n"
+                              "void f(Agg& agg, M& m) {\n"
+                              "  pool->ParallelFor(0, n, [&](int i) {\n"
+                              "    agg.Score(m);\n"
+                              "  });\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(CallGraphHogwild, RecursionTerminates) {
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void Walk(M& m, int d) {\n"
+                              "  if (d > 0) Walk(m, d - 1);\n"
+                              "  m.row(u)[0] += 1.0f;\n"
+                              "}\n"
+                              "void f(M& m) {\n"
+                              "  pool->ShardedRange(0, n, [&](int s) {\n"
+                              "    Walk(m, s);\n"
+                              "  });\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(CallGraphHogwild, DerivedAnnotationIsReportedRedundant) {
+  // The helper is reachable from the dispatch, so the manual annotation
+  // adds nothing: the lint asks for its removal at the comment line.
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void f(M& m) {\n"
+                              "  pool->ShardedRange(0, n, [&](int s) {\n"
+                              "    Helper(m);\n"
+                              "  });\n"
+                              "}\n"
+                              "// actor-lint: hogwild-region\n"
+                              "void Helper(M& m) {\n"
+                              "  RelaxedStore(&m.row(u)[0], 1.0f);\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("redundant"), std::string::npos);
+}
+
+// --- R9: actor-snapshot-lifetime -------------------------------------------
+
+TEST(RuleSnapshotLifetime, FiresOnGetFromTheTemporary) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(SnapshotStore& store) {\n"
+            "  const ModelSnapshot* s = store.Acquire().get();\n"
+            "  Use(s);\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleSnapshotLifetime), 1);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("temporary"), std::string::npos);
+}
+
+TEST(RuleSnapshotLifetime, FiresOnMemberAndStaticStores) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(const OnlineActor& actor) {\n"
+            "  auto snap = actor.CurrentSnapshot();\n"
+            "  snap_ = snap.get();\n"
+            "  static const ModelSnapshot* cached = snap.get();\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleSnapshotLifetime), 2);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("member"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 4);
+  EXPECT_NE(findings[1].message.find("static"), std::string::npos);
+}
+
+TEST(RuleSnapshotLifetime, FiresWhenRawPointerCrossesDispatch) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(SnapshotStore& store, ThreadPool* pool) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  pool->Submit([p = snap.get()] { Use(p); });\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleSnapshotLifetime), 1);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("dispatch"), std::string::npos);
+}
+
+TEST(RuleSnapshotLifetime, AllowsSharedPtrStoresAndPlainLocals) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(SnapshotStore& store) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  snapshot_ = snap;\n"                // shared_ptr member: fine
+            "  const auto& c = snap->center();\n"  // deref, not .get()
+            "  const ModelSnapshot* local = snap.get();\n"  // plain local
+            "  Use(local);\n"
+            "}\n"},
+           // The rule polices src/ only — tooling may hold raw pointers.
+           {"tools/x.cc",
+            "void g(SnapshotStore& store) {\n"
+            "  auto p = store.Acquire().get();\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleSnapshotLifetime), 0);
+}
+
+// --- R10: actor-hot-path-blocking ------------------------------------------
+
+TEST(RuleHotPath, BansMutexIoAndAllocInReachableHelpers) {
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void Helper() {\n"
+                              "  std::lock_guard<std::mutex> g(mu);\n"
+                              "  printf(\"x\");\n"
+                              "  std::vector<float> tmp(8);\n"
+                              "}\n"
+                              "void f() {\n"
+                              "  pool->ShardedRange(0, n, [&](int s) {\n"
+                              "    Helper();\n"
+                              "  });\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHotPath), 3);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_EQ(findings[2].line, 4);
+  EXPECT_NE(findings[0].message.find("reachable from a HOGWILD region"),
+            std::string::npos);
+}
+
+TEST(RuleHotPath, QueryRootMayAllocateButNotLock) {
+  // The scoring entry point itself may build its result vector (scratch
+  // at the boundary); taking a lock there still blocks the read path.
+  const auto findings = Lint({{"src/serve/x.cc",
+                              "struct QueryEngine {\n"
+                              "  int QueryByVector(int k) const {\n"
+                              "    std::vector<int> out(k);\n"
+                              "    std::lock_guard<std::mutex> g(mu_);\n"
+                              "    return out[0];\n"
+                              "  }\n"
+                              "};\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHotPath), 1);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("QueryEngine scoring path"),
+            std::string::npos);
+}
+
+TEST(RuleHotPath, FollowsTheNeighborSearcherAlias) {
+  // Methods defined through the `using NeighborSearcher = QueryEngine`
+  // alias are canonicalized, so their callees join the scoring path.
+  const auto findings = Lint({{"src/serve/x.cc",
+                              "using NeighborSearcher = QueryEngine;\n"
+                              "int NeighborSearcher::QueryNearest(int k)"
+                              " const {\n"
+                              "  return Score(k);\n"
+                              "}\n"
+                              "int Score(int k) {\n"
+                              "  std::vector<int> tmp(k);\n"
+                              "  return tmp[0];\n"
+                              "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleHotPath), 1);
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(RuleHotPath, AllocationOffTheHotPathIsClean) {
+  const auto findings = Lint({{"src/embedding/x.cc",
+                              "void Cold() {\n"
+                              "  std::vector<float> tmp(8);\n"
+                              "  std::lock_guard<std::mutex> g(mu);\n"
+                              "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleHotPath), 0);
+}
+
+// --- Symbol cache + --changed-only -----------------------------------------
+
+TEST(ChangedOnly, SkipsCleanFilesAndNeverMasksViolations) {
+  namespace fs = std::filesystem;
+  const fs::path cache = fs::temp_directory_path() / "actor_lint_sym_test";
+  fs::remove(cache);
+  LintConfig config;
+  config.compile_headers = false;
+  config.symbol_cache_path = cache.string();
+  const FileEntry clean{"src/a.cc", "int A() { return 1; }\n"};
+  const FileEntry dirty{"src/b.cc", "int b = rand();\n"};
+  // Baseline run records per-file hashes and clean flags.
+  auto findings = LintRepo({clean, dirty}, config);
+  EXPECT_EQ(CountRule(findings, kRuleRng), 1);
+  // Changed-only rerun: nothing changed, but b was not clean — still
+  // reported (a finding can never hide behind an unchanged hash).
+  config.changed_only = true;
+  findings = LintRepo({clean, dirty}, config);
+  EXPECT_EQ(CountRule(findings, kRuleRng), 1);
+  // Fixing b re-lints the changed file; the tree goes clean.
+  const FileEntry fixed{"src/b.cc", "int B() { return 2; }\n"};
+  findings = LintRepo({clean, fixed}, config);
+  EXPECT_EQ(findings.size(), 0u);
+  // Fully warm rerun: everything is skipped and the tree stays clean.
+  findings = LintRepo({clean, fixed}, config);
+  EXPECT_EQ(findings.size(), 0u);
+  // A fresh violation in a previously clean file is caught via its hash.
+  const FileEntry regressed{"src/a.cc", "int A() { return rand(); }\n"};
+  findings = LintRepo({regressed, fixed}, config);
+  EXPECT_EQ(CountRule(findings, kRuleRng), 1);
+  fs::remove(cache);
+}
+
+// --- Parallel R5a cold start ------------------------------------------------
+
+TEST(RuleHeaderSelf, ParallelCompileAttributesEveryBrokenHeader) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "actor_lint_par_test";
+  fs::create_directories(root / "src");
+  const auto write = [&root](const char* rel, const char* text) {
+    std::ofstream(root / rel) << text;
+  };
+  write("src/good1.h", "#include <vector>\ninline int G1() { return 1; }\n");
+  write("src/good2.h", "#include <string>\ninline int G2() { return 2; }\n");
+  write("src/bad1.h", "inline int B1() { return MissingOne(); }\n");
+  write("src/bad2.h", "inline int B2() { return MissingTwo(); }\n");
+
+  std::vector<FileEntry> files = {
+      {"src/good1.h", "#include <vector>\ninline int G1() { return 1; }\n"},
+      {"src/good2.h", "#include <string>\ninline int G2() { return 2; }\n"},
+      {"src/bad1.h", "inline int B1() { return MissingOne(); }\n"},
+      {"src/bad2.h", "inline int B2() { return MissingTwo(); }\n"}};
+  LintConfig config;
+  config.root = root.string();
+  config.compile_headers = true;
+  config.compile_flags = {"-std=c++20"};
+  config.compile_jobs = 2;
+  const auto findings = LintRepo(files, config);
+  // Both broken headers attributed, in deterministic sorted order, with
+  // the batched probe re-run per header inside the owning worker.
+  ASSERT_EQ(CountRule(findings, kRuleHeaderSelf), 2);
+  EXPECT_EQ(findings[0].file, "src/bad1.h");
+  EXPECT_EQ(findings[1].file, "src/bad2.h");
+  fs::remove_all(root);
+}
+
+// --- Call-graph dump --------------------------------------------------------
+
+TEST(CallGraphDump, EmitsDotWithHogwildColoring) {
+  const std::string dot =
+      DumpCallGraph({{"src/embedding/x.cc",
+                      "void Helper(M& m) {\n"
+                      "  RelaxedStore(&m.row(u)[0], 1.0f);\n"
+                      "}\n"
+                      "void f(M& m) {\n"
+                      "  pool->ShardedRange(0, n, [&](int s) {\n"
+                      "    Helper(m);\n"
+                      "  });\n"
+                      "}\n"}});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("Helper"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);      // f -> Helper edge
+  EXPECT_NE(dot.find("salmon"), std::string::npos);  // hogwild fill color
+}
+
 // --- Output formats --------------------------------------------------------
 
 TEST(Output, TextAndJsonFormats) {

@@ -3,14 +3,23 @@
 // Usage:
 //   actor_lint [--root=DIR] [--json] [--no-header-compile]
 //              [--compiler=CXX] [--compile-db=PATH] [--cache=PATH]
+//              [--symbols=PATH] [--changed-only] [--jobs=N]
+//              [--dump-callgraph=dot]
 //
 // Walks src/ tests/ bench/ examples/ under --root (the file list always
 // comes from the walk — compile_commands.json typically omits headers and
 // unregistered tests), lifts include/define/standard flags from the first
-// compile-commands entry when present, and runs every rule. Exit status:
-// 0 clean, 1 findings, 2 usage/internal error.
+// compile-commands entry when present, and runs every rule. --symbols
+// persists the per-file symbol-index cache (and the --changed-only
+// baseline); --changed-only restricts per-file rules to files whose
+// content changed since the cached run, files the last run left findings
+// in, and their call-graph/include neighborhood. --jobs bounds the worker
+// threads for cold-start header compiles. --dump-callgraph=dot prints the
+// interprocedural call graph (Graphviz) and exits. Exit status: 0 clean,
+// 1 findings, 2 usage/internal error.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -77,8 +86,12 @@ int main(int argc, char** argv) {
   std::string compiler = "c++";
   std::string compile_db;
   std::string cache_path;
+  std::string symbols_path;
+  std::string dump_callgraph;
   bool json = false;
   bool header_compile = true;
+  bool changed_only = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* flag) {
@@ -90,18 +103,34 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--no-header-compile") {
       header_compile = false;
+    } else if (arg == "--changed-only") {
+      changed_only = true;
     } else if (arg.rfind("--compiler=", 0) == 0) {
       compiler = value("--compiler=");
     } else if (arg.rfind("--compile-db=", 0) == 0) {
       compile_db = value("--compile-db=");
     } else if (arg.rfind("--cache=", 0) == 0) {
       cache_path = value("--cache=");
+    } else if (arg.rfind("--symbols=", 0) == 0) {
+      symbols_path = value("--symbols=");
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(value("--jobs=").c_str());
+    } else if (arg.rfind("--dump-callgraph=", 0) == 0) {
+      dump_callgraph = value("--dump-callgraph=");
+      if (dump_callgraph != "dot") {
+        std::fprintf(stderr,
+                     "actor_lint: unsupported --dump-callgraph format "
+                     "'%s' (only 'dot')\n",
+                     dump_callgraph.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "actor_lint: unknown argument '%s'\n"
                    "usage: actor_lint [--root=DIR] [--json] "
                    "[--no-header-compile] [--compiler=CXX] "
-                   "[--compile-db=PATH] [--cache=PATH]\n",
+                   "[--compile-db=PATH] [--cache=PATH] [--symbols=PATH] "
+                   "[--changed-only] [--jobs=N] [--dump-callgraph=dot]\n",
                    arg.c_str());
       return 2;
     }
@@ -138,11 +167,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!dump_callgraph.empty()) {
+    std::fputs(actor_lint::DumpCallGraph(files).c_str(), stdout);
+    return 0;
+  }
+
   actor_lint::LintConfig config;
   config.root = root;
   config.compiler = compiler;
   config.compile_headers = header_compile;
   config.cache_path = cache_path;
+  config.symbol_cache_path = symbols_path;
+  config.changed_only = changed_only;
+  config.compile_jobs = jobs;
   std::string db_json;
   if (ReadFile(compile_db, &db_json)) {
     config.compile_flags = FlagsFromCompileDb(db_json);

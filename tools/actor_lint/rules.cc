@@ -9,74 +9,17 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "callgraph.h"
 #include "lexer.h"
+#include "symbols.h"
 
 namespace actor_lint {
 
 namespace {
-
-constexpr std::size_t kNpos = std::string::npos;
-
-bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
-
-bool StartsWith(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool EndsWith(const std::string& s, const char* suffix) {
-  const std::size_t len = std::char_traits<char>::length(suffix);
-  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
-}
-
-std::size_t SkipWs(const std::string& s, std::size_t i) {
-  while (i < s.size() && IsSpace(s[i])) ++i;
-  return i;
-}
-
-/// True when s[pos..] starts with `word` as a whole identifier token.
-bool TokenAt(const std::string& s, std::size_t pos, const char* word) {
-  const std::size_t len = std::char_traits<char>::length(word);
-  if (pos + len > s.size() || s.compare(pos, len, word) != 0) return false;
-  if (pos > 0 && IsIdentChar(s[pos - 1])) return false;
-  return pos + len >= s.size() || !IsIdentChar(s[pos + len]);
-}
-
-/// Next occurrence of `word` as a whole token at or after `from`.
-std::size_t FindToken(const std::string& s, std::size_t from,
-                      const char* word) {
-  std::size_t pos = from;
-  while ((pos = s.find(word, pos)) != kNpos) {
-    if (TokenAt(s, pos, word)) return pos;
-    ++pos;
-  }
-  return kNpos;
-}
-
-/// Index of the delimiter matching s[open_idx] (one of ( [ {), or npos.
-std::size_t MatchForward(const std::string& s, std::size_t open_idx) {
-  const char open = s[open_idx];
-  const char close = open == '(' ? ')' : open == '[' ? ']' : '}';
-  int depth = 0;
-  for (std::size_t i = open_idx; i < s.size(); ++i) {
-    if (s[i] == open) ++depth;
-    if (s[i] == close && --depth == 0) return i;
-  }
-  return kNpos;
-}
-
-/// Index of the opener matching the closer at s[close_idx], or npos.
-std::size_t MatchBackward(const std::string& s, std::size_t close_idx,
-                          char open, char close) {
-  int depth = 0;
-  for (std::size_t i = close_idx + 1; i-- > 0;) {
-    if (s[i] == close) ++depth;
-    if (s[i] == open && --depth == 0) return i;
-  }
-  return kNpos;
-}
 
 /// Joins `dir` + "/" + `rel` and resolves "." / ".." segments (pure string
 /// math — never touches the filesystem, so virtual repos work in tests).
@@ -108,14 +51,6 @@ std::string JoinNormalize(const std::string& dir, const std::string& rel) {
 std::string DirName(const std::string& path) {
   const std::size_t slash = path.rfind('/');
   return slash == kNpos ? std::string() : path.substr(0, slash);
-}
-
-uint64_t Fnv1a(const std::string& s, uint64_t h) {
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
 }
 
 // --- R1: parallelism flows through util/thread_pool ------------------------
@@ -266,52 +201,39 @@ void CheckSimdAligned(const LexedFile& f, std::vector<Finding>* out) {
   }
 }
 
-// --- R4: HOGWILD row discipline --------------------------------------------
+// --- R4: HOGWILD row discipline (interprocedural) --------------------------
 
 struct Region {
   std::size_t begin = 0;
   std::size_t end = 0;
 };
 
-/// Regions in which shared EmbeddingMatrix rows may be updated
-/// concurrently: lambda bodies dispatched onto the pool from
-/// src/embedding/ + src/core/, plus any scope annotated with
-/// `// actor-lint: hogwild-region` (used for shard helpers the lambdas
-/// delegate to).
-std::vector<Region> HogwildRegions(const LexedFile& f) {
-  std::vector<Region> regions;
-  const std::string& code = f.code;
-  for (const Comment& c : f.comments) {
-    if (c.text.find("actor-lint: hogwild-region") == kNpos) continue;
-    const std::size_t open = code.find('{', c.begin);
-    if (open == kNpos) continue;
-    const std::size_t close = MatchForward(code, open);
-    if (close != kNpos) regions.push_back({open, close});
-  }
-  const bool auto_detect =
-      StartsWith(f.path, "src/embedding/") || StartsWith(f.path, "src/core/");
-  if (auto_detect) {
-    for (const char* dispatch : {"ShardedRange", "ParallelFor", "Submit"}) {
-      std::size_t pos = 0;
-      while ((pos = FindToken(code, pos, dispatch)) != kNpos) {
-        const std::size_t open = SkipWs(
-            code, pos + std::char_traits<char>::length(dispatch));
-        ++pos;
-        if (open >= code.size() || code[open] != '(') continue;
-        const std::size_t close = MatchForward(code, open);
-        if (close == kNpos) continue;
-        const std::size_t intro = code.find('[', open + 1);
-        if (intro == kNpos || intro > close) continue;
-        const std::size_t intro_end = MatchForward(code, intro);
-        if (intro_end == kNpos) continue;
-        const std::size_t body = code.find('{', intro_end);
-        if (body == kNpos || body > close) continue;
-        const std::size_t body_end = MatchForward(code, body);
-        if (body_end != kNpos) regions.push_back({body, body_end});
-      }
+/// One manual `// actor-lint: hogwild-region` annotation: the next braced
+/// scope after the comment. Still honored as a region (the escape hatch
+/// for code the dispatch auto-detection cannot reach), but the call graph
+/// now derives most regions itself — an annotation whose span is already
+/// covered by the automatic propagation is reported as redundant.
+struct Annotation {
+  int file = -1;
+  int comment_line = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::vector<Annotation> CollectAnnotations(
+    const std::vector<LexedFile>& lexed) {
+  std::vector<Annotation> out;
+  for (int fi = 0; fi < static_cast<int>(lexed.size()); ++fi) {
+    const LexedFile& f = lexed[static_cast<std::size_t>(fi)];
+    for (const Comment& c : f.comments) {
+      if (c.text.find("actor-lint: hogwild-region") == kNpos) continue;
+      const std::size_t open = f.code.find('{', c.begin);
+      if (open == kNpos) continue;
+      const std::size_t close = MatchForward(f.code, open);
+      if (close != kNpos) out.push_back({fi, c.line, open, close});
     }
   }
-  return regions;
+  return out;
 }
 
 /// Second half of R4: dirty-row bookkeeping inside a HOGWILD region. A
@@ -373,8 +295,8 @@ void CheckDirtyMarks(const LexedFile& f, const std::vector<Region>& regions,
   }
 }
 
-void CheckHogwild(const LexedFile& f, std::vector<Finding>* out) {
-  const std::vector<Region> regions = HogwildRegions(f);
+void CheckHogwild(const LexedFile& f, const std::vector<Region>& regions,
+                  std::vector<Finding>* out) {
   if (regions.empty()) return;
   CheckDirtyMarks(f, regions, out);
   const std::string& code = f.code;
@@ -465,27 +387,6 @@ bool IsRowMemberCall(const std::string& code, std::size_t row_pos) {
   return j >= 0 && code[static_cast<std::size_t>(j)] == '.';
 }
 
-/// Splits the argument list of a call whose '(' sits at `open` into
-/// top-level (depth-0) argument spans. Returns false on unbalanced code.
-bool SplitCallArgs(const std::string& code, std::size_t open,
-                   std::vector<std::pair<std::size_t, std::size_t>>* args) {
-  const std::size_t close = MatchForward(code, open);
-  if (close == kNpos) return false;
-  int depth = 0;
-  std::size_t begin = open + 1;
-  for (std::size_t i = open + 1; i < close; ++i) {
-    const char c = code[i];
-    if (c == '(' || c == '[' || c == '{') ++depth;
-    if (c == ')' || c == ']' || c == '}') --depth;
-    if (c == ',' && depth == 0) {
-      args->emplace_back(begin, i);
-      begin = i + 1;
-    }
-  }
-  if (close > begin || args->empty()) args->emplace_back(begin, close);
-  return true;
-}
-
 void CheckServeReadOnly(const LexedFile& f, std::vector<Finding>* out) {
   if (!StartsWith(f.path, "src/eval/") && !StartsWith(f.path, "src/serve/")) {
     return;
@@ -574,6 +475,267 @@ void CheckServeReadOnly(const LexedFile& f, std::vector<Finding>* out) {
                    "eval/ and serve/ may only read published snapshots"});
           break;
         }
+      }
+    }
+  }
+}
+
+// --- R9: snapshot lifetime -------------------------------------------------
+
+/// Full argument spans (open, close) of every pool-dispatch call in the
+/// file — `snap.get()` inside one is a raw snapshot pointer crossing the
+/// dispatch boundary.
+std::vector<std::pair<std::size_t, std::size_t>> DispatchCallSpans(
+    const std::string& code) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  for (const char* dispatch : {"ShardedRange", "ParallelFor", "Submit"}) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(code, pos, dispatch)) != kNpos) {
+      const std::size_t open =
+          SkipWs(code, pos + std::char_traits<char>::length(dispatch));
+      ++pos;
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = MatchForward(code, open);
+      if (close != kNpos) spans.emplace_back(open, close);
+    }
+  }
+  return spans;
+}
+
+/// Results of SnapshotStore::Acquire() / CurrentSnapshot() may only live
+/// as shared_ptr<const ModelSnapshot> locals (storing the shared_ptr in a
+/// member is fine — that is how QueryEngine pins a snapshot). What must
+/// not happen: taking `.get()` on the temporary, storing a raw snapshot
+/// pointer into a member (trailing-underscore target) or a static, or
+/// letting a raw pointer cross a pool-dispatch boundary — the pointer
+/// outlives nothing once the shared_ptr drops.
+void CheckSnapshotLifetime(const LexedFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.path, "src/")) return;
+  const std::string& code = f.code;
+
+  std::set<std::string> snap_vars;
+  for (const char* acc : {"Acquire", "CurrentSnapshot"}) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(code, pos, acc)) != kNpos) {
+      const std::size_t at = pos;
+      pos += std::char_traits<char>::length(acc);
+      const std::size_t open = SkipWs(code, pos);
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = MatchForward(code, open);
+      if (close == kNpos) continue;
+      const std::size_t after = SkipWs(code, close + 1);
+      if (after < code.size() && code[after] == '.' &&
+          TokenAt(code, SkipWs(code, after + 1), "get")) {
+        out->push_back(
+            {f.path, f.LineAt(at), kRuleSnapshotLifetime,
+             std::string("raw pointer taken from the ") + acc +
+                 "() temporary — the snapshot dies with the expression; "
+                 "keep the shared_ptr<const ModelSnapshot> alive instead"});
+        continue;
+      }
+      // Track `var = [store.]Acquire(...)` so later `var.get()` uses can
+      // be checked. Walk the receiver chain backwards to the `=`.
+      std::size_t j = PrevNonWs(code, at);
+      while (j != kNpos) {
+        const char c = code[j];
+        if (IsIdentChar(c) || c == '.' || c == ':') {
+          --j;
+          j = j == kNpos ? kNpos : PrevNonWs(code, j + 1);
+        } else if (c == '>' && j >= 1 && code[j - 1] == '-') {
+          j = PrevNonWs(code, j - 1);
+        } else {
+          break;
+        }
+      }
+      if (j == kNpos || code[j] != '=') continue;
+      if (j >= 1 && (code[j - 1] == '=' || code[j - 1] == '!' ||
+                     code[j - 1] == '<' || code[j - 1] == '>')) {
+        continue;
+      }
+      const std::size_t name_end = PrevNonWs(code, j);
+      if (name_end == kNpos || !IsIdentChar(code[name_end])) continue;
+      std::size_t nb = name_end + 1;
+      while (nb > 0 && IsIdentChar(code[nb - 1])) --nb;
+      snap_vars.insert(code.substr(nb, name_end + 1 - nb));
+    }
+  }
+  if (snap_vars.empty()) return;
+
+  const auto dispatch_spans = DispatchCallSpans(code);
+  std::size_t pos = 0;
+  while ((pos = FindToken(code, pos, "get")) != kNpos) {
+    const std::size_t at = pos;
+    ++pos;
+    const std::size_t open = SkipWs(code, at + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    // Receiver must be one of the tracked snapshot shared_ptr locals.
+    std::size_t j = PrevNonWs(code, at);
+    if (j == kNpos) continue;
+    if (code[j] == '.') {
+      j = PrevNonWs(code, j);
+    } else if (j >= 1 && code[j] == '>' && code[j - 1] == '-') {
+      j = PrevNonWs(code, j - 1);
+    } else {
+      continue;
+    }
+    if (j == kNpos || !IsIdentChar(code[j])) continue;
+    std::size_t nb = j + 1;
+    while (nb > 0 && IsIdentChar(code[nb - 1])) --nb;
+    if (snap_vars.count(code.substr(nb, j + 1 - nb)) == 0) continue;
+
+    // (c) raw pointer crossing a pool-dispatch boundary.
+    bool in_dispatch = false;
+    for (const auto& [db, de] : dispatch_spans) {
+      if (db < at && at < de) {
+        in_dispatch = true;
+        break;
+      }
+    }
+    if (in_dispatch) {
+      out->push_back(
+          {f.path, f.LineAt(at), kRuleSnapshotLifetime,
+           "raw snapshot pointer crosses a pool-dispatch boundary — "
+           "capture the shared_ptr<const ModelSnapshot> (by value) so the "
+           "snapshot outlives the task"});
+      continue;
+    }
+    // (a)/(b): stored into a member (trailing-underscore target) or a
+    // static-initialized object.
+    const std::size_t stmt_begin =
+        code.find_last_of(";{}", nb) == kNpos ? 0
+                                              : code.find_last_of(";{}", nb);
+    std::size_t eq = PrevNonWs(code, nb);
+    bool member_store = false;
+    if (eq != kNpos && code[eq] == '=' &&
+        !(eq >= 1 && (code[eq - 1] == '=' || code[eq - 1] == '!' ||
+                      code[eq - 1] == '<' || code[eq - 1] == '>'))) {
+      const std::size_t lhs_end = PrevNonWs(code, eq);
+      if (lhs_end != kNpos && code[lhs_end] == '_') member_store = true;
+    }
+    const std::size_t static_pos = FindToken(code, stmt_begin, "static");
+    const bool static_store = static_pos != kNpos && static_pos < at;
+    if (member_store || static_store) {
+      out->push_back(
+          {f.path, f.LineAt(at), kRuleSnapshotLifetime,
+           std::string("raw snapshot pointer stored into a ") +
+               (member_store ? "member" : "static") +
+               " — it dangles after the next publish retires the "
+               "snapshot; store the shared_ptr<const ModelSnapshot> or "
+               "re-Acquire() per request"});
+    }
+  }
+}
+
+// --- R10: no blocking on hot paths -----------------------------------------
+
+/// Bans in one body/region span. Roots (the region/scoring boundary
+/// itself) may allocate scratch but must not lock or do IO; everything
+/// reachable beneath a root must not lock, do IO, *or* allocate.
+void ScanHotSpan(const LexedFile& f, std::size_t begin, std::size_t end,
+                 bool allow_alloc, const std::string& why,
+                 std::set<std::size_t>* reported,
+                 std::vector<Finding>* out) {
+  const std::string& code = f.code;
+  auto report = [&](std::size_t at, const std::string& what) {
+    if (reported->insert(at).second) {
+      out->push_back({f.path, f.LineAt(at), kRuleHotPath,
+                      what + " " + why +
+                          " — hot paths must stay non-blocking and "
+                          "allocation-free; hoist this to the dispatch/"
+                          "publish boundary (see --dump-callgraph)"});
+    }
+  };
+
+  // Mutex acquisition.
+  for (const char* tok :
+       {"lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+        "pthread_mutex_lock"}) {
+    std::size_t pos = begin;
+    while ((pos = FindToken(code, pos, tok)) != kNpos && pos < end) {
+      report(pos, std::string("mutex acquisition (") + tok + ")");
+      ++pos;
+    }
+  }
+  {
+    std::size_t pos = begin;
+    while ((pos = FindToken(code, pos, "lock")) != kNpos && pos < end) {
+      const std::size_t at = pos;
+      ++pos;
+      const std::size_t open = SkipWs(code, at + 4);
+      if (open >= code.size() || code[open] != '(') continue;
+      if (!IsMemberAccess(code, at)) continue;
+      report(at, "mutex acquisition (.lock())");
+    }
+  }
+
+  // Blocking IO.
+  for (const char* tok :
+       {"cout", "cerr", "clog", "printf", "fprintf", "puts", "fputs",
+        "fwrite", "fopen", "fflush", "popen", "system", "getline"}) {
+    std::size_t pos = begin;
+    while ((pos = FindToken(code, pos, tok)) != kNpos && pos < end) {
+      report(pos, std::string("IO (") + tok + ")");
+      ++pos;
+    }
+  }
+
+  if (allow_alloc) return;
+
+  // Heap allocation: new / make_* / malloc family / to_string.
+  for (const char* tok :
+       {"new", "make_unique", "make_shared", "malloc", "calloc", "realloc",
+        "strdup", "to_string"}) {
+    std::size_t pos = begin;
+    while ((pos = FindToken(code, pos, tok)) != kNpos && pos < end) {
+      report(pos, std::string("heap allocation (") + tok + ")");
+      ++pos;
+    }
+  }
+  // Growing-container member calls.
+  for (const char* tok :
+       {"push_back", "emplace_back", "emplace", "resize", "reserve",
+        "insert", "append", "assign"}) {
+    std::size_t pos = begin;
+    while ((pos = FindToken(code, pos, tok)) != kNpos && pos < end) {
+      const std::size_t at = pos;
+      ++pos;
+      const std::size_t open =
+          SkipWs(code, at + std::char_traits<char>::length(tok));
+      if (open >= code.size() || code[open] != '(') continue;
+      if (!IsMemberAccess(code, at)) continue;
+      report(at, std::string("heap allocation (") + tok + ")");
+    }
+  }
+  // std:: container / std::string construction by value. References and
+  // pointers to containers are reads, not allocations.
+  for (const char* tok :
+       {"string", "vector", "deque", "list", "map", "multimap", "set",
+        "multiset", "unordered_map", "unordered_set", "function"}) {
+    std::size_t pos = begin;
+    while ((pos = FindToken(code, pos, tok)) != kNpos && pos < end) {
+      const std::size_t at = pos;
+      pos += std::char_traits<char>::length(tok);
+      if (QualifierBefore(code, at) != "std") continue;
+      std::size_t j = at + std::char_traits<char>::length(tok);
+      j = SkipWs(code, j);
+      if (j < code.size() && code[j] == '<') {
+        // Match the template argument list (tolerating >> closers).
+        int angle = 0;
+        std::size_t k = j;
+        for (; k < code.size(); ++k) {
+          const char c = code[k];
+          if (c == '<') ++angle;
+          if (c == '>' && code[k - 1] != '-' && --angle == 0) break;
+          if (c == ';' || c == '{') break;
+        }
+        if (k >= code.size() || code[k] != '>') continue;
+        j = SkipWs(code, k + 1);
+      }
+      if (j >= code.size()) continue;
+      const char c = code[j];
+      if (IsIdentChar(c) || c == '(' || c == '{') {
+        report(at, std::string("heap allocation (std::") + tok +
+                       " constructed by value)");
       }
     }
   }
@@ -751,23 +913,57 @@ void CheckHeaderSelfContained(const std::vector<LexedFile>& lexed,
   };
 
   if (!to_check.empty()) {
-    // Fast path: one compiler invocation over every stale header. Only on
-    // failure are headers re-checked one by one to attribute the error.
-    std::vector<std::string> paths;
-    for (const auto& [p, h] : to_check) paths.push_back(p);
-    std::string output;
-    if (compile(paths, &output) == 0) {
-      for (const auto& [p, h] : to_check) verified[p] = h;
-    } else {
-      for (const auto& [p, h] : to_check) {
+    // Cold path: partition the stale headers into one batch per worker and
+    // compile the batches concurrently (one compiler invocation each). A
+    // failing batch is re-checked header by header inside its own worker
+    // to attribute the error, so a single broken header only serializes
+    // its batch, not the whole cold start. Results merge in batch order —
+    // deterministic regardless of thread scheduling.
+    const int want = config.compile_jobs > 0
+                         ? config.compile_jobs
+                         : static_cast<int>(
+                               std::thread::hardware_concurrency());
+    const int jobs = std::max(
+        1, std::min(std::max(want, 1),
+                    static_cast<int>(to_check.size())));
+    std::vector<std::vector<std::pair<std::string, uint64_t>>> batches(
+        static_cast<std::size_t>(jobs));
+    for (std::size_t i = 0; i < to_check.size(); ++i) {
+      batches[i % static_cast<std::size_t>(jobs)].push_back(to_check[i]);
+    }
+    struct BatchResult {
+      std::vector<std::pair<std::string, uint64_t>> ok;
+      std::vector<Finding> failed;
+    };
+    std::vector<BatchResult> results(static_cast<std::size_t>(jobs));
+    auto run_batch = [&](std::size_t b) {
+      const auto& batch = batches[b];
+      std::vector<std::string> paths;
+      for (const auto& [p, h] : batch) paths.push_back(p);
+      std::string output;
+      if (compile(paths, &output) == 0) {
+        results[b].ok = batch;
+        return;
+      }
+      for (const auto& [p, h] : batch) {
         if (compile({p}, &output) == 0) {
-          verified[p] = h;
+          results[b].ok.emplace_back(p, h);
         } else {
-          out->push_back({p, 1, kRuleHeaderSelf,
-                          "header is not self-contained: " +
-                              FirstErrorLine(output)});
+          results[b].failed.push_back({p, 1, kRuleHeaderSelf,
+                                       "header is not self-contained: " +
+                                           FirstErrorLine(output)});
         }
       }
+    };
+    std::vector<std::thread> workers;
+    for (std::size_t b = 1; b < static_cast<std::size_t>(jobs); ++b) {
+      workers.emplace_back(run_batch, b);
+    }
+    run_batch(0);
+    for (std::thread& w : workers) w.join();
+    for (const BatchResult& r : results) {
+      for (const auto& [p, h] : r.ok) verified[p] = h;
+      for (const Finding& f : r.failed) out->push_back(f);
     }
   }
 
@@ -894,6 +1090,98 @@ void CollectSuppressions(const LexedFile& f,
   }
 }
 
+// --- symbol cache (also the --changed-only baseline) -----------------------
+
+struct SymbolCacheEntry {
+  uint64_t hash = 0;
+  bool clean = false;  // the previous run left zero findings in this file
+  FileSymbols syms;
+};
+
+std::map<std::string, SymbolCacheEntry> LoadSymbolCache(
+    const std::string& path) {
+  std::map<std::string, SymbolCacheEntry> cache;
+  if (path.empty()) return cache;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return cache;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = std::min(content.find('\n', pos), content.size());
+    const std::string header = content.substr(pos, nl - pos);
+    pos = nl == content.size() ? nl : nl + 1;
+    std::istringstream hs(header);
+    std::string tag, hex, file_path;
+    int clean = 0;
+    if (!(hs >> tag >> hex >> clean >> file_path) || tag != "F") {
+      return {};  // malformed — treat the whole cache as a miss
+    }
+    SymbolCacheEntry entry;
+    entry.hash = std::strtoull(hex.c_str(), nullptr, 16);
+    entry.clean = clean != 0;
+    if (!ParseSymbols(content, &pos, &entry.syms)) return {};
+    cache.emplace(std::move(file_path), std::move(entry));
+  }
+  return cache;
+}
+
+void SaveSymbolCache(const std::string& path,
+                     const std::vector<LexedFile>& lexed,
+                     const std::vector<FileSymbols>& symbols,
+                     const std::vector<uint64_t>& hashes,
+                     const std::vector<char>& clean) {
+  if (path.empty()) return;
+  std::string out;
+  for (std::size_t i = 0; i < lexed.size(); ++i) {
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hashes[i]));
+    out += std::string("F ") + hex + " " + (clean[i] ? "1" : "0") + " " +
+           lexed[i].path + "\n";
+    SerializeSymbols(symbols[i], &out);
+  }
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  f << out;
+}
+
+/// Everything LintRepo derives from the symbol indexes in one pass, shared
+/// with DumpCallGraph.
+struct RepoAnalysis {
+  std::vector<FileSymbols> symbols;
+  std::vector<uint64_t> hashes;
+  std::vector<char> changed;     // per lexed file: content hash differs
+  std::vector<char> prev_clean;  // per lexed file: cached clean flag
+  std::vector<Annotation> annotations;
+  std::vector<SrcSpan> annotation_spans;
+};
+
+RepoAnalysis AnalyzeRepo(const std::vector<LexedFile>& lexed,
+                         const std::map<std::string, SymbolCacheEntry>& cache) {
+  RepoAnalysis a;
+  a.symbols.resize(lexed.size());
+  a.hashes.resize(lexed.size());
+  a.changed.assign(lexed.size(), 1);
+  a.prev_clean.assign(lexed.size(), 0);
+  for (std::size_t i = 0; i < lexed.size(); ++i) {
+    a.hashes[i] = Fnv1a(lexed[i].content, 1469598103934665603ULL);
+    const auto it = cache.find(lexed[i].path);
+    if (it != cache.end() && it->second.hash == a.hashes[i]) {
+      a.symbols[i] = it->second.syms;
+      a.changed[i] = 0;
+      a.prev_clean[i] = it->second.clean ? 1 : 0;
+    } else {
+      a.symbols[i] = ExtractSymbols(lexed[i]);
+    }
+  }
+  a.annotations = CollectAnnotations(lexed);
+  for (const Annotation& an : a.annotations) {
+    a.annotation_spans.push_back({an.file, an.begin, an.end});
+  }
+  return a;
+}
+
 }  // namespace
 
 std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
@@ -905,15 +1193,182 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
       lexed.push_back(Lex(f.path, f.content));
     }
   }
+  const std::size_t n = lexed.size();
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < n; ++i) index_of[lexed[i].path] = i;
+
+  const auto cache = LoadSymbolCache(config.symbol_cache_path);
+  RepoAnalysis repo = AnalyzeRepo(lexed, cache);
+  const CallGraph g = BuildCallGraph(lexed, repo.symbols);
+  const HogwildInfo hw = ComputeHogwild(g, repo.annotation_spans);
+  const HotPathInfo hot = ComputeHotPaths(g, hw, repo.annotation_spans);
+
+  // Per-file HOGWILD regions for the R4 row/dirty-mark discipline:
+  // annotation spans, auto-detected dispatch spans, and the bodies of every
+  // symbol the call graph marks as HOGWILD-reachable.
+  std::vector<std::vector<Region>> regions(n);
+  for (const Annotation& a : repo.annotations) {
+    regions[static_cast<std::size_t>(a.file)].push_back({a.begin, a.end});
+  }
+  for (const SrcSpan& s : hw.dispatch_spans) {
+    regions[static_cast<std::size_t>(s.file)].push_back({s.begin, s.end});
+  }
+  for (int node = 0; node < static_cast<int>(g.nodes().size()); ++node) {
+    if (!hw.hogwild[static_cast<std::size_t>(node)]) continue;
+    const Symbol& sym = g.Sym(node);
+    regions[static_cast<std::size_t>(g.FileIndex(node))].push_back(
+        {sym.body_begin, sym.body_end});
+  }
+  for (auto& r : regions) {
+    std::sort(r.begin(), r.end(), [](const Region& a, const Region& b) {
+      return std::tie(a.begin, a.end) < std::tie(b.begin, b.end);
+    });
+    r.erase(std::unique(r.begin(), r.end(),
+                        [](const Region& a, const Region& b) {
+                          return a.begin == b.begin && a.end == b.end;
+                        }),
+            r.end());
+  }
+
+  // --changed-only active set: changed files, files the previous run left
+  // findings in, their 1-hop call-graph neighbors, and every includer of a
+  // changed file (its textual content changed too). Cross-file rules run
+  // regardless — this mode must never hide a finding, only skip re-deriving
+  // per-file findings for files known clean and untouched.
+  std::vector<char> active(n, 1);
+  if (config.changed_only) {
+    active.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (repo.changed[i] || !repo.prev_clean[i]) active[i] = 1;
+    }
+    // 1-hop call edges, both directions.
+    for (int node = 0; node < static_cast<int>(g.nodes().size()); ++node) {
+      const std::size_t fi = static_cast<std::size_t>(g.FileIndex(node));
+      for (const int callee : g.ResolveAll(g.Sym(node).calls)) {
+        const std::size_t ci = static_cast<std::size_t>(g.FileIndex(callee));
+        if (repo.changed[fi]) active[ci] = 1;
+        if (repo.changed[ci]) active[fi] = 1;
+      }
+    }
+    // Includers of changed files, transitively.
+    std::set<std::string> known;
+    for (const LexedFile& f : lexed) known.insert(f.path);
+    std::vector<std::vector<std::size_t>> includers(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const Include& inc : lexed[i].includes) {
+        const std::string target = ResolveInclude(lexed[i].path, inc.path,
+                                                  known);
+        if (!target.empty()) includers[index_of[target]].push_back(i);
+      }
+    }
+    std::vector<std::size_t> queue;
+    std::vector<char> seen(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (repo.changed[i]) {
+        queue.push_back(i);
+        seen[i] = 1;
+      }
+    }
+    while (!queue.empty()) {
+      const std::size_t cur = queue.back();
+      queue.pop_back();
+      active[cur] = 1;
+      for (const std::size_t up : includers[cur]) {
+        if (!seen[up]) {
+          seen[up] = 1;
+          queue.push_back(up);
+        }
+      }
+    }
+  }
 
   std::vector<Finding> findings;
-  for (const LexedFile& f : lexed) {
+
+  // Redundant manual annotations: the interprocedural propagation (without
+  // the annotation seeds) already covers the annotated scope.
+  for (const Annotation& a : repo.annotations) {
+    const std::size_t fi = static_cast<std::size_t>(a.file);
+    if (!active[fi]) continue;
+    bool covered = false;
+    for (const SrcSpan& s : hw.dispatch_spans) {
+      if (s.file == a.file && s.begin <= a.begin && a.end <= s.end) {
+        covered = true;
+        break;
+      }
+    }
+    for (int node = 0; !covered && node < static_cast<int>(g.nodes().size());
+         ++node) {
+      if (!hw.hogwild_auto[static_cast<std::size_t>(node)]) continue;
+      if (g.FileIndex(node) != a.file) continue;
+      const Symbol& sym = g.Sym(node);
+      if (sym.body_begin <= a.begin && a.end <= sym.body_end) covered = true;
+    }
+    if (covered) {
+      findings.push_back(
+          {lexed[fi].path, a.comment_line, kRuleHogwild,
+           "redundant hogwild-region annotation — the call graph already "
+           "derives this region from the ThreadPool dispatch; remove the "
+           "comment"});
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    const LexedFile& f = lexed[i];
     CheckThread(f, &findings);
     CheckRng(f, &findings);
     CheckSimdAligned(f, &findings);
-    CheckHogwild(f, &findings);
+    CheckHogwild(f, regions[i], &findings);
     CheckServeReadOnly(f, &findings);
+    CheckSnapshotLifetime(f, &findings);
   }
+
+  // R10: region/scoring boundaries may allocate scratch but not block;
+  // everything reachable beneath them must not block or allocate. Roots
+  // are scanned first so a nested checked body still reports allocations.
+  {
+    std::set<int> query_root_set(hot.query_roots.begin(),
+                                 hot.query_roots.end());
+    std::vector<std::set<std::size_t>> reported(n);
+    for (const SrcSpan& s : hw.dispatch_spans) {
+      const std::size_t fi = static_cast<std::size_t>(s.file);
+      if (!active[fi]) continue;
+      ScanHotSpan(lexed[fi], s.begin, s.end, /*allow_alloc=*/true,
+                  "inside a HOGWILD dispatch region", &reported[fi],
+                  &findings);
+    }
+    for (const Annotation& a : repo.annotations) {
+      const std::size_t fi = static_cast<std::size_t>(a.file);
+      if (!active[fi]) continue;
+      ScanHotSpan(lexed[fi], a.begin, a.end, /*allow_alloc=*/true,
+                  "inside an annotated HOGWILD region", &reported[fi],
+                  &findings);
+    }
+    for (int node = 0; node < static_cast<int>(g.nodes().size()); ++node) {
+      const std::size_t ni = static_cast<std::size_t>(node);
+      const std::size_t fi = static_cast<std::size_t>(g.FileIndex(node));
+      if (!active[fi]) continue;
+      const Symbol& sym = g.Sym(node);
+      if (hot.root[ni]) {
+        const char* why = query_root_set.count(node) > 0
+                              ? "in the QueryEngine scoring path"
+                              : "in a dispatched HOGWILD shard body";
+        ScanHotSpan(lexed[fi], sym.body_begin, sym.body_end,
+                    /*allow_alloc=*/true, why, &reported[fi], &findings);
+      } else if (hot.checked[ni]) {
+        const bool hg = hot.from_hogwild[ni] != 0;
+        const bool qy = hot.from_query[ni] != 0;
+        const std::string reason =
+            std::string("in `") + sym.name + "`, reachable from " +
+            (hg && qy ? "a HOGWILD region and the QueryEngine scoring path"
+             : hg    ? "a HOGWILD region"
+                     : "the QueryEngine scoring path");
+        ScanHotSpan(lexed[fi], sym.body_begin, sym.body_end,
+                    /*allow_alloc=*/false, reason, &reported[fi], &findings);
+      }
+    }
+  }
+
   CheckIncludeCycles(lexed, &findings);
   if (config.compile_headers) {
     CheckHeaderSelfContained(lexed, config, &findings);
@@ -923,6 +1378,14 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
   std::vector<Suppression> suppressions;
   for (const LexedFile& f : lexed) {
     CollectSuppressions(f, &suppressions);
+  }
+  if (config.changed_only) {
+    // Suppressions in skipped files cannot match the findings they exist
+    // for — pre-mark them used so they do not read as stale.
+    for (Suppression& s : suppressions) {
+      const auto it = index_of.find(s.file);
+      if (it != index_of.end() && !active[it->second]) s.used = true;
+    }
   }
   std::vector<Finding> surviving;
   for (Finding& finding : findings) {
@@ -951,7 +1414,37 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
               return std::tie(a.file, a.line, a.rule, a.message) <
                      std::tie(b.file, b.line, b.rule, b.message);
             });
+
+  if (!config.symbol_cache_path.empty()) {
+    // A file is clean when this run (or, for skipped files, the previous
+    // run) left no finding in it.
+    std::vector<char> clean(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      clean[i] = active[i] ? 1 : repo.prev_clean[i];
+    }
+    for (const Finding& f : surviving) {
+      const auto it = index_of.find(f.file);
+      if (it != index_of.end()) clean[it->second] = 0;
+    }
+    SaveSymbolCache(config.symbol_cache_path, lexed, repo.symbols,
+                    repo.hashes, clean);
+  }
   return surviving;
+}
+
+std::string DumpCallGraph(const std::vector<FileEntry>& files) {
+  std::vector<LexedFile> lexed;
+  for (const FileEntry& f : files) {
+    if (EndsWith(f.path, ".cc") || EndsWith(f.path, ".cpp") ||
+        EndsWith(f.path, ".h")) {
+      lexed.push_back(Lex(f.path, f.content));
+    }
+  }
+  const RepoAnalysis repo = AnalyzeRepo(lexed, {});
+  const CallGraph g = BuildCallGraph(lexed, repo.symbols);
+  const HogwildInfo hw = ComputeHogwild(g, repo.annotation_spans);
+  const HotPathInfo hot = ComputeHotPaths(g, hw, repo.annotation_spans);
+  return DumpCallGraphDot(g, hw, hot);
 }
 
 std::string FormatFindingsText(const std::vector<Finding>& findings) {

@@ -26,6 +26,13 @@ inline constexpr char kRuleStaleNolint[] = "actor-stale-nolint";
 // R8: the serving read path (src/serve/, src/eval/) never mutates
 // embedding matrices — snapshots are immutable after publish.
 inline constexpr char kRuleServeReadOnly[] = "actor-serve-readonly";
+// R9: SnapshotStore::Acquire()/CurrentSnapshot() results stay shared_ptr
+// locals — no raw .get() pointers into members/statics or across a
+// pool-dispatch boundary.
+inline constexpr char kRuleSnapshotLifetime[] = "actor-snapshot-lifetime";
+// R10: no mutexes, IO, or heap allocation in functions reachable from a
+// HOGWILD region or the QueryEngine scoring path (call-graph derived).
+inline constexpr char kRuleHotPath[] = "actor-hot-path-blocking";
 
 /// One analyzer finding. Formats as `file:line: [rule] message`.
 struct Finding {
@@ -54,6 +61,17 @@ struct LintConfig {
   /// Optional on-disk cache for header compile results, keyed on the hash
   /// of the header's include closure + flags ("" disables caching).
   std::string cache_path;
+  /// Optional on-disk per-file symbol-index cache (also the baseline for
+  /// --changed-only). "" disables it.
+  std::string symbol_cache_path;
+  /// Lint only files whose content hash differs from the symbol cache,
+  /// files the last run left findings in, and their call-graph/include
+  /// neighborhood. Cross-file rules (include cycles, test registration)
+  /// always run. Requires symbol_cache_path to be useful.
+  bool changed_only = false;
+  /// Worker threads for the R5a cold-start header compiles
+  /// (0 = hardware_concurrency).
+  int compile_jobs = 0;
 };
 
 /// Runs every rule over the file set and returns the surviving findings
@@ -61,6 +79,10 @@ struct LintConfig {
 /// findings themselves). Deterministic: sorted by file, line, rule.
 std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
                               const LintConfig& config);
+
+/// Graphviz dump of the interprocedural call graph with the HOGWILD /
+/// hot-path classification as node colors (`--dump-callgraph=dot`).
+std::string DumpCallGraph(const std::vector<FileEntry>& files);
 
 /// `file:line: [rule] message` lines.
 std::string FormatFindingsText(const std::vector<Finding>& findings);
