@@ -2,14 +2,19 @@
 """Compare two benchmark JSON files and flag metric regressions.
 
 Works on any file following the repo's bench schema (BENCH_sgd.json,
-BENCH_online.json, BENCH_query.json): top-level *section* arrays of rows,
-where each row mixes identity fields (backend, sampler, mode, threads,
-dirty_pct, ...) with metric fields. Known sections and their metrics:
+BENCH_online.json, BENCH_query.json, BENCH_serve.json): top-level
+*section* arrays of rows, where each row mixes identity fields (backend,
+sampler, mode, batch, threads, dirty_pct, ...) with metric fields. Known
+sections and their metrics (see docs/benchmarking.md for every schema):
 
   throughput    steps_per_sec, batches_per_sec, records_per_sec,
                 queries_per_sec                          (higher is better)
+  kernels       gflops                                   (higher is better)
   publish_cost  full_us_per_publish, delta_us_per_publish (lower is better)
                 speedup                                   (higher is better)
+  latency       p50_ms, p95_ms, p99_ms, p999_ms           (lower is better)
+                achieved_qps                              (higher is better)
+  max_qps       max_sustainable_qps                       (higher is better)
 
 Rows are matched across the two files by their identity fields; every
 known metric present in BOTH files is compared, and changes in the bad
@@ -27,6 +32,12 @@ cross-machine deltas are expected.
 Usage:
   scripts/bench_compare.py BASELINE.json FRESH.json [--threshold=0.10]
                            [--strict]
+  scripts/bench_compare.py --schema-check FILE.json
+
+--schema-check validates a single file against the known-section schema
+(at least one known section, rows are objects, metric values numeric)
+without comparing anything — CI runs it on the serve_load --smoke output
+so the emitted JSON can never drift away from what this script parses.
 
 Exit codes: 0 = no regressions (or none beyond threshold), 1 = regressions
 found AND --strict was given, 2 = usage/parse error or nothing comparable
@@ -45,10 +56,23 @@ SECTIONS = {
         "records_per_sec": "higher",
         "queries_per_sec": "higher",
     },
+    "kernels": {
+        "gflops": "higher",
+    },
     "publish_cost": {
         "full_us_per_publish": "lower",
         "delta_us_per_publish": "lower",
         "speedup": "higher",
+    },
+    "latency": {
+        "p50_ms": "lower",
+        "p95_ms": "lower",
+        "p99_ms": "lower",
+        "p999_ms": "lower",
+        "achieved_qps": "higher",
+    },
+    "max_qps": {
+        "max_sustainable_qps": "higher",
     },
 }
 
@@ -56,21 +80,28 @@ SECTIONS = {
 def parse_args(argv):
     threshold = 0.10
     strict = False
+    schema_check = False
     paths = []
     for arg in argv:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
         elif arg == "--strict":
             strict = True
+        elif arg == "--schema-check":
+            schema_check = True
         elif arg.startswith("--"):
             raise ValueError(f"unknown flag {arg}")
         else:
             paths.append(arg)
+    if schema_check:
+        if len(paths) != 1:
+            raise ValueError("--schema-check takes exactly one JSON path")
+        return paths[0], None, threshold, strict, True
     if len(paths) != 2:
         raise ValueError("need exactly two JSON paths (baseline, fresh)")
     if not 0.0 < threshold < 1.0:
         raise ValueError(f"--threshold must be in (0, 1), got {threshold}")
-    return paths[0], paths[1], threshold, strict
+    return paths[0], paths[1], threshold, strict, False
 
 
 def row_key(row, metrics):
@@ -147,9 +178,35 @@ def compare_section(name, base_rows, fresh_rows, threshold, regressions):
     return compared
 
 
+def schema_check(path):
+    """Validates one bench JSON against the known-section schema."""
+    _, sections = load_sections(path)  # raises on no known section
+    rows_seen = 0
+    for name, rows in sections.items():
+        metrics = SECTIONS[name]
+        for key, row in rows.items():
+            rows_seen += 1
+            for metric in metrics:
+                if metric in row and not isinstance(
+                    row[metric], (int, float)
+                ):
+                    raise ValueError(
+                        f"{path}: [{name}] {describe(key)} metric "
+                        f"'{metric}' is not numeric: {row[metric]!r}"
+                    )
+    if rows_seen == 0:
+        raise ValueError(f"{path}: known sections present but all empty")
+    names = ", ".join(sorted(sections))
+    print(f"schema ok: {path} ({rows_seen} rows across {names})")
+    return 0
+
+
 def main(argv):
     try:
-        base_path, fresh_path, threshold, strict = parse_args(argv)
+        args = parse_args(argv)
+        base_path, fresh_path, threshold, strict, check_only = args
+        if check_only:
+            return schema_check(base_path)
         base_data, base_sections = load_sections(base_path)
         _, fresh_sections = load_sections(fresh_path)
     except (ValueError, OSError, json.JSONDecodeError) as e:

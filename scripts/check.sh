@@ -29,11 +29,12 @@
 #                                  # neighborhood (sub-second inner loop)
 #   scripts/check.sh --preset tsan # lint + a single preset's build/test
 #   scripts/check.sh --bench       # build default preset, rerun the
-#                                  # throughput benches, and diff against
-#                                  # the committed BENCH_*.json via
+#                                  # throughput benches + the open-loop
+#                                  # serving harness, and diff against the
+#                                  # committed BENCH_*.json via
 #                                  # scripts/bench_compare.py (warns on
-#                                  # >10% drops; see EXPERIMENTS.md for the
-#                                  # machine-drift caveat)
+#                                  # >10% drops / p99 rises; methodology:
+#                                  # docs/benchmarking.md)
 #
 # The grep lints L1-L4 that used to live here were replaced by actor-lint
 # rules R1/R2/R3/R6 — the analyzer lexes the sources, so it cannot be
@@ -207,18 +208,25 @@ if [ "$MODE" = "bench" ]; then
   note "bench mode: rebuild + throughput comparison"
   cmake --preset default >/dev/null || { fail "configure"; exit 1; }
   cmake --build --preset default -j "$(nproc)" \
-    --target sgd_throughput online_throughput query_throughput \
+    --target sgd_throughput online_throughput query_throughput serve_load \
     || { fail "bench build"; exit 1; }
   BENCH_TMP=$(mktemp -d)
   trap 'rm -rf "$BENCH_TMP"' EXIT
-  for bench in sgd online query; do
+  for bench in sgd online query serve; do
     json="BENCH_${bench}.json"
+    # Bench name -> producing binary (docs/benchmarking.md has the full
+    # matrix): serve comes from the open-loop serve_load harness, the rest
+    # from the closed-loop *_throughput ones.
+    case "$bench" in
+      serve) bin="build/bench/serve_load" ;;
+      *)     bin="build/bench/${bench}_throughput" ;;
+    esac
     if [ ! -f "$json" ]; then
       echo "skip: no committed $json baseline"; continue
     fi
-    note "running ${bench}_throughput"
-    if ! "build/bench/${bench}_throughput" --out="$BENCH_TMP/$json"; then
-      fail "${bench}_throughput run"; continue
+    note "running $(basename "$bin")"
+    if ! "$bin" --out="$BENCH_TMP/$json"; then
+      fail "$(basename "$bin") run"; continue
     fi
     note "comparing $json (committed vs fresh)"
     python3 scripts/bench_compare.py "$json" "$BENCH_TMP/$json" \

@@ -21,6 +21,32 @@ struct Neighbor {
   double similarity = 0.0;
 };
 
+/// One request in a QueryEngine::QueryBatch() call: a tagged mirror of the
+/// four sequential entry points. Only the fields of the active `kind` are
+/// read. For Kind::kVector, `vector` must point at `dim` floats that
+/// outlive the QueryBatch() call; the factory helpers fill exactly the
+/// fields the kind needs.
+struct BatchQuery {
+  enum class Kind { kLocation, kHour, kKeyword, kVector };
+
+  static BatchQuery Location(const GeoPoint& location, VertexType result_type,
+                             int k);
+  static BatchQuery Hour(double hour, VertexType result_type, int k);
+  static BatchQuery Keyword(std::string keyword, VertexType result_type,
+                            int k);
+  static BatchQuery Vector(const float* query, VertexType result_type, int k,
+                           VertexId exclude = kInvalidVertex);
+
+  Kind kind = Kind::kVector;
+  GeoPoint location{};            // kLocation
+  double hour = 0.0;              // kHour
+  std::string keyword;            // kKeyword
+  const float* vector = nullptr;  // kVector (caller-owned)
+  VertexType result_type = VertexType::kWord;
+  int k = 10;
+  VertexId exclude = kInvalidVertex;  // kVector only
+};
+
 /// Cross-modal top-k search over one immutable ModelSnapshot. Backs the
 /// spatial / temporal / textual queries of Figs. 9-11 for both batch and
 /// streaming models.
@@ -63,6 +89,18 @@ class QueryEngine {
   Result<std::vector<Neighbor>> QueryByVector(
       const float* query, VertexType result_type, int k,
       VertexId exclude = kInvalidVertex) const;
+
+  /// Scores a block of requests in one traversal of the snapshot: requests
+  /// are grouped by result type and every candidate row is scored against
+  /// the whole group by the blocked DotAndNorm2Batch kernel, so each type
+  /// block is swept once per batch (one snapshot acquire amortized over B
+  /// requests by the caller) instead of once per request. Results come
+  /// back in request order and are identical — neighbor order, similarity
+  /// bits, and error statuses — to calling the matching QueryBy*() method
+  /// per request: the batched kernel preserves each query's per-backend
+  /// reduction order (locked in by serve_query_batch_test).
+  std::vector<Result<std::vector<Neighbor>>> QueryBatch(
+      const std::vector<BatchQuery>& queries) const;
 
  private:
   Result<std::vector<Neighbor>> QueryByVertex(VertexId v,

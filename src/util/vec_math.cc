@@ -52,6 +52,45 @@ void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
   *y_norm2 = nn;
 }
 
+void DotAndNorm2Batch(const float* const* queries, std::size_t b,
+                      const float* y, std::size_t n, float* dots,
+                      float* y_norm2) {
+  // The norm chain is its own pass in the same addend order as Dot(y, y, n)
+  // (and DotAndNorm2's nn chain), so the result is bit-identical.
+  float nn = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float yv = y[i];
+    nn += yv * yv;
+  }
+  *y_norm2 = nn;
+  // Queries in register blocks of four sharing each y load; every query
+  // keeps an independent accumulator chain in i order, so dots[j] is
+  // bit-identical to Dot(queries[j], y, n).
+  std::size_t j = 0;
+  for (; j + 4 <= b; j += 4) {
+    const float* q0 = queries[j];
+    const float* q1 = queries[j + 1];
+    const float* q2 = queries[j + 2];
+    const float* q3 = queries[j + 3];
+    float a0 = 0.0f;
+    float a1 = 0.0f;
+    float a2 = 0.0f;
+    float a3 = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float yv = y[i];
+      a0 += q0[i] * yv;
+      a1 += q1[i] * yv;
+      a2 += q2[i] * yv;
+      a3 += q3[i] * yv;
+    }
+    dots[j] = a0;
+    dots[j + 1] = a1;
+    dots[j + 2] = a2;
+    dots[j + 3] = a3;
+  }
+  for (; j < b; ++j) dots[j] = Dot(queries[j], y, n);
+}
+
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
                    std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
@@ -113,6 +152,40 @@ void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
   }
   *dot = acc;
   *y_norm2 = nn;
+}
+
+void DotAndNorm2Batch(const float* const* queries, std::size_t b,
+                      const float* y, std::size_t n, float* dots,
+                      float* y_norm2) {
+  float nn = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float yv = RelaxedLoad(y + i);
+    nn += yv * yv;
+  }
+  *y_norm2 = nn;
+  std::size_t j = 0;
+  for (; j + 4 <= b; j += 4) {
+    const float* q0 = queries[j];
+    const float* q1 = queries[j + 1];
+    const float* q2 = queries[j + 2];
+    const float* q3 = queries[j + 3];
+    float a0 = 0.0f;
+    float a1 = 0.0f;
+    float a2 = 0.0f;
+    float a3 = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float yv = RelaxedLoad(y + i);
+      a0 += RelaxedLoad(q0 + i) * yv;
+      a1 += RelaxedLoad(q1 + i) * yv;
+      a2 += RelaxedLoad(q2 + i) * yv;
+      a3 += RelaxedLoad(q3 + i) * yv;
+    }
+    dots[j] = a0;
+    dots[j + 1] = a1;
+    dots[j + 2] = a2;
+    dots[j + 3] = a3;
+  }
+  for (; j < b; ++j) dots[j] = Dot(queries[j], y, n);
 }
 
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
@@ -239,6 +312,71 @@ ACTOR_AVX2_TARGET void DotAndNorm2(const float* x, const float* y,
   *y_norm2 = nn;
 }
 
+ACTOR_AVX2_TARGET void DotAndNorm2Batch(const float* const* queries,
+                                        std::size_t b, const float* y,
+                                        std::size_t n, float* dots,
+                                        float* y_norm2) {
+  // Norm chain first, mirroring DotAndNorm2's n0/n1 structure — identical
+  // to Dot(y, y, n) bit for bit.
+  __m256 n0 = _mm256_setzero_ps();
+  __m256 n1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 ylo = _mm256_loadu_ps(y + i);
+    const __m256 yhi = _mm256_loadu_ps(y + i + 8);
+    n0 = _mm256_fmadd_ps(ylo, ylo, n0);
+    n1 = _mm256_fmadd_ps(yhi, yhi, n1);
+  }
+  if (i + 8 <= n) {
+    const __m256 yv = _mm256_loadu_ps(y + i);
+    n0 = _mm256_fmadd_ps(yv, yv, n0);
+    i += 8;
+  }
+  float nn = HorizontalSum(_mm256_add_ps(n0, n1));
+  for (; i < n; ++i) {
+    const float yv = y[i];
+    nn += yv * yv;
+  }
+  *y_norm2 = nn;
+  // Query pairs share each y load; each query's d0/d1 chain and scalar tail
+  // replicate Dot()'s dual-accumulator 16-wide structure exactly, so
+  // dots[j] == Dot(queries[j], y, n) bit for bit.
+  std::size_t j = 0;
+  for (; j + 2 <= b; j += 2) {
+    const float* qa = queries[j];
+    const float* qb = queries[j + 1];
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 b0 = _mm256_setzero_ps();
+    __m256 b1 = _mm256_setzero_ps();
+    std::size_t t = 0;
+    for (; t + 16 <= n; t += 16) {
+      const __m256 ylo = _mm256_loadu_ps(y + t);
+      const __m256 yhi = _mm256_loadu_ps(y + t + 8);
+      a0 = _mm256_fmadd_ps(_mm256_loadu_ps(qa + t), ylo, a0);
+      a1 = _mm256_fmadd_ps(_mm256_loadu_ps(qa + t + 8), yhi, a1);
+      b0 = _mm256_fmadd_ps(_mm256_loadu_ps(qb + t), ylo, b0);
+      b1 = _mm256_fmadd_ps(_mm256_loadu_ps(qb + t + 8), yhi, b1);
+    }
+    if (t + 8 <= n) {
+      const __m256 yv = _mm256_loadu_ps(y + t);
+      a0 = _mm256_fmadd_ps(_mm256_loadu_ps(qa + t), yv, a0);
+      b0 = _mm256_fmadd_ps(_mm256_loadu_ps(qb + t), yv, b0);
+      t += 8;
+    }
+    float acc_a = HorizontalSum(_mm256_add_ps(a0, a1));
+    float acc_b = HorizontalSum(_mm256_add_ps(b0, b1));
+    // Separate single-chain tail loops: a shared loop would let the
+    // compiler contract the two chains' mul+add differently from Dot()'s
+    // tail, breaking bit-identity.
+    for (std::size_t ta = t; ta < n; ++ta) acc_a += qa[ta] * y[ta];
+    for (std::size_t tb = t; tb < n; ++tb) acc_b += qb[tb] * y[tb];
+    dots[j] = acc_a;
+    dots[j + 1] = acc_b;
+  }
+  if (j < b) dots[j] = Dot(queries[j], y, n);
+}
+
 ACTOR_AVX2_TARGET void FusedGradStep(float g, const float* center, float* ctx,
                                      float* grad, std::size_t n) {
   const __m256 vg = _mm256_set1_ps(g);
@@ -278,6 +416,9 @@ struct KernelTable {
   float (*norm2)(const float*, std::size_t) = &scalar::Norm2;
   void (*dot_norm2)(const float*, const float*, std::size_t, float*, float*) =
       &scalar::DotAndNorm2;
+  void (*dot_norm2_batch)(const float* const*, std::size_t, const float*,
+                          std::size_t, float*, float*) =
+      &scalar::DotAndNorm2Batch;
   void (*fused)(float, const float*, float*, float*, std::size_t) =
       &scalar::FusedGradStep;
 };
@@ -328,6 +469,7 @@ VecBackend SetVecBackend(VecBackend backend) {
   g_kernels.add = &relaxed::Add;
   g_kernels.norm2 = &relaxed::Norm2;
   g_kernels.dot_norm2 = &relaxed::DotAndNorm2;
+  g_kernels.dot_norm2_batch = &relaxed::DotAndNorm2Batch;
   g_kernels.fused = &relaxed::FusedGradStep;
   g_backend = VecBackend::kRelaxed;
   return g_backend;
@@ -340,6 +482,7 @@ VecBackend SetVecBackend(VecBackend backend) {
     g_kernels.add = &avx2::Add;
     g_kernels.norm2 = &avx2::Norm2;
     g_kernels.dot_norm2 = &avx2::DotAndNorm2;
+    g_kernels.dot_norm2_batch = &avx2::DotAndNorm2Batch;
     g_kernels.fused = &avx2::FusedGradStep;
     g_backend = VecBackend::kAvx2;
     return g_backend;
@@ -352,6 +495,7 @@ VecBackend SetVecBackend(VecBackend backend) {
     g_kernels.add = &relaxed::Add;
     g_kernels.norm2 = &relaxed::Norm2;
     g_kernels.dot_norm2 = &relaxed::DotAndNorm2;
+    g_kernels.dot_norm2_batch = &relaxed::DotAndNorm2Batch;
     g_kernels.fused = &relaxed::FusedGradStep;
     g_backend = VecBackend::kRelaxed;
     return g_backend;
@@ -399,6 +543,12 @@ float Cosine(const float* x, const float* y, std::size_t n) {
 void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
                  float* y_norm2) {
   g_kernels.dot_norm2(x, y, n, dot, y_norm2);
+}
+
+void DotAndNorm2Batch(const float* const* queries, std::size_t b,
+                      const float* y, std::size_t n, float* dots,
+                      float* y_norm2) {
+  g_kernels.dot_norm2_batch(queries, b, y, n, dots, y_norm2);
 }
 
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,

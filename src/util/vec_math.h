@@ -78,6 +78,22 @@ float Cosine(const float* x, const float* y, std::size_t n);
 void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
                  float* y_norm2);
 
+/// Blocked many-queries-vs-one-row scoring pass: scores one candidate row y
+/// against a block of b query vectors,
+///   dots[j]  = Dot(queries[j], y, n)   for j < b
+///   *y_norm2 = Dot(y, y, n)
+/// loading y once per register block instead of once per query — the kernel
+/// behind QueryEngine::QueryBatch, where the candidate row streams from
+/// memory while the query block stays cache-resident. Every per-query
+/// accumulator chain runs the exact reduction order of the stand-alone
+/// Dot() in the same backend (and the y_norm2 chain matches DotAndNorm2's),
+/// so each dots[j] / (Norm2(queries[j]) * sqrt(y_norm2)) is bit-identical
+/// to the sequential one-query path. b == 0 is allowed and still fills
+/// y_norm2.
+void DotAndNorm2Batch(const float* const* queries, std::size_t b,
+                      const float* y, std::size_t n, float* dots,
+                      float* y_norm2);
+
 /// Fused negative-sampling gradient step (Eqs. (8)-(10) coefficients):
 /// in one pass over the row,
 ///   grad[i] += g * ctx[i]      (center-side gradient, pre-update ctx)
@@ -100,6 +116,9 @@ void Add(const float* x, float* out, std::size_t n);
 float Norm2(const float* x, std::size_t n);
 void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
                  float* y_norm2);
+void DotAndNorm2Batch(const float* const* queries, std::size_t b,
+                      const float* y, std::size_t n, float* dots,
+                      float* y_norm2);
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
                    std::size_t n);
 }  // namespace scalar
@@ -137,6 +156,9 @@ void Add(const float* x, float* out, std::size_t n);
 float Norm2(const float* x, std::size_t n);
 void DotAndNorm2(const float* x, const float* y, std::size_t n, float* dot,
                  float* y_norm2);
+void DotAndNorm2Batch(const float* const* queries, std::size_t b,
+                      const float* y, std::size_t n, float* dots,
+                      float* y_norm2);
 void FusedGradStep(float g, const float* center, float* ctx, float* grad,
                    std::size_t n);
 }  // namespace relaxed

@@ -236,6 +236,84 @@ TEST(ConcurrencyTsanTest, QueryDuringIngest) {
   EXPECT_TRUE(AllFinite(model->CurrentSnapshot()->center()));
 }
 
+TEST(ConcurrencyTsanTest, BatchedQueryDuringIngest) {
+  // bench/serve_load's service pattern: each worker acquires the latest
+  // snapshot once per request batch and scores the whole mixed-kind batch
+  // through QueryEngine::QueryBatch while the ingest thread keeps training
+  // and publishing. Same isolation contract as QueryDuringIngest — the
+  // batched path adds no shared mutable state beyond the store's atomic
+  // slot, and TSan must agree.
+  SyntheticConfig config;
+  config.seed = 61;
+  config.num_records = 900;
+  config.num_users = 30;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.num_venues = 8;
+  config.keywords_per_topic = 12;
+  config.background_vocab = 30;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<std::vector<TokenizedRecord>> batches(6);
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    batches[i * batches.size() / corpus->size()].push_back(
+        corpus->record(i));
+  }
+
+  OnlineActorOptions options;
+  options.dim = 16;
+  options.samples_per_edge_per_batch = 2.0;
+  auto model = OnlineActor::Create(options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->Ingest(batches[0]).ok());
+  model->PublishSnapshot();
+  const GeoPoint probe = batches[0].front().location;
+
+  ThreadPool pool(kThreads);
+  std::atomic<int> query_failures{0};
+  std::atomic<int64_t> batches_served{0};
+  std::atomic<bool> ingest_done{false};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&, t] {
+      std::vector<BatchQuery> request;
+      request.push_back(
+          BatchQuery::Location(probe, VertexType::kWord, 3 + (t % 3)));
+      request.push_back(BatchQuery::Hour(9.0 + t, VertexType::kTime, 2));
+      request.push_back(
+          BatchQuery::Location(probe, VertexType::kLocation, 4));
+      request.push_back(BatchQuery::Hour(2.0 * t, VertexType::kWord, 5));
+      uint64_t spins = 0;
+      while (!ingest_done.load(std::memory_order_acquire) || spins < 50) {
+        ++spins;
+        auto snap = model->CurrentSnapshot();
+        if (snap == nullptr) continue;
+        QueryEngine engine(std::move(snap));
+        const auto results = engine.QueryBatch(request);
+        for (const auto& r : results) {
+          if (!r.ok()) {
+            query_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        batches_served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::size_t b = 1; b < batches.size(); ++b) {
+    ASSERT_TRUE(model->Ingest(batches[b]).ok());
+    model->PublishSnapshot();
+  }
+  ingest_done.store(true, std::memory_order_release);
+  pool.Wait();
+
+  EXPECT_EQ(query_failures.load(), 0);
+  EXPECT_GT(batches_served.load(), 0);
+  EXPECT_TRUE(AllFinite(model->CurrentSnapshot()->center()));
+}
+
 TEST(ConcurrencyTsanTest, DeltaPublishQueryDuringIngest) {
   // Delta-publish flavor of QueryDuringIngest, with the re-embed phase
   // sharded over a pool: shards mark shard-local dirty sets inside the

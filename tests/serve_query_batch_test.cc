@@ -1,0 +1,207 @@
+// QueryEngine::QueryBatch regression tests: every entry of a batched call
+// must be identical — neighbor order, similarity bits, and error statuses —
+// to calling the matching sequential QueryBy*() method, on every kernel
+// backend. This is the determinism contract behind the batched serving
+// path (docs/serving.md): batching is a pure amortization of snapshot
+// acquires and memory traffic, never a numerics change.
+
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/actor.h"
+#include "eval/pipeline.h"
+#include "util/vec_math.h"
+
+namespace actor {
+namespace {
+
+class QueryBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineOptions pipeline = UTGeoPipeline(0.1);
+    pipeline.synthetic.num_records = 1500;
+    pipeline.synthetic.seed = 23;
+    auto prepared = PrepareDataset(pipeline, "qb-test");
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    data_ = new PreparedDataset(prepared.MoveValueOrDie());
+    ActorOptions options;
+    options.dim = 16;
+    options.epochs = 3;
+    options.samples_per_edge = 4;
+    auto model = TrainActor(*data_->graphs, options);
+    ASSERT_TRUE(model.ok());
+    model_ = new ActorModel(model.MoveValueOrDie());
+    snapshot_ = data_->Snapshot(model_->center);
+  }
+  static void TearDownTestSuite() {
+    snapshot_.reset();
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+  void TearDown() override { SetVecBackend(VecBackend::kAvx2); }
+
+  /// Backends to sweep: scalar + relaxed everywhere, AVX2 when the CPU has
+  /// it. (Under ACTOR_TSAN every request lands on kRelaxed — the
+  /// batch-vs-sequential comparison still runs on one backend.)
+  static std::vector<VecBackend> Backends() {
+    std::vector<VecBackend> out = {VecBackend::kScalar, VecBackend::kRelaxed};
+    if (Avx2Available()) out.push_back(VecBackend::kAvx2);
+    return out;
+  }
+
+  /// The sequential entry point a BatchQuery mirrors.
+  static Result<std::vector<Neighbor>> Sequential(const QueryEngine& engine,
+                                                  const BatchQuery& q) {
+    switch (q.kind) {
+      case BatchQuery::Kind::kLocation:
+        return engine.QueryByLocation(q.location, q.result_type, q.k);
+      case BatchQuery::Kind::kHour:
+        return engine.QueryByHour(q.hour, q.result_type, q.k);
+      case BatchQuery::Kind::kKeyword:
+        return engine.QueryByKeyword(q.keyword, q.result_type, q.k);
+      case BatchQuery::Kind::kVector:
+        return engine.QueryByVector(q.vector, q.result_type, q.k, q.exclude);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  static void ExpectSameResult(const Result<std::vector<Neighbor>>& got,
+                               const Result<std::vector<Neighbor>>& want,
+                               const std::string& what) {
+    ASSERT_EQ(got.ok(), want.ok())
+        << what << ": " << got.status().ToString() << " vs "
+        << want.status().ToString();
+    if (!want.ok()) {
+      EXPECT_EQ(got.status().ToString(), want.status().ToString()) << what;
+      return;
+    }
+    ASSERT_EQ(got->size(), want->size()) << what;
+    for (std::size_t i = 0; i < want->size(); ++i) {
+      ASSERT_EQ((*got)[i].vertex, (*want)[i].vertex) << what << " i=" << i;
+      // Bit-identical scores: DotAndNorm2Batch preserves each query's
+      // per-backend reduction order.
+      ASSERT_EQ((*got)[i].similarity, (*want)[i].similarity)
+          << what << " i=" << i;
+      EXPECT_EQ((*got)[i].name, (*want)[i].name) << what << " i=" << i;
+      EXPECT_EQ((*got)[i].type, (*want)[i].type) << what << " i=" << i;
+    }
+  }
+
+  static void ExpectBatchMatchesSequential(
+      const QueryEngine& engine, const std::vector<BatchQuery>& batch) {
+    for (VecBackend backend : Backends()) {
+      SetVecBackend(backend);
+      const auto got = engine.QueryBatch(batch);
+      ASSERT_EQ(got.size(), batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ExpectSameResult(got[i], Sequential(engine, batch[i]),
+                         std::string(VecBackendName(backend)) +
+                             " query=" + std::to_string(i));
+      }
+    }
+  }
+
+  /// A word that is guaranteed resolvable: word-unit vertices are named
+  /// after their vocabulary word.
+  static std::string KnownKeyword() {
+    const auto& words = snapshot_->VerticesOfType(VertexType::kWord);
+    return words.empty() ? std::string() : snapshot_->vertex_name(words[0]);
+  }
+
+  static PreparedDataset* data_;
+  static ActorModel* model_;
+  static std::shared_ptr<const ModelSnapshot> snapshot_;
+};
+
+PreparedDataset* QueryBatchTest::data_ = nullptr;
+ActorModel* QueryBatchTest::model_ = nullptr;
+std::shared_ptr<const ModelSnapshot> QueryBatchTest::snapshot_;
+
+TEST_F(QueryBatchTest, MixedKindBatchMatchesSequentialOnEveryBackend) {
+  QueryEngine engine(snapshot_);
+  const std::string word = KnownKeyword();
+  ASSERT_FALSE(word.empty());
+  std::vector<BatchQuery> batch;
+  batch.push_back(BatchQuery::Location({20, 20}, VertexType::kWord, 6));
+  batch.push_back(BatchQuery::Hour(21.0, VertexType::kWord, 4));
+  batch.push_back(BatchQuery::Keyword(word, VertexType::kLocation, 5));
+  batch.push_back(BatchQuery::Vector(model_->center.row(3),
+                                     VertexType::kWord, 7, VertexId{3}));
+  batch.push_back(BatchQuery::Vector(model_->center.row(0),
+                                     VertexType::kUser, 3, VertexId{0}));
+  batch.push_back(BatchQuery::Hour(3.5, VertexType::kTime, 2));
+  ExpectBatchMatchesSequential(engine, batch);
+}
+
+TEST_F(QueryBatchTest, ManyQueriesOneTypeExerciseKernelBlocking) {
+  // 9 same-type queries: the blocked kernel runs full register blocks plus
+  // a remainder lane on every candidate row.
+  QueryEngine engine(snapshot_);
+  std::vector<BatchQuery> batch;
+  for (VertexId q = 0; q < 9; ++q) {
+    ASSERT_LT(q, model_->center.rows());
+    batch.push_back(
+        BatchQuery::Vector(model_->center.row(q), VertexType::kWord, 5, q));
+  }
+  ExpectBatchMatchesSequential(engine, batch);
+}
+
+TEST_F(QueryBatchTest, EmptyBatchReturnsEmpty) {
+  QueryEngine engine(snapshot_);
+  EXPECT_TRUE(engine.QueryBatch({}).empty());
+}
+
+TEST_F(QueryBatchTest, KLargerThanUnitCountReturnsWholeType) {
+  QueryEngine engine(snapshot_);
+  std::vector<BatchQuery> batch;
+  batch.push_back(BatchQuery::Vector(model_->center.row(3),
+                                     VertexType::kTime, 100000, VertexId{3}));
+  batch.push_back(BatchQuery::Hour(12.0, VertexType::kWord, 100000));
+  ExpectBatchMatchesSequential(engine, batch);
+  const auto got = engine.QueryBatch(batch);
+  ASSERT_TRUE(got[0].ok());
+  const auto& times = snapshot_->VerticesOfType(VertexType::kTime);
+  const bool excluded =
+      std::find(times.begin(), times.end(), VertexId{3}) != times.end();
+  EXPECT_EQ(got[0]->size(), times.size() - (excluded ? 1 : 0));
+}
+
+TEST_F(QueryBatchTest, PerQueryErrorsMatchSequentialAndDontDisturbOthers) {
+  QueryEngine engine(snapshot_);
+  std::vector<BatchQuery> batch;
+  batch.push_back(
+      BatchQuery::Keyword("definitely_not_a_word", VertexType::kWord, 3));
+  batch.push_back(BatchQuery::Vector(model_->center.row(3),
+                                     VertexType::kWord, 0, VertexId{3}));
+  batch.push_back(BatchQuery::Location({20, 20}, VertexType::kWord, 0));
+  batch.push_back(BatchQuery::Hour(21.0, VertexType::kWord, 4));  // healthy
+  ExpectBatchMatchesSequential(engine, batch);
+  const auto got = engine.QueryBatch(batch);
+  EXPECT_TRUE(got[0].status().IsNotFound());
+  EXPECT_TRUE(got[1].status().IsInvalidArgument());
+  EXPECT_TRUE(got[2].status().IsInvalidArgument());
+  EXPECT_TRUE(got[3].ok());
+}
+
+TEST_F(QueryBatchTest, MixedResultTypesShareOneTraversal) {
+  QueryEngine engine(snapshot_);
+  std::vector<BatchQuery> batch;
+  for (VertexType type : {VertexType::kWord, VertexType::kLocation,
+                          VertexType::kTime, VertexType::kUser}) {
+    batch.push_back(
+        BatchQuery::Vector(model_->center.row(17), type, 5, VertexId{17}));
+  }
+  ExpectBatchMatchesSequential(engine, batch);
+}
+
+}  // namespace
+}  // namespace actor

@@ -288,6 +288,45 @@ TEST_F(KernelParity, DotAndNorm2MatchesSeparateDotsBitExactly) {
   }
 }
 
+TEST_F(KernelParity, DotAndNorm2BatchMatchesSequentialBitExactly) {
+  // QueryBatch's determinism contract: every per-query chain of the
+  // blocked kernel runs the stand-alone Dot()'s reduction order on the
+  // same backend, and the shared y_norm2 chain matches DotAndNorm2's.
+  // Batch widths cover the register-block boundaries of both backends
+  // (pairs in AVX2, quads in scalar) plus their remainders.
+  for (std::size_t n : {1u, 2u, 7u, 8u, 15u, 16u, 17u, 31u, 33u, 64u, 100u,
+                        257u}) {
+    for (std::size_t b : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 17u}) {
+      std::vector<std::vector<float>> qs(b);
+      std::vector<const float*> qptrs(b);
+      for (std::size_t j = 0; j < b; ++j) {
+        qs[j] = RandomVec(n, 1000 * n + j);
+        qptrs[j] = qs[j].data();
+      }
+      const auto y = RandomVec(n, 999 * n + 123);
+      for (VecBackend backend : {VecBackend::kAvx2, VecBackend::kScalar}) {
+        SetVecBackend(backend);
+        std::vector<float> dots(b, -1.0f);
+        float norm2 = -1.0f;
+        DotAndNorm2Batch(qptrs.data(), b, y.data(), n, dots.data(), &norm2);
+        ASSERT_EQ(norm2, Dot(y.data(), y.data(), n))
+            << VecBackendName(backend) << " n=" << n << " b=" << b;
+        for (std::size_t j = 0; j < b; ++j) {
+          float sdot = -2.0f;
+          float snorm2 = -2.0f;
+          DotAndNorm2(qptrs[j], y.data(), n, &sdot, &snorm2);
+          ASSERT_EQ(dots[j], sdot)
+              << VecBackendName(backend) << " n=" << n << " b=" << b
+              << " j=" << j;
+          ASSERT_EQ(dots[j], Dot(qptrs[j], y.data(), n))
+              << VecBackendName(backend) << " n=" << n << " b=" << b
+              << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
 TEST_F(KernelParity, DotAndNorm2MatchesDoubleReference) {
   for (std::size_t n = 1; n <= 257; ++n) {
     const auto x = RandomVec(n, 11 * n);
@@ -413,6 +452,35 @@ TEST(RelaxedKernelParity, DotMatchesDoubleReference) {
     EXPECT_NEAR(relaxed::Dot(x.data(), y.data(), n), ref, tol) << "n=" << n;
     EXPECT_NEAR(relaxed::Norm2(x.data(), n),
                 std::sqrt(relaxed::Dot(x.data(), x.data(), n)), 0.0f);
+  }
+}
+
+TEST(RelaxedKernelParity, DotAndNorm2BatchMatchesSequentialBitExactly) {
+  for (std::size_t n = 1; n <= 257; n += 13) {
+    for (std::size_t b : {1u, 3u, 4u, 9u}) {
+      Rng rng(23 * n + b);
+      std::vector<std::vector<float>> qs(b);
+      std::vector<const float*> qptrs(b);
+      for (std::size_t j = 0; j < b; ++j) {
+        qs[j].resize(n);
+        for (auto& v : qs[j]) v = rng.UniformFloat() - 0.5f;
+        qptrs[j] = qs[j].data();
+      }
+      std::vector<float> y(n);
+      for (auto& v : y) v = rng.UniformFloat() - 0.5f;
+      std::vector<float> dots(b, -1.0f);
+      float norm2 = -1.0f;
+      relaxed::DotAndNorm2Batch(qptrs.data(), b, y.data(), n, dots.data(),
+                                &norm2);
+      ASSERT_EQ(norm2, relaxed::Dot(y.data(), y.data(), n))
+          << "n=" << n << " b=" << b;
+      for (std::size_t j = 0; j < b; ++j) {
+        float sdot = -2.0f;
+        float snorm2 = -2.0f;
+        relaxed::DotAndNorm2(qptrs[j], y.data(), n, &sdot, &snorm2);
+        ASSERT_EQ(dots[j], sdot) << "n=" << n << " b=" << b << " j=" << j;
+      }
+    }
   }
 }
 
