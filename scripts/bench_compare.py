@@ -32,12 +32,14 @@ cross-machine deltas are expected.
 Usage:
   scripts/bench_compare.py BASELINE.json FRESH.json [--threshold=0.10]
                            [--strict]
-  scripts/bench_compare.py --schema-check FILE.json
+  scripts/bench_compare.py --schema-check FILE.json [FILE2.json ...]
 
---schema-check validates a single file against the known-section schema
-(at least one known section, rows are objects, metric values numeric)
-without comparing anything — CI runs it on the serve_load --smoke output
-so the emitted JSON can never drift away from what this script parses.
+--schema-check validates each listed file against the known-section
+schema (at least one known section, rows are objects, metric values
+numeric) without comparing anything — CI runs it on the serve_load
+--smoke output and on every committed BENCH_*.json baseline so neither
+the emitters nor the checked-in numbers can drift away from what this
+script parses.
 
 Exit codes: 0 = no regressions (or none beyond threshold), 1 = regressions
 found AND --strict was given, 2 = usage/parse error or nothing comparable
@@ -94,9 +96,9 @@ def parse_args(argv):
         else:
             paths.append(arg)
     if schema_check:
-        if len(paths) != 1:
-            raise ValueError("--schema-check takes exactly one JSON path")
-        return paths[0], None, threshold, strict, True
+        if not paths:
+            raise ValueError("--schema-check needs at least one JSON path")
+        return paths, None, threshold, strict, True
     if len(paths) != 2:
         raise ValueError("need exactly two JSON paths (baseline, fresh)")
     if not 0.0 < threshold < 1.0:
@@ -206,7 +208,9 @@ def main(argv):
         args = parse_args(argv)
         base_path, fresh_path, threshold, strict, check_only = args
         if check_only:
-            return schema_check(base_path)
+            for path in base_path:
+                schema_check(path)
+            return 0
         base_data, base_sections = load_sections(base_path)
         _, fresh_sections = load_sections(fresh_path)
     except (ValueError, OSError, json.JSONDecodeError) as e:

@@ -68,12 +68,12 @@ build_lint_bin() {
   mkdir -p build
   LINT_BIN=build/actor_lint
   LINT_SRCS=(tools/actor_lint/lexer.cc tools/actor_lint/symbols.cc
-             tools/actor_lint/callgraph.cc tools/actor_lint/rules.cc
-             tools/actor_lint/main.cc)
+             tools/actor_lint/callgraph.cc tools/actor_lint/cfg.cc
+             tools/actor_lint/rules.cc tools/actor_lint/main.cc)
   LINT_STALE=0
   for src in "${LINT_SRCS[@]}" tools/actor_lint/lexer.h \
              tools/actor_lint/symbols.h tools/actor_lint/callgraph.h \
-             tools/actor_lint/rules.h; do
+             tools/actor_lint/cfg.h tools/actor_lint/rules.h; do
     [ "$src" -nt "$LINT_BIN" ] && LINT_STALE=1
   done
   if [ ! -x "$LINT_BIN" ] || [ "$LINT_STALE" -eq 1 ]; then

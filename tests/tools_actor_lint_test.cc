@@ -8,12 +8,15 @@
 #include "tools/actor_lint/rules.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "tools/actor_lint/cfg.h"
 #include "tools/actor_lint/lexer.h"
 
 namespace actor_lint {
@@ -669,6 +672,571 @@ TEST(RuleHotPath, AllocationOffTheHotPathIsClean) {
   EXPECT_EQ(CountRule(findings, kRuleHotPath), 0);
 }
 
+// --- CFG construction ------------------------------------------------------
+
+int BlockContaining(const Cfg& cfg, std::size_t offset) {
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    for (const CfgStmt& st : cfg.blocks[b].stmts) {
+      if (st.begin <= offset && offset < st.end) return static_cast<int>(b);
+    }
+  }
+  return -1;
+}
+
+// True when a non-empty path of CFG edges leads from `from` to `to`
+// (from == to detects a cycle through a back edge).
+bool Reaches(const Cfg& cfg, int from, int to) {
+  std::set<int> seen;
+  std::vector<int> work{from};
+  while (!work.empty()) {
+    const int b = work.back();
+    work.pop_back();
+    for (const int s : cfg.blocks[static_cast<std::size_t>(b)].succs) {
+      if (s == to) return true;
+      if (seen.insert(s).second) work.push_back(s);
+    }
+  }
+  return false;
+}
+
+Cfg BuildBodyCfg(const std::string& code) {
+  return BuildCfg(code, code.find('{'), code.rfind('}'));
+}
+
+TEST(Cfg, StraightLineBodyIsOneBlock) {
+  const std::string code = "void f() { int a = 1; int b = 2; }";
+  const Cfg cfg = BuildBodyCfg(code);
+  const int ba = BlockContaining(cfg, code.find("int a"));
+  const int bb = BlockContaining(cfg, code.find("int b"));
+  ASSERT_NE(ba, -1);
+  EXPECT_EQ(ba, bb);
+  EXPECT_TRUE(Reaches(cfg, ba, cfg.exit_block));
+}
+
+TEST(Cfg, IfElseDiamondSplitsAndJoins) {
+  const std::string code =
+      "void f(bool c) {\n"
+      "  int pre = 0;\n"
+      "  if (c) { int t = 1; } else { int e = 2; }\n"
+      "  int post = 3;\n"
+      "}";
+  const Cfg cfg = BuildBodyCfg(code);
+  const int bt = BlockContaining(cfg, code.find("int t"));
+  const int be = BlockContaining(cfg, code.find("int e"));
+  const int bp = BlockContaining(cfg, code.find("int post"));
+  ASSERT_NE(bt, -1);
+  ASSERT_NE(be, -1);
+  ASSERT_NE(bp, -1);
+  EXPECT_NE(bt, be);
+  EXPECT_FALSE(Reaches(cfg, bt, be));  // branches are exclusive...
+  EXPECT_FALSE(Reaches(cfg, be, bt));
+  EXPECT_TRUE(Reaches(cfg, bt, bp));  // ...and rejoin before `post`
+  EXPECT_TRUE(Reaches(cfg, be, bp));
+}
+
+TEST(Cfg, WhileLoopHasABackEdge) {
+  const std::string code =
+      "void f(int n) {\n"
+      "  int i = 0;\n"
+      "  while (i < n) { i += 1; }\n"
+      "  int post = 1;\n"
+      "}";
+  const Cfg cfg = BuildBodyCfg(code);
+  const int body = BlockContaining(cfg, code.find("i += 1"));
+  const int post = BlockContaining(cfg, code.find("int post"));
+  ASSERT_NE(body, -1);
+  ASSERT_NE(post, -1);
+  EXPECT_TRUE(Reaches(cfg, body, body)) << "loop body must reach itself";
+  EXPECT_TRUE(Reaches(cfg, body, post));
+}
+
+TEST(Cfg, EarlyReturnEdgesToExitOnly) {
+  const std::string code =
+      "void f(bool c) {\n"
+      "  if (c) { return; }\n"
+      "  int post = 0;\n"
+      "}";
+  const Cfg cfg = BuildBodyCfg(code);
+  const int ret = BlockContaining(cfg, code.find("return"));
+  const int post = BlockContaining(cfg, code.find("int post"));
+  ASSERT_NE(ret, -1);
+  ASSERT_NE(post, -1);
+  EXPECT_FALSE(Reaches(cfg, ret, post));
+  EXPECT_TRUE(Reaches(cfg, ret, cfg.exit_block));
+  EXPECT_TRUE(Reaches(cfg, cfg.entry, post));
+}
+
+TEST(Cfg, ScopeEndTracksRaiiScopes) {
+  const std::string code =
+      "void f() {\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> g(mu_);\n"
+      "    Use();\n"
+      "  }\n"
+      "  Post();\n"
+      "}";
+  const std::size_t body_end = code.rfind('}');
+  const Cfg cfg = BuildCfg(code, code.find('{'), body_end);
+  // The guard dies at the inner '}'; `Post()` lives to the body's '}'.
+  EXPECT_EQ(ScopeEndAt(cfg, code.find("lock_guard"), body_end),
+            code.find('}'));
+  EXPECT_EQ(ScopeEndAt(cfg, code.find("Post"), body_end), body_end);
+}
+
+TEST(Cfg, ForwardDataflowUnionsFactsAtJoins) {
+  const std::string code =
+      "void f(bool c) {\n"
+      "  if (c) { int t = 1; } else { int e = 2; }\n"
+      "  int post = 3;\n"
+      "}";
+  const Cfg cfg = BuildBodyCfg(code);
+  const int bt = BlockContaining(cfg, code.find("int t"));
+  const int be = BlockContaining(cfg, code.find("int e"));
+  const int bp = BlockContaining(cfg, code.find("int post"));
+  const auto ins =
+      ForwardDataflow(cfg, [&](int b, const std::set<int>& in) {
+        std::set<int> out = in;
+        if (b == bt) out.insert(1);
+        if (b == be) out.insert(2);
+        return out;
+      });
+  // A may-analysis joins both branches' facts before `post`.
+  EXPECT_EQ(ins[static_cast<std::size_t>(bp)].count(1), 1u);
+  EXPECT_EQ(ins[static_cast<std::size_t>(bp)].count(2), 1u);
+  // Neither branch sees the other's fact on entry.
+  EXPECT_EQ(ins[static_cast<std::size_t>(bt)].count(2), 0u);
+  EXPECT_EQ(ins[static_cast<std::size_t>(be)].count(1), 0u);
+}
+
+TEST(Cfg, SerializationRoundTrips) {
+  const std::string code =
+      "void f(bool c) {\n"
+      "  if (c) { return; }\n"
+      "  while (c) { int i = 0; }\n"
+      "}";
+  const std::vector<Cfg> cfgs = {BuildBodyCfg(code)};
+  std::string wire;
+  SerializeCfgs(cfgs, &wire);
+  std::vector<Cfg> parsed;
+  std::size_t pos = 0;
+  ASSERT_TRUE(ParseCfgs(wire, &pos, &parsed));
+  EXPECT_EQ(pos, wire.size());
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].blocks.size(), cfgs[0].blocks.size());
+  for (std::size_t b = 0; b < cfgs[0].blocks.size(); ++b) {
+    EXPECT_EQ(parsed[0].blocks[b].succs, cfgs[0].blocks[b].succs);
+    ASSERT_EQ(parsed[0].blocks[b].stmts.size(),
+              cfgs[0].blocks[b].stmts.size());
+    for (std::size_t s = 0; s < cfgs[0].blocks[b].stmts.size(); ++s) {
+      EXPECT_EQ(parsed[0].blocks[b].stmts[s].begin,
+                cfgs[0].blocks[b].stmts[s].begin);
+      EXPECT_EQ(parsed[0].blocks[b].stmts[s].end,
+                cfgs[0].blocks[b].stmts[s].end);
+      EXPECT_EQ(parsed[0].blocks[b].stmts[s].scope_end,
+                cfgs[0].blocks[b].stmts[s].scope_end);
+    }
+  }
+}
+
+// --- R11: actor-lock-order -------------------------------------------------
+
+TEST(RuleLockOrder, FiresOnAnInconsistentAcquireOrder) {
+  const auto findings =
+      Lint({{"src/train/x.cc",
+            "void TakeAB() {\n"
+            "  std::lock_guard<std::mutex> a(mu_a_);\n"
+            "  std::lock_guard<std::mutex> b(mu_b_);\n"
+            "}\n"
+            "void TakeBA() {\n"
+            "  std::lock_guard<std::mutex> b(mu_b_);\n"
+            "  std::lock_guard<std::mutex> a(mu_a_);\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleLockOrder), 1);
+  EXPECT_NE(findings[0].message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("mu_a_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("mu_b_"), std::string::npos);
+}
+
+TEST(RuleLockOrder, FindsATwoHopInterproceduralCycle) {
+  // Neither function sees both locks lexically: the cycle only exists
+  // once held-sets propagate across the call graph via summaries.
+  const auto findings =
+      Lint({{"src/train/a.cc",
+            "void LockB() { std::lock_guard<std::mutex> g(mu_b_); }\n"
+            "void TakeAThenB() {\n"
+            "  std::lock_guard<std::mutex> g(mu_a_);\n"
+            "  LockB();\n"
+            "}\n"},
+           {"src/train/b.cc",
+            "void LockA() { std::lock_guard<std::mutex> g(mu_a_); }\n"
+            "void TakeBThenA() {\n"
+            "  std::lock_guard<std::mutex> g(mu_b_);\n"
+            "  LockA();\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleLockOrder), 1);
+  EXPECT_NE(findings[0].message.find("lock-order cycle"), std::string::npos);
+}
+
+TEST(RuleLockOrder, FiresWhenALockIsHeldAcrossAPublish) {
+  const auto findings =
+      Lint({{"src/train/x.cc",
+            "void f(SnapshotStore& store, Snap s) {\n"
+            "  std::lock_guard<std::mutex> g(mu_);\n"
+            "  store.Publish(std::move(s));\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleLockOrder), 1);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("held across Publish"),
+            std::string::npos);
+}
+
+TEST(RuleLockOrder, FiresWhenACalleeReachesADispatch) {
+  const auto findings =
+      Lint({{"src/train/x.cc",
+            "void Kick(ThreadPool* pool) { pool->Submit([] {}); }\n"
+            "void f(ThreadPool* pool) {\n"
+            "  std::lock_guard<std::mutex> g(mu_);\n"
+            "  Kick(pool);\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleLockOrder), 1);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("reaches a pool dispatch"),
+            std::string::npos);
+}
+
+TEST(RuleLockOrder, ConsistentOrderAndScopedReleaseAreClean) {
+  const auto findings =
+      Lint({{"src/train/x.cc",
+            // Same global order in both functions: edge a->b only.
+            "void A1() {\n"
+            "  std::lock_guard<std::mutex> a(mu_a_);\n"
+            "  std::lock_guard<std::mutex> b(mu_b_);\n"
+            "}\n"
+            // scoped_lock acquires its whole set atomically: no
+            // intra-event edges, deadlock-free by construction.
+            "void A2() { std::scoped_lock l(mu_b_, mu_a_); }\n"
+            // Brace-scoped guard released before the dispatch.
+            "void f(ThreadPool* pool) {\n"
+            "  {\n"
+            "    std::lock_guard<std::mutex> g(mu_);\n"
+            "    counter_ += 1;\n"
+            "  }\n"
+            "  pool->Submit([] {});\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleLockOrder), 0);
+}
+
+TEST(RuleLockOrder, SuppressibleWithNolint) {
+  const auto findings =
+      Lint({{"src/train/x.cc",
+            "void f(SnapshotStore& store, Snap s) {\n"
+            "  std::lock_guard<std::mutex> g(mu_);\n"
+            "  store.Publish(std::move(s));  // NOLINT(actor-lock-order)\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleLockOrder), 0);
+  EXPECT_EQ(CountRule(findings, kRuleStaleNolint), 0);
+}
+
+// --- R12: actor-memory-order -----------------------------------------------
+
+TEST(RuleMemoryOrder, FiresOnNonRelaxedInsideAHogwildRegion) {
+  const auto findings =
+      Lint({{"src/embedding/x.cc",
+            "void f(ThreadPool* pool) {\n"
+            "  pool->ShardedRange(0, n, [&](int s) {\n"
+            "    hits_.fetch_add(1);\n"
+            "  });\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleMemoryOrder), 1);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("inside a HOGWILD region"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("relaxed-only"), std::string::npos);
+}
+
+TEST(RuleMemoryOrder, AllowsRelaxedInsideAHogwildRegion) {
+  const auto findings =
+      Lint({{"src/embedding/x.cc",
+            "void f(ThreadPool* pool) {\n"
+            "  pool->ShardedRange(0, n, [&](int s) {\n"
+            "    hits_.fetch_add(1, std::memory_order_relaxed);\n"
+            "  });\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleMemoryOrder), 0);
+}
+
+TEST(RuleMemoryOrder, FiresOnDefaultedPublicationStore) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "std::atomic<std::shared_ptr<const ModelSnapshot>> slot_;\n"
+            "void Install(std::shared_ptr<const ModelSnapshot> s) {\n"
+            "  slot_.store(std::move(s));\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleMemoryOrder), 1);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("snapshot publication slot"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("release-store"), std::string::npos);
+}
+
+TEST(RuleMemoryOrder, AllowsTheReleaseAcquirePublicationPair) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "std::atomic<std::shared_ptr<const ModelSnapshot>> slot_;\n"
+            "void Install(std::shared_ptr<const ModelSnapshot> s) {\n"
+            "  slot_.store(std::move(s), std::memory_order_release);\n"
+            "}\n"
+            "std::shared_ptr<const ModelSnapshot> Current() {\n"
+            "  return slot_.load(std::memory_order_acquire);\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleMemoryOrder), 0);
+}
+
+TEST(RuleMemoryOrder, FiresOnDefaultedSeqCstOnTheQueryPath) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "std::atomic<int> epoch_;\n"
+            "struct QueryEngine {\n"
+            "  int QueryByVector(int k) const {\n"
+            "    return epoch_.load() + k;\n"
+            "  }\n"
+            "};\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleMemoryOrder), 1);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("on a hot path"), std::string::npos);
+}
+
+TEST(RuleMemoryOrder, DefaultedOrderOffTheHotPathIsClean) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            // Defaulted seq_cst in cold code is the readable choice.
+            "std::atomic<int> epoch_;\n"
+            "void Cold() { epoch_.store(1); }\n"
+            // load() on a non-atomic receiver is not an atomic op at all.
+            "void Config(Store& s) { s.load(path_); }\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleMemoryOrder), 0);
+}
+
+TEST(RuleMemoryOrder, SuppressibleWithNolint) {
+  const auto findings = Lint(
+      {{"src/embedding/x.cc",
+        "void f(ThreadPool* pool) {\n"
+        "  pool->ShardedRange(0, n, [&](int s) {\n"
+        "    hits_.fetch_add(1);  // NOLINT(actor-memory-order)\n"
+        "  });\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleMemoryOrder), 0);
+  EXPECT_EQ(CountRule(findings, kRuleStaleNolint), 0);
+}
+
+// --- R13: actor-snapshot-escape --------------------------------------------
+
+TEST(RuleSnapshotEscape, FiresOnMemberEscapeThroughAnIntermediateLocal) {
+  // R9 allows the plain-local `.get()`; only the flow-sensitive pass sees
+  // the local then reach a member.
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(SnapshotStore& store) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  const ModelSnapshot* p = snap.get();\n"
+            "  snap_ = p;\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleSnapshotEscape), 1);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("escapes into a member"),
+            std::string::npos);
+  EXPECT_EQ(CountRule(findings, kRuleSnapshotLifetime), 0)
+      << "R9 and R13 must not double-report the same flow";
+}
+
+TEST(RuleSnapshotEscape, FiresOnReturningTheRawPointer) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "const ModelSnapshot* Direct(SnapshotStore& store) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  return snap.get();\n"
+            "}\n"
+            "const ModelSnapshot* ViaLocal(SnapshotStore& store) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  const ModelSnapshot* p = snap.get();\n"
+            "  return p;\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleSnapshotEscape), 2);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("returning snap.get()"),
+            std::string::npos);
+  EXPECT_EQ(findings[1].line, 8);
+  EXPECT_NE(findings[1].message.find("returned to the caller"),
+            std::string::npos);
+}
+
+TEST(RuleSnapshotEscape, FiresOnInsertIntoAMemberContainer) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(SnapshotStore& store) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  const ModelSnapshot* p = snap.get();\n"
+            "  cache_.push_back(p);\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleSnapshotEscape), 1);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("long-lived container"),
+            std::string::npos);
+}
+
+TEST(RuleSnapshotEscape, FiresOnEscapesAcrossTheDispatchBoundary) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            // A raw local crossing into a task: no `.get()` inside the
+            // span, so R9 is blind to it.
+            "void Raw(SnapshotStore& store, ThreadPool* pool) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  const ModelSnapshot* p = snap.get();\n"
+            "  pool->Submit([p] { Score(*p); });\n"
+            "}\n"
+            // A by-ref capture of the shared_ptr into an async task: the
+            // task can outlive the frame that owns `snap`.
+            "void Ref(SnapshotStore& store, ThreadPool* pool) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  pool->Submit([&] { Score(*snap); });\n"
+            "}\n"}});
+  ASSERT_EQ(CountRule(findings, kRuleSnapshotEscape), 2);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("crosses a pool-dispatch boundary"),
+            std::string::npos);
+  EXPECT_EQ(findings[1].line, 8);
+  EXPECT_NE(findings[1].message.find("captured by reference"),
+            std::string::npos);
+  EXPECT_EQ(CountRule(findings, kRuleSnapshotLifetime), 0);
+}
+
+TEST(RuleSnapshotEscape, AllowsSanctionedFlows) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(SnapshotStore& store, ThreadPool* pool) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  snapshot_ = snap;\n"  // member pin keeps the shared_ptr
+            "  pool->ShardedRange(0, n, [&](int s) {\n"
+            "    Score(*snap);\n"  // synchronous: workers join before return
+            "  });\n"
+            "  const ModelSnapshot* p = snap.get();\n"
+            "  std::vector<const ModelSnapshot*> tmp;\n"
+            "  tmp.push_back(p);\n"  // local container dies with the frame
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleSnapshotEscape), 0);
+  EXPECT_EQ(CountRule(findings, kRuleSnapshotLifetime), 0);
+}
+
+TEST(RuleSnapshotEscape, AssignmentKillsTheRawFact) {
+  // Strong update: after `p` is overwritten it no longer aliases the
+  // snapshot, so the member store is fine.
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(SnapshotStore& store) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  const ModelSnapshot* p = snap.get();\n"
+            "  p = nullptr;\n"
+            "  snap_ = p;\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleSnapshotEscape), 0);
+}
+
+TEST(RuleSnapshotEscape, SuppressibleWithNolint) {
+  const auto findings =
+      Lint({{"src/serve/x.cc",
+            "void f(SnapshotStore& store) {\n"
+            "  auto snap = store.Acquire();\n"
+            "  const ModelSnapshot* p = snap.get();\n"
+            "  snap_ = p;  // NOLINT(actor-snapshot-escape)\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(findings, kRuleSnapshotEscape), 0);
+  EXPECT_EQ(CountRule(findings, kRuleStaleNolint), 0);
+}
+
+// --- Cache stamping ---------------------------------------------------------
+
+TEST(CacheStamp, MismatchInvalidatesTheChangedOnlyBaseline) {
+  namespace fs = std::filesystem;
+  const fs::path cache = fs::temp_directory_path() / "actor_lint_stamp_test";
+  fs::remove(cache);
+  LintConfig config;
+  config.compile_headers = false;
+  config.symbol_cache_path = cache.string();
+  config.cache_stamp = "r3-aaaa";
+  const FileEntry dirty{"src/b.cc", "int b = rand();\n"};
+  auto findings = LintRepo({dirty}, config);
+  EXPECT_EQ(CountRule(findings, kRuleRng), 1);
+
+  // Simulate an older analyzer that did not know the rule: flip the
+  // file's cached clean flag by hand (stamp still matches).
+  std::string cached;
+  {
+    std::ifstream in(cache);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    cached = buf.str();
+  }
+  const std::size_t flag = cached.find(" 0 src/b.cc");
+  ASSERT_NE(flag, std::string::npos);
+  cached[flag + 1] = '1';
+  std::ofstream(cache, std::ios::trunc) << cached;
+
+  // Same stamp: --changed-only trusts the (doctored) baseline — the
+  // unchanged, "clean" file is skipped and the finding is masked.
+  config.changed_only = true;
+  findings = LintRepo({dirty}, config);
+  EXPECT_EQ(CountRule(findings, kRuleRng), 0);
+
+  // A stamp change (rule-set bump or analyzer rebuild) misses the whole
+  // cache, so the masked finding resurfaces.
+  config.cache_stamp = "r4-bbbb";
+  findings = LintRepo({dirty}, config);
+  EXPECT_EQ(CountRule(findings, kRuleRng), 1);
+  fs::remove(cache);
+}
+
+// --- Mechanical fixes (--fix) ----------------------------------------------
+
+TEST(Fixes, StaleNolintEntryCarriesAMinimalRewrite) {
+  const std::string src =
+      "int a = rand();  // NOLINT(actor-rng,actor-thread)\n";
+  const auto findings = Lint({{"src/x.cc", src}});
+  ASSERT_EQ(CountRule(findings, kRuleStaleNolint), 1);
+  ASSERT_TRUE(findings[0].has_fix);
+  // The live entry survives; only the dead one is dropped.
+  EXPECT_EQ(ApplyFixes("src/x.cc", src, findings),
+            "int a = rand();  // NOLINT(actor-rng)\n");
+  // Fixes never leak into other files.
+  EXPECT_EQ(ApplyFixes("src/other.cc", src, findings), src);
+}
+
+TEST(Fixes, FullyStaleNolintCommentIsDeletedWholesale) {
+  const std::string src = "int clean = 0;  // NOLINT(actor-thread)\n";
+  const auto findings = Lint({{"src/x.cc", src}});
+  ASSERT_EQ(CountRule(findings, kRuleStaleNolint), 1);
+  ASSERT_TRUE(findings[0].has_fix);
+  EXPECT_EQ(ApplyFixes("src/x.cc", src, findings), "int clean = 0;\n");
+}
+
+TEST(Fixes, RedundantAnnotationFixDeletesTheCommentLine) {
+  const std::string src =
+      "void f(M& m) {\n"
+      "  pool->ShardedRange(0, n, [&](int s) {\n"
+      "    Helper(m);\n"
+      "  });\n"
+      "}\n"
+      "// actor-lint: hogwild-region\n"
+      "void Helper(M& m) {\n"
+      "  RelaxedStore(&m.row(u)[0], 1.0f);\n"
+      "}\n";
+  const auto findings = Lint({{"src/embedding/x.cc", src}});
+  ASSERT_EQ(CountRule(findings, kRuleHogwild), 1);
+  ASSERT_TRUE(findings[0].has_fix);
+  const std::string fixed = ApplyFixes("src/embedding/x.cc", src, findings);
+  EXPECT_EQ(fixed.find("hogwild-region"), std::string::npos);
+  EXPECT_NE(fixed.find("void Helper"), std::string::npos);
+}
+
 // --- Symbol cache + --changed-only -----------------------------------------
 
 TEST(ChangedOnly, SkipsCleanFilesAndNeverMasksViolations) {
@@ -765,6 +1333,30 @@ TEST(Output, TextAndJsonFormats) {
   EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
   EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
   EXPECT_EQ(FormatFindingsJson({}), "[\n]\n");
+}
+
+TEST(Output, SarifFormatDeclaresRulesAndLocations) {
+  const std::vector<Finding> findings = {
+      {"src/x.cc", 3, kRuleRng, "message with \"quotes\""},
+      {"src/y.cc", 0, kRuleThread, "whole-file finding"}};
+  const std::string sarif = FormatFindingsSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"actor-lint\""), std::string::npos);
+  // Every rule is declared in the driver, even without findings.
+  EXPECT_NE(sarif.find("{\"id\": \"actor-lock-order\"}"), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"actor-memory-order\"}"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"actor-snapshot-escape\"}"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"actor-rng\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/x.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+  // Line 0 findings are clamped to 1 (SARIF lines are 1-based).
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  EXPECT_NE(sarif.find("\\\"quotes\\\""), std::string::npos);
+  // An empty log is still a valid single-run document.
+  EXPECT_NE(FormatFindingsSarif({}).find("\"results\": ["),
+            std::string::npos);
 }
 
 TEST(Output, FindingsAreSortedAndDeterministic) {

@@ -1,0 +1,469 @@
+#include "cfg.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace actor_lint {
+
+namespace {
+
+/// End of the plain statement starting at `pos`: one past the first ';'
+/// at brace/paren/bracket depth 0, or `end` when none (also stops before
+/// an unbalanced closer, so a truncated span cannot run away).
+std::size_t StmtEnd(const std::string& code, std::size_t pos,
+                    std::size_t end) {
+  int depth = 0;
+  for (std::size_t i = pos; i < end; ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') {
+      if (depth == 0) return i;  // closer of an enclosing scope
+      --depth;
+    }
+    if (c == ';' && depth == 0) return i + 1;
+  }
+  return end;
+}
+
+/// Recursive-descent lowering of one body. Loop/switch contexts carry the
+/// break/continue targets; every statement records the '}' of its
+/// innermost scope so RAII lifetimes are recoverable from the spans.
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(const std::string& code) : code_(code) {}
+
+  Cfg Build(std::size_t body_begin, std::size_t body_end) {
+    NewBlock();  // 0: entry
+    NewBlock();  // 1: exit
+    const int last =
+        ParseSeq(body_begin + 1, body_end, cfg_.entry, body_end);
+    if (last >= 0) Edge(last, cfg_.exit_block);
+    return std::move(cfg_);
+  }
+
+ private:
+  struct LoopCtx {
+    int break_target = -1;
+    int continue_target = -1;
+  };
+
+  int NewBlock() {
+    cfg_.blocks.emplace_back();
+    return static_cast<int>(cfg_.blocks.size()) - 1;
+  }
+  void Edge(int from, int to) {
+    auto& s = cfg_.blocks[static_cast<std::size_t>(from)].succs;
+    if (std::find(s.begin(), s.end(), to) == s.end()) s.push_back(to);
+  }
+  void AddStmt(int blk, std::size_t b, std::size_t e,
+               std::size_t scope_end) {
+    if (b < e) {
+      cfg_.blocks[static_cast<std::size_t>(blk)].stmts.push_back(
+          {b, e, scope_end});
+    }
+  }
+
+  /// Parses statements in [begin, end) into `cur`; returns the block live
+  /// after the last statement, or -1 when control cannot fall through.
+  int ParseSeq(std::size_t begin, std::size_t end, int cur,
+               std::size_t scope_end) {
+    std::size_t pos = SkipWs(code_, begin);
+    while (pos < end) {
+      if (code_[pos] == '}' || code_[pos] == ')') break;  // malformed span
+      if (code_[pos] == ';') {  // empty statement
+        pos = SkipWs(code_, pos + 1);
+        continue;
+      }
+      if (cur < 0) cur = NewBlock();  // code after return/break: still lint
+      std::size_t after = pos;
+      cur = ParseOne(pos, &after, cur, scope_end);
+      if (after <= pos) break;  // no forward progress — bail conservatively
+      pos = SkipWs(code_, after);
+    }
+    return cur;
+  }
+
+  /// One statement (simple or compound) at `pos`; sets *after to one past
+  /// its end and returns the live block (or -1).
+  int ParseOne(std::size_t pos, std::size_t* after, int cur,
+               std::size_t scope_end) {
+    const char c = code_[pos];
+    if (c == '{') {
+      const std::size_t close = MatchForward(code_, pos);
+      if (close == kNpos) {
+        *after = scope_end;
+        return cur;
+      }
+      const int live = ParseSeq(pos + 1, close, cur, close);
+      *after = close + 1;
+      return live;
+    }
+    if (TokenAt(code_, pos, "if")) return ParseIf(pos, after, cur, scope_end);
+    if (TokenAt(code_, pos, "while")) {
+      return ParseWhile(pos, after, cur, scope_end);
+    }
+    if (TokenAt(code_, pos, "for")) {
+      return ParseFor(pos, after, cur, scope_end);
+    }
+    if (TokenAt(code_, pos, "do")) return ParseDo(pos, after, cur, scope_end);
+    if (TokenAt(code_, pos, "switch")) {
+      return ParseSwitch(pos, after, cur, scope_end);
+    }
+    if (TokenAt(code_, pos, "return") || TokenAt(code_, pos, "goto")) {
+      const std::size_t e = StmtEnd(code_, pos, scope_end);
+      AddStmt(cur, pos, e, scope_end);
+      Edge(cur, cfg_.exit_block);
+      *after = e;
+      return -1;
+    }
+    if (TokenAt(code_, pos, "break") || TokenAt(code_, pos, "continue")) {
+      const bool is_break = code_[pos] == 'b';
+      const std::size_t e = StmtEnd(code_, pos, scope_end);
+      AddStmt(cur, pos, e, scope_end);
+      int target = cfg_.exit_block;
+      if (!loops_.empty()) {
+        target = is_break ? loops_.back().break_target
+                          : loops_.back().continue_target;
+      }
+      Edge(cur, target);
+      *after = e;
+      return -1;
+    }
+    if (TokenAt(code_, pos, "else")) {
+      // Dangling else (the matching if terminated early) — attach its
+      // statement to the current block rather than losing it.
+      std::size_t p = SkipWs(code_, pos + 4);
+      return ParseOne(p, after, cur, scope_end);
+    }
+    // Plain statement (declaration, expression, lambda literal, ...).
+    const std::size_t e = StmtEnd(code_, pos, scope_end);
+    AddStmt(cur, pos, e, scope_end);
+    *after = e;
+    return cur;
+  }
+
+  /// `(cond)` span after a keyword; returns false when not parseable.
+  bool ParenSpan(std::size_t from, std::size_t* open, std::size_t* close) {
+    *open = SkipWs(code_, from);
+    if (*open >= code_.size() || code_[*open] != '(') return false;
+    *close = MatchForward(code_, *open);
+    return *close != kNpos;
+  }
+
+  int ParseIf(std::size_t pos, std::size_t* after, int cur,
+              std::size_t scope_end) {
+    std::size_t kw_end = pos + 2;
+    std::size_t p = SkipWs(code_, kw_end);
+    if (TokenAt(code_, p, "constexpr")) p = SkipWs(code_, p + 9);
+    std::size_t open = 0, close = 0;
+    if (!ParenSpan(p, &open, &close)) {
+      const std::size_t e = StmtEnd(code_, pos, scope_end);
+      AddStmt(cur, pos, e, scope_end);
+      *after = e;
+      return cur;
+    }
+    AddStmt(cur, pos, close + 1, scope_end);  // condition (+ init-stmt)
+    const int cond_blk = cur;
+    const int then_blk = NewBlock();
+    Edge(cond_blk, then_blk);
+    std::size_t then_after = close + 1;
+    const int then_live =
+        ParseOne(SkipWs(code_, close + 1), &then_after, then_blk, scope_end);
+    const std::size_t else_kw = SkipWs(code_, then_after);
+    if (TokenAt(code_, else_kw, "else")) {
+      const int else_blk = NewBlock();
+      Edge(cond_blk, else_blk);
+      std::size_t else_after = else_kw + 4;
+      const int else_live = ParseOne(SkipWs(code_, else_kw + 4), &else_after,
+                                     else_blk, scope_end);
+      *after = else_after;
+      if (then_live < 0 && else_live < 0) return -1;
+      const int join = NewBlock();
+      if (then_live >= 0) Edge(then_live, join);
+      if (else_live >= 0) Edge(else_live, join);
+      return join;
+    }
+    *after = then_after;
+    const int join = NewBlock();
+    Edge(cond_blk, join);  // condition false: skip the then-branch
+    if (then_live >= 0) Edge(then_live, join);
+    return join;
+  }
+
+  int ParseWhile(std::size_t pos, std::size_t* after, int cur,
+                 std::size_t scope_end) {
+    std::size_t open = 0, close = 0;
+    if (!ParenSpan(pos + 5, &open, &close)) {
+      const std::size_t e = StmtEnd(code_, pos, scope_end);
+      AddStmt(cur, pos, e, scope_end);
+      *after = e;
+      return cur;
+    }
+    const int header = NewBlock();
+    Edge(cur, header);
+    AddStmt(header, pos, close + 1, scope_end);
+    const int body_blk = NewBlock();
+    const int after_blk = NewBlock();
+    Edge(header, body_blk);
+    Edge(header, after_blk);
+    loops_.push_back({after_blk, header});
+    std::size_t body_after = close + 1;
+    const int body_live =
+        ParseOne(SkipWs(code_, close + 1), &body_after, body_blk, scope_end);
+    loops_.pop_back();
+    if (body_live >= 0) Edge(body_live, header);
+    *after = body_after;
+    return after_blk;
+  }
+
+  int ParseFor(std::size_t pos, std::size_t* after, int cur,
+               std::size_t scope_end) {
+    // Both classic and range-for: the whole `for (...)` header is one
+    // statement in the loop-header block. Init re-evaluation per
+    // iteration is a harmless over-approximation for may-analyses.
+    std::size_t open = 0, close = 0;
+    if (!ParenSpan(pos + 3, &open, &close)) {
+      const std::size_t e = StmtEnd(code_, pos, scope_end);
+      AddStmt(cur, pos, e, scope_end);
+      *after = e;
+      return cur;
+    }
+    const int header = NewBlock();
+    Edge(cur, header);
+    AddStmt(header, pos, close + 1, scope_end);
+    const int body_blk = NewBlock();
+    const int after_blk = NewBlock();
+    Edge(header, body_blk);
+    Edge(header, after_blk);
+    loops_.push_back({after_blk, header});
+    std::size_t body_after = close + 1;
+    const int body_live =
+        ParseOne(SkipWs(code_, close + 1), &body_after, body_blk, scope_end);
+    loops_.pop_back();
+    if (body_live >= 0) Edge(body_live, header);
+    *after = body_after;
+    return after_blk;
+  }
+
+  int ParseDo(std::size_t pos, std::size_t* after, int cur,
+              std::size_t scope_end) {
+    const int body_blk = NewBlock();
+    Edge(cur, body_blk);
+    const int cond_blk = NewBlock();
+    const int after_blk = NewBlock();
+    loops_.push_back({after_blk, cond_blk});
+    std::size_t body_after = pos + 2;
+    const int body_live =
+        ParseOne(SkipWs(code_, pos + 2), &body_after, body_blk, scope_end);
+    loops_.pop_back();
+    if (body_live >= 0) Edge(body_live, cond_blk);
+    // `while (cond);` tail.
+    std::size_t p = SkipWs(code_, body_after);
+    std::size_t cond_end = body_after;
+    if (TokenAt(code_, p, "while")) {
+      std::size_t open = 0, close = 0;
+      if (ParenSpan(p + 5, &open, &close)) {
+        cond_end = StmtEnd(code_, p, scope_end);
+        AddStmt(cond_blk, p, cond_end, scope_end);
+      }
+    }
+    Edge(cond_blk, body_blk);
+    Edge(cond_blk, after_blk);
+    *after = cond_end;
+    return after_blk;
+  }
+
+  int ParseSwitch(std::size_t pos, std::size_t* after, int cur,
+                  std::size_t scope_end) {
+    std::size_t open = 0, close = 0;
+    if (!ParenSpan(pos + 6, &open, &close)) {
+      const std::size_t e = StmtEnd(code_, pos, scope_end);
+      AddStmt(cur, pos, e, scope_end);
+      *after = e;
+      return cur;
+    }
+    AddStmt(cur, pos, close + 1, scope_end);  // the switched expression
+    const std::size_t body_open = SkipWs(code_, close + 1);
+    if (body_open >= code_.size() || code_[body_open] != '{') {
+      *after = close + 1;
+      return cur;
+    }
+    const std::size_t body_close = MatchForward(code_, body_open);
+    if (body_close == kNpos) {
+      *after = close + 1;
+      return cur;
+    }
+    const int header = cur;
+    const int after_blk = NewBlock();
+    // break binds to the switch; continue still targets the nearest loop.
+    const int outer_cont =
+        loops_.empty() ? cfg_.exit_block : loops_.back().continue_target;
+    loops_.push_back({after_blk, outer_cont});
+    int arm = -1;  // current case arm block
+    std::size_t p = SkipWs(code_, body_open + 1);
+    while (p < body_close) {
+      if (TokenAt(code_, p, "case") || TokenAt(code_, p, "default")) {
+        // Skip to the label's ':' (not '::') at depth 0.
+        std::size_t q = p;
+        int depth = 0;
+        while (q < body_close) {
+          const char ch = code_[q];
+          if (ch == '(' || ch == '[' || ch == '{') ++depth;
+          if (ch == ')' || ch == ']' || ch == '}') --depth;
+          if (ch == ':' && depth == 0) {
+            if (q + 1 < body_close && code_[q + 1] == ':') {
+              q += 2;
+              continue;
+            }
+            break;
+          }
+          ++q;
+        }
+        const int next_arm = NewBlock();
+        Edge(header, next_arm);
+        if (arm >= 0) Edge(arm, next_arm);  // fallthrough
+        arm = next_arm;
+        p = SkipWs(code_, q + 1);
+        continue;
+      }
+      if (arm < 0) arm = NewBlock();  // statements before any label
+      std::size_t stmt_after = p;
+      arm = ParseOne(p, &stmt_after, arm, body_close);
+      if (stmt_after <= p) break;
+      p = SkipWs(code_, stmt_after);
+    }
+    loops_.pop_back();
+    if (arm >= 0) Edge(arm, after_blk);
+    Edge(header, after_blk);  // no label matched / no default
+    *after = body_close + 1;
+    return after_blk;
+  }
+
+  const std::string& code_;
+  Cfg cfg_;
+  std::vector<LoopCtx> loops_;
+};
+
+bool NextLine(const std::string& in, std::size_t* pos, std::string* line) {
+  if (*pos >= in.size()) return false;
+  const std::size_t nl = std::min(in.find('\n', *pos), in.size());
+  *line = in.substr(*pos, nl - *pos);
+  *pos = nl == in.size() ? nl : nl + 1;
+  return true;
+}
+
+}  // namespace
+
+Cfg BuildCfg(const std::string& code, std::size_t body_begin,
+             std::size_t body_end) {
+  CfgBuilder builder(code);
+  return builder.Build(body_begin, body_end);
+}
+
+std::size_t ScopeEndAt(const Cfg& cfg, std::size_t offset,
+                       std::size_t body_end) {
+  std::size_t best = body_end;
+  std::size_t best_len = kNpos;
+  for (const BasicBlock& b : cfg.blocks) {
+    for (const CfgStmt& s : b.stmts) {
+      if (s.begin <= offset && offset < s.end && s.end - s.begin < best_len) {
+        best = s.scope_end;
+        best_len = s.end - s.begin;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::set<int>> ForwardDataflow(
+    const Cfg& cfg,
+    const std::function<std::set<int>(int, const std::set<int>&)>&
+        transfer) {
+  const std::size_t n = cfg.blocks.size();
+  std::vector<std::vector<int>> preds(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (const int s : cfg.blocks[b].succs) {
+      preds[static_cast<std::size_t>(s)].push_back(static_cast<int>(b));
+    }
+  }
+  std::vector<std::set<int>> in(n), out(n);
+  // Round-robin to a fixed point: CFGs are function-sized (tens of
+  // blocks), so a worklist would be over-engineering.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < n; ++b) {
+      std::set<int> in_b;
+      for (const int p : preds[b]) {
+        in_b.insert(out[static_cast<std::size_t>(p)].begin(),
+                    out[static_cast<std::size_t>(p)].end());
+      }
+      std::set<int> out_b = transfer(static_cast<int>(b), in_b);
+      if (in_b != in[b] || out_b != out[b]) {
+        in[b] = std::move(in_b);
+        out[b] = std::move(out_b);
+        changed = true;
+      }
+    }
+  }
+  return in;
+}
+
+void SerializeCfgs(const std::vector<Cfg>& cfgs, std::string* out) {
+  for (const Cfg& cfg : cfgs) {
+    *out += "G " + std::to_string(cfg.blocks.size()) + "\n";
+    for (const BasicBlock& b : cfg.blocks) {
+      *out += "B " + std::to_string(b.succs.size());
+      for (const int s : b.succs) *out += " " + std::to_string(s);
+      *out += " " + std::to_string(b.stmts.size()) + "\n";
+      for (const CfgStmt& s : b.stmts) {
+        *out += "T " + std::to_string(s.begin) + " " +
+                std::to_string(s.end) + " " + std::to_string(s.scope_end) +
+                "\n";
+      }
+    }
+  }
+  *out += "X\n";
+}
+
+bool ParseCfgs(const std::string& in, std::size_t* pos,
+               std::vector<Cfg>* out) {
+  std::string line;
+  while (NextLine(in, pos, &line)) {
+    if (line == "X") return true;
+    std::istringstream gs(line);
+    std::string tag;
+    std::size_t nblocks = 0;
+    if (!(gs >> tag >> nblocks) || tag != "G") return false;
+    Cfg cfg;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      if (!NextLine(in, pos, &line)) return false;
+      std::istringstream bs(line);
+      std::size_t nsuccs = 0;
+      if (!(bs >> tag >> nsuccs) || tag != "B") return false;
+      BasicBlock blk;
+      for (std::size_t s = 0; s < nsuccs; ++s) {
+        int succ = 0;
+        if (!(bs >> succ)) return false;
+        blk.succs.push_back(succ);
+      }
+      std::size_t nstmts = 0;
+      if (!(bs >> nstmts)) return false;
+      for (std::size_t s = 0; s < nstmts; ++s) {
+        if (!NextLine(in, pos, &line)) return false;
+        std::istringstream ts(line);
+        CfgStmt stmt;
+        if (!(ts >> tag >> stmt.begin >> stmt.end >> stmt.scope_end) ||
+            tag != "T") {
+          return false;
+        }
+        blk.stmts.push_back(stmt);
+      }
+      cfg.blocks.push_back(std::move(blk));
+    }
+    out->push_back(std::move(cfg));
+  }
+  return false;  // missing terminator
+}
+
+}  // namespace actor_lint

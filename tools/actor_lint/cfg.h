@@ -1,0 +1,83 @@
+#ifndef ACTOR_TOOLS_ACTOR_LINT_CFG_H_
+#define ACTOR_TOOLS_ACTOR_LINT_CFG_H_
+
+#include <cstddef>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "symbols.h"
+
+namespace actor_lint {
+
+/// One statement span inside a basic block. Offsets index the file's
+/// `code` view (byte-aligned with `content`). `scope_end` is the offset of
+/// the '}' closing the innermost braced scope the statement lives in (the
+/// body's own '}' for top-level statements) — the point where the
+/// statement's RAII locals (lock guards, snapshot handles) are destroyed.
+/// A dataflow fact gen'd by a guard declared at offset `o` is therefore
+/// live exactly on statements overlapping (o, scope_end].
+struct CfgStmt {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t scope_end = 0;
+};
+
+/// A maximal straight-line run of statements plus its successor edges.
+struct BasicBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<int> succs;
+};
+
+/// Statement-level control-flow graph of one function body. Block
+/// `entry` (always 0) is where execution starts; `exit_block` (always 1)
+/// is a synthetic empty block every `return` and the final fallthrough
+/// feed into. Join/after blocks may be empty.
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  int entry = 0;
+  int exit_block = 1;
+};
+
+/// Lowers a function body span ('{' at `body_begin`, matching '}' at
+/// `body_end`, as recorded by ExtractSymbols) into basic blocks. Purely
+/// lexical, like the rest of the analyzer: understands `{}` scopes,
+/// if/else chains, while/for/do loops (the whole `for(...)` header is
+/// modeled as one statement in the loop-header block), switch (each
+/// case label becomes a block fed from the header, with conservative
+/// fallthrough and may-skip edges), return/break/continue, and nested
+/// lambdas/braces inside expressions (kept inside their statement's
+/// span). Anything it cannot parse degrades to a plain statement —
+/// conservative over-approximation, never a crash.
+Cfg BuildCfg(const std::string& code, std::size_t body_begin,
+             std::size_t body_end);
+
+/// The innermost scope-closing '}' for a position inside the body, as
+/// recorded on the containing statement (body_end when no statement
+/// contains `offset`).
+std::size_t ScopeEndAt(const Cfg& cfg, std::size_t offset,
+                       std::size_t body_end);
+
+/// Forward may-dataflow over a Cfg to a fixed point. Facts are small
+/// ints interned by the client; IN[b] is the union of OUT over b's
+/// predecessors (entry starts empty) and OUT[b] = transfer(b, IN[b]).
+/// `transfer` must be monotone and deterministic — it runs repeatedly
+/// until nothing changes. Returns the IN set of every block; clients
+/// re-walk a block's statements from IN[b] to inspect intra-block
+/// program points (the same transfer logic, reporting this time).
+std::vector<std::set<int>> ForwardDataflow(
+    const Cfg& cfg,
+    const std::function<std::set<int>(int, const std::set<int>&)>& transfer);
+
+/// Serialization for the per-file CFG cache that lives beside the symbol
+/// cache (same per-file content-hash invalidation). ParseCfgs consumes
+/// exactly the lines SerializeCfgs wrote, advancing `pos`; returns false
+/// on malformed input (caller treats the cache entry as a miss).
+void SerializeCfgs(const std::vector<Cfg>& cfgs, std::string* out);
+bool ParseCfgs(const std::string& in, std::size_t* pos,
+               std::vector<Cfg>* out);
+
+}  // namespace actor_lint
+
+#endif  // ACTOR_TOOLS_ACTOR_LINT_CFG_H_

@@ -1,33 +1,41 @@
 // actor-lint: compile-commands-driven static analyzer for the ACTOR repo.
 //
 // Usage:
-//   actor_lint [--root=DIR] [--json] [--no-header-compile]
+//   actor_lint [--root=DIR] [--json] [--sarif] [--no-header-compile]
 //              [--compiler=CXX] [--compile-db=PATH] [--cache=PATH]
-//              [--symbols=PATH] [--changed-only] [--jobs=N]
-//              [--dump-callgraph=dot]
+//              [--symbols=PATH] [--cfg=PATH] [--changed-only] [--jobs=N]
+//              [--fix] [--fix-dry-run] [--dump-callgraph=dot]
 //
 // Walks src/ tests/ bench/ examples/ under --root (the file list always
 // comes from the walk — compile_commands.json typically omits headers and
 // unregistered tests), lifts include/define/standard flags from the first
 // compile-commands entry when present, and runs every rule. --symbols
 // persists the per-file symbol-index cache (and the --changed-only
-// baseline); --changed-only restricts per-file rules to files whose
-// content changed since the cached run, files the last run left findings
-// in, and their call-graph/include neighborhood. --jobs bounds the worker
-// threads for cold-start header compiles. --dump-callgraph=dot prints the
-// interprocedural call graph (Graphviz) and exits. Exit status: 0 clean,
-// 1 findings, 2 usage/internal error.
+// baseline); --cfg persists the per-function CFG cache (defaults to
+// <symbols>.cfg) — both caches are stamped with the rule-set version and
+// the analyzer binary hash, so an analyzer upgrade invalidates them.
+// --changed-only restricts per-file rules to files whose content changed
+// since the cached run, files the last run left findings in, and their
+// call-graph/include neighborhood. --jobs bounds the worker threads for
+// cold-start header compiles. --sarif emits a SARIF 2.1.0 log on stdout
+// (for GitHub code scanning). --fix applies the mechanical fixes carried
+// by findings (stale NOLINT entries, redundant hogwild-region
+// annotations) in place; --fix-dry-run prints the would-be hunks instead.
+// --dump-callgraph=dot prints the interprocedural call graph (Graphviz)
+// and exits. Exit status: 0 clean, 1 findings, 2 usage/internal error.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "rules.h"
+#include "symbols.h"
 
 namespace fs = std::filesystem;
 
@@ -79,6 +87,47 @@ std::vector<std::string> FlagsFromCompileDb(const std::string& json) {
   return flags;
 }
 
+/// "r<rule-set>-<binary hash>": both a rule bump and an analyzer rebuild
+/// change the stamp, invalidating stale symbol/CFG caches wholesale.
+std::string CacheStamp(const char* argv0) {
+  std::string self;
+  if (!ReadFile("/proc/self/exe", &self) && !ReadFile(argv0, &self)) {
+    self = argv0;  // hash the name — still invalidates on rule-set bumps
+  }
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(
+                    actor_lint::Fnv1a(self, 1469598103934665603ULL)));
+  return std::string("r") + std::to_string(actor_lint::kRuleSetVersion) +
+         "-" + hex;
+}
+
+/// Minimal per-fix hunks against the original content (diff-style).
+void PrintFixHunks(const std::string& path, const std::string& content,
+                   const std::vector<actor_lint::Finding>& findings) {
+  bool any = false;
+  for (const actor_lint::Finding& f : findings) {
+    if (!f.has_fix || f.file != path || f.fix_end > content.size()) continue;
+    if (!any) std::printf("--- %s\n", path.c_str());
+    any = true;
+    std::size_t ls = f.fix_begin == 0
+                         ? std::string::npos
+                         : content.rfind('\n', f.fix_begin - 1);
+    ls = ls == std::string::npos ? 0 : ls + 1;
+    std::size_t le = content.find('\n', f.fix_end);
+    le = le == std::string::npos ? content.size() : le;
+    std::printf("@@ %s:%d\n", path.c_str(), f.line);
+    const std::string before = content.substr(ls, le - ls);
+    const std::string after = content.substr(ls, f.fix_begin - ls) +
+                              f.fix_text +
+                              content.substr(f.fix_end, le - f.fix_end);
+    std::istringstream bs(before), as(after);
+    std::string line;
+    while (std::getline(bs, line)) std::printf("-%s\n", line.c_str());
+    while (std::getline(as, line)) std::printf("+%s\n", line.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,8 +136,12 @@ int main(int argc, char** argv) {
   std::string compile_db;
   std::string cache_path;
   std::string symbols_path;
+  std::string cfg_path;
   std::string dump_callgraph;
   bool json = false;
+  bool sarif = false;
+  bool fix = false;
+  bool fix_dry_run = false;
   bool header_compile = true;
   bool changed_only = false;
   int jobs = 0;
@@ -101,6 +154,14 @@ int main(int argc, char** argv) {
       root = value("--root=");
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--fix-dry-run") {
+      fix_dry_run = true;
+    } else if (arg.rfind("--cfg=", 0) == 0) {
+      cfg_path = value("--cfg=");
     } else if (arg == "--no-header-compile") {
       header_compile = false;
     } else if (arg == "--changed-only") {
@@ -127,10 +188,11 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "actor_lint: unknown argument '%s'\n"
-                   "usage: actor_lint [--root=DIR] [--json] "
+                   "usage: actor_lint [--root=DIR] [--json] [--sarif] "
                    "[--no-header-compile] [--compiler=CXX] "
                    "[--compile-db=PATH] [--cache=PATH] [--symbols=PATH] "
-                   "[--changed-only] [--jobs=N] [--dump-callgraph=dot]\n",
+                   "[--cfg=PATH] [--changed-only] [--jobs=N] [--fix] "
+                   "[--fix-dry-run] [--dump-callgraph=dot]\n",
                    arg.c_str());
       return 2;
     }
@@ -178,6 +240,10 @@ int main(int argc, char** argv) {
   config.compile_headers = header_compile;
   config.cache_path = cache_path;
   config.symbol_cache_path = symbols_path;
+  config.cfg_cache_path = cfg_path.empty() && !symbols_path.empty()
+                              ? symbols_path + ".cfg"
+                              : cfg_path;
+  config.cache_stamp = CacheStamp(argv[0]);
   config.changed_only = changed_only;
   config.compile_jobs = jobs;
   std::string db_json;
@@ -191,7 +257,43 @@ int main(int argc, char** argv) {
 
   const std::vector<actor_lint::Finding> findings =
       actor_lint::LintRepo(files, config);
-  if (json) {
+
+  if (fix || fix_dry_run) {
+    std::size_t fixable = 0, applied = 0;
+    for (const actor_lint::Finding& f : findings) {
+      if (f.has_fix) ++fixable;
+    }
+    for (const actor_lint::FileEntry& file : files) {
+      const std::string fixed =
+          actor_lint::ApplyFixes(file.path, file.content, findings);
+      if (fixed == file.content) continue;
+      if (fix_dry_run) {
+        PrintFixHunks(file.path, file.content, findings);
+      } else {
+        std::ofstream out(fs::path(root) / file.path,
+                          std::ios::trunc | std::ios::binary);
+        out << fixed;
+        ++applied;
+      }
+    }
+    std::fprintf(stderr,
+                 "actor_lint: %zu mechanical fix(es) %s across %zu file(s)\n",
+                 fixable, fix_dry_run ? "available" : "applied", applied);
+    if (!fix_dry_run) {
+      // Report only what --fix cannot solve; the fixed findings are gone
+      // from the tree now.
+      std::vector<actor_lint::Finding> remaining;
+      for (const actor_lint::Finding& f : findings) {
+        if (!f.has_fix) remaining.push_back(f);
+      }
+      std::fputs(actor_lint::FormatFindingsText(remaining).c_str(), stdout);
+      return remaining.empty() ? 0 : 1;
+    }
+  }
+
+  if (sarif) {
+    std::fputs(actor_lint::FormatFindingsSarif(findings).c_str(), stdout);
+  } else if (json) {
     std::fputs(actor_lint::FormatFindingsJson(findings).c_str(), stdout);
   } else {
     std::fputs(actor_lint::FormatFindingsText(findings).c_str(), stdout);

@@ -14,6 +14,7 @@
 #include <unordered_set>
 
 #include "callgraph.h"
+#include "cfg.h"
 #include "lexer.h"
 #include "symbols.h"
 
@@ -218,6 +219,7 @@ struct Annotation {
   int comment_line = 0;
   std::size_t begin = 0;
   std::size_t end = 0;
+  std::size_t comment_begin = 0;  // offset of the comment (for --fix)
 };
 
 std::vector<Annotation> CollectAnnotations(
@@ -230,7 +232,7 @@ std::vector<Annotation> CollectAnnotations(
       const std::size_t open = f.code.find('{', c.begin);
       if (open == kNpos) continue;
       const std::size_t close = MatchForward(f.code, open);
-      if (close != kNpos) out.push_back({fi, c.line, open, close});
+      if (close != kNpos) out.push_back({fi, c.line, open, close, c.begin});
     }
   }
   return out;
@@ -741,6 +743,934 @@ void ScanHotSpan(const LexedFile& f, std::size_t begin, std::size_t end,
   }
 }
 
+// --- R11: lock-order consistency (flow-sensitive, interprocedural) ----------
+
+/// One lock name acquired at a site. `scope_end` is where the RAII guard
+/// dies (the body end for manual `.lock()` acquisitions).
+struct LockSite {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t scope_end = 0;
+};
+
+/// One acquisition/release event in a function body, in source order. An
+/// acquisition may carry several sites: `std::scoped_lock(a, b)` locks
+/// atomically, so its own locks never order against each other.
+struct LockEvent {
+  std::size_t offset = 0;
+  bool release = false;
+  std::string release_name;
+  std::vector<int> sites;  // indexes into FnLockInfo::sites
+};
+
+struct FnLockInfo {
+  std::vector<LockSite> sites;
+  std::vector<LockEvent> events;
+};
+
+/// Canonical lock spelling: whitespace dropped, leading &/* and `this->`
+/// stripped, so `mu_`, `this->mu_` and `&mu_` order against each other.
+std::string NormalizeLockName(const std::string& code, std::size_t b,
+                              std::size_t e) {
+  std::string out;
+  for (std::size_t i = b; i < e && i < code.size(); ++i) {
+    if (!IsSpace(code[i])) out += code[i];
+  }
+  while (!out.empty() && (out[0] == '&' || out[0] == '*')) out.erase(0, 1);
+  if (StartsWith(out, "this->")) out.erase(0, 6);
+  return out;
+}
+
+/// Position after an optional template argument list starting at `j`.
+std::size_t SkipTemplateArgs(const std::string& code, std::size_t j) {
+  if (j >= code.size() || code[j] != '<') return j;
+  int depth = 0;
+  for (std::size_t k = j; k < code.size(); ++k) {
+    const char c = code[k];
+    if (c == '<') ++depth;
+    if (c == '>' && (k == 0 || code[k - 1] != '-') && --depth == 0) {
+      return k + 1;
+    }
+    if (c == ';' || c == '{') break;
+  }
+  return j;
+}
+
+FnLockInfo CollectLockEvents(const std::string& code, std::size_t begin,
+                             std::size_t end, const Cfg& cfg) {
+  FnLockInfo info;
+  std::vector<std::pair<std::size_t, LockEvent>> staged;
+  for (const char* tok :
+       {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}) {
+    std::size_t pos = begin;
+    while ((pos = FindToken(code, pos, tok)) != kNpos && pos < end) {
+      const std::size_t at = pos;
+      ++pos;
+      std::size_t j =
+          SkipWs(code, at + std::char_traits<char>::length(tok));
+      j = SkipWs(code, SkipTemplateArgs(code, j));
+      // Guard variable, then its constructor args. A use as a plain type
+      // (parameter declarations, aliases) has no `name(...)` tail.
+      const std::size_t name_b = j;
+      while (j < code.size() && IsIdentChar(code[j])) ++j;
+      if (j == name_b) continue;
+      j = SkipWs(code, j);
+      if (j >= code.size() || code[j] != '(') continue;
+      std::vector<std::pair<std::size_t, std::size_t>> args;
+      if (!SplitCallArgs(code, j, &args) || args.empty()) continue;
+      LockEvent ev;
+      ev.offset = at;
+      const std::size_t scope_end = ScopeEndAt(cfg, at, end);
+      const std::size_t take =
+          std::string(tok) == "scoped_lock" ? args.size() : 1;
+      for (std::size_t a = 0; a < take && a < args.size(); ++a) {
+        std::string name =
+            NormalizeLockName(code, args[a].first, args[a].second);
+        if (name.empty() || name.find("defer_lock") != kNpos ||
+            name.find("adopt_lock") != kNpos) {
+          continue;
+        }
+        ev.sites.push_back(static_cast<int>(info.sites.size()));
+        info.sites.push_back({std::move(name), at, scope_end});
+      }
+      if (!ev.sites.empty()) staged.emplace_back(at, std::move(ev));
+    }
+  }
+  // Manual mu.lock()/mu.unlock() — held to the body end unless released.
+  for (const char* tok : {"lock", "unlock"}) {
+    std::size_t pos = begin;
+    while ((pos = FindToken(code, pos, tok)) != kNpos && pos < end) {
+      const std::size_t at = pos;
+      ++pos;
+      const std::size_t open =
+          SkipWs(code, at + std::char_traits<char>::length(tok));
+      if (open >= code.size() || code[open] != '(') continue;
+      std::size_t j = PrevNonWs(code, at);
+      if (j == kNpos) continue;
+      if (code[j] == '.') {
+        j = PrevNonWs(code, j);
+      } else if (j >= 1 && code[j] == '>' && code[j - 1] == '-') {
+        j = PrevNonWs(code, j - 1);
+      } else {
+        continue;
+      }
+      if (j == kNpos || !IsIdentChar(code[j])) continue;
+      std::size_t nb = j + 1;
+      while (nb > 0 && IsIdentChar(code[nb - 1])) --nb;
+      std::string name = code.substr(nb, j + 1 - nb);
+      LockEvent ev;
+      ev.offset = at;
+      if (code[at] == 'u') {  // unlock
+        ev.release = true;
+        ev.release_name = std::move(name);
+      } else {
+        ev.sites.push_back(static_cast<int>(info.sites.size()));
+        info.sites.push_back({std::move(name), at, end});
+      }
+      staged.emplace_back(at, std::move(ev));
+    }
+  }
+  std::sort(staged.begin(), staged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [o, ev] : staged) info.events.push_back(std::move(ev));
+  return info;
+}
+
+/// R11: lock-sets tracked through the CFG, held-sets propagated across
+/// calls via per-function summaries; reports (a) any lock held across a
+/// pool dispatch or SnapshotStore::Publish and (b) any cycle in the global
+/// lock-order graph.
+void CheckLockOrder(const CallGraph& g,
+                    const std::vector<std::vector<Cfg>>& cfgs,
+                    const std::vector<char>& active,
+                    std::vector<Finding>* out) {
+  const int nnodes = static_cast<int>(g.nodes().size());
+  auto is_dispatch_call = [](const CallSite& c) {
+    return c.name == "ShardedRange" || c.name == "ParallelFor" ||
+           c.name == "Submit" || c.name == "Publish";
+  };
+
+  // Per-node lock events (src/ only — fixtures and bench harnesses may
+  // order their locks however they like).
+  std::vector<FnLockInfo> fn(static_cast<std::size_t>(nnodes));
+  std::vector<char> is_src(static_cast<std::size_t>(nnodes), 0);
+  for (int node = 0; node < nnodes; ++node) {
+    const std::size_t ni = static_cast<std::size_t>(node);
+    if (!StartsWith(g.File(node).path, "src/")) continue;
+    is_src[ni] = 1;
+    const Symbol& sym = g.Sym(node);
+    const Cfg& cfg =
+        cfgs[static_cast<std::size_t>(g.FileIndex(node))]
+            [static_cast<std::size_t>(g.nodes()[ni].sym)];
+    fn[ni] = CollectLockEvents(g.File(node).code, sym.body_begin,
+                               sym.body_end, cfg);
+  }
+
+  // Per-function summaries, closed transitively: which locks a call into
+  // this function may acquire, and whether it may reach a dispatch/publish.
+  struct LockSummary {
+    std::set<std::string> acquires;
+    bool dispatches = false;
+  };
+  std::vector<LockSummary> summary(static_cast<std::size_t>(nnodes));
+  std::vector<std::vector<int>> callees(static_cast<std::size_t>(nnodes));
+  for (int node = 0; node < nnodes; ++node) {
+    const std::size_t ni = static_cast<std::size_t>(node);
+    callees[ni] = g.ResolveAll(g.Sym(node).calls);
+    if (!is_src[ni]) continue;
+    for (const LockSite& s : fn[ni].sites) summary[ni].acquires.insert(s.name);
+    for (const CallSite& c : g.Sym(node).calls) {
+      if (is_dispatch_call(c)) summary[ni].dispatches = true;
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (int node = 0; node < nnodes; ++node) {
+      const std::size_t ni = static_cast<std::size_t>(node);
+      for (const int callee : callees[ni]) {
+        const std::size_t ci = static_cast<std::size_t>(callee);
+        if (!summary[ni].dispatches && summary[ci].dispatches) {
+          summary[ni].dispatches = true;
+          changed = true;
+        }
+        for (const std::string& a : summary[ci].acquires) {
+          if (summary[ni].acquires.insert(a).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // Flow every function with local acquisitions; collect ordered edges
+  // (held -> newly acquired, directly or through a callee summary) and
+  // report held-across-dispatch on the way.
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, int>>
+      edges;  // (from, to) -> representative file:line
+  for (int node = 0; node < nnodes; ++node) {
+    const std::size_t ni = static_cast<std::size_t>(node);
+    if (!is_src[ni] || fn[ni].sites.empty()) continue;
+    const LexedFile& f = g.File(node);
+    const Symbol& sym = g.Sym(node);
+    const Cfg& cfg =
+        cfgs[static_cast<std::size_t>(g.FileIndex(node))]
+            [static_cast<std::size_t>(g.nodes()[ni].sym)];
+    const FnLockInfo& info = fn[ni];
+    const bool report_file =
+        active[static_cast<std::size_t>(g.FileIndex(node))] != 0;
+
+    auto transfer_stmt = [&](std::set<int> facts, const CfgStmt& st,
+                             bool report) {
+      // RAII scope exit / loop back-edge kill: a fact is live exactly on
+      // statements overlapping (site.offset, site.scope_end].
+      for (auto it = facts.begin(); it != facts.end();) {
+        const LockSite& s = info.sites[static_cast<std::size_t>(*it)];
+        if (st.begin <= s.scope_end && st.end > s.offset) {
+          ++it;
+        } else {
+          it = facts.erase(it);
+        }
+      }
+      // Interleave acquisition/release events and call sites by offset.
+      std::size_t ei = 0, ci = 0;
+      const auto& evs = info.events;
+      const auto& calls = sym.calls;
+      while (ei < evs.size() || ci < calls.size()) {
+        const bool ev_first =
+            ci >= calls.size() ||
+            (ei < evs.size() && evs[ei].offset <= calls[ci].offset);
+        if (ev_first) {
+          const LockEvent& ev = evs[ei++];
+          if (ev.offset < st.begin || ev.offset >= st.end) continue;
+          if (ev.release) {
+            for (auto it = facts.begin(); it != facts.end();) {
+              if (info.sites[static_cast<std::size_t>(*it)].name ==
+                  ev.release_name) {
+                it = facts.erase(it);
+              } else {
+                ++it;
+              }
+            }
+            continue;
+          }
+          if (report) {
+            for (const int held : facts) {
+              const std::string& h =
+                  info.sites[static_cast<std::size_t>(held)].name;
+              for (const int s : ev.sites) {
+                const std::string& l =
+                    info.sites[static_cast<std::size_t>(s)].name;
+                if (h != l) {
+                  edges.emplace(std::make_pair(h, l),
+                                std::make_pair(f.path, f.LineAt(ev.offset)));
+                }
+              }
+            }
+          }
+          for (const int s : ev.sites) facts.insert(s);
+        } else {
+          const CallSite& c = calls[ci++];
+          if (c.offset < st.begin || c.offset >= st.end) continue;
+          if (facts.empty()) continue;
+          const std::string& h0 =
+              info.sites[static_cast<std::size_t>(*facts.begin())].name;
+          if (is_dispatch_call(c)) {
+            if (report && report_file) {
+              out->push_back(
+                  {f.path, f.LineAt(c.offset), kRuleLockOrder,
+                   "lock '" + h0 + "' held across " + c.name +
+                       " — release before dispatching/publishing (workers "
+                       "and readers must never wait on a trainer lock)"});
+            }
+            continue;
+          }
+          LockSummary combined;
+          for (const int callee : g.Resolve(c)) {
+            const std::size_t cci = static_cast<std::size_t>(callee);
+            if (summary[cci].dispatches) combined.dispatches = true;
+            combined.acquires.insert(summary[cci].acquires.begin(),
+                                     summary[cci].acquires.end());
+          }
+          if (!report) continue;
+          if (combined.dispatches && report_file) {
+            out->push_back(
+                {f.path, f.LineAt(c.offset), kRuleLockOrder,
+                 "lock '" + h0 + "' held across a call to '" + c.name +
+                     "', which reaches a pool dispatch or "
+                     "SnapshotStore::Publish — release before the call"});
+          }
+          for (const int held : facts) {
+            const std::string& h =
+                info.sites[static_cast<std::size_t>(held)].name;
+            for (const std::string& l : combined.acquires) {
+              if (h != l) {
+                edges.emplace(std::make_pair(h, l),
+                              std::make_pair(f.path, f.LineAt(c.offset)));
+              }
+            }
+          }
+        }
+      }
+      return facts;
+    };
+
+    const auto ins = ForwardDataflow(
+        cfg, [&](int b, const std::set<int>& in) {
+          std::set<int> facts = in;
+          for (const CfgStmt& st :
+               cfg.blocks[static_cast<std::size_t>(b)].stmts) {
+            facts = transfer_stmt(std::move(facts), st, false);
+          }
+          return facts;
+        });
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      std::set<int> facts = ins[b];
+      for (const CfgStmt& st : cfg.blocks[b].stmts) {
+        facts = transfer_stmt(std::move(facts), st, true);
+      }
+    }
+  }
+
+  // Cycle detection over the global lock-order graph (DFS, one finding per
+  // distinct cycle, canonicalized by rotating the smallest name first).
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [e, rep] : edges) adj[e.first].push_back(e.second);
+  std::set<std::string> done;
+  std::set<std::vector<std::string>> seen_cycles;
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  std::function<void(const std::string&)> dfs = [&](const std::string& v) {
+    path.push_back(v);
+    on_path.insert(v);
+    const auto it = adj.find(v);
+    if (it != adj.end()) {
+      for (const std::string& w : it->second) {
+        if (on_path.count(w) != 0) {
+          const auto start = std::find(path.begin(), path.end(), w);
+          std::vector<std::string> cyc(start, path.end());
+          const auto min_it = std::min_element(cyc.begin(), cyc.end());
+          std::rotate(cyc.begin(), min_it, cyc.end());
+          if (seen_cycles.insert(cyc).second) {
+            const auto& rep = edges.at(
+                {cyc[0], cyc.size() > 1 ? cyc[1] : cyc[0]});
+            std::string order;
+            for (const std::string& l : cyc) order += l + " -> ";
+            order += cyc[0];
+            out->push_back(
+                {rep.first, rep.second, kRuleLockOrder,
+                 "lock-order cycle: " + order +
+                     " — every thread must acquire these locks in one "
+                     "global order or two of them can deadlock"});
+          }
+        } else if (done.count(w) == 0) {
+          dfs(w);
+        }
+      }
+    }
+    on_path.erase(v);
+    path.pop_back();
+    done.insert(v);
+  };
+  for (const auto& [v, tos] : adj) {
+    if (done.count(v) == 0) dfs(v);
+  }
+}
+
+// --- R12: sanctioned atomic memory-order idioms ------------------------------
+
+struct AtomicOp {
+  std::size_t offset = 0;
+  std::string op;                   // load/store/exchange/fetch_add/...
+  std::vector<std::string> orders;  // named orders; empty = defaulted seq_cst
+  bool publication = false;  // operates on an atomic<shared_ptr<...>> slot
+};
+
+/// Extracts every `memory_order_X` / `memory_order::X` named in the
+/// argument list of the call whose '(' sits at `open`.
+void ExtractOrders(const std::string& code, std::size_t open,
+                   std::size_t close, std::vector<std::string>* orders) {
+  std::size_t p = open;
+  while ((p = code.find("memory_order", p)) != kNpos && p < close) {
+    if (p > 0 && IsIdentChar(code[p - 1])) {
+      p += 12;
+      continue;
+    }
+    std::size_t j = p + 12;
+    if (code.compare(j, 2, "::") == 0) {
+      j += 2;
+    } else if (j < code.size() && code[j] == '_') {
+      j += 1;
+    } else {
+      p = j;
+      continue;
+    }
+    std::size_t k = j;
+    while (k < code.size() && IsIdentChar(code[k])) ++k;
+    if (k > j) orders->push_back(code.substr(j, k - j));
+    p = k;
+  }
+}
+
+std::vector<AtomicOp> CollectAtomicOps(const LexedFile& f) {
+  const std::string& code = f.code;
+  std::vector<AtomicOp> ops;
+
+  // Declared std::atomic<...> variables — member load()/store() calls on
+  // anything else (streams, maps) are not atomics. Publication slots are
+  // the atomic<shared_ptr<...>> ones.
+  std::set<std::string> atomic_vars;
+  std::set<std::string> publication_vars;
+  std::size_t pos = 0;
+  while ((pos = FindToken(code, pos, "atomic")) != kNpos) {
+    const std::size_t at = pos;
+    ++pos;
+    std::size_t j = at + 6;
+    if (j >= code.size() || code[j] != '<') continue;
+    const std::size_t after = SkipTemplateArgs(code, j);
+    if (after == j) continue;
+    const std::string targs = code.substr(j, after - j);
+    j = SkipWs(code, after);
+    std::size_t nb = j;
+    while (j < code.size() && IsIdentChar(code[j])) ++j;
+    if (j == nb) continue;
+    const std::string name = code.substr(nb, j - nb);
+    atomic_vars.insert(name);
+    if (targs.find("shared_ptr") != kNpos) publication_vars.insert(name);
+  }
+
+  auto receiver_name = [&code](std::size_t at) -> std::string {
+    std::size_t j = PrevNonWs(code, at);
+    if (j == kNpos) return {};
+    if (code[j] == '.') {
+      j = PrevNonWs(code, j);
+    } else if (j >= 1 && code[j] == '>' && code[j - 1] == '-') {
+      j = PrevNonWs(code, j - 1);
+    } else {
+      return {};
+    }
+    if (j == kNpos || !IsIdentChar(code[j])) return {};
+    std::size_t nb = j + 1;
+    while (nb > 0 && IsIdentChar(code[nb - 1])) --nb;
+    return code.substr(nb, j + 1 - nb);
+  };
+
+  for (const char* op :
+       {"load", "store", "exchange", "compare_exchange_weak",
+        "compare_exchange_strong", "fetch_add", "fetch_sub", "fetch_and",
+        "fetch_or", "fetch_xor", "test_and_set"}) {
+    std::size_t p = 0;
+    while ((p = FindToken(code, p, op)) != kNpos) {
+      const std::size_t at = p;
+      ++p;
+      const std::size_t open =
+          SkipWs(code, at + std::char_traits<char>::length(op));
+      if (open >= code.size() || code[open] != '(') continue;
+      if (!IsMemberAccess(code, at)) continue;
+      const std::size_t close = MatchForward(code, open);
+      if (close == kNpos) continue;
+      AtomicOp o;
+      o.offset = at;
+      o.op = op;
+      ExtractOrders(code, open, close, &o.orders);
+      const std::string recv = receiver_name(at);
+      o.publication = publication_vars.count(recv) != 0;
+      const bool unambiguous =
+          o.op != "load" && o.op != "store" && o.op != "exchange";
+      if (!unambiguous) {
+        bool is_atomic =
+            !o.orders.empty() || atomic_vars.count(recv) != 0;
+        if (!is_atomic) {
+          // atomic_ref(...).store(...) style — receiver is an expression.
+          const std::size_t sb = code.find_last_of(";{}", at);
+          const std::size_t ar =
+              FindToken(code, sb == kNpos ? 0 : sb, "atomic_ref");
+          is_atomic = ar != kNpos && ar < at;
+        }
+        if (!is_atomic) continue;
+      }
+      ops.push_back(std::move(o));
+    }
+  }
+  // Free-function API (the atomic<shared_ptr> fallback path).
+  for (const char* tok :
+       {"atomic_load", "atomic_store", "atomic_exchange",
+        "atomic_load_explicit", "atomic_store_explicit",
+        "atomic_exchange_explicit"}) {
+    std::size_t p = 0;
+    while ((p = FindToken(code, p, tok)) != kNpos) {
+      const std::size_t at = p;
+      ++p;
+      const std::size_t open =
+          SkipWs(code, at + std::char_traits<char>::length(tok));
+      if (open >= code.size() || code[open] != '(') continue;
+      if (IsMemberAccess(code, at)) continue;
+      const std::size_t close = MatchForward(code, open);
+      if (close == kNpos) continue;
+      AtomicOp o;
+      o.offset = at;
+      const std::string t(tok);
+      o.op = t.find("load") != kNpos    ? "load"
+             : t.find("store") != kNpos ? "store"
+                                        : "exchange";
+      ExtractOrders(code, open, close, &o.orders);
+      for (const std::string& v : publication_vars) {
+        if (FindToken(code, open, v.c_str()) < close) {
+          o.publication = true;
+          break;
+        }
+      }
+      ops.push_back(std::move(o));
+    }
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const AtomicOp& a, const AtomicOp& b) {
+              return a.offset < b.offset;
+            });
+  return ops;
+}
+
+/// R12: deviations from the cataloged atomic idioms, each finding naming
+/// the intended idiom (docs/static-analysis.md has the full table).
+void CheckMemoryOrder(const LexedFile& f, const std::vector<Region>& regions,
+                      const std::vector<Region>& hot_spans,
+                      std::vector<Finding>* out) {
+  if (!StartsWith(f.path, "src/")) return;
+  const auto ops = CollectAtomicOps(f);
+  if (ops.empty()) return;
+  auto covered = [](const std::vector<Region>& rs, std::size_t at) {
+    for (const Region& r : rs) {
+      if (r.begin <= at && at < r.end) return true;
+    }
+    return false;
+  };
+  std::set<std::size_t> reported;
+  for (const AtomicOp& op : ops) {
+    std::string got = "a defaulted (seq_cst) order";
+    if (!op.orders.empty()) {
+      got = "memory_order_" + op.orders[0];
+      for (std::size_t i = 1; i < op.orders.size(); ++i) {
+        got += "/" + op.orders[i];
+      }
+    }
+    if (covered(regions, op.offset)) {
+      bool relaxed_only = !op.orders.empty();
+      for (const std::string& o : op.orders) {
+        if (o != "relaxed") relaxed_only = false;
+      }
+      if (!relaxed_only && reported.insert(op.offset).second) {
+        out->push_back(
+            {f.path, f.LineAt(op.offset), kRuleMemoryOrder,
+             "atomic " + op.op + " with " + got +
+                 " inside a HOGWILD region — the sanctioned idiom is "
+                 "relaxed-only (RelaxedLoad/RelaxedStore or "
+                 "std::memory_order_relaxed); cross-shard ordering belongs "
+                 "to SnapshotStore::Publish at the batch barrier"});
+      }
+      continue;
+    }
+    if (op.publication && (op.op == "load" || op.op == "store")) {
+      const char* want = op.op == "store" ? "release" : "acquire";
+      bool ok = !op.orders.empty();
+      for (const std::string& o : op.orders) {
+        if (o != want) ok = false;
+      }
+      if (!ok && reported.insert(op.offset).second) {
+        out->push_back(
+            {f.path, f.LineAt(op.offset), kRuleMemoryOrder,
+             "atomic " + op.op + " with " + got +
+                 " on a snapshot publication slot — the sanctioned idiom "
+                 "pairs a release-store (std::memory_order_release) with an "
+                 "acquire-load (std::memory_order_acquire)"});
+      }
+      continue;
+    }
+    if (op.orders.empty() && covered(hot_spans, op.offset) &&
+        reported.insert(op.offset).second) {
+      out->push_back(
+          {f.path, f.LineAt(op.offset), kRuleMemoryOrder,
+           "atomic " + op.op +
+               " with a defaulted (seq_cst) order on a hot path — name the "
+               "memory order explicitly; a seq_cst op costs a full fence "
+               "per call (defaulted orders are fine off hot paths)"});
+    }
+  }
+}
+
+// --- R13: snapshot-escape (flow-sensitive deepening of R9) -------------------
+
+struct DispatchSpan {
+  std::size_t open = 0;
+  std::size_t close = 0;
+  bool async = false;  // Submit outlives the call; ShardedRange/ParallelFor
+                       // join before returning
+};
+
+std::vector<DispatchSpan> NamedDispatchSpans(const std::string& code) {
+  std::vector<DispatchSpan> spans;
+  for (const char* dispatch : {"ShardedRange", "ParallelFor", "Submit"}) {
+    std::size_t pos = 0;
+    while ((pos = FindToken(code, pos, dispatch)) != kNpos) {
+      const std::size_t open =
+          SkipWs(code, pos + std::char_traits<char>::length(dispatch));
+      ++pos;
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = MatchForward(code, open);
+      if (close != kNpos) {
+        spans.push_back({open, close, std::string(dispatch) == "Submit"});
+      }
+    }
+  }
+  return spans;
+}
+
+/// R13: follows acquired-snapshot values through locals, returns,
+/// reference captures and container inserts via a per-function forward
+/// dataflow, so a raw pointer escaping through an intermediate variable is
+/// still caught. Facts: S:var (shared_ptr from Acquire/CurrentSnapshot),
+/// R:var (raw pointer derived from one), C:var (lambda carrying a raw).
+/// Direct `.get()` misuse (temporaries, member stores, `.get()` inside a
+/// dispatch span) stays R9's territory — R13 only reports the flows R9
+/// cannot see, so the two never double-report.
+void CheckSnapshotEscape(const LexedFile& f, const FileSymbols& syms,
+                         const std::vector<Cfg>& cfgs,
+                         std::vector<Finding>* out) {
+  if (!StartsWith(f.path, "src/")) return;
+  const std::string& code = f.code;
+  if (code.find("Acquire") == kNpos &&
+      code.find("CurrentSnapshot") == kNpos) {
+    return;
+  }
+  const auto dispatch_spans = NamedDispatchSpans(code);
+  // Lambda-variable symbols nest inside their enclosing function's span;
+  // dedupe findings by code offset so the overlap cannot double-report.
+  std::set<std::size_t> reported;
+
+  auto trim = [&code](std::size_t b, std::size_t e) {
+    while (b < e && IsSpace(code[b])) ++b;
+    while (e > b && (IsSpace(code[e - 1]) || code[e - 1] == ';')) --e;
+    return std::make_pair(b, e);
+  };
+  auto ident_at = [&](std::size_t b, std::size_t e) -> std::string {
+    const auto [tb, te] = trim(b, e);
+    if (tb >= te) return {};
+    for (std::size_t i = tb; i < te; ++i) {
+      if (!IsIdentChar(code[i])) return {};
+    }
+    return code.substr(tb, te - tb);
+  };
+  // `V.get()` as the whole expression -> V; "" otherwise.
+  auto get_receiver = [&](std::size_t b, std::size_t e) -> std::string {
+    const auto [tb, te] = trim(b, e);
+    std::size_t i = tb;
+    const std::size_t nb = i;
+    while (i < te && IsIdentChar(code[i])) ++i;
+    if (i == nb) return {};
+    const std::string var = code.substr(nb, i - nb);
+    i = SkipWs(code, i);
+    if (i >= te || code[i] != '.') return {};
+    i = SkipWs(code, i + 1);
+    if (!TokenAt(code, i, "get")) return {};
+    i = SkipWs(code, i + 3);
+    if (i >= te || code[i] != '(') return {};
+    const std::size_t close = MatchForward(code, i);
+    if (close == kNpos || SkipWs(code, close + 1) < te) return {};
+    return var;
+  };
+  auto is_acquire_expr = [&](std::size_t b, std::size_t e) {
+    for (const char* acc : {"Acquire", "CurrentSnapshot"}) {
+      std::size_t p = b;
+      while ((p = FindToken(code, p, acc)) != kNpos && p < e) {
+        const std::size_t open =
+            SkipWs(code, p + std::char_traits<char>::length(acc));
+        if (open < e && code[open] == '(') return true;
+        ++p;
+      }
+    }
+    return false;
+  };
+  auto assign_eq = [&](std::size_t b, std::size_t e) -> std::size_t {
+    int depth = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      const char c = code[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c != '=' || depth != 0) continue;
+      const char prev = i > b ? code[i - 1] : ' ';
+      const char next = i + 1 < e ? code[i + 1] : ' ';
+      if (next == '=') {
+        ++i;
+        continue;
+      }
+      if (prev == '=' || prev == '!' || prev == '<' || prev == '>' ||
+          prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+          prev == '%' || prev == '&' || prev == '|' || prev == '^') {
+        continue;
+      }
+      return i;
+    }
+    return kNpos;
+  };
+
+  for (std::size_t si = 0; si < syms.symbols.size(); ++si) {
+    const Symbol& sym = syms.symbols[si];
+    if (sym.body_end <= sym.body_begin || si >= cfgs.size()) continue;
+    bool has_acc = false;
+    for (const char* acc : {"Acquire", "CurrentSnapshot"}) {
+      const std::size_t p = FindToken(code, sym.body_begin, acc);
+      if (p != kNpos && p < sym.body_end) {
+        has_acc = true;
+        break;
+      }
+    }
+    if (!has_acc) continue;
+    const Cfg& cfg = cfgs[si];
+
+    std::map<std::string, int> fact_ids;
+    std::vector<std::string> fact_names;
+    auto fact = [&](char kind, const std::string& var) {
+      std::string key(1, kind);
+      key += ':';
+      key += var;
+      const auto it = fact_ids.find(key);
+      if (it != fact_ids.end()) return it->second;
+      const int id = static_cast<int>(fact_names.size());
+      fact_ids.emplace(key, id);
+      fact_names.push_back(std::move(key));
+      return id;
+    };
+    auto has = [&](const std::set<int>& facts, char kind,
+                   const std::string& var) {
+      const auto it = fact_ids.find(std::string(1, kind) + ":" + var);
+      return it != fact_ids.end() && facts.count(it->second) != 0;
+    };
+    auto report = [&](std::size_t at, const std::string& msg) {
+      if (reported.insert(at).second) {
+        out->push_back({f.path, f.LineAt(at), kRuleSnapshotEscape, msg});
+      }
+    };
+
+    auto transfer_stmt = [&](std::set<int> facts, const CfgStmt& st,
+                             bool reporting) {
+      const std::size_t sb = st.begin, se = st.end;
+      if (reporting) {
+        // Return escape: handing the raw pointer (directly or via .get())
+        // to the caller outlives the acquire scope. Returning the
+        // shared_ptr itself is the sanctioned idiom.
+        const std::size_t rp = FindToken(code, sb, "return");
+        if (rp != kNpos && rp < se) {
+          const std::string rid = ident_at(rp + 6, se);
+          const std::string getter = get_receiver(rp + 6, se);
+          if (!rid.empty() && has(facts, 'R', rid)) {
+            report(rp, "raw snapshot pointer '" + rid +
+                           "' returned to the caller — it dangles once the "
+                           "shared_ptr in this scope drops; return the "
+                           "shared_ptr<const ModelSnapshot>");
+          } else if (!getter.empty() && has(facts, 'S', getter)) {
+            report(rp, "returning " + getter +
+                           ".get() — the raw pointer outlives the acquire "
+                           "scope; return the shared_ptr<const "
+                           "ModelSnapshot>");
+          }
+        }
+        // Container-insert escape into a member (or out-param) container.
+        for (const char* m :
+             {"push_back", "emplace_back", "insert", "emplace"}) {
+          std::size_t p = sb;
+          while ((p = FindToken(code, p, m)) != kNpos && p < se) {
+            const std::size_t at = p;
+            ++p;
+            const std::size_t open =
+                SkipWs(code, at + std::char_traits<char>::length(m));
+            if (open >= code.size() || code[open] != '(') continue;
+            std::size_t j = PrevNonWs(code, at);
+            if (j == kNpos) continue;
+            bool arrow = false;
+            if (code[j] == '.') {
+              j = PrevNonWs(code, j);
+            } else if (j >= 1 && code[j] == '>' && code[j - 1] == '-') {
+              arrow = true;
+              j = PrevNonWs(code, j - 1);
+            } else {
+              continue;
+            }
+            if (j == kNpos || !IsIdentChar(code[j])) continue;
+            if (!arrow && code[j] != '_') continue;  // local container: fine
+            std::vector<std::pair<std::size_t, std::size_t>> args;
+            if (!SplitCallArgs(code, open, &args)) continue;
+            for (const auto& [ab, ae] : args) {
+              const std::string aid = ident_at(ab, ae);
+              const std::string getter = get_receiver(ab, ae);
+              if ((!aid.empty() && has(facts, 'R', aid)) ||
+                  (!getter.empty() && has(facts, 'S', getter))) {
+                report(at,
+                       "raw snapshot pointer stored into a long-lived "
+                       "container — it dangles after the next publish "
+                       "retires the snapshot; store the shared_ptr<const "
+                       "ModelSnapshot> or re-Acquire() per request");
+              }
+            }
+          }
+        }
+        // Dispatch-boundary escape for flows R9 cannot see: a raw/carrier
+        // local crossing the pool boundary, or a shared_ptr captured by
+        // reference into an async Submit task.
+        for (const DispatchSpan& d : dispatch_spans) {
+          if (d.open < sb || d.close >= se) continue;
+          for (const int id : facts) {
+            const char kind = fact_names[static_cast<std::size_t>(id)][0];
+            const std::string var =
+                fact_names[static_cast<std::size_t>(id)].substr(2);
+            const std::size_t vp = FindToken(code, d.open, var.c_str());
+            if (vp == kNpos || vp >= d.close) continue;
+            if (kind == 'R' || kind == 'C') {
+              report(vp, "raw snapshot pointer '" + var +
+                             "' crosses a pool-dispatch boundary — capture "
+                             "the shared_ptr<const ModelSnapshot> by value "
+                             "so the snapshot outlives the task");
+            } else if (d.async) {
+              const std::size_t before = PrevNonWs(code, vp);
+              const std::size_t amp = code.find("[&", d.open);
+              const bool ref_default =
+                  amp != kNpos && amp < d.close && amp < vp &&
+                  (code[amp + 2] == ']' || code[amp + 2] == ',');
+              if ((before != kNpos && code[before] == '&') || ref_default) {
+                report(vp, "snapshot shared_ptr '" + var +
+                               "' captured by reference into an async "
+                               "Submit task — capture by value so the task "
+                               "keeps the snapshot alive");
+              }
+            }
+          }
+        }
+      }
+      // Assignment transfer: strong update on the assigned local.
+      const std::size_t eq = assign_eq(sb, se);
+      if (eq == kNpos) return facts;
+      std::size_t j = eq;
+      while (j > sb && IsSpace(code[j - 1])) --j;
+      if (j == sb || !IsIdentChar(code[j - 1])) return facts;
+      const std::size_t ne = j;
+      std::size_t nb = ne;
+      while (nb > sb && IsIdentChar(code[nb - 1])) --nb;
+      const std::string lhs = code.substr(nb, ne - nb);
+      const std::size_t st_tok = FindToken(code, sb, "static");
+      const bool is_static = st_tok != kNpos && st_tok < eq;
+      const bool is_member = !lhs.empty() && lhs.back() == '_';
+      const bool plain = !is_member && !is_static;
+
+      const auto [rb, re] = trim(eq + 1, se);
+      const std::string rid = ident_at(rb, re);
+      const std::string getter = get_receiver(rb, re);
+      char gen = 0;
+      if (!rid.empty()) {
+        if (has(facts, 'R', rid)) {
+          if (plain) {
+            gen = 'R';
+          } else if (reporting) {
+            report(nb, "raw snapshot pointer '" + rid +
+                           "' escapes into a " +
+                           (is_static ? "static" : "member") +
+                           " through an intermediate local — it dangles "
+                           "after the next publish; store the "
+                           "shared_ptr<const ModelSnapshot> instead");
+          }
+        } else if (has(facts, 'S', rid)) {
+          if (plain) gen = 'S';  // member shared_ptr pin: sanctioned (R9)
+        } else if (has(facts, 'C', rid)) {
+          if (plain) gen = 'C';
+        }
+      } else if (!getter.empty()) {
+        // Member/static stores of V.get() are R9 findings already.
+        if (plain && has(facts, 'S', getter)) gen = 'R';
+      } else if (is_acquire_expr(rb, re)) {
+        if (plain && FindToken(code, rb, "get") >= re) gen = 'S';
+      } else if (rb < re && code[rb] == '[') {
+        // Lambda literal: a carrier when it captures a live raw pointer or
+        // derives one in an init-capture.
+        const std::size_t cap_close = MatchForward(code, rb);
+        if (cap_close != kNpos && cap_close < re) {
+          bool carrier = false;
+          for (const int id : facts) {
+            const std::string& key = fact_names[static_cast<std::size_t>(id)];
+            if (key[0] != 'R') continue;
+            const std::size_t vp =
+                FindToken(code, rb, key.substr(2).c_str());
+            if (vp != kNpos && vp < cap_close) carrier = true;
+          }
+          const std::string ig = get_receiver(
+              code.find('=', rb) == kNpos ? cap_close
+                                          : code.find('=', rb) + 1,
+              cap_close);
+          if (!ig.empty() && has(facts, 'S', ig)) carrier = true;
+          if (carrier && plain) gen = 'C';
+        }
+      }
+      if (plain) {
+        for (const char k : {'S', 'R', 'C'}) {
+          const auto it = fact_ids.find(std::string(1, k) + ":" + lhs);
+          if (it != fact_ids.end()) facts.erase(it->second);
+        }
+      }
+      if (gen != 0) facts.insert(fact(gen, lhs));
+      return facts;
+    };
+
+    const auto ins = ForwardDataflow(
+        cfg, [&](int b, const std::set<int>& in) {
+          std::set<int> facts = in;
+          for (const CfgStmt& st :
+               cfg.blocks[static_cast<std::size_t>(b)].stmts) {
+            facts = transfer_stmt(std::move(facts), st, false);
+          }
+          return facts;
+        });
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      std::set<int> facts = ins[b];
+      for (const CfgStmt& st : cfg.blocks[b].stmts) {
+        facts = transfer_stmt(std::move(facts), st, true);
+      }
+    }
+  }
+}
+
 // --- R5: header hygiene ----------------------------------------------------
 
 using IncludeGraph = std::map<std::string, std::vector<const Include*>>;
@@ -1055,9 +1985,11 @@ struct Suppression {
   int comment_line = 0;
   std::string entry;  // "actor-<rule>" or "actor-*"
   bool used = false;
+  int lexed_file = -1;            // index into the lexed set (fix synthesis)
+  std::size_t comment_begin = 0;  // offset of the // or /* in content
 };
 
-void CollectSuppressions(const LexedFile& f,
+void CollectSuppressions(const LexedFile& f, int lexed_file,
                          std::vector<Suppression>* out) {
   for (const Comment& c : f.comments) {
     std::size_t pos = c.text.find("NOLINT");
@@ -1083,11 +2015,102 @@ void CollectSuppressions(const LexedFile& f,
                   : entry.substr(lead, trail - lead + 1);
       if (StartsWith(entry, "actor-")) {
         out->push_back({f.path, next_line ? c.line + 1 : c.line, c.line,
-                        entry, false});
+                        entry, false, lexed_file, c.begin});
       }
       b = e + 1;
     }
   }
+}
+
+// --- mechanical fixes (actor_lint --fix) -----------------------------------
+
+struct Fix {
+  bool ok = false;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string text;
+};
+
+/// Extent of the comment starting at `comment_begin` in `content`
+/// (one past `*/` for block comments, up to the newline for line
+/// comments). npos on malformed input.
+std::size_t CommentEnd(const std::string& content,
+                       std::size_t comment_begin) {
+  if (comment_begin + 1 >= content.size()) return kNpos;
+  if (content[comment_begin + 1] == '*') {
+    const std::size_t close = content.find("*/", comment_begin + 2);
+    return close == kNpos ? kNpos : close + 2;
+  }
+  const std::size_t nl = content.find('\n', comment_begin);
+  return nl == kNpos ? content.size() : nl;
+}
+
+/// Deletes a whole comment; when the comment sits alone on its line the
+/// deletion swallows the line, otherwise just the comment and the spaces
+/// before it (a trailing comment).
+Fix DeleteCommentFix(const std::string& content, std::size_t comment_begin) {
+  const std::size_t end = CommentEnd(content, comment_begin);
+  if (end == kNpos) return {};
+  std::size_t db = comment_begin, de = end;
+  std::size_t ls = comment_begin == 0
+                       ? kNpos
+                       : content.rfind('\n', comment_begin - 1);
+  ls = ls == kNpos ? 0 : ls + 1;
+  bool lone = true;
+  for (std::size_t i = ls; i < comment_begin; ++i) {
+    if (content[i] != ' ' && content[i] != '\t') lone = false;
+  }
+  std::size_t le = content.find('\n', de);
+  le = le == kNpos ? content.size() : le + 1;
+  bool line_tail_blank = true;
+  for (std::size_t i = de; i + 1 < le; ++i) {
+    if (content[i] != ' ' && content[i] != '\t') line_tail_blank = false;
+  }
+  if (lone && line_tail_blank) {
+    db = ls;
+    de = le;
+  } else {
+    while (db > ls &&
+           (content[db - 1] == ' ' || content[db - 1] == '\t')) {
+      --db;
+    }
+  }
+  return {true, db, de, ""};
+}
+
+/// Rebuilds the NOLINT list at `comment_begin` without its stale entries:
+/// a pure-deletion fix when nothing survives, a list-rewrite otherwise
+/// (non-actor entries like `readability-*` always survive).
+Fix MakeNolintFix(const std::string& content, std::size_t comment_begin,
+                  const std::set<std::string>& stale) {
+  const std::size_t end = CommentEnd(content, comment_begin);
+  if (end == kNpos) return {};
+  const std::size_t np = content.find("NOLINT", comment_begin);
+  if (np == kNpos || np >= end) return {};
+  std::size_t j = np + 6;
+  if (content.compare(j, 8, "NEXTLINE") == 0) j += 8;
+  if (j >= end || content[j] != '(') return {};
+  const std::size_t close = content.find(')', j);
+  if (close == kNpos || close > end) return {};
+  std::vector<std::string> survive;
+  std::size_t b = j + 1;
+  while (b <= close) {
+    const std::size_t e = std::min(content.find(',', b), close);
+    std::string entry = content.substr(b, e - b);
+    const std::size_t lead = entry.find_first_not_of(" \t");
+    const std::size_t trail = entry.find_last_not_of(" \t");
+    entry = lead == kNpos ? std::string()
+                          : entry.substr(lead, trail - lead + 1);
+    if (!entry.empty() && stale.count(entry) == 0) survive.push_back(entry);
+    b = e + 1;
+  }
+  if (survive.empty()) return DeleteCommentFix(content, comment_begin);
+  std::string text;
+  for (const std::string& s : survive) {
+    if (!text.empty()) text += ", ";
+    text += s;
+  }
+  return {true, j + 1, close, text};
 }
 
 // --- symbol cache (also the --changed-only baseline) -----------------------
@@ -1098,8 +2121,25 @@ struct SymbolCacheEntry {
   FileSymbols syms;
 };
 
+/// The `V <stamp>` cache header. An empty stamp (in-process test configs)
+/// normalizes to "-"; a cache written under any other stamp — an older
+/// rule set or a different analyzer binary — is discarded wholesale, so
+/// --changed-only can never mask findings a newer analyzer would add.
+std::string StampLine(const std::string& stamp) {
+  return "V " + (stamp.empty() ? "-" : stamp) + "\n";
+}
+
+/// Consumes the `V <stamp>` header at `*pos`. False on mismatch.
+bool ConsumeStamp(const std::string& content, std::size_t* pos,
+                  const std::string& stamp) {
+  const std::string want = StampLine(stamp);
+  if (content.compare(*pos, want.size(), want) != 0) return false;
+  *pos += want.size();
+  return true;
+}
+
 std::map<std::string, SymbolCacheEntry> LoadSymbolCache(
-    const std::string& path) {
+    const std::string& path, const std::string& stamp) {
   std::map<std::string, SymbolCacheEntry> cache;
   if (path.empty()) return cache;
   std::ifstream in(path, std::ios::binary);
@@ -1108,6 +2148,7 @@ std::map<std::string, SymbolCacheEntry> LoadSymbolCache(
   buf << in.rdbuf();
   const std::string content = buf.str();
   std::size_t pos = 0;
+  if (!ConsumeStamp(content, &pos, stamp)) return cache;
   while (pos < content.size()) {
     const std::size_t nl = std::min(content.find('\n', pos), content.size());
     const std::string header = content.substr(pos, nl - pos);
@@ -1127,13 +2168,13 @@ std::map<std::string, SymbolCacheEntry> LoadSymbolCache(
   return cache;
 }
 
-void SaveSymbolCache(const std::string& path,
+void SaveSymbolCache(const std::string& path, const std::string& stamp,
                      const std::vector<LexedFile>& lexed,
                      const std::vector<FileSymbols>& symbols,
                      const std::vector<uint64_t>& hashes,
                      const std::vector<char>& clean) {
   if (path.empty()) return;
-  std::string out;
+  std::string out = StampLine(stamp);
   for (std::size_t i = 0; i < lexed.size(); ++i) {
     char hex[24];
     std::snprintf(hex, sizeof(hex), "%016llx",
@@ -1141,6 +2182,56 @@ void SaveSymbolCache(const std::string& path,
     out += std::string("F ") + hex + " " + (clean[i] ? "1" : "0") + " " +
            lexed[i].path + "\n";
     SerializeSymbols(symbols[i], &out);
+  }
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  f << out;
+}
+
+// --- CFG cache (beside the symbol cache, same invalidation) ----------------
+
+struct CfgCacheEntry {
+  uint64_t hash = 0;
+  std::vector<Cfg> cfgs;  // one per symbol, in symbol-index order
+};
+
+std::map<std::string, CfgCacheEntry> LoadCfgCache(const std::string& path,
+                                                  const std::string& stamp) {
+  std::map<std::string, CfgCacheEntry> cache;
+  if (path.empty()) return cache;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return cache;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  std::size_t pos = 0;
+  if (!ConsumeStamp(content, &pos, stamp)) return cache;
+  while (pos < content.size()) {
+    const std::size_t nl = std::min(content.find('\n', pos), content.size());
+    const std::string header = content.substr(pos, nl - pos);
+    pos = nl == content.size() ? nl : nl + 1;
+    std::istringstream hs(header);
+    std::string tag, hex, file_path;
+    if (!(hs >> tag >> hex >> file_path) || tag != "F") return {};
+    CfgCacheEntry entry;
+    entry.hash = std::strtoull(hex.c_str(), nullptr, 16);
+    if (!ParseCfgs(content, &pos, &entry.cfgs)) return {};
+    cache.emplace(std::move(file_path), std::move(entry));
+  }
+  return cache;
+}
+
+void SaveCfgCache(const std::string& path, const std::string& stamp,
+                  const std::vector<LexedFile>& lexed,
+                  const std::vector<std::vector<Cfg>>& cfgs,
+                  const std::vector<uint64_t>& hashes) {
+  if (path.empty()) return;
+  std::string out = StampLine(stamp);
+  for (std::size_t i = 0; i < lexed.size(); ++i) {
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hashes[i]));
+    out += std::string("F ") + hex + " " + lexed[i].path + "\n";
+    SerializeCfgs(cfgs[i], &out);
   }
   std::ofstream f(path, std::ios::trunc | std::ios::binary);
   f << out;
@@ -1197,11 +2288,35 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
   std::map<std::string, std::size_t> index_of;
   for (std::size_t i = 0; i < n; ++i) index_of[lexed[i].path] = i;
 
-  const auto cache = LoadSymbolCache(config.symbol_cache_path);
+  const auto cache =
+      LoadSymbolCache(config.symbol_cache_path, config.cache_stamp);
   RepoAnalysis repo = AnalyzeRepo(lexed, cache);
   const CallGraph g = BuildCallGraph(lexed, repo.symbols);
   const HogwildInfo hw = ComputeHogwild(g, repo.annotation_spans);
   const HotPathInfo hot = ComputeHotPaths(g, hw, repo.annotation_spans);
+
+  // Per-function CFGs for the flow-sensitive rules, cached beside the
+  // symbol cache under the same content-hash + stamp invalidation.
+  std::vector<std::vector<Cfg>> cfgs(n);
+  {
+    const auto cfg_cache =
+        LoadCfgCache(config.cfg_cache_path, config.cache_stamp);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = cfg_cache.find(lexed[i].path);
+      if (it != cfg_cache.end() && it->second.hash == repo.hashes[i] &&
+          it->second.cfgs.size() == repo.symbols[i].symbols.size()) {
+        cfgs[i] = it->second.cfgs;
+      } else {
+        cfgs[i].reserve(repo.symbols[i].symbols.size());
+        for (const Symbol& sym : repo.symbols[i].symbols) {
+          cfgs[i].push_back(
+              BuildCfg(lexed[i].code, sym.body_begin, sym.body_end));
+        }
+      }
+    }
+    SaveCfgCache(config.cfg_cache_path, config.cache_stamp, lexed, cfgs,
+                 repo.hashes);
+  }
 
   // Per-file HOGWILD regions for the R4 row/dirty-mark discipline:
   // annotation spans, auto-detected dispatch spans, and the bodies of every
@@ -1304,11 +2419,19 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
       if (sym.body_begin <= a.begin && a.end <= sym.body_end) covered = true;
     }
     if (covered) {
-      findings.push_back(
-          {lexed[fi].path, a.comment_line, kRuleHogwild,
-           "redundant hogwild-region annotation — the call graph already "
-           "derives this region from the ThreadPool dispatch; remove the "
-           "comment"});
+      Finding finding{
+          lexed[fi].path, a.comment_line, kRuleHogwild,
+          "redundant hogwild-region annotation — the call graph already "
+          "derives this region from the ThreadPool dispatch; remove the "
+          "comment"};
+      const Fix fix = DeleteCommentFix(lexed[fi].content, a.comment_begin);
+      if (fix.ok) {
+        finding.has_fix = true;
+        finding.fix_begin = fix.begin;
+        finding.fix_end = fix.end;
+        finding.fix_text = fix.text;
+      }
+      findings.push_back(std::move(finding));
     }
   }
 
@@ -1369,6 +2492,27 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
     }
   }
 
+  // R11: the lock-order graph is global (a cycle can span files), so the
+  // flow runs over every src/ function; per-site findings honor `active`.
+  CheckLockOrder(g, cfgs, active, &findings);
+
+  // R12/R13: per-file flow-sensitive rules over the same CFGs.
+  {
+    std::vector<std::vector<Region>> hot_spans(n);
+    for (int node = 0; node < static_cast<int>(g.nodes().size()); ++node) {
+      const std::size_t ni = static_cast<std::size_t>(node);
+      if (!hot.root[ni] && !hot.checked[ni]) continue;
+      const Symbol& sym = g.Sym(node);
+      hot_spans[static_cast<std::size_t>(g.FileIndex(node))].push_back(
+          {sym.body_begin, sym.body_end});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      CheckMemoryOrder(lexed[i], regions[i], hot_spans[i], &findings);
+      CheckSnapshotEscape(lexed[i], repo.symbols[i], cfgs[i], &findings);
+    }
+  }
+
   CheckIncludeCycles(lexed, &findings);
   if (config.compile_headers) {
     CheckHeaderSelfContained(lexed, config, &findings);
@@ -1376,8 +2520,8 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
   CheckTestRegistration(files, &findings);
 
   std::vector<Suppression> suppressions;
-  for (const LexedFile& f : lexed) {
-    CollectSuppressions(f, &suppressions);
+  for (std::size_t i = 0; i < n; ++i) {
+    CollectSuppressions(lexed[i], static_cast<int>(i), &suppressions);
   }
   if (config.changed_only) {
     // Suppressions in skipped files cannot match the findings they exist
@@ -1399,14 +2543,34 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
     }
     if (!suppressed) surviving.push_back(std::move(finding));
   }
+  // Stale suppressions become findings carrying mechanical fixes: one
+  // combined list-rewrite per comment (attached to its first stale entry),
+  // a whole-comment deletion when nothing would survive.
+  std::map<std::pair<std::string, std::size_t>, std::set<std::string>>
+      stale_entries;
   for (const Suppression& s : suppressions) {
-    if (!s.used) {
-      surviving.push_back(
-          {s.file, s.comment_line, kRuleStaleNolint,
-           "NOLINT(" + s.entry +
-               ") no longer suppresses anything — remove it so silenced "
-               "findings cannot rot"});
+    if (!s.used) stale_entries[{s.file, s.comment_begin}].insert(s.entry);
+  }
+  std::set<std::pair<std::string, std::size_t>> fix_emitted;
+  for (const Suppression& s : suppressions) {
+    if (s.used) continue;
+    Finding finding{s.file, s.comment_line, kRuleStaleNolint,
+                    "NOLINT(" + s.entry +
+                        ") no longer suppresses anything — remove it so "
+                        "silenced findings cannot rot"};
+    if (s.lexed_file >= 0 &&
+        fix_emitted.insert({s.file, s.comment_begin}).second) {
+      const Fix fix = MakeNolintFix(
+          lexed[static_cast<std::size_t>(s.lexed_file)].content,
+          s.comment_begin, stale_entries.at({s.file, s.comment_begin}));
+      if (fix.ok) {
+        finding.has_fix = true;
+        finding.fix_begin = fix.begin;
+        finding.fix_end = fix.end;
+        finding.fix_text = fix.text;
+      }
     }
+    surviving.push_back(std::move(finding));
   }
 
   std::sort(surviving.begin(), surviving.end(),
@@ -1426,8 +2590,8 @@ std::vector<Finding> LintRepo(const std::vector<FileEntry>& files,
       const auto it = index_of.find(f.file);
       if (it != index_of.end()) clean[it->second] = 0;
     }
-    SaveSymbolCache(config.symbol_cache_path, lexed, repo.symbols,
-                    repo.hashes, clean);
+    SaveSymbolCache(config.symbol_cache_path, config.cache_stamp, lexed,
+                    repo.symbols, repo.hashes, clean);
   }
   return surviving;
 }
@@ -1500,6 +2664,66 @@ std::string FormatFindingsJson(const std::vector<Finding>& findings) {
     out += i + 1 < findings.size() ? ",\n" : "\n";
   }
   out += "]\n";
+  return out;
+}
+
+std::string FormatFindingsSarif(const std::vector<Finding>& findings) {
+  static const char* kAllRules[] = {
+      kRuleThread,        kRuleRng,          kRuleSimdAligned,
+      kRuleHogwild,       kRuleHeaderSelf,   kRuleIncludeCycle,
+      kRuleTestReg,       kRuleStaleNolint,  kRuleServeReadOnly,
+      kRuleSnapshotLifetime, kRuleHotPath,   kRuleLockOrder,
+      kRuleMemoryOrder,   kRuleSnapshotEscape};
+  std::string out =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\"name\": \"actor-lint\", \"rules\": [";
+  for (std::size_t i = 0; i < sizeof(kAllRules) / sizeof(kAllRules[0]);
+       ++i) {
+    if (i > 0) out += ", ";
+    out += std::string("{\"id\": \"") + kAllRules[i] + "\"}";
+  }
+  out += "]}},\n    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ",";
+    out += "\n      {\"ruleId\": \"" + JsonEscape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           JsonEscape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(f.file) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(std::max(1, f.line)) + "}}}]}";
+  }
+  out += "\n    ]\n  }]\n}\n";
+  return out;
+}
+
+std::string ApplyFixes(const std::string& path, const std::string& content,
+                       const std::vector<Finding>& findings) {
+  std::vector<const Finding*> fixes;
+  for (const Finding& f : findings) {
+    if (f.has_fix && f.file == path && f.fix_begin <= f.fix_end &&
+        f.fix_end <= content.size()) {
+      fixes.push_back(&f);
+    }
+  }
+  std::sort(fixes.begin(), fixes.end(),
+            [](const Finding* a, const Finding* b) {
+              return std::tie(a->fix_begin, a->fix_end) <
+                     std::tie(b->fix_begin, b->fix_end);
+            });
+  std::string out;
+  std::size_t pos = 0;
+  for (const Finding* f : fixes) {
+    if (f->fix_begin < pos) continue;  // overlapping spans: first wins
+    out += content.substr(pos, f->fix_begin - pos);
+    out += f->fix_text;
+    pos = f->fix_end;
+  }
+  out += content.substr(pos);
   return out;
 }
 

@@ -1,7 +1,9 @@
 #ifndef ACTOR_TOOLS_ACTOR_LINT_RULES_H_
 #define ACTOR_TOOLS_ACTOR_LINT_RULES_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace actor_lint {
@@ -33,13 +35,47 @@ inline constexpr char kRuleSnapshotLifetime[] = "actor-snapshot-lifetime";
 // R10: no mutexes, IO, or heap allocation in functions reachable from a
 // HOGWILD region or the QueryEngine scoring path (call-graph derived).
 inline constexpr char kRuleHotPath[] = "actor-hot-path-blocking";
+// R11: lock acquisition order is globally consistent (no cycle in the
+// lock-order graph, held-sets propagated across calls via per-function
+// summaries) and no lock is held across a pool dispatch or
+// SnapshotStore::Publish.
+inline constexpr char kRuleLockOrder[] = "actor-lock-order";
+// R12: atomics follow the cataloged memory-order idioms — relaxed-only
+// inside HOGWILD regions, release-store/acquire-load pairing for snapshot
+// publication (src/serve/), no defaulted seq_cst on R10 hot paths.
+inline constexpr char kRuleMemoryOrder[] = "actor-memory-order";
+// R13: flow-sensitive deepening of R9 — an acquired snapshot must not
+// escape its acquire scope as a raw pointer, even through an intermediate
+// local, a return, a lambda capture, or a container insert.
+inline constexpr char kRuleSnapshotEscape[] = "actor-snapshot-escape";
 
-/// One analyzer finding. Formats as `file:line: [rule] message`.
+/// Bumped whenever rule behavior changes. Stamped (together with the
+/// analyzer binary hash) into the symbol/CFG caches so a cache written by
+/// an older analyzer invalidates wholesale instead of silently masking
+/// findings from newer rules under --changed-only.
+inline constexpr int kRuleSetVersion = 3;
+
+/// One analyzer finding. Formats as `file:line: [rule] message`. Findings
+/// for mechanical problems (stale NOLINT entries, redundant hogwild-region
+/// annotations) carry a fix: replace content[fix_begin, fix_end) with
+/// fix_text (empty = pure deletion). Applied by `actor_lint --fix`.
 struct Finding {
+  Finding() = default;
+  Finding(std::string file_, int line_, std::string rule_,
+          std::string message_)
+      : file(std::move(file_)),
+        line(line_),
+        rule(std::move(rule_)),
+        message(std::move(message_)) {}
+
   std::string file;
   int line = 0;
   std::string rule;
   std::string message;
+  bool has_fix = false;
+  std::size_t fix_begin = 0;
+  std::size_t fix_end = 0;
+  std::string fix_text;
 };
 
 /// One input file, path repo-relative with forward slashes.
@@ -64,6 +100,14 @@ struct LintConfig {
   /// Optional on-disk per-file symbol-index cache (also the baseline for
   /// --changed-only). "" disables it.
   std::string symbol_cache_path;
+  /// Optional on-disk per-file CFG cache, invalidated by the same
+  /// content-hash diff as the symbol cache. "" disables it.
+  std::string cfg_cache_path;
+  /// Version stamp written into (and required of) the symbol/CFG caches:
+  /// main.cc sets "r<kRuleSetVersion>-<binary hash>", so both a rule-set
+  /// bump and an analyzer rebuild invalidate stale caches. "" means
+  /// unstamped (in-process test configs).
+  std::string cache_stamp;
   /// Lint only files whose content hash differs from the symbol cache,
   /// files the last run left findings in, and their call-graph/include
   /// neighborhood. Cross-file rules (include cycles, test registration)
@@ -89,6 +133,17 @@ std::string FormatFindingsText(const std::vector<Finding>& findings);
 
 /// JSON array of {file, line, rule, message} objects.
 std::string FormatFindingsJson(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 log (one run, every rule declared) for GitHub code
+/// scanning — CI uploads this on pull requests so findings annotate the
+/// diff in place.
+std::string FormatFindingsSarif(const std::vector<Finding>& findings);
+
+/// Applies the fixes carried by `findings` (those with has_fix and
+/// matching `path`) to `content` and returns the fixed text. Overlapping
+/// fix spans are applied first-wins; spans out of bounds are skipped.
+std::string ApplyFixes(const std::string& path, const std::string& content,
+                       const std::vector<Finding>& findings);
 
 }  // namespace actor_lint
 
