@@ -13,12 +13,23 @@
 // A second section, "publish_cost", times the write side of the store:
 // microseconds per publish for the full-copy (delta_publish=false) path
 // vs the chunk-COW delta path at controlled dirty-row fractions.
+// A third section, "sharding", times single-thread scatter-gather
+// queries/s through ShardedQueryEngine at 1/2/4 shards against composite
+// snapshots of the same trained model (docs/sharding.md has the 1-core
+// caveat: per-shard scans run sequentially here, so the column tracks
+// scatter-gather overhead across commits, not shard speedup).
 // See EXPERIMENTS.md for the machine-drift caveat before comparing
 // against committed numbers.
 //
+// `--shard-smoke` skips the timed sections entirely and instead trains a
+// 2-shard model, publishes both the flat (gathered) and the composite
+// snapshot, and self-checks scatter-gather results against the flat
+// engine's — exiting nonzero on any mismatch. CI runs this in the default
+// build-test job as the sharded serving smoke.
+//
 // Usage: query_throughput [--records=12000] [--batches=12] [--dim=32]
 //                         [--k=10] [--queries=4000]
-//                         [--out=BENCH_query.json]
+//                         [--out=BENCH_query.json] [--shard-smoke]
 
 #include <algorithm>
 #include <atomic>
@@ -35,6 +46,7 @@
 #include "embedding/dirty_rows.h"
 #include "serve/model_snapshot.h"
 #include "serve/query_engine.h"
+#include "shard/sharded_query_engine.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -261,8 +273,181 @@ std::vector<PublishRow> MeasurePublishCost(const OnlineActor& model) {
   return rows;
 }
 
+struct ShardQueryRow {
+  int shards = 1;
+  double queries_per_sec = 0.0;
+};
+
+/// Single-thread scatter-gather queries/s against a composite snapshot:
+/// the same location / hour / vector probe mix as RunQueries, scored
+/// through ShardedQueryEngine. The per-shard scans run sequentially on
+/// this thread, so on a 1-core box the column tracks scatter-gather
+/// overhead (seed resolution, per-shard heads, merge) across commits, not
+/// shard speedup.
+ShardQueryRow MeasureShardedQueries(
+    const std::vector<std::vector<TokenizedRecord>>& head, int32_t dim,
+    int shards, const GeoPoint& probe, int64_t queries, int k) {
+  ShardQueryRow row;
+  row.shards = shards;
+
+  OnlineActorOptions options;
+  options.dim = dim;
+  options.decay_per_batch = 0.7;
+  options.samples_per_edge_per_batch = 3.0;
+  options.num_shards = shards;
+  auto model = OnlineActor::Create(options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "create: %s\n", model.status().ToString().c_str());
+    return row;
+  }
+  for (const auto& batch : head) {
+    if (auto st = model->Ingest(batch); !st.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
+      return row;
+    }
+  }
+  auto snapshot = model->PublishShardedSnapshot();
+  if (snapshot == nullptr) return row;
+  ShardedQueryEngine engine(std::move(snapshot));
+  const ChunkedMatrix& shard0 = engine.snapshot().shard(0)->center();
+  if (shard0.rows() <= 0) return row;
+
+  int64_t done = 0;
+  Stopwatch timer;
+  for (int64_t i = 0; i < queries; ++i) {
+    switch (i % 3) {
+      case 0: {
+        auto r = engine.QueryByLocation(probe, VertexType::kWord, k);
+        if (!r.ok()) return row;
+        break;
+      }
+      case 1: {
+        auto r = engine.QueryByHour(static_cast<double>(i % 24),
+                                    VertexType::kLocation, k);
+        if (!r.ok()) return row;
+        break;
+      }
+      default: {
+        const int32_t q = static_cast<int32_t>((i * 7) % shard0.rows());
+        auto r = engine.QueryByVector(shard0.row(q), VertexType::kWord, k);
+        if (!r.ok()) return row;
+        break;
+      }
+    }
+    ++done;
+  }
+  const double secs = timer.ElapsedSeconds();
+  if (secs > 0.0) {
+    row.queries_per_sec = static_cast<double>(done) / secs;
+  }
+  return row;
+}
+
+/// The --shard-smoke mode: trains a small 2-shard model, publishes both
+/// serving views of the same state, and checks the scatter-gather engine
+/// against the flat engine on the gathered snapshot across the probe mix.
+/// Any mismatch (unit, similarity bits, order, or error status) is a
+/// failure. Returns the process exit code.
+int RunShardSmoke() {
+  std::printf("shard smoke: training 2-shard model...\n");
+  SyntheticConfig config;
+  config.seed = 301;
+  config.num_records = 2400;
+  config.num_users = 120;
+  config.num_topics = 8;
+  config.num_venues = 24;
+  config.num_communities = 4;
+  auto ds = GenerateSynthetic(config, "shard-smoke");
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  CorpusBuildOptions build;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<TokenizedRecord>> stream(3);
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    stream[i * stream.size() / corpus->size()].push_back(corpus->record(i));
+  }
+
+  OnlineActorOptions options;
+  options.dim = 16;
+  options.samples_per_edge_per_batch = 2.0;
+  options.num_shards = 2;
+  auto model = OnlineActor::Create(options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "create: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& batch : stream) {
+    if (auto st = model->Ingest(batch); !st.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const auto flat_snap = model->PublishSnapshot();
+  const auto sharded_snap = model->PublishShardedSnapshot();
+  if (flat_snap == nullptr || sharded_snap == nullptr) {
+    std::fprintf(stderr, "shard smoke: publish failed\n");
+    return 1;
+  }
+  if (flat_snap->version() != sharded_snap->version() ||
+      flat_snap->num_units() != sharded_snap->num_units()) {
+    std::fprintf(stderr, "shard smoke: snapshot version/unit mismatch\n");
+    return 1;
+  }
+  QueryEngine flat(flat_snap);
+  ShardedQueryEngine scatter(sharded_snap);
+
+  const GeoPoint probe = stream[0].front().location;
+  int checked = 0;
+  for (const VertexType type :
+       {VertexType::kWord, VertexType::kLocation, VertexType::kTime,
+        VertexType::kUser}) {
+    for (const int k : {1, 5, 50}) {
+      const auto a = flat.QueryByLocation(probe, type, k);
+      const auto b = scatter.QueryByLocation(probe, type, k);
+      const auto c = flat.QueryByHour(12.5, type, k);
+      const auto d = scatter.QueryByHour(12.5, type, k);
+      const Result<std::vector<Neighbor>>* pairs[][2] = {{&a, &b},
+                                                         {&c, &d}};
+      for (const auto& pair : pairs) {
+        const auto& want = *pair[0];
+        const auto& got = *pair[1];
+        if (want.ok() != got.ok()) {
+          std::fprintf(stderr, "shard smoke: status mismatch\n");
+          return 1;
+        }
+        if (!want.ok()) continue;
+        if (want->size() != got->size()) {
+          std::fprintf(stderr, "shard smoke: result size mismatch\n");
+          return 1;
+        }
+        for (std::size_t i = 0; i < want->size(); ++i) {
+          if ((*want)[i].vertex != (*got)[i].vertex ||
+              (*want)[i].similarity != (*got)[i].similarity) {
+            std::fprintf(stderr,
+                         "shard smoke: rank %zu mismatch (type=%d k=%d)\n",
+                         i, static_cast<int>(type), k);
+            return 1;
+          }
+        }
+        ++checked;
+      }
+    }
+  }
+  std::printf("shard smoke: OK (%d query results bit-identical at 2 "
+              "shards)\n",
+              checked);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  if (flags.GetBool("shard-smoke", false)) return RunShardSmoke();
   const int records = static_cast<int>(flags.GetInt("records", 12000));
   const int batches = static_cast<int>(flags.GetInt("batches", 12));
   const int32_t dim = static_cast<int32_t>(flags.GetInt("dim", 32));
@@ -346,6 +531,19 @@ int Main(int argc, char** argv) {
     if (row.dirty_pct == 10) speedup_10pct = row.speedup;
   }
 
+  // Sharded scatter-gather rows: each shard count trains its own small
+  // model over the same stream head, so the column is self-contained.
+  std::vector<std::vector<TokenizedRecord>> head_batches(
+      stream.begin(), stream.begin() + head);
+  std::vector<ShardQueryRow> shard_rows;
+  for (int shards : {1, 2, 4}) {
+    shard_rows.push_back(MeasureShardedQueries(head_batches, dim, shards,
+                                               probe, queries / 4, k));
+    const ShardQueryRow& row = shard_rows.back();
+    std::printf("sharded queries shards=%d  %.1f queries/s\n", row.shards,
+                row.queries_per_sec);
+  }
+
   auto find = [&rows](const std::string& mode, int threads) {
     for (const auto& r : rows) {
       if (r.mode == mode && r.threads == threads) return r.queries_per_sec;
@@ -395,6 +593,15 @@ int Main(int argc, char** argv) {
                   publish[i].dirty_pct, publish[i].full_us,
                   publish[i].delta_us, publish[i].speedup,
                   i + 1 < publish.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  out << "  \"sharding\": [\n";
+  for (std::size_t i = 0; i < shard_rows.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"shards\": %d, \"queries_per_sec\": %.1f}%s\n",
+                  shard_rows[i].shards, shard_rows[i].queries_per_sec,
+                  i + 1 < shard_rows.size() ? "," : "");
     out << buf;
   }
   out << "  ],\n";

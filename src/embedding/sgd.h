@@ -33,43 +33,63 @@ inline uint64_t ShardSeed(uint64_t base, uint64_t step, uint64_t shard) {
 /// center vector against one positive context vertex plus `negatives`
 /// noise vertices.
 ///
-/// Performs the context-side updates of Eqs. (9)-(10) in place on
-/// `context`, and *accumulates* the center-side gradient of Eq. (8) into
-/// `grad_out` (length dim, caller-zeroed) instead of applying it. This
-/// split lets one code path serve both the plain per-edge update — apply
-/// grad_out to the single center row — and the bag-of-words composite
-/// update of the intra-record meta-graph (footnote 4) — apply grad_out to
-/// every member word row.
+/// Performs the context-side updates of Eqs. (9)-(10) in place —
+/// `positive_ctx` is the positive vertex's context row, `context_row(v)`
+/// resolves each negative draw's — and *accumulates* the center-side
+/// gradient of Eq. (8) into `grad_out` (length dim, caller-zeroed) instead
+/// of applying it. This split lets one code path serve the plain per-edge
+/// update (apply grad_out to the single center row), the bag-of-words
+/// composite update of the intra-record meta-graph (footnote 4; apply
+/// grad_out to every member word row), and the sharded trainer (context
+/// rows resolved by vertex ownership).
 ///
 /// `sample_negative(rng)` returns a noise vertex id (or kInvalidVertex to
 /// skip one draw). Called from every trainer shard: context rows are
 /// shared, so they must only be touched through the fused kernels (the
 /// analyzer derives this HOGWILD scope from the dispatch call graph).
+template <typename NegativeFn, typename ContextRowFn>
+void NegativeSamplingUpdateRows(const float* center_vec, VertexId positive,
+                                float* positive_ctx, std::size_t dim,
+                                int negatives, float lr,
+                                const SigmoidTable& sigmoid, Rng& rng,
+                                NegativeFn&& sample_negative,
+                                ContextRowFn&& context_row, float* grad_out) {
+  // Positive term: label 1. FusedGradStep performs Eqs. (8)+(9) in one
+  // pass over the context row (grad_out += g*ctx; ctx += g*center).
+  {
+    const float score = sigmoid(Dot(center_vec, positive_ctx, dim));
+    const float g = (1.0f - score) * lr;  // Eq. (8)/(9) coefficient
+    ACTOR_DCHECK_FINITE(g);
+    FusedGradStep(g, center_vec, positive_ctx, grad_out, dim);
+  }
+  // Negative terms: label 0.
+  for (int k = 0; k < negatives; ++k) {
+    const VertexId neg = sample_negative(rng);
+    if (neg == kInvalidVertex || neg == positive) continue;
+    float* ctx = context_row(neg);
+    const float score = sigmoid(Dot(center_vec, ctx, dim));
+    const float g = -score * lr;  // Eq. (8)/(10) coefficient
+    ACTOR_DCHECK_FINITE(g);
+    FusedGradStep(g, center_vec, ctx, grad_out, dim);  // Eq. (10)
+  }
+}
+
+/// The flat-matrix form: positive and negative context rows all resolve
+/// through one EmbeddingMatrix. Delegates to NegativeSamplingUpdateRows, so
+/// the sharded trainer — which resolves context rows through vertex
+/// ownership (owned shard rows vs the remote-tile cache) — shares the exact
+/// arithmetic and RNG-consumption order of this path (bit-identity at
+/// shards=1 follows structurally; see docs/sharding.md).
 template <typename NegativeFn>
 void NegativeSamplingUpdate(const float* center_vec, VertexId positive,
                             int negatives, float lr, EmbeddingMatrix* context,
                             const SigmoidTable& sigmoid, Rng& rng,
                             NegativeFn&& sample_negative, float* grad_out) {
   const std::size_t dim = static_cast<std::size_t>(context->dim());
-  // Positive term: label 1. FusedGradStep performs Eqs. (8)+(9) in one
-  // pass over the context row (grad_out += g*ctx; ctx += g*center).
-  {
-    float* ctx = context->row(positive);
-    const float score = sigmoid(Dot(center_vec, ctx, dim));
-    const float g = (1.0f - score) * lr;  // Eq. (8)/(9) coefficient
-    ACTOR_DCHECK_FINITE(g);
-    FusedGradStep(g, center_vec, ctx, grad_out, dim);
-  }
-  // Negative terms: label 0.
-  for (int k = 0; k < negatives; ++k) {
-    const VertexId neg = sample_negative(rng);
-    if (neg == kInvalidVertex || neg == positive) continue;
-    float* ctx = context->row(neg);
-    const float score = sigmoid(Dot(center_vec, ctx, dim));
-    const float g = -score * lr;  // Eq. (8)/(10) coefficient
-    ACTOR_DCHECK_FINITE(g);
-    FusedGradStep(g, center_vec, ctx, grad_out, dim);  // Eq. (10)
-  }
+  NegativeSamplingUpdateRows(
+      center_vec, positive, context->row(positive), dim, negatives, lr,
+      sigmoid, rng, static_cast<NegativeFn&&>(sample_negative),
+      [context](VertexId v) { return context->row(v); }, grad_out);
 }
 
 /// Shared options for the edge-sampling trainers.

@@ -78,9 +78,15 @@ Result<std::vector<Neighbor>> QueryEngine::QueryByVector(
     results.push_back(std::move(n));
   }
   const std::size_t keep = std::min<std::size_t>(k, results.size());
+  // Ties break toward the lower unit id, making the top-k *set* a pure
+  // function of (snapshot, query, k) rather than of candidate scan order —
+  // the property the sharded scatter-gather merge needs to reproduce this
+  // result exactly from per-shard heads (docs/sharding.md).
   std::partial_sort(results.begin(), results.begin() + keep, results.end(),
                     [](const Neighbor& a, const Neighbor& b) {
-                      return a.similarity > b.similarity;
+                      return a.similarity > b.similarity ||
+                             (a.similarity == b.similarity &&
+                              a.vertex < b.vertex);
                     });
   results.resize(keep);
   for (auto& n : results) {
@@ -204,7 +210,9 @@ std::vector<Result<std::vector<Neighbor>>> QueryEngine::QueryBatch(
         std::min<std::size_t>(queries[i].k, results.size());
     std::partial_sort(results.begin(), results.begin() + keep, results.end(),
                       [](const Neighbor& a, const Neighbor& c) {
-                        return a.similarity > c.similarity;
+                        return a.similarity > c.similarity ||
+                               (a.similarity == c.similarity &&
+                                a.vertex < c.vertex);
                       });
     results.resize(keep);
     for (auto& n : results) {

@@ -13,7 +13,11 @@
 namespace actor {
 
 /// One cross-modal neighbor (paper §6.4): a unit of the requested type and
-/// its cosine similarity to the query.
+/// its cosine similarity to the query. Top-k results order by similarity
+/// descending with ties broken by ascending unit id, in both the sequential
+/// and batched paths — an explicit total order, so the result set never
+/// depends on candidate scan order (the contract the sharded scatter-gather
+/// merge builds on, docs/sharding.md).
 struct Neighbor {
   VertexId vertex = kInvalidVertex;
   std::string name;

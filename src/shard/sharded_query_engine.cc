@@ -1,0 +1,194 @@
+#include "shard/sharded_query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace actor {
+
+ShardedQueryEngine::ShardedQueryEngine(
+    std::shared_ptr<const ShardedModelSnapshot> snapshot)
+    : snapshot_(std::move(snapshot)) {
+  ACTOR_DCHECK(snapshot_ != nullptr);
+  engines_.reserve(static_cast<std::size_t>(snapshot_->num_shards()));
+  for (int s = 0; s < snapshot_->num_shards(); ++s) {
+    engines_.emplace_back(snapshot_->shard(s));
+  }
+}
+
+const float* ShardedQueryEngine::CenterRow(VertexId global) const {
+  const ShardMapSnapshot& map = snapshot_->map();
+  ACTOR_DCHECK(global >= 0 && global < map.num_vertices());
+  const int s = map.owner[static_cast<std::size_t>(global)];
+  return snapshot_->shard(s)->center().row(
+      map.local[static_cast<std::size_t>(global)]);
+}
+
+std::vector<Neighbor> ShardedQueryEngine::QueryMergeHeads(
+    std::vector<std::vector<Neighbor>> heads, int k) const {
+  const ShardMapSnapshot& map = snapshot_->map();
+  std::vector<Neighbor> merged;
+  std::size_t total = 0;
+  for (const auto& head : heads) total += head.size();
+  merged.reserve(total);
+  for (int s = 0; s < static_cast<int>(heads.size()); ++s) {
+    for (Neighbor& n : heads[static_cast<std::size_t>(s)]) {
+      n.vertex = map.globals[static_cast<std::size_t>(s)]
+                            [static_cast<std::size_t>(n.vertex)];
+      merged.push_back(std::move(n));
+    }
+  }
+  // The same explicit total order the flat engine sorts by; per-shard local
+  // order agrees with global order (ShardMap's order-preserving local ids),
+  // so the merged head of S per-shard top-k lists IS the global top-k.
+  std::sort(merged.begin(), merged.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.similarity > b.similarity ||
+                     (a.similarity == b.similarity && a.vertex < b.vertex);
+            });
+  if (merged.size() > static_cast<std::size_t>(k)) merged.resize(k);
+  return merged;
+}
+
+std::vector<Neighbor> ShardedQueryEngine::QueryScatter(
+    const float* query, VertexType result_type, int k,
+    VertexId exclude) const {
+  const ShardMapSnapshot& map = snapshot_->map();
+  std::vector<std::vector<Neighbor>> heads(
+      static_cast<std::size_t>(snapshot_->num_shards()));
+  for (int s = 0; s < snapshot_->num_shards(); ++s) {
+    VertexId local_exclude = kInvalidVertex;
+    if (exclude != kInvalidVertex &&
+        map.owner[static_cast<std::size_t>(exclude)] == s) {
+      local_exclude = map.local[static_cast<std::size_t>(exclude)];
+    }
+    // k > 0 was checked by the caller, so the per-shard query cannot fail
+    // (debug-asserted inside MoveValueUnchecked).
+    auto head = engines_[static_cast<std::size_t>(s)].QueryByVector(
+        query, result_type, k, local_exclude);
+    heads[static_cast<std::size_t>(s)] = head.MoveValueUnchecked();
+  }
+  return QueryMergeHeads(std::move(heads), k);
+}
+
+Result<std::vector<Neighbor>> ShardedQueryEngine::QueryByVector(
+    const float* query, VertexType result_type, int k,
+    VertexId exclude) const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  return QueryScatter(query, result_type, k, exclude);
+}
+
+Result<std::vector<Neighbor>> ShardedQueryEngine::QueryByLocation(
+    const GeoPoint& location, VertexType result_type, int k) const {
+  const VertexId v = snapshot_->map().SpatialVertex(location);
+  if (v == kInvalidVertex) {
+    return Status::NotFound("no spatial hotspots available");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  return QueryScatter(CenterRow(v), result_type, k, v);
+}
+
+Result<std::vector<Neighbor>> ShardedQueryEngine::QueryByHour(
+    double hour, VertexType result_type, int k) const {
+  const VertexId v = snapshot_->map().TemporalVertexAtHour(hour);
+  if (v == kInvalidVertex) {
+    return Status::NotFound("no temporal hotspots available");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  return QueryScatter(CenterRow(v), result_type, k, v);
+}
+
+Result<std::vector<Neighbor>> ShardedQueryEngine::QueryByKeyword(
+    const std::string& keyword, VertexType result_type, int k) const {
+  // Streaming snapshots carry no vocabulary (the flat online path's
+  // LookupWord always reports unknown); mirror its error exactly.
+  return Status::NotFound("keyword not in vocabulary: " + keyword);
+}
+
+std::vector<Result<std::vector<Neighbor>>> ShardedQueryEngine::QueryBatch(
+    const std::vector<BatchQuery>& queries) const {
+  const ShardMapSnapshot& map = snapshot_->map();
+  const std::size_t b = queries.size();
+  const int num_shards = snapshot_->num_shards();
+
+  // Per-request resolution against the global resolvers, running the same
+  // checks in the same order as the flat engine's QueryBatch so error
+  // statuses (and their precedence over the k check) match exactly.
+  std::vector<Status> errors(b);       // OK marks the request scorable
+  std::vector<std::size_t> scorable;   // request index per scatter slot
+  std::vector<BatchQuery> scatter;     // global-exclude vector queries
+  for (std::size_t i = 0; i < b; ++i) {
+    const BatchQuery& q = queries[i];
+    VertexId v = kInvalidVertex;
+    switch (q.kind) {
+      case BatchQuery::Kind::kLocation:
+        v = map.SpatialVertex(q.location);
+        if (v == kInvalidVertex) {
+          errors[i] = Status::NotFound("no spatial hotspots available");
+          continue;
+        }
+        break;
+      case BatchQuery::Kind::kHour:
+        v = map.TemporalVertexAtHour(q.hour);
+        if (v == kInvalidVertex) {
+          errors[i] = Status::NotFound("no temporal hotspots available");
+          continue;
+        }
+        break;
+      case BatchQuery::Kind::kKeyword:
+        errors[i] =
+            Status::NotFound("keyword not in vocabulary: " + q.keyword);
+        continue;
+      case BatchQuery::Kind::kVector:
+        break;
+    }
+    if (q.k <= 0) {
+      errors[i] = Status::InvalidArgument("k must be positive");
+      continue;
+    }
+    const float* query = v == kInvalidVertex ? q.vector : CenterRow(v);
+    const VertexId exclude = v == kInvalidVertex ? q.exclude : v;
+    scorable.push_back(i);
+    scatter.push_back(
+        BatchQuery::Vector(query, q.result_type, q.k, exclude));
+  }
+
+  // Scatter: every shard scores the same slot list through its flat
+  // batched path (one blocked sweep per populated type block per shard).
+  std::vector<std::vector<Result<std::vector<Neighbor>>>> shard_results(
+      static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    std::vector<BatchQuery> local = scatter;
+    for (BatchQuery& q : local) {
+      if (q.exclude == kInvalidVertex) continue;
+      q.exclude = map.owner[static_cast<std::size_t>(q.exclude)] == s
+                      ? map.local[static_cast<std::size_t>(q.exclude)]
+                      : kInvalidVertex;
+    }
+    shard_results[static_cast<std::size_t>(s)] =
+        engines_[static_cast<std::size_t>(s)].QueryBatch(local);
+  }
+
+  // Gather: merge each request's per-shard heads in request order.
+  std::vector<Result<std::vector<Neighbor>>> out;
+  out.reserve(b);
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < b; ++i) {
+    if (!errors[i].ok()) {
+      out.push_back(errors[i]);
+      continue;
+    }
+    std::vector<std::vector<Neighbor>> heads(
+        static_cast<std::size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      // Scatter slots are pre-validated vector queries, so the per-shard
+      // result cannot be an error (debug-asserted in MoveValueUnchecked).
+      auto& r = shard_results[static_cast<std::size_t>(s)][slot];
+      heads[static_cast<std::size_t>(s)] = r.MoveValueUnchecked();
+    }
+    out.push_back(QueryMergeHeads(std::move(heads), queries[i].k));
+    ++slot;
+  }
+  return out;
+}
+
+}  // namespace actor

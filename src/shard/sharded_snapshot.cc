@@ -1,0 +1,78 @@
+#include "shard/sharded_snapshot.h"
+
+#include <limits>
+#include <utility>
+
+namespace actor {
+
+VertexId ShardMapSnapshot::SpatialVertex(const GeoPoint& location) const {
+  // Same nearest-center scan as ModelSnapshot's online path (which itself
+  // mirrors OnlineActor::SpatialUnit), so a sharded engine and a flat
+  // engine seeded from the same model state pick the same seed unit.
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < spatial_centers.size(); ++i) {
+    const double d = Distance(location, spatial_centers[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best < 0 ? kInvalidVertex : spatial_units[best];
+}
+
+VertexId ShardMapSnapshot::TemporalVertexAt(double timestamp) const {
+  return TemporalVertexAtHour(HourOfDay(timestamp));
+}
+
+VertexId ShardMapSnapshot::TemporalVertexAtHour(double hour) const {
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < temporal_hours.size(); ++i) {
+    const double d = CircularHourDistance(hour, temporal_hours[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best < 0 ? kInvalidVertex : temporal_units[best];
+}
+
+VertexId ShardMapSnapshot::WordVertex(int32_t word_id) const {
+  const auto it = word_units.find(word_id);
+  return it == word_units.end() ? kInvalidVertex : it->second;
+}
+
+std::shared_ptr<const ShardedModelSnapshot> ShardedModelSnapshot::Make(
+    std::vector<std::shared_ptr<const ModelSnapshot>> shards,
+    std::shared_ptr<const ShardMapSnapshot> map, uint64_t version) {
+  ACTOR_DCHECK(map != nullptr);
+  ACTOR_DCHECK(static_cast<int>(shards.size()) == map->num_shards);
+  auto snap = std::shared_ptr<ShardedModelSnapshot>(new ShardedModelSnapshot());
+  snap->version_ = version;
+  snap->shards_ = std::move(shards);
+  snap->map_ = std::move(map);
+#if !defined(NDEBUG)
+  int32_t total = 0;
+  for (int s = 0; s < snap->num_shards(); ++s) {
+    ACTOR_DCHECK(snap->shards_[static_cast<std::size_t>(s)] != nullptr);
+    total += snap->shards_[static_cast<std::size_t>(s)]->num_units();
+  }
+  ACTOR_DCHECK(total == snap->map_->num_vertices())
+      << "shard snapshots cover " << total << " units, map has "
+      << snap->map_->num_vertices();
+#endif
+  return snap;
+}
+
+int32_t ShardedModelSnapshot::num_units() const {
+  int32_t n = 0;
+  for (const auto& s : shards_) n += s->num_units();
+  return n;
+}
+
+int32_t ShardedModelSnapshot::dim() const {
+  return shards_.empty() ? 0 : shards_.front()->dim();
+}
+
+}  // namespace actor

@@ -1,0 +1,127 @@
+#ifndef ACTOR_SHARD_SHARDED_SNAPSHOT_H_
+#define ACTOR_SHARD_SHARDED_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+#include "graph/types.h"
+#include "serve/model_snapshot.h"
+#include "shard/vertex_partitioner.h"
+#include "util/logging.h"
+
+namespace actor {
+
+/// Frozen copy of the ShardMap plus the *global* modality resolvers, taken
+/// at publish time. The per-shard ModelSnapshots carry only their local
+/// rows and local unit names; everything that needs a global view — which
+/// shard owns a vertex, which unit a location/hour/word resolves to — lives
+/// here. Shared by shared_ptr across delta publishes while the unit set is
+/// unchanged, the same trick ModelSnapshot plays with its CatalogState.
+///
+/// The resolvers mirror ModelSnapshot's online path bit for bit
+/// (nearest-center linear scan, circular-hour scan, word-unit map), so a
+/// sharded engine and a flat engine seeded from the same model state pick
+/// the same seed unit.
+struct ShardMapSnapshot {
+  int num_shards = 1;
+  std::vector<int32_t> owner;                   // global id -> shard
+  std::vector<int32_t> local;                   // global id -> local row
+  std::vector<std::vector<VertexId>> globals;   // shard -> local -> global
+
+  // Global modality resolvers (the online catalogue's resolver half).
+  std::vector<GeoPoint> spatial_centers;
+  std::vector<VertexId> spatial_units;
+  std::vector<double> temporal_hours;
+  std::vector<VertexId> temporal_units;
+  std::unordered_map<int32_t, VertexId> word_units;
+
+  int32_t num_vertices() const { return static_cast<int32_t>(owner.size()); }
+
+  VertexId SpatialVertex(const GeoPoint& location) const;
+  VertexId TemporalVertexAt(double timestamp) const;
+  VertexId TemporalVertexAtHour(double hour) const;
+  VertexId WordVertex(int32_t word_id) const;
+};
+
+/// A composite of per-shard chunk-COW ModelSnapshots plus the frozen
+/// ShardMapSnapshot, all stamped with one model version. Immutable after
+/// Make(); queries hold the composite by shared_ptr and see one consistent
+/// version across every shard — the per-shard snapshots were all taken at
+/// the same batch barrier, so unlike independent per-shard stores there is
+/// no torn read across shards.
+class ShardedModelSnapshot {
+ public:
+  static std::shared_ptr<const ShardedModelSnapshot> Make(
+      std::vector<std::shared_ptr<const ModelSnapshot>> shards,
+      std::shared_ptr<const ShardMapSnapshot> map, uint64_t version);
+
+  uint64_t version() const { return version_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  const std::shared_ptr<const ModelSnapshot>& shard(int s) const {
+    ACTOR_DCHECK(s >= 0 && s < num_shards()) << "shard " << s;
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  const ShardMapSnapshot& map() const { return *map_; }
+  const std::shared_ptr<const ShardMapSnapshot>& map_ptr() const {
+    return map_;
+  }
+
+  /// Total units across shards.
+  int32_t num_units() const;
+  int32_t dim() const;
+
+ private:
+  ShardedModelSnapshot() = default;
+
+  uint64_t version_ = 0;
+  std::vector<std::shared_ptr<const ModelSnapshot>> shards_;
+  std::shared_ptr<const ShardMapSnapshot> map_;
+};
+
+/// Atomic publish/acquire slot for the composite snapshot — the same
+/// release/acquire contract (and the same TSan-aware dual implementation)
+/// as serve's SnapshotStore, lifted to the sharded bundle. Publishing the
+/// composite as ONE pointer swap is what keeps cross-shard consistency:
+/// readers can never observe shard A at version v+1 next to shard B at v.
+class ShardedSnapshotStore {
+ public:
+  ShardedSnapshotStore() = default;
+  ShardedSnapshotStore(const ShardedSnapshotStore&) = delete;
+  ShardedSnapshotStore& operator=(const ShardedSnapshotStore&) = delete;
+
+  void Publish(std::shared_ptr<const ShardedModelSnapshot> snapshot) {
+#if defined(ACTOR_SERVE_ATOMIC_SHARED_PTR)
+    slot_.store(std::move(snapshot), std::memory_order_release);
+#else
+    std::atomic_store_explicit(&slot_, std::move(snapshot),
+                               std::memory_order_release);
+#endif
+  }
+
+  /// Latest published composite; null before the first Publish().
+  std::shared_ptr<const ShardedModelSnapshot> Acquire() const {
+#if defined(ACTOR_SERVE_ATOMIC_SHARED_PTR)
+    return slot_.load(std::memory_order_acquire);
+#else
+    return std::atomic_load_explicit(&slot_, std::memory_order_acquire);
+#endif
+  }
+
+ private:
+#if defined(ACTOR_SERVE_ATOMIC_SHARED_PTR)
+  std::atomic<std::shared_ptr<const ShardedModelSnapshot>> slot_;
+#else
+  // TSan / pre-C++20 path: the free-function atomic shared_ptr overloads.
+  std::shared_ptr<const ShardedModelSnapshot> slot_;
+#endif
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_SHARD_SHARDED_SNAPSHOT_H_

@@ -1,0 +1,149 @@
+#ifndef ACTOR_SHARD_VERTEX_PARTITIONER_H_
+#define ACTOR_SHARD_VERTEX_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace actor {
+
+/// How a VertexPartitioner assigns vertex ids to shards.
+///
+/// * kHash — SplitMix64 of the vertex id, modulo the shard count. Spreads
+///   hot vertices uniformly regardless of arrival order; the default.
+/// * kRange — contiguous blocks of `range_block` consecutive ids,
+///   round-robined across shards. Preserves id locality (units created
+///   together, which tend to co-occur in edges, land on the same shard),
+///   trading balance for fewer cross-shard edges.
+enum class ShardStrategy : uint8_t { kHash = 0, kRange };
+
+/// Partitioning spec. `per_type` optionally overrides the strategy for an
+/// individual vertex type (the paper's T/L/W/U modalities have very
+/// different id-arrival patterns: temporal units are dense and periodic,
+/// words are heavy-tailed), indexed by static_cast<int>(VertexType).
+struct PartitionSpec {
+  int num_shards = 1;
+  ShardStrategy strategy = ShardStrategy::kHash;
+  int32_t range_block = 64;
+  ShardStrategy per_type[kNumVertexTypes] = {
+      ShardStrategy::kHash, ShardStrategy::kHash, ShardStrategy::kHash,
+      ShardStrategy::kHash};
+  bool use_per_type = false;
+};
+
+/// Pure function from (vertex id, vertex type) to owner shard. Stateless,
+/// so the same spec reproduces the same assignment in every process — the
+/// property the multi-process extension relies on (docs/sharding.md).
+class VertexPartitioner {
+ public:
+  VertexPartitioner() : spec_{} {}
+  explicit VertexPartitioner(const PartitionSpec& spec) : spec_(spec) {
+    ACTOR_DCHECK(spec.num_shards >= 1)
+        << "num_shards must be >= 1, got " << spec.num_shards;
+    ACTOR_DCHECK(spec.range_block >= 1);
+  }
+
+  int num_shards() const { return spec_.num_shards; }
+
+  /// Owner shard of vertex `v` (dense id) of the given type.
+  int Assign(VertexId v, VertexType type) const {
+    ACTOR_DCHECK(v >= 0);
+    if (spec_.num_shards == 1) return 0;
+    const ShardStrategy strategy =
+        spec_.use_per_type ? spec_.per_type[static_cast<int>(type)]
+                           : spec_.strategy;
+    if (strategy == ShardStrategy::kRange) {
+      return static_cast<int>((v / spec_.range_block) %
+                              spec_.num_shards);
+    }
+    return static_cast<int>(SplitMix64(static_cast<uint64_t>(v)) %
+                            static_cast<uint64_t>(spec_.num_shards));
+  }
+
+ private:
+  PartitionSpec spec_;
+};
+
+/// Explicit tile-ownership map: global vertex id -> (owner shard, local
+/// row). The single-machine analogue of DistEmbed's process-grid tile map —
+/// every sharded container (ShardedEmbeddingMatrix, ShardedEdgeStore, the
+/// per-shard snapshots) indexes its rows by the local ids recorded here.
+///
+/// Invariant — *order-preserving local ids*: vertices are registered in
+/// global-id order (AddVertex requires global == num_vertices()), and each
+/// shard hands out local rows in registration order, so `globals(s)` is
+/// strictly increasing. Scatter-gather top-k relies on this: per-shard
+/// (score, local id) order agrees with global (score, global id) order, so
+/// merging per-shard heads reproduces the unsharded tie-break exactly.
+class ShardMap {
+ public:
+  ShardMap() : ShardMap(1) {}
+  explicit ShardMap(int num_shards)
+      : num_shards_(num_shards), globals_(num_shards) {
+    ACTOR_DCHECK(num_shards >= 1);
+  }
+
+  int num_shards() const { return num_shards_; }
+  int32_t num_vertices() const { return static_cast<int32_t>(owner_.size()); }
+
+  /// Registers the next global vertex on `owner`; returns its local row.
+  int32_t AddVertex(VertexId global, int owner) {
+    ACTOR_DCHECK(global == num_vertices())
+        << "vertices must be registered in global-id order: got " << global
+        << ", expected " << num_vertices();
+    ACTOR_DCHECK(owner >= 0 && owner < num_shards_);
+    const int32_t local = static_cast<int32_t>(globals_[owner].size());
+    owner_.push_back(owner);
+    local_.push_back(local);
+    globals_[owner].push_back(global);
+    return local;
+  }
+
+  int owner(VertexId v) const {
+    ACTOR_DCHECK(v >= 0 && v < num_vertices()) << "vertex " << v;
+    return owner_[static_cast<std::size_t>(v)];
+  }
+
+  int32_t local_row(VertexId v) const {
+    ACTOR_DCHECK(v >= 0 && v < num_vertices()) << "vertex " << v;
+    return local_[static_cast<std::size_t>(v)];
+  }
+
+  VertexId global_id(int shard, int32_t local) const {
+    ACTOR_DCHECK(shard >= 0 && shard < num_shards_);
+    ACTOR_DCHECK(local >= 0 &&
+                 local < static_cast<int32_t>(globals_[shard].size()));
+    return globals_[shard][static_cast<std::size_t>(local)];
+  }
+
+  /// Global ids owned by `shard`, in local-row order (strictly increasing).
+  const std::vector<VertexId>& globals(int shard) const {
+    ACTOR_DCHECK(shard >= 0 && shard < num_shards_);
+    return globals_[shard];
+  }
+
+  /// Whole-array views, for freezing the map into a ShardMapSnapshot.
+  const std::vector<int32_t>& owners() const { return owner_; }
+  const std::vector<int32_t>& locals() const { return local_; }
+  const std::vector<std::vector<VertexId>>& all_globals() const {
+    return globals_;
+  }
+
+  int32_t shard_size(int shard) const {
+    ACTOR_DCHECK(shard >= 0 && shard < num_shards_);
+    return static_cast<int32_t>(globals_[shard].size());
+  }
+
+ private:
+  int num_shards_ = 1;
+  std::vector<int32_t> owner_;              // global id -> shard
+  std::vector<int32_t> local_;              // global id -> local row
+  std::vector<std::vector<VertexId>> globals_;  // shard -> local -> global
+};
+
+}  // namespace actor
+
+#endif  // ACTOR_SHARD_VERTEX_PARTITIONER_H_

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace actor {
@@ -46,6 +47,16 @@ class Result {
   /// Moves the contained value out. Aborts if this Result holds an error.
   T MoveValueOrDie() {
     if (!ok()) status_.CheckOK();
+    return std::move(*value_);
+  }
+
+  /// Moves the contained value out, debug-checked only. For callers on the
+  /// serving hot path that have already established ok() (e.g. the
+  /// scatter-gather engine unwrapping per-shard results it validated
+  /// up front): the checked accessors route through Status::CheckOK, whose
+  /// failure path performs IO — banned on non-blocking paths (R10).
+  T MoveValueUnchecked() {
+    ACTOR_DCHECK(ok()) << status().message();
     return std::move(*value_);
   }
 

@@ -21,6 +21,7 @@
 #include "embedding/skipgram.h"
 #include "eval/pipeline.h"
 #include "serve/query_engine.h"
+#include "shard/sharded_query_engine.h"
 #include "util/thread_pool.h"
 #include "util/vec_math.h"
 
@@ -395,6 +396,95 @@ TEST(ConcurrencyTsanTest, DeltaPublishQueryDuringIngest) {
   ASSERT_NE(last, nullptr);
   EXPECT_GT(last->version(), held->version());
   EXPECT_TRUE(AllFinite(last->center()));
+}
+
+TEST(ConcurrencyTsanTest, ShardedQueryDuringIngest) {
+  // The sharded serving contract: the ingest thread trains per-shard
+  // epochs on its own pool and publishes composite snapshots through
+  // ShardedSnapshotStore's atomic slot, while query workers acquire the
+  // composite and scatter-gather across the per-shard engines. The
+  // composite swap is a single pointer store, so a worker can never see a
+  // torn mix of shard versions — and TSan must see no races between the
+  // per-shard trainers (owned rows + private tile copies only) and the
+  // readers.
+  SyntheticConfig config;
+  config.seed = 83;
+  config.num_records = 900;
+  config.num_users = 30;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.num_venues = 8;
+  config.keywords_per_topic = 12;
+  config.background_vocab = 30;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<std::vector<TokenizedRecord>> batches(6);
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    batches[i * batches.size() / corpus->size()].push_back(
+        corpus->record(i));
+  }
+
+  ThreadPool train_pool(kThreads);
+  OnlineActorOptions options;
+  options.dim = 16;
+  options.samples_per_edge_per_batch = 2.0;
+  options.num_shards = 2;
+  options.num_threads = kThreads;
+  options.pool = &train_pool;
+  options.delta_publish = true;  // per-shard chunk-COW under concurrency
+  auto model = OnlineActor::Create(options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->Ingest(batches[0]).ok());
+  ASSERT_NE(model->PublishShardedSnapshot(), nullptr);
+  const GeoPoint probe = batches[0].front().location;
+
+  ThreadPool query_pool(kThreads);
+  std::atomic<int> query_failures{0};
+  std::atomic<int64_t> queries_done{0};
+  std::atomic<bool> ingest_done{false};
+  for (int t = 0; t < kThreads; ++t) {
+    query_pool.Submit([&, t] {
+      uint64_t spins = 0;
+      uint64_t last_version = 0;
+      while (!ingest_done.load(std::memory_order_acquire) || spins < 50) {
+        ++spins;
+        auto snap = model->CurrentShardedSnapshot();
+        if (snap == nullptr) continue;
+        // Versions move forward only: a stale composite would mean the
+        // pointer swap tore or the store lost release ordering.
+        if (snap->version() < last_version) {
+          query_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_version = snap->version();
+        ShardedQueryEngine engine(std::move(snap));
+        auto words = engine.QueryByLocation(probe, VertexType::kWord,
+                                            3 + (t % 3));
+        auto hours = engine.QueryByHour(9.0 + t, VertexType::kTime, 2);
+        if (!words.ok() || !hours.ok()) {
+          query_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        queries_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::size_t b = 1; b < batches.size(); ++b) {
+    ASSERT_TRUE(model->Ingest(batches[b]).ok());
+    model->PublishShardedSnapshot();
+  }
+  ingest_done.store(true, std::memory_order_release);
+  query_pool.Wait();
+
+  EXPECT_EQ(query_failures.load(), 0);
+  EXPECT_GT(queries_done.load(), 0);
+  auto last = model->CurrentShardedSnapshot();
+  ASSERT_NE(last, nullptr);
+  for (int s = 0; s < last->num_shards(); ++s) {
+    EXPECT_TRUE(AllFinite(last->shard(s)->center()));
+  }
 }
 
 TEST(ConcurrencyTsanTest, TsanBuildInstallsRelaxedBackend) {

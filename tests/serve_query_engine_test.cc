@@ -11,8 +11,12 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "core/actor.h"
+#include "embedding/embedding_matrix.h"
 #include "eval/pipeline.h"
+#include "serve/model_snapshot.h"
 #include "util/vec_math.h"
 
 namespace actor {
@@ -148,6 +152,81 @@ TEST_F(QueryEngineTest, StatusMessagesMatchPreRefactorContract) {
   EXPECT_TRUE(unknown.IsNotFound());
   EXPECT_NE(unknown.ToString().find("keyword not in vocabulary"),
             std::string::npos);
+}
+
+// Ranking ties are part of the serving contract: equal similarities order
+// by ascending unit id, making top-k results a deterministic function of
+// the snapshot in both the sequential and the batched scoring path (and
+// letting the sharded scatter-gather merge reproduce flat results
+// exactly). Built on a hand-rolled snapshot so the ties are exact.
+TEST(QueryEngineTieBreakTest, EqualScoresOrderByAscendingUnitId) {
+  const int32_t dim = 4;
+  const int32_t n = 8;
+  EmbeddingMatrix center(n, dim);
+  ModelSnapshot::OnlineCatalog catalog;
+  for (int32_t v = 0; v < n; ++v) {
+    float* r = center.row(v);
+    // Two exact tie groups: even ids all point along the query, odd ids
+    // share a second direction with a lower cosine, so the full ranking
+    // must be every even id ascending, then every odd id ascending.
+    r[0] = 1.0f;
+    r[1] = (v % 2 != 0) ? 1.0f : 0.0f;
+    r[2] = 0.0f;
+    r[3] = 0.0f;
+    catalog.types.push_back(VertexType::kWord);
+    catalog.names.push_back("w" + std::to_string(v));
+  }
+  const auto snap = ModelSnapshot::FromOnline(center, std::move(catalog), 1);
+  QueryEngine engine(snap);
+  const float query[dim] = {1.0f, 0.0f, 0.0f, 0.0f};
+
+  // Full scan: both tie groups come back in ascending id order.
+  auto full = engine.QueryByVector(query, VertexType::kWord, n);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->size(), static_cast<std::size_t>(n));
+  const VertexId want_full[] = {0, 2, 4, 6, 1, 3, 5, 7};
+  for (int32_t i = 0; i < n; ++i) {
+    EXPECT_EQ((*full)[static_cast<std::size_t>(i)].vertex, want_full[i])
+        << "rank " << i;
+  }
+  // The groups really are exact ties, not near-misses.
+  EXPECT_EQ((*full)[0].similarity, (*full)[3].similarity);
+  EXPECT_EQ((*full)[4].similarity, (*full)[7].similarity);
+
+  // Truncation inside a tie group keeps the smallest ids.
+  auto top3 = engine.QueryByVector(query, VertexType::kWord, 3);
+  ASSERT_TRUE(top3.ok());
+  ASSERT_EQ(top3->size(), 3u);
+  EXPECT_EQ((*top3)[0].vertex, 0);
+  EXPECT_EQ((*top3)[1].vertex, 2);
+  EXPECT_EQ((*top3)[2].vertex, 4);
+
+  // Excluding a tied unit shifts the group without reordering it.
+  auto excl = engine.QueryByVector(query, VertexType::kWord, 3, 2);
+  ASSERT_TRUE(excl.ok());
+  ASSERT_EQ(excl->size(), 3u);
+  EXPECT_EQ((*excl)[0].vertex, 0);
+  EXPECT_EQ((*excl)[1].vertex, 4);
+  EXPECT_EQ((*excl)[2].vertex, 6);
+
+  // The batched path applies the identical total order.
+  std::vector<BatchQuery> queries;
+  queries.push_back(BatchQuery::Vector(query, VertexType::kWord, n));
+  queries.push_back(BatchQuery::Vector(query, VertexType::kWord, 3, 2));
+  const auto batch = engine.QueryBatch(queries);
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(batch[0].ok());
+  ASSERT_EQ(batch[0]->size(), static_cast<std::size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    EXPECT_EQ((*batch[0])[static_cast<std::size_t>(i)].vertex, want_full[i]);
+    EXPECT_EQ((*batch[0])[static_cast<std::size_t>(i)].similarity,
+              (*full)[static_cast<std::size_t>(i)].similarity);
+  }
+  ASSERT_TRUE(batch[1].ok());
+  ASSERT_EQ(batch[1]->size(), 3u);
+  EXPECT_EQ((*batch[1])[0].vertex, 0);
+  EXPECT_EQ((*batch[1])[1].vertex, 4);
+  EXPECT_EQ((*batch[1])[2].vertex, 6);
 }
 
 TEST_F(QueryEngineTest, EngineKeepsSnapshotAlive) {

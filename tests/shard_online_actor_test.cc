@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/online_actor.h"
+#include "data/synthetic.h"
+#include "shard/sharded_query_engine.h"
+#include "util/thread_pool.h"
+
+namespace actor {
+namespace {
+
+std::vector<std::vector<TokenizedRecord>> MakeBatches(int records,
+                                                      int batches,
+                                                      uint64_t seed = 5) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.num_records = records;
+  config.num_users = 80;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.num_venues = 16;
+  config.keywords_per_topic = 20;
+  config.background_vocab = 40;
+  auto ds = GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  CorpusBuildOptions build;
+  build.min_word_count = 1;
+  auto corpus = TokenizedCorpus::Build(ds->corpus, build);
+  EXPECT_TRUE(corpus.ok());
+  std::vector<std::vector<TokenizedRecord>> out(batches);
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    out[i * batches / corpus->size()].push_back(corpus->record(i));
+  }
+  return out;
+}
+
+OnlineActorOptions FastOptions() {
+  OnlineActorOptions o;
+  o.dim = 16;
+  o.samples_per_edge_per_batch = 2.0;
+  return o;
+}
+
+void ExpectBitIdentical(const EmbeddingMatrix& a, const EmbeddingMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.dim(), b.dim());
+  for (int32_t r = 0; r < a.rows(); ++r) {
+    ASSERT_EQ(std::memcmp(a.row(r), b.row(r),
+                          sizeof(float) * static_cast<std::size_t>(a.dim())),
+              0)
+        << "row " << r << " differs";
+  }
+}
+
+// The tentpole identity: the sharded pipeline at one shard IS the legacy
+// pipeline — same unit set, same edges, bit-identical center matrix after
+// every batch, identical published snapshots and query results. This is
+// what licenses every other sharded test to treat the legacy path as its
+// reference.
+TEST(ShardOnlineActorTest, ShardedOneBitIdenticalToLegacy) {
+  OnlineActorOptions legacy_opts = FastOptions();
+  OnlineActorOptions sharded_opts = FastOptions();
+  sharded_opts.num_shards = 1;
+  auto legacy = OnlineActor::Create(legacy_opts);
+  auto sharded = OnlineActor::Create(sharded_opts);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_FALSE(legacy->sharded());
+  EXPECT_TRUE(sharded->sharded());
+  EXPECT_EQ(sharded->num_shards(), 1);
+
+  const auto batches = MakeBatches(900, 3);
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(legacy->Ingest(batch).ok());
+    ASSERT_TRUE(sharded->Ingest(batch).ok());
+    ASSERT_EQ(legacy->num_units(), sharded->num_units());
+    ASSERT_EQ(legacy->num_live_edges(), sharded->num_live_edges());
+    ExpectBitIdentical(legacy->center(), sharded->center());
+  }
+
+  // Flat publishes agree bit-for-bit: same version, same rows.
+  auto legacy_snap = legacy->PublishSnapshot();
+  auto sharded_snap = sharded->PublishSnapshot();
+  ASSERT_NE(legacy_snap, nullptr);
+  ASSERT_NE(sharded_snap, nullptr);
+  EXPECT_EQ(legacy_snap->version(), sharded_snap->version());
+  ASSERT_EQ(legacy_snap->num_units(), sharded_snap->num_units());
+
+  // And the two serving paths return identical results on them.
+  QueryEngine flat(legacy_snap);
+  ShardedQueryEngine scatter(sharded->PublishShardedSnapshot());
+  auto expect_same = [&](VertexType type) {
+    auto a = flat.QueryByHour(20.0, type, 7);
+    auto b = scatter.QueryByHour(20.0, type, 7);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) return;
+    ASSERT_EQ(a->size(), b->size());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].vertex, (*b)[i].vertex);
+      EXPECT_EQ((*a)[i].similarity, (*b)[i].similarity);
+      EXPECT_EQ((*a)[i].name, (*b)[i].name);
+      EXPECT_EQ((*a)[i].type, (*b)[i].type);
+    }
+  };
+  expect_same(VertexType::kWord);
+  expect_same(VertexType::kLocation);
+  expect_same(VertexType::kUser);
+}
+
+// Sharded training writes only shard-owned state (remote context rows go
+// to private tile copies), so unlike legacy HOGWILD the result cannot
+// depend on scheduling: one worker or many, same bits.
+TEST(ShardOnlineActorTest, ShardedDeterministicAcrossThreadCounts) {
+  OnlineActorOptions seq_opts = FastOptions();
+  seq_opts.num_shards = 4;
+  OnlineActorOptions par_opts = seq_opts;
+  par_opts.num_threads = 4;
+  auto seq = OnlineActor::Create(seq_opts);
+  auto par = OnlineActor::Create(par_opts);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+
+  const auto batches = MakeBatches(900, 3);
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(seq->Ingest(batch).ok());
+    ASSERT_TRUE(par->Ingest(batch).ok());
+  }
+  ExpectBitIdentical(seq->GatherCenter(), par->GatherCenter());
+}
+
+TEST(ShardOnlineActorTest, CrossShardEdgesResolveThroughRemoteTileCache) {
+  OnlineActorOptions opts = FastOptions();
+  opts.num_shards = 2;
+  auto model = OnlineActor::Create(opts);
+  ASSERT_TRUE(model.ok());
+  const auto batches = MakeBatches(600, 2);
+  for (const auto& batch : batches) ASSERT_TRUE(model->Ingest(batch).ok());
+
+  // Hash partitioning over a connected co-occurrence graph guarantees
+  // cross-shard edges, and every one of them must have pulled its remote
+  // endpoint's context row into the owner's tile cache at the barrier.
+  ASSERT_EQ(model->num_shards(), 2);
+  std::size_t tile_rows = 0;
+  for (int s = 0; s < model->num_shards(); ++s) {
+    tile_rows += model->remote_tile_rows(s);
+  }
+  EXPECT_GT(tile_rows, 0u);
+  // The training outcome stays finite and valid across both shards.
+  for (int s = 0; s < model->num_shards(); ++s) {
+    EXPECT_TRUE(model->center_shard(s).DebugValidate());
+  }
+}
+
+// Per-shard delta publishes must produce exactly the state full publishes
+// do — the chunk-COW sharing is an optimization, never a semantic change
+// (the sharded analogue of serve_delta_publish_test).
+TEST(ShardOnlineActorTest, ShardedPublishDeltaMatchesFull) {
+  OnlineActorOptions delta_opts = FastOptions();
+  delta_opts.num_shards = 2;
+  delta_opts.delta_publish = true;
+  OnlineActorOptions full_opts = delta_opts;
+  full_opts.delta_publish = false;
+  auto delta_model = OnlineActor::Create(delta_opts);
+  auto full_model = OnlineActor::Create(full_opts);
+  ASSERT_TRUE(delta_model.ok());
+  ASSERT_TRUE(full_model.ok());
+
+  const auto batches = MakeBatches(900, 3);
+  std::shared_ptr<const ShardedModelSnapshot> delta_snap, full_snap;
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(delta_model->Ingest(batch).ok());
+    ASSERT_TRUE(full_model->Ingest(batch).ok());
+    // Publishing every batch exercises the delta path against a fresh
+    // previous snapshot (grown unit set and steady-state both covered).
+    delta_snap = delta_model->PublishShardedSnapshot();
+    full_snap = full_model->PublishShardedSnapshot();
+    ASSERT_NE(delta_snap, nullptr);
+    ASSERT_NE(full_snap, nullptr);
+    ASSERT_EQ(delta_snap->version(), full_snap->version());
+    ASSERT_EQ(delta_snap->num_units(), full_snap->num_units());
+    for (int s = 0; s < delta_snap->num_shards(); ++s) {
+      const auto& a = delta_snap->shard(s)->center();
+      const auto& b = full_snap->shard(s)->center();
+      ASSERT_EQ(a.rows(), b.rows());
+      for (int32_t r = 0; r < a.rows(); ++r) {
+        ASSERT_EQ(std::memcmp(a.row(r), b.row(r),
+                              sizeof(float) *
+                                  static_cast<std::size_t>(a.dim())),
+                  0)
+            << "shard " << s << " row " << r << " differs";
+      }
+    }
+  }
+  // Unchanged model => publish is a no-op returning the same composite.
+  EXPECT_EQ(delta_model->PublishShardedSnapshot(), delta_snap);
+}
+
+// A composite publish is one pointer swap; mixing the flat and sharded
+// publish paths must not corrupt either one's dirty bookkeeping.
+TEST(ShardOnlineActorTest, FlatAndShardedPublishesCoexist) {
+  OnlineActorOptions opts = FastOptions();
+  opts.num_shards = 2;
+  auto model = OnlineActor::Create(opts);
+  ASSERT_TRUE(model.ok());
+  const auto batches = MakeBatches(600, 2);
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(model->Ingest(batch).ok());
+    auto flat = model->PublishSnapshot();
+    auto sharded = model->PublishShardedSnapshot();
+    ASSERT_NE(flat, nullptr);
+    ASSERT_NE(sharded, nullptr);
+    EXPECT_EQ(flat->version(), sharded->version());
+    EXPECT_EQ(flat->num_units(), sharded->num_units());
+    // The flat snapshot is the gathered composite: every global row equals
+    // its owner shard's local row.
+    const ShardMapSnapshot& map = sharded->map();
+    for (VertexId v = 0; v < map.num_vertices(); ++v) {
+      const int s = map.owner[static_cast<std::size_t>(v)];
+      const float* shard_row = sharded->shard(s)->center().row(
+          map.local[static_cast<std::size_t>(v)]);
+      ASSERT_EQ(std::memcmp(flat->center().row(v), shard_row,
+                            sizeof(float) * static_cast<std::size_t>(
+                                                flat->center().dim())),
+                0)
+          << "vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actor

@@ -128,7 +128,8 @@ namespace {
 /// True for files where pool-dispatch lambdas are auto-detected as HOGWILD
 /// regions (mirrors the per-file rule the v1 analyzer applied).
 bool AutoDetectDir(const std::string& path) {
-  return StartsWith(path, "src/embedding/") || StartsWith(path, "src/core/");
+  return StartsWith(path, "src/embedding/") || StartsWith(path, "src/core/") ||
+         StartsWith(path, "src/shard/");
 }
 
 /// Finds every ShardedRange/ParallelFor/Submit call in `code` and reports
@@ -256,11 +257,16 @@ HotPathInfo ComputeHotPaths(const CallGraph& g, const HogwildInfo& hw,
   const std::size_t n_nodes = g.nodes().size();
   info.root.assign(n_nodes, 0);
 
-  // Scoring roots: Query* methods of QueryEngine (through any alias).
+  // Scoring roots: Query* methods of QueryEngine (through any alias) and
+  // of the scatter-gather ShardedQueryEngine — the sharded serving
+  // boundary has the same contract as the flat one: the Query* bodies may
+  // allocate per-request scratch (heads, merge buffers) but must never
+  // block, and everything reachable beneath them stays allocation-free.
   for (int n = 0; n < static_cast<int>(n_nodes); ++n) {
     const Symbol& s = g.Sym(n);
     if (!s.method || !StartsWith(s.name, "Query")) continue;
-    if (g.CanonicalType(s.qualifier) != "QueryEngine") continue;
+    const std::string& canon = g.CanonicalType(s.qualifier);
+    if (canon != "QueryEngine" && canon != "ShardedQueryEngine") continue;
     info.query_roots.push_back(n);
     info.root[n] = 1;
   }

@@ -66,8 +66,9 @@ struct SrcSpan {
 
 /// HOGWILD context, derived interprocedurally. Roots are the lambda
 /// literals passed to ShardedRange/ParallelFor/Submit in src/embedding/ +
-/// src/core/ (dispatch_spans) and lambda variables passed to a dispatch by
-/// name (dispatch_seed_nodes). `hogwild_auto` marks every symbol reachable
+/// src/core/ + src/shard/ (dispatch_spans) and lambda variables passed to
+/// a dispatch by name (dispatch_seed_nodes). `hogwild_auto` marks every
+/// symbol reachable
 /// from those roots through the call graph; `hogwild` additionally
 /// propagates from manual `// actor-lint: hogwild-region` annotation spans
 /// (the escape hatch for regions the automation cannot see).
@@ -84,7 +85,8 @@ HogwildInfo ComputeHogwild(const CallGraph& g,
 /// R10 reachability. Roots (region boundaries that may own scratch
 /// allocation but must not block): HOGWILD dispatch/annotation spans, the
 /// bodies of dispatched lambda variables, and the `Query*` methods of
-/// QueryEngine (or any alias of it, e.g. NeighborSearcher). `checked`
+/// QueryEngine (or any alias of it, e.g. NeighborSearcher) and of the
+/// scatter-gather ShardedQueryEngine. `checked`
 /// marks every non-root symbol reachable from a root: those bodies must be
 /// free of mutexes, IO, *and* heap allocation.
 struct HotPathInfo {

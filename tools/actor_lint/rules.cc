@@ -504,9 +504,11 @@ std::vector<std::pair<std::size_t, std::size_t>> DispatchCallSpans(
   return spans;
 }
 
-/// Results of SnapshotStore::Acquire() / CurrentSnapshot() may only live
-/// as shared_ptr<const ModelSnapshot> locals (storing the shared_ptr in a
-/// member is fine — that is how QueryEngine pins a snapshot). What must
+/// Results of SnapshotStore::Acquire() / CurrentSnapshot() — and of the
+/// composite accessors (ShardedSnapshotStore::Acquire,
+/// CurrentShardedSnapshot) — may only live as shared_ptr snapshot locals
+/// (storing the shared_ptr in a member is fine — that is how QueryEngine
+/// pins a snapshot). What must
 /// not happen: taking `.get()` on the temporary, storing a raw snapshot
 /// pointer into a member (trailing-underscore target) or a static, or
 /// letting a raw pointer cross a pool-dispatch boundary — the pointer
@@ -516,7 +518,8 @@ void CheckSnapshotLifetime(const LexedFile& f, std::vector<Finding>* out) {
   const std::string& code = f.code;
 
   std::set<std::string> snap_vars;
-  for (const char* acc : {"Acquire", "CurrentSnapshot"}) {
+  for (const char* acc :
+       {"Acquire", "CurrentSnapshot", "CurrentShardedSnapshot"}) {
     std::size_t pos = 0;
     while ((pos = FindToken(code, pos, acc)) != kNpos) {
       const std::size_t at = pos;
@@ -1375,7 +1378,8 @@ void CheckSnapshotEscape(const LexedFile& f, const FileSymbols& syms,
   if (!StartsWith(f.path, "src/")) return;
   const std::string& code = f.code;
   if (code.find("Acquire") == kNpos &&
-      code.find("CurrentSnapshot") == kNpos) {
+      code.find("CurrentSnapshot") == kNpos &&
+      code.find("CurrentShardedSnapshot") == kNpos) {
     return;
   }
   const auto dispatch_spans = NamedDispatchSpans(code);
@@ -1415,7 +1419,8 @@ void CheckSnapshotEscape(const LexedFile& f, const FileSymbols& syms,
     return var;
   };
   auto is_acquire_expr = [&](std::size_t b, std::size_t e) {
-    for (const char* acc : {"Acquire", "CurrentSnapshot"}) {
+    for (const char* acc :
+         {"Acquire", "CurrentSnapshot", "CurrentShardedSnapshot"}) {
       std::size_t p = b;
       while ((p = FindToken(code, p, acc)) != kNpos && p < e) {
         const std::size_t open =
@@ -1453,7 +1458,8 @@ void CheckSnapshotEscape(const LexedFile& f, const FileSymbols& syms,
     const Symbol& sym = syms.symbols[si];
     if (sym.body_end <= sym.body_begin || si >= cfgs.size()) continue;
     bool has_acc = false;
-    for (const char* acc : {"Acquire", "CurrentSnapshot"}) {
+    for (const char* acc :
+         {"Acquire", "CurrentSnapshot", "CurrentShardedSnapshot"}) {
       const std::size_t p = FindToken(code, sym.body_begin, acc);
       if (p != kNpos && p < sym.body_end) {
         has_acc = true;
